@@ -1,0 +1,138 @@
+// Ablation A1: full (Pmin, Vmin) cross sweep.
+//
+// The paper reports (section 4.1) that it only plots Pmin = Vmin
+// because "increasing Pmin beyond the same value of Vmin decreases
+// sigma(Qv) by a very marginal amount", and that when Vmin is small
+// "the effect of Pmin in sigma(Qv) is very limited, whereas Vmin is the
+// dominant factor". This harness measures the whole grid and verifies
+// both statements.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "sim/growth.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+double tail_mean(const std::vector<double>& y) {
+  const std::size_t from = y.size() - y.size() / 4;
+  double sum = 0.0;
+  for (std::size_t i = from; i < y.size(); ++i) sum += y[i];
+  return sum / static_cast<double>(y.size() - from);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+
+  FigureHarness fig(argc, argv, "abl1",
+                    "Ablation A1: plateau sigma-bar(Qv) over the "
+                    "(Pmin, Vmin) grid",
+                    /*default_runs=*/20, /*default_steps=*/1024);
+  fig.print_banner();
+
+  const std::vector<std::uint64_t> pmins =
+      fig.args().get_uint_list("pmin", {8, 16, 32, 64, 128});
+  const std::vector<std::uint64_t> vmins =
+      fig.args().get_uint_list("vmin", {8, 16, 32, 64, 128});
+
+  // grid[vi][pi] = plateau sigma for (pmins[pi], vmins[vi]).
+  std::vector<std::vector<double>> grid(
+      vmins.size(), std::vector<double>(pmins.size(), 0.0));
+
+  for (std::size_t vi = 0; vi < vmins.size(); ++vi) {
+    for (std::size_t pi = 0; pi < pmins.size(); ++pi) {
+      const std::uint64_t pmin = pmins[pi];
+      const std::uint64_t vmin = vmins[vi];
+      const auto make = [&, pmin, vmin](std::uint64_t seed) {
+        cobalt::dht::Config config;
+        config.pmin = pmin;
+        config.vmin = vmin;
+        config.seed = seed;
+        return cobalt::sim::run_local_growth(config, fig.steps(),
+                                             cobalt::sim::Metric::kSigmaQv);
+      };
+      const auto series = cobalt::sim::average_runs(
+          fig.runs(), fig.seed(), pmin * 10000 + vmin, make, &fig.pool());
+      grid[vi][pi] = tail_mean(series);
+    }
+    std::cout << "  swept Vmin=" << vmins[vi] << "\n";
+  }
+
+  // Print the grid (rows: Vmin; columns: Pmin), in percent.
+  std::vector<std::string> headers{"Vmin \\ Pmin"};
+  for (const auto p : pmins) headers.push_back(std::to_string(p));
+  cobalt::TextTable table(std::move(headers));
+  for (std::size_t vi = 0; vi < vmins.size(); ++vi) {
+    std::vector<std::string> row{std::to_string(vmins[vi])};
+    for (std::size_t pi = 0; pi < pmins.size(); ++pi) {
+      row.push_back(cobalt::format_fixed(grid[vi][pi] * 100.0, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+
+  {
+    cobalt::CsvWriter csv("abl1.csv");
+    std::vector<std::string> header{"vmin"};
+    for (const auto p : pmins) header.push_back("pmin_" + std::to_string(p));
+    csv.write_header(header);
+    for (std::size_t vi = 0; vi < vmins.size(); ++vi) {
+      std::vector<double> row{static_cast<double>(vmins[vi])};
+      for (const double v : grid[vi]) row.push_back(v);
+      csv.write_numeric_row(row);
+    }
+    std::cout << "csv: abl1.csv\n";
+  }
+
+  // --- checks -------------------------------------------------------
+  // (a) Along the diagonal, quality improves (the figure-4 ordering).
+  for (std::size_t i = 1; i < std::min(pmins.size(), vmins.size()); ++i) {
+    fig.check(grid[i][i] < grid[i - 1][i - 1],
+              "diagonal improves at (Pmin,Vmin)=(" +
+                  std::to_string(pmins[i]) + "," + std::to_string(vmins[i]) +
+                  ")");
+  }
+  // (b) Increasing Pmin beyond Vmin is marginal: relative improvement
+  // from Pmin = Vmin to the largest Pmin is small compared to the
+  // improvement from doubling Vmin itself.
+  for (std::size_t vi = 0; vi + 1 < vmins.size(); ++vi) {
+    std::size_t diag = 0;
+    for (std::size_t pi = 0; pi < pmins.size(); ++pi) {
+      if (pmins[pi] == vmins[vi]) diag = pi;
+    }
+    const double at_diag = grid[vi][diag];
+    const double at_max_pmin = grid[vi][pmins.size() - 1];
+    const double beyond_gain = (at_diag - at_max_pmin) / at_diag;
+    const double vmin_gain = (at_diag - grid[vi + 1][diag]) / at_diag;
+    fig.check(beyond_gain < vmin_gain,
+              "for Vmin=" + std::to_string(vmins[vi]) +
+                  ": raising Pmin beyond Vmin gains " +
+                  cobalt::format_fixed(beyond_gain * 100, 1) +
+                  "% < doubling Vmin gains " +
+                  cobalt::format_fixed(vmin_gain * 100, 1) + "%");
+  }
+  // (c) With the smallest Vmin, Pmin's whole-row effect is limited
+  // ("Vmin is the dominant factor"): row spread under 40% relative,
+  // column spread (fixing Pmin large, varying Vmin) far larger.
+  {
+    const double row_small = grid[0][0];
+    const double row_large = grid[0][pmins.size() - 1];
+    const double row_gain = (row_small - row_large) / row_small;
+    const double col_small = grid[0][pmins.size() - 1];
+    const double col_large = grid[vmins.size() - 1][pmins.size() - 1];
+    const double col_gain = (col_small - col_large) / col_small;
+    fig.check(row_gain < 0.5 && col_gain > row_gain,
+              "Vmin dominates: Pmin row gain " +
+                  cobalt::format_fixed(row_gain * 100, 1) +
+                  "% vs Vmin column gain " +
+                  cobalt::format_fixed(col_gain * 100, 1) + "%");
+  }
+
+  return fig.exit_code();
+}

@@ -1,0 +1,178 @@
+// Ablation A2: data-movement cost of elasticity.
+//
+// The balancement quality of figures 4-9 is only half the story for a
+// real deployment: every rebalance moves stored keys. This harness
+// loads a store with synthetic keys, grows the cluster vnode by vnode,
+// and reports the keys moved per join for the local approach, the
+// global approach, and Consistent Hashing (whose minimal-disruption
+// property is the classic reference point).
+//
+// Expected shape: all three move O(K / V) keys per join (a fair share);
+// CH moves slightly less than the fair share on average (it only steals
+// the arcs of the new node's points), while the model's split waves add
+// rebucketing work but no extra cross-node movement.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ch/ring.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "kv/store.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+using cobalt::bench::FigureHarness;
+using cobalt::bench::Series;
+
+/// Counts keys CH moves when one node joins: the keys inside the arcs
+/// stolen by the new node's points. Key population given as sorted
+/// hashes.
+std::uint64_t ch_keys_moved_on_join(cobalt::ch::ConsistentHashRing& ring,
+                                    const std::vector<cobalt::HashIndex>& keys,
+                                    std::size_t virtual_servers) {
+  const auto node = ring.add_node(virtual_servers);
+  std::uint64_t moved = 0;
+  for (const cobalt::HashIndex point : ring.points_of(node)) {
+    if (ring.point_count() < 2) {
+      moved += keys.size();
+      continue;
+    }
+    const cobalt::HashIndex pred = ring.predecessor_point(point);
+    // Keys in (pred, point], wrapping when pred >= point.
+    const auto count_le = [&](cobalt::HashIndex x) {
+      return static_cast<std::uint64_t>(
+          std::upper_bound(keys.begin(), keys.end(), x) - keys.begin());
+    };
+    if (pred < point) {
+      moved += count_le(point) - count_le(pred);
+    } else {
+      moved += count_le(point) + (keys.size() - count_le(pred));
+    }
+  }
+  return moved;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FigureHarness fig(argc, argv, "abl2",
+                    "Ablation A2: keys moved per join (local vs global "
+                    "vs CH)",
+                    /*default_runs=*/1, /*default_steps=*/256);
+  fig.print_banner();
+
+  const std::uint64_t key_count = fig.args().get_uint("keys", 200000);
+  const std::size_t snodes = fig.args().get_uint("snodes", 16);
+  const std::size_t ch_k = fig.args().get_uint("ch-partitions", 32);
+
+  cobalt::dht::Config local_config;
+  local_config.pmin = 32;
+  local_config.vmin = 32;
+  local_config.seed = fig.seed();
+  cobalt::kv::KvStore local(local_config);
+
+  cobalt::dht::Config global_config = local_config;
+  cobalt::kv::GlobalKvStore global(global_config);
+
+  // Key population: synthetic URLs (exercises the real hash path).
+  std::vector<std::string> keys;
+  keys.reserve(key_count);
+  for (std::uint64_t i = 0; i < key_count; ++i) {
+    keys.push_back("http://host" + std::to_string(i % 977) + "/object/" +
+                   std::to_string(i));
+  }
+
+  // Stand up both stores on `snodes` snodes with one initial vnode.
+  std::vector<cobalt::dht::SNodeId> local_snodes;
+  std::vector<cobalt::dht::SNodeId> global_snodes;
+  for (std::size_t s = 0; s < snodes; ++s) {
+    local_snodes.push_back(local.add_snode());
+    global_snodes.push_back(global.add_snode());
+  }
+  local.add_vnode(local_snodes[0]);
+  global.add_vnode(global_snodes[0]);
+  for (const auto& key : keys) {
+    local.put(key, "v");
+    global.put(key, "v");
+  }
+
+  // CH comparison set: the hashed key population, sorted.
+  std::vector<cobalt::HashIndex> ch_keys;
+  ch_keys.reserve(keys.size());
+  for (const auto& key : keys) {
+    ch_keys.push_back(cobalt::hashing::xxh64(key));
+  }
+  std::sort(ch_keys.begin(), ch_keys.end());
+  cobalt::ch::ConsistentHashRing ring(fig.seed());
+  ring.add_node(ch_k);
+
+  // Grow all three, recording movement per join.
+  std::vector<double> local_moved;
+  std::vector<double> global_moved;
+  std::vector<double> ch_moved;
+  std::vector<double> fair_share;
+  std::uint64_t local_prev = 0;
+  std::uint64_t global_prev = 0;
+  for (std::size_t v = 2; v <= fig.steps(); ++v) {
+    const auto host = static_cast<cobalt::dht::SNodeId>(v % snodes);
+    local.add_vnode(local_snodes[host]);
+    global.add_vnode(global_snodes[host]);
+    const std::uint64_t lm =
+        local.migration_stats().keys_moved_total - local_prev;
+    const std::uint64_t gm =
+        global.migration_stats().keys_moved_total - global_prev;
+    local_prev = local.migration_stats().keys_moved_total;
+    global_prev = global.migration_stats().keys_moved_total;
+    local_moved.push_back(static_cast<double>(lm));
+    global_moved.push_back(static_cast<double>(gm));
+    ch_moved.push_back(
+        static_cast<double>(ch_keys_moved_on_join(ring, ch_keys, ch_k)));
+    fair_share.push_back(static_cast<double>(key_count) /
+                         static_cast<double>(v));
+  }
+
+  std::vector<double> xs;
+  for (std::size_t v = 2; v <= fig.steps(); ++v) {
+    xs.push_back(static_cast<double>(v));
+  }
+  const std::vector<Series> series{Series{"local", local_moved},
+                                   Series{"global", global_moved},
+                                   Series{"CH", ch_moved},
+                                   Series{"fair share K/V", fair_share}};
+  fig.print_table(xs, series, xs.size() / 16, /*percent=*/false, "vnodes");
+  fig.print_chart(xs, series, "vnodes / nodes joined", "keys moved on join");
+  fig.write_csv(xs, series, "vnodes");
+
+  // --- checks -------------------------------------------------------
+  const auto tail_ratio = [&](const std::vector<double>& moved) {
+    double m = 0.0;
+    double f = 0.0;
+    for (std::size_t i = moved.size() - moved.size() / 4; i < moved.size();
+         ++i) {
+      m += moved[i];
+      f += fair_share[i];
+    }
+    return m / f;
+  };
+  const double local_ratio = tail_ratio(local_moved);
+  const double global_ratio = tail_ratio(global_moved);
+  const double ch_ratio = tail_ratio(ch_moved);
+  fig.check(local_ratio > 0.3 && local_ratio < 3.0,
+            "local approach moves a fair share per join (ratio " +
+                cobalt::format_fixed(local_ratio, 2) + "x of K/V)");
+  fig.check(global_ratio > 0.3 && global_ratio < 3.0,
+            "global approach moves a fair share per join (ratio " +
+                cobalt::format_fixed(global_ratio, 2) + "x of K/V)");
+  fig.check(ch_ratio > 0.3 && ch_ratio < 3.0,
+            "CH moves a fair share per join (ratio " +
+                cobalt::format_fixed(ch_ratio, 2) + "x of K/V)");
+  // Integrity: no keys lost by either store.
+  fig.check(local.size() == key_count && global.size() == key_count,
+            "no keys lost through " + std::to_string(fig.steps()) +
+                " joins (local and global)");
+
+  return fig.exit_code();
+}

@@ -1,0 +1,122 @@
+// Ablation A4: heterogeneous enrollment.
+//
+// The model's motivating feature (sections 1 and 2.1.2): "the share of
+// a DHT handled by each cluster node is a function of the amount of the
+// computational resources it enrolls". This harness builds clusters
+// with several capacity profiles, enrolls vnodes proportionally to
+// capacity, loads a KV store, and verifies that each node's share of
+// keys tracks its capacity - versus a naive one-vnode-per-node
+// deployment that ignores heterogeneity.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/capacity.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "kv/store.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+/// Relative stddev of per-capacity-unit load (0 = perfectly
+/// capacity-proportional).
+double capacity_weighted_imbalance(const std::vector<std::size_t>& keys,
+                                   const std::vector<double>& capacities) {
+  std::vector<double> per_unit;
+  per_unit.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    per_unit.push_back(static_cast<double>(keys[i]) / capacities[i]);
+  }
+  return cobalt::relative_stddev(per_unit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+  using cobalt::cluster::CapacityProfile;
+
+  FigureHarness fig(argc, argv, "abl4",
+                    "Ablation A4: capacity-proportional shares on "
+                    "heterogeneous clusters",
+                    /*default_runs=*/1, /*default_steps=*/32);
+  fig.print_banner();
+
+  const std::size_t snodes = fig.steps();
+  const std::uint64_t key_count = fig.args().get_uint("keys", 200000);
+  const std::size_t baseline_vnodes = fig.args().get_uint("base-vnodes", 8);
+
+  cobalt::TextTable table({"profile", "weighted imbalance (%)",
+                           "naive imbalance (%)", "max overload (naive)"});
+
+  for (const auto profile :
+       {CapacityProfile::kTwoGenerations, CapacityProfile::kThreeTiers,
+        CapacityProfile::kLinearRamp}) {
+    const auto capacities =
+        cobalt::cluster::make_capacities(profile, snodes);
+
+    // Capacity-aware deployment: vnodes proportional to capacity.
+    cobalt::dht::Config config;
+    config.pmin = 16;
+    config.vmin = 16;
+    config.seed = fig.seed();
+    cobalt::kv::KvStore aware(config);
+    for (std::size_t s = 0; s < snodes; ++s) {
+      const auto id = aware.add_snode(capacities[s]);
+      const std::size_t count = cobalt::cluster::vnodes_for_capacity(
+          baseline_vnodes, capacities[s]);
+      for (std::size_t v = 0; v < count; ++v) aware.add_vnode(id);
+    }
+
+    // Naive deployment: heterogeneity ignored (equal vnodes per node).
+    cobalt::kv::KvStore naive(config);
+    for (std::size_t s = 0; s < snodes; ++s) {
+      const auto id = naive.add_snode(capacities[s]);
+      for (std::size_t v = 0; v < baseline_vnodes; ++v) naive.add_vnode(id);
+    }
+
+    for (std::uint64_t i = 0; i < key_count; ++i) {
+      const std::string key =
+          "obj/" + std::to_string(i) + "/" + std::to_string(i % 131);
+      aware.put(key, "v");
+      naive.put(key, "v");
+    }
+
+    const double aware_imbalance = capacity_weighted_imbalance(
+        aware.keys_per_snode(), capacities);
+    const double naive_imbalance = capacity_weighted_imbalance(
+        naive.keys_per_snode(), capacities);
+
+    // Naive overload: the busiest per-capacity-unit node relative to a
+    // fair per-unit share.
+    const auto naive_keys = naive.keys_per_snode();
+    double total_capacity = 0.0;
+    for (const double c : capacities) total_capacity += c;
+    const double fair_per_unit =
+        static_cast<double>(key_count) / total_capacity;
+    double max_overload = 0.0;
+    for (std::size_t s = 0; s < snodes; ++s) {
+      max_overload = std::max(max_overload,
+                              static_cast<double>(naive_keys[s]) /
+                                  capacities[s] / fair_per_unit);
+    }
+
+    table.add_row({cobalt::cluster::profile_name(profile),
+                   cobalt::format_fixed(aware_imbalance * 100.0, 2),
+                   cobalt::format_fixed(naive_imbalance * 100.0, 2),
+                   cobalt::format_fixed(max_overload, 2) + "x"});
+
+    fig.check(aware_imbalance < 0.5 * naive_imbalance,
+              cobalt::cluster::profile_name(profile) +
+                  ": capacity-aware enrollment at least halves the "
+                  "weighted imbalance (" +
+                  cobalt::format_fixed(aware_imbalance * 100, 1) + "% vs " +
+                  cobalt::format_fixed(naive_imbalance * 100, 1) + "%)");
+  }
+
+  std::cout << table.render();
+  return fig.exit_code();
+}

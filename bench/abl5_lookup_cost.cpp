@@ -1,0 +1,131 @@
+// Ablation A5: the lookup-side price of partial knowledge.
+//
+// The local approach buys creation-time parallelism (ablation A3) by
+// giving each snode only its groups' LPDRs; lookups outside that
+// knowledge resolve remotely and are cached. This harness measures the
+// resolver hop distribution at a snode under uniform and Zipf key
+// traffic, with and without churn (ongoing vnode creations invalidate
+// cached entries), for several cluster sizes.
+//
+// The global approach's fully replicated GPDR would resolve every
+// lookup in 0 hops - after paying the serialization measured in A3;
+// this bench quantifies the other side of that trade.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/table.hpp"
+#include "dht/router.hpp"
+#include "hashing/hash.hpp"
+#include "sim/workload.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+using cobalt::bench::FigureHarness;
+
+struct Scenario {
+  std::string label;
+  cobalt::sim::KeyDistribution distribution;
+  bool churn;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FigureHarness fig(argc, argv, "abl5",
+                    "Ablation A5: resolver hops under partial knowledge",
+                    /*default_runs=*/1, /*default_steps=*/512);
+  fig.print_banner();
+
+  const std::vector<std::uint64_t> cluster_sizes =
+      fig.args().get_uint_list("snodes", {4, 16, 64});
+  const std::size_t lookups = fig.args().get_uint("lookups", 200000);
+  const std::size_t key_count = fig.args().get_uint("keys", 100000);
+
+  const std::vector<Scenario> scenarios{
+      {"uniform/static", cobalt::sim::KeyDistribution::kUniform, false},
+      {"uniform/churn", cobalt::sim::KeyDistribution::kUniform, true},
+      {"zipf/static", cobalt::sim::KeyDistribution::kZipf, false},
+      {"zipf/churn", cobalt::sim::KeyDistribution::kZipf, true},
+  };
+
+  cobalt::TextTable table({"snodes", "scenario", "mean hops", "local (%)",
+                           "cache fresh (%)", "stale (%)", "remote (%)"});
+
+  double uniform_static_mean = 0.0;
+  double zipf_static_mean = 0.0;
+  double uniform_churn_mean = 0.0;
+
+  for (const std::uint64_t snodes : cluster_sizes) {
+    for (const Scenario& scenario : scenarios) {
+      cobalt::dht::Config config;
+      config.pmin = 32;
+      config.vmin = 32;
+      config.seed = fig.seed();
+      cobalt::dht::LocalDht dht(config);
+      for (std::uint64_t s = 0; s < snodes; ++s) dht.add_snode();
+      for (std::size_t v = 0; v < fig.steps(); ++v) {
+        dht.create_vnode(static_cast<cobalt::dht::SNodeId>(v % snodes));
+      }
+
+      cobalt::dht::SnodeRouter router(dht, 0);
+      cobalt::sim::WorkloadSpec spec;
+      spec.distribution = scenario.distribution;
+      spec.key_count = key_count;
+      cobalt::sim::WorkloadGenerator workload(spec, fig.seed() + 1);
+
+      cobalt::Histogram hops(0.0, 3.0, 3);
+      std::size_t churn_budget = fig.steps() / 4;
+      for (std::size_t i = 0; i < lookups; ++i) {
+        if (scenario.churn && churn_budget > 0 && i % 997 == 0) {
+          dht.create_vnode(static_cast<cobalt::dht::SNodeId>(i % snodes));
+          --churn_budget;
+        }
+        const cobalt::HashIndex index =
+            cobalt::hashing::xxh64(workload.next_key());
+        hops.add(static_cast<double>(router.lookup(index).hops));
+      }
+
+      const auto& stats = router.stats();
+      const double n = static_cast<double>(stats.lookups);
+      table.add_row(
+          {std::to_string(snodes), scenario.label,
+           cobalt::format_fixed(stats.mean_hops(), 3),
+           cobalt::format_fixed(100.0 * static_cast<double>(stats.local) / n, 1),
+           cobalt::format_fixed(
+               100.0 * static_cast<double>(stats.cache_fresh) / n, 1),
+           cobalt::format_fixed(
+               100.0 * static_cast<double>(stats.cache_stale) / n, 1),
+           cobalt::format_fixed(
+               100.0 * static_cast<double>(stats.remote) / n, 1)});
+
+      if (snodes == cluster_sizes.back()) {
+        if (scenario.label == "uniform/static")
+          uniform_static_mean = stats.mean_hops();
+        if (scenario.label == "zipf/static")
+          zipf_static_mean = stats.mean_hops();
+        if (scenario.label == "uniform/churn")
+          uniform_churn_mean = stats.mean_hops();
+      }
+    }
+  }
+
+  std::cout << table.render();
+
+  fig.check(uniform_static_mean < 1.2,
+            "warm resolver averages near one hop on uniform traffic "
+            "(measured " +
+                cobalt::format_fixed(uniform_static_mean, 2) + ")");
+  fig.check(zipf_static_mean <= uniform_static_mean + 1e-9,
+            "skewed (Zipf) traffic caches at least as well as uniform");
+  fig.check(uniform_churn_mean >= uniform_static_mean,
+            "churn cannot reduce hop cost (stale entries)");
+  cobalt::bench::FigureHarness::note(
+      "the global approach resolves all lookups in 0 hops, at the "
+      "creation-serialization cost quantified by abl3");
+
+  return fig.exit_code();
+}

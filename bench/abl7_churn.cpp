@@ -1,0 +1,130 @@
+// Ablation A7: balance under sustained churn, and the applicability of
+// the deletion extension.
+//
+// The paper's feature list includes nodes leaving the DHT but its
+// evaluation only grows. This harness holds the population constant
+// while vnodes leave and join, reporting: the sigma-bar(Qv) level under
+// churn vs the pure-growth plateau, and the fraction of removals the
+// local approach must refuse because the model defines no cross-group
+// merge for that topology (DESIGN.md, deletion support) - as a function
+// of Vmin. The global approach is the reference: it never refuses.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sim/churn.hpp"
+#include "sim/growth.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+double mean_tail(const std::vector<double>& series) {
+  const std::size_t from = series.size() - series.size() / 4;
+  double sum = 0.0;
+  for (std::size_t i = from; i < series.size(); ++i) sum += series[i];
+  return sum / static_cast<double>(series.size() - from);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+
+  FigureHarness fig(argc, argv, "abl7",
+                    "Ablation A7: sigma-bar(Qv) and removal refusals "
+                    "under sustained churn",
+                    /*default_runs=*/10, /*default_steps=*/256);
+  fig.print_banner();
+
+  const std::size_t population = fig.steps();
+  const std::size_t cycles = fig.args().get_uint("cycles", 400);
+  const std::uint64_t pmin = fig.args().get_uint("pmin", 32);
+  const std::vector<std::uint64_t> vmins =
+      fig.args().get_uint_list("vmin", {8, 32, 128});
+
+  cobalt::TextTable table({"scheme", "growth plateau (%)",
+                           "churn level (%)", "refused removals (%)",
+                           "final groups"});
+
+  // Global reference.
+  {
+    double churn_level = 0.0;
+    for (std::size_t run = 0; run < fig.runs(); ++run) {
+      cobalt::dht::Config config;
+      config.pmin = pmin;
+      config.vmin = 1;
+      config.seed = cobalt::derive_seed(fig.seed(), 70, run);
+      churn_level +=
+          mean_tail(cobalt::sim::run_global_churn(config, population, cycles)
+                        .sigma_series);
+    }
+    churn_level /= static_cast<double>(fig.runs());
+    table.add_row({"global", "(sawtooth)",
+                   cobalt::format_fixed(churn_level * 100, 2), "0.0",
+                   "1"});
+    fig.check(churn_level < 0.05,
+              "global approach stays tightly balanced under churn (" +
+                  cobalt::format_fixed(churn_level * 100, 2) + "%)");
+  }
+
+  double refusal_small_vmin = 0.0;
+  double refusal_large_vmin = 0.0;
+
+  for (const std::uint64_t vmin : vmins) {
+    double churn_level = 0.0;
+    double growth_plateau = 0.0;
+    double refused = 0.0;
+    double groups = 0.0;
+    for (std::size_t run = 0; run < fig.runs(); ++run) {
+      cobalt::dht::Config config;
+      config.pmin = pmin;
+      config.vmin = vmin;
+      config.seed = cobalt::derive_seed(fig.seed(), vmin, run);
+      const auto churn =
+          cobalt::sim::run_local_churn(config, population, cycles);
+      churn_level += mean_tail(churn.sigma_series);
+      refused += static_cast<double>(churn.refused_removals) /
+                 static_cast<double>(cycles);
+      groups += static_cast<double>(churn.final_groups);
+      growth_plateau += mean_tail(cobalt::sim::run_local_growth(
+          config, population, cobalt::sim::Metric::kSigmaQv));
+    }
+    const double n = static_cast<double>(fig.runs());
+    churn_level /= n;
+    growth_plateau /= n;
+    refused /= n;
+    groups /= n;
+
+    table.add_row({"local Vmin=" + std::to_string(vmin),
+                   cobalt::format_fixed(growth_plateau * 100, 2),
+                   cobalt::format_fixed(churn_level * 100, 2),
+                   cobalt::format_fixed(refused * 100, 1),
+                   cobalt::format_fixed(groups, 1)});
+
+    fig.check(churn_level < 2.5 * growth_plateau + 0.02,
+              "churn keeps Vmin=" + std::to_string(vmin) +
+                  " near its growth plateau (" +
+                  cobalt::format_fixed(churn_level * 100, 1) + "% vs " +
+                  cobalt::format_fixed(growth_plateau * 100, 1) + "%)");
+
+    if (vmin == vmins.front()) refusal_small_vmin = refused;
+    if (vmin == vmins.back()) refusal_large_vmin = refused;
+  }
+
+  std::cout << table.render();
+
+  // Many small groups mean more Vmin-sized groups whose siblings have
+  // split away: refusals should not decrease as groups shrink.
+  fig.check(refusal_small_vmin >= refusal_large_vmin,
+            "refusal rate does not improve with smaller groups (" +
+                cobalt::format_fixed(refusal_small_vmin * 100, 1) + "% vs " +
+                cobalt::format_fixed(refusal_large_vmin * 100, 1) + "%)");
+  FigureHarness::note(
+      "refusals are the honest boundary of the deletion extension: the "
+      "model defines no cross-group partition merge (DESIGN.md)");
+
+  return fig.exit_code();
+}

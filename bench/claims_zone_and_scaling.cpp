@@ -1,0 +1,134 @@
+// Textual-claims harness (section 4.1.1): verifies the three
+// quantitative statements the paper makes around figure 4 that are not
+// themselves plotted:
+//
+//  C1 "In the 1st zone (1 <= V <= Vmax), the evolution of sigma(Qv)
+//      matches the one under the global approach, for the same Pmin."
+//  C2 "Each time Pmin and Vmin double, sigma(Qv) decreases by nearly
+//      30%."
+//  C3 "After a sudden increase, sigma(Qv) remains relatively stable
+//      (this observation was confirmed by additional tests made with
+//      8192 vnodes)."
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/growth.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+double window_mean(const std::vector<double>& y, std::size_t from,
+                   std::size_t to) {
+  double sum = 0.0;
+  for (std::size_t i = from; i < to; ++i) sum += y[i];
+  return sum / static_cast<double>(to - from);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+
+  FigureHarness fig(argc, argv, "claims",
+                    "Section 4.1.1 textual claims: zone-1 equality, "
+                    "~30% rule, 8192-vnode stability",
+                    /*default_runs=*/20, /*default_steps=*/1024);
+  fig.print_banner();
+
+  // --- C1: zone-1 equality with the global approach (exact) ---------
+  // While a single group exists the local algorithm *is* the global
+  // algorithm, so the match is exact, not approximate, per step.
+  for (const std::uint64_t p : {8ull, 32ull, 128ull}) {
+    cobalt::dht::Config local_config;
+    local_config.pmin = p;
+    local_config.vmin = p;
+    local_config.seed = fig.seed();
+    const std::size_t vmax = static_cast<std::size_t>(2 * p);
+    const auto local = cobalt::sim::run_local_growth(
+        local_config, vmax, cobalt::sim::Metric::kSigmaQv);
+
+    cobalt::dht::Config global_config;
+    global_config.pmin = p;
+    global_config.seed = fig.seed();
+    const auto global = cobalt::sim::run_global_growth(global_config, vmax);
+
+    double max_diff = 0.0;
+    for (std::size_t v = 0; v < vmax; ++v) {
+      max_diff = std::max(max_diff, std::abs(local[v] - global[v]));
+    }
+    fig.check(max_diff < 1e-12,
+              "C1: zone-1 sigma(Qv) equals the global approach for "
+              "Pmin=Vmin=" + std::to_string(p) +
+                  " (max |diff| = " + std::to_string(max_diff) + ")");
+  }
+
+  // --- C2: ~30% decrease per doubling of (Pmin, Vmin) ---------------
+  std::vector<double> plateaus;
+  const std::vector<std::uint64_t> params{8, 16, 32, 64, 128};
+  for (const std::uint64_t p : params) {
+    const auto make = [&, p](std::uint64_t seed) {
+      cobalt::dht::Config config;
+      config.pmin = p;
+      config.vmin = p;
+      config.seed = seed;
+      return cobalt::sim::run_local_growth(config, fig.steps(),
+                                           cobalt::sim::Metric::kSigmaQv);
+    };
+    const auto series = cobalt::sim::average_runs(fig.runs(), fig.seed(),
+                                                  p, make, &fig.pool());
+    plateaus.push_back(
+        window_mean(series, fig.steps() - fig.steps() / 4, fig.steps()));
+  }
+  cobalt::TextTable table({"Pmin=Vmin", "plateau sigma (%)",
+                           "drop vs previous (%)"});
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double drop =
+        i == 0 ? 0.0 : (1.0 - plateaus[i] / plateaus[i - 1]) * 100.0;
+    table.add_row({std::to_string(params[i]),
+                   cobalt::format_fixed(plateaus[i] * 100.0, 3),
+                   i == 0 ? "-" : cobalt::format_fixed(drop, 1)});
+  }
+  std::cout << table.render();
+
+  double mean_drop = 0.0;
+  for (std::size_t i = 1; i < plateaus.size(); ++i) {
+    mean_drop += 1.0 - plateaus[i] / plateaus[i - 1];
+  }
+  mean_drop /= static_cast<double>(plateaus.size() - 1);
+  fig.check(mean_drop > 0.20 && mean_drop < 0.40,
+            "C2: mean drop per doubling " +
+                cobalt::format_fixed(mean_drop * 100.0, 1) +
+                "% (paper: nearly 30%)");
+
+  // --- C3: stability confirmed at 8192 vnodes -----------------------
+  const std::size_t big = fig.args().get_uint("big-vnodes", 8192);
+  const std::size_t big_runs = fig.args().get_uint("big-runs", 5);
+  const auto make_big = [&](std::uint64_t seed) {
+    cobalt::dht::Config config;
+    config.pmin = 32;
+    config.vmin = 32;
+    config.seed = seed;
+    return cobalt::sim::run_local_growth(config, big,
+                                         cobalt::sim::Metric::kSigmaQv);
+  };
+  const auto big_series = cobalt::sim::average_runs(big_runs, fig.seed(),
+                                                    333, make_big,
+                                                    &fig.pool());
+  const double early_plateau = window_mean(big_series, 512, 1024);
+  const double late_plateau = window_mean(big_series, big - 1024, big);
+  const double ratio = late_plateau / early_plateau;
+  fig.check(ratio > 0.6 && ratio < 1.5,
+            "C3: sigma(Qv) stable out to V = " + std::to_string(big) +
+                " (late/early plateau ratio " +
+                cobalt::format_fixed(ratio, 2) + ")");
+  std::cout << "  plateau at V in [512,1024):   "
+            << cobalt::format_fixed(early_plateau * 100, 2) << "%\n"
+            << "  plateau at V in [" << big - 1024 << "," << big
+            << "): " << cobalt::format_fixed(late_plateau * 100, 2) << "%\n";
+
+  return fig.exit_code();
+}

@@ -1,0 +1,108 @@
+// Figure 4 reproduction: sigma-bar(Qv) while growing to 1024 vnodes,
+// for (Pmin, Vmin) in {(8,8), (16,16), (32,32), (64,64), (128,128)},
+// averaged over 100 runs (section 4.1 of the paper).
+//
+// Expected shape (paper): all curves start near zero in the single-
+// group zone (V <= Vmax), jump when groups begin to split, then
+// plateau; doubling (Pmin, Vmin) lowers the plateau by roughly 30%.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/growth.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+using cobalt::bench::FigureHarness;
+using cobalt::bench::Series;
+
+/// Mean of the last quarter of a series (the plateau region).
+double tail_mean(const std::vector<double>& y) {
+  const std::size_t from = y.size() - y.size() / 4;
+  double sum = 0.0;
+  for (std::size_t i = from; i < y.size(); ++i) sum += y[i];
+  return sum / static_cast<double>(y.size() - from);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FigureHarness fig(argc, argv, "fig4",
+                    "Figure 4: sigma-bar(Qv) when Pmin = Vmin",
+                    /*default_runs=*/100, /*default_steps=*/1024);
+  fig.print_banner();
+
+  const std::vector<std::uint64_t> params =
+      fig.args().get_uint_list("pmin-vmin", {8, 16, 32, 64, 128});
+
+  std::vector<Series> series;
+  for (const std::uint64_t p : params) {
+    const auto make = [&, p](std::uint64_t seed) {
+      cobalt::dht::Config config;
+      config.pmin = p;
+      config.vmin = p;
+      config.seed = seed;
+      return cobalt::sim::run_local_growth(config, fig.steps(),
+                                           cobalt::sim::Metric::kSigmaQv);
+    };
+    series.push_back(Series{
+        "(Pmin,Vmin)=(" + std::to_string(p) + "," + std::to_string(p) + ")",
+        cobalt::sim::average_runs(fig.runs(), fig.seed(), p, make,
+                                  &fig.pool())});
+    std::cout << "  swept (Pmin,Vmin)=(" << p << "," << p << ")\n";
+  }
+
+  const auto xs = cobalt::bench::one_to_n(fig.steps());
+  fig.print_table(xs, series, fig.steps() / 16, /*percent=*/true,
+                  "vnodes");
+  fig.print_chart(xs, series, "overall number of vnodes",
+                  "quality of the balancement (%)");
+  fig.write_csv(xs, series, "vnodes");
+
+  // --- qualitative checks against the paper's reported behaviour ---
+  std::vector<double> plateaus;
+  for (const Series& s : series) plateaus.push_back(tail_mean(s.y));
+
+  for (std::size_t i = 1; i < plateaus.size(); ++i) {
+    fig.check(plateaus[i] < plateaus[i - 1],
+              "doubling (Pmin,Vmin) improves the plateau: " +
+                  series[i].label + " < " + series[i - 1].label);
+  }
+  // "each time Pmin and Vmin double, sigma decreases by nearly 30%"
+  for (std::size_t i = 1; i < plateaus.size(); ++i) {
+    const double drop = 1.0 - plateaus[i] / plateaus[i - 1];
+    fig.check(drop > 0.15 && drop < 0.45,
+              "drop per doubling within [15%,45%] (paper: ~30%), measured " +
+                  cobalt::format_fixed(drop * 100.0, 1) + "% at " +
+                  series[i].label);
+  }
+  // Zone 1 (V <= Vmax): one sole group, so the deviation is small and
+  // the curve jumps only after Vmax.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const std::size_t vmax = 2 * static_cast<std::size_t>(params[i]);
+    if (vmax >= fig.steps()) continue;
+    double zone1_max = 0.0;
+    for (std::size_t v = 0; v < vmax; ++v)
+      zone1_max = std::max(zone1_max, series[i].y[v]);
+    fig.check(zone1_max < plateaus[i],
+              "zone-1 deviation below the zone-2 plateau for " +
+                  series[i].label);
+  }
+  // Plateau stability ("after a sudden increase, sigma remains
+  // relatively stable").
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const std::size_t half = fig.steps() / 2;
+    cobalt::RunningStats window;
+    for (std::size_t v = half; v < fig.steps(); ++v)
+      window.add(series[i].y[v]);
+    fig.check(window.max() < 2.0 * window.mean(),
+              "second-half plateau stable (max < 2x mean) for " +
+                  series[i].label);
+  }
+
+  return fig.exit_code();
+}

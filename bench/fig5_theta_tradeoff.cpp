@@ -1,0 +1,84 @@
+// Figure 5 reproduction: the parameter-selection objective
+//   theta = alpha*[Vmin/max(Vmin)] + beta*[sigma/max(sigma)]
+// for Vmin in {8, 16, 32, 64, 128} with alpha = beta = 0.5 (section
+// 4.1.2). sigma-bar(Qv) is measured at the end of a 1024-vnode growth
+// with Pmin = Vmin, averaged over the runs.
+//
+// Expected shape (paper): theta is convex over the candidates and
+// minimizes at Vmin = 32, the value used for the remaining experiments.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/growth.hpp"
+#include "sim/theta.hpp"
+#include "support/figure.hpp"
+
+int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+  using cobalt::bench::Series;
+
+  FigureHarness fig(argc, argv, "fig5",
+                    "Figure 5: theta for Vmin in {8,16,32,64,128}",
+                    /*default_runs=*/100, /*default_steps=*/1024);
+  fig.print_banner();
+
+  const std::vector<std::uint64_t> vmins =
+      fig.args().get_uint_list("vmin", {8, 16, 32, 64, 128});
+  const double alpha = fig.args().get_double("alpha", 0.5);
+
+  std::vector<double> final_sigmas;
+  for (const std::uint64_t vmin : vmins) {
+    const auto make = [&, vmin](std::uint64_t seed) {
+      cobalt::dht::Config config;
+      config.pmin = vmin;  // figure 4's Pmin = Vmin setting
+      config.vmin = vmin;
+      config.seed = seed;
+      const auto series = cobalt::sim::run_local_growth(
+          config, fig.steps(), cobalt::sim::Metric::kSigmaQv);
+      return std::vector<double>{series.back()};
+    };
+    final_sigmas.push_back(cobalt::sim::average_runs(
+        fig.runs(), fig.seed(), vmin, make, &fig.pool())[0]);
+    std::cout << "  swept Vmin=" << vmin << "\n";
+  }
+
+  const auto points = cobalt::sim::compute_theta(vmins, final_sigmas, alpha);
+
+  cobalt::TextTable table({"Vmin", "sigma(Qv) (%)", "theta"});
+  std::vector<double> xs;
+  std::vector<double> thetas;
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.vmin),
+                   cobalt::format_fixed(p.sigma_qv * 100.0, 3),
+                   cobalt::format_fixed(p.theta, 4)});
+    xs.push_back(static_cast<double>(p.vmin));
+    thetas.push_back(p.theta);
+  }
+  std::cout << table.render();
+  fig.print_chart(xs, {Series{"theta", thetas}}, "Vmin", "theta");
+  fig.write_csv(xs, {Series{"theta", thetas},
+                     Series{"sigma_qv", final_sigmas}},
+                "vmin");
+
+  const auto best = cobalt::sim::argmin_theta(points);
+  fig.check(best.vmin == 32,
+            "theta minimizes at Vmin = 32 (paper's choice), measured Vmin = " +
+                std::to_string(best.vmin));
+  // Convexity over the candidate grid: theta decreases then increases.
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].vmin == best.vmin) best_index = i;
+  }
+  bool convex = true;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const bool decreasing = points[i + 1].theta < points[i].theta;
+    if (i + 1 <= best_index && !decreasing) convex = false;
+    if (i >= best_index && decreasing) convex = false;
+  }
+  fig.check(convex, "theta is unimodal over the Vmin candidates");
+
+  return fig.exit_code();
+}

@@ -1,0 +1,101 @@
+// Figure 6 reproduction: degradation of the quality of balancement as
+// groups shrink - sigma-bar(Qv) for fixed Pmin = 32 and Vmin in
+// {8, 16, 32, 64, 128, 256, 512}, averaged over 100 runs (section 4.2).
+//
+// Expected shape (paper): with Vmin = 512 (Vmax = 1024) there is a
+// single group for the whole 1024-vnode growth, so the curve matches
+// the *global* approach (a sawtooth collapsing to ~0 at powers of two);
+// every halving of Vmin degrades sigma-bar(Qv).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/growth.hpp"
+#include "support/figure.hpp"
+
+namespace {
+
+double tail_mean(const std::vector<double>& y) {
+  const std::size_t from = y.size() - y.size() / 4;
+  double sum = 0.0;
+  for (std::size_t i = from; i < y.size(); ++i) sum += y[i];
+  return sum / static_cast<double>(y.size() - from);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+  using cobalt::bench::Series;
+
+  FigureHarness fig(argc, argv, "fig6",
+                    "Figure 6: sigma-bar(Qv) when Pmin = 32, Vmin varies",
+                    /*default_runs=*/100, /*default_steps=*/1024);
+  fig.print_banner();
+
+  const std::uint64_t pmin = fig.args().get_uint("pmin", 32);
+  const std::vector<std::uint64_t> vmins =
+      fig.args().get_uint_list("vmin", {8, 16, 32, 64, 128, 256, 512});
+
+  std::vector<Series> series;
+  for (const std::uint64_t vmin : vmins) {
+    const auto make = [&, vmin](std::uint64_t seed) {
+      cobalt::dht::Config config;
+      config.pmin = pmin;
+      config.vmin = vmin;
+      config.seed = seed;
+      return cobalt::sim::run_local_growth(config, fig.steps(),
+                                           cobalt::sim::Metric::kSigmaQv);
+    };
+    series.push_back(Series{"Vmin=" + std::to_string(vmin),
+                            cobalt::sim::average_runs(fig.runs(), fig.seed(),
+                                                      vmin, make,
+                                                      &fig.pool())});
+    std::cout << "  swept Vmin=" << vmin << "\n";
+  }
+
+  // Reference: the global approach with the same Pmin (deterministic in
+  // the balancement metric, so one run suffices).
+  cobalt::dht::Config global_config;
+  global_config.pmin = pmin;
+  global_config.seed = fig.seed();
+  const auto global_series =
+      cobalt::sim::run_global_growth(global_config, fig.steps());
+
+  const auto xs = cobalt::bench::one_to_n(fig.steps());
+  fig.print_table(xs, series, fig.steps() / 16, /*percent=*/true, "vnodes");
+  fig.print_chart(xs, series, "overall number of vnodes",
+                  "quality of the balancement (%)");
+  {
+    auto with_global = series;
+    with_global.push_back(Series{"global", global_series});
+    fig.write_csv(xs, with_global, "vnodes");
+  }
+
+  // --- qualitative checks ---
+  // Ordering: larger Vmin yields a better plateau.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    fig.check(tail_mean(series[i].y) < tail_mean(series[i - 1].y),
+              "plateau improves from " + series[i - 1].label + " to " +
+                  series[i].label);
+  }
+  // Vmin = 512 (one group for V <= 1024) matches the global approach
+  // exactly at every step.
+  if (vmins.back() * 2 >= fig.steps()) {
+    double max_abs_diff = 0.0;
+    for (std::size_t v = 0; v < fig.steps(); ++v) {
+      max_abs_diff = std::max(max_abs_diff,
+                              std::abs(series.back().y[v] - global_series[v]));
+    }
+    fig.check(max_abs_diff < 1e-9,
+              "Vmin=512 curve coincides with the global approach "
+              "(max |diff| = " +
+                  std::to_string(max_abs_diff) + ")");
+    // And the global sawtooth collapses to zero at V = 1024 = 2^10.
+    fig.check(series.back().y[fig.steps() - 1] < 1e-9,
+              "single-group curve returns to 0 at V = 2^k");
+  }
+
+  return fig.exit_code();
+}

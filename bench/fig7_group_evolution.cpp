@@ -1,0 +1,100 @@
+// Figure 7 reproduction: evolution of the real (Greal) and ideal
+// (Gideal) overall number of groups while 1024 vnodes are created with
+// Pmin = Vmin = 32, averaged over 100 runs (section 4.2.1).
+//
+// Expected shape (paper): Gideal doubles exactly when V crosses
+// Vmax * 2^k; Greal anticipates and lags those steps (premature and
+// late creations), diverging more as V grows, ending around 16-24
+// groups at V = 1024.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dht/local_dht.hpp"
+#include "sim/growth.hpp"
+#include "support/figure.hpp"
+
+int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+  using cobalt::bench::Series;
+
+  FigureHarness fig(argc, argv, "fig7",
+                    "Figure 7: evolution of the number of groups "
+                    "(Pmin = Vmin = 32)",
+                    /*default_runs=*/100, /*default_steps=*/1024);
+  fig.print_banner();
+
+  const std::uint64_t pmin = fig.args().get_uint("pmin", 32);
+  const std::uint64_t vmin = fig.args().get_uint("vmin", 32);
+
+  const auto make = [&](std::uint64_t seed) {
+    cobalt::dht::Config config;
+    config.pmin = pmin;
+    config.vmin = vmin;
+    config.seed = seed;
+    return cobalt::sim::run_local_growth(config, fig.steps(),
+                                         cobalt::sim::Metric::kGroupCount);
+  };
+  const auto greal = cobalt::sim::average_runs(fig.runs(), fig.seed(), 7,
+                                               make, &fig.pool());
+
+  // Gideal from the model parameters (no simulation needed).
+  cobalt::dht::Config config;
+  config.pmin = pmin;
+  config.vmin = vmin;
+  cobalt::dht::LocalDht reference(config);
+  std::vector<double> gideal;
+  gideal.reserve(fig.steps());
+  for (std::size_t v = 1; v <= fig.steps(); ++v) {
+    gideal.push_back(static_cast<double>(reference.ideal_group_count(v)));
+  }
+
+  const std::vector<Series> series{Series{"Greal", greal},
+                                   Series{"Gideal", gideal}};
+  const auto xs = cobalt::bench::one_to_n(fig.steps());
+  fig.print_table(xs, series, fig.steps() / 16, /*percent=*/false, "vnodes");
+  fig.print_chart(xs, series, "overall number of vnodes",
+                  "overall number of groups");
+  fig.write_csv(xs, series, "vnodes");
+
+  // --- qualitative checks ---
+  // Greal is monotone non-decreasing under pure creation.
+  bool monotone = true;
+  for (std::size_t i = 1; i < greal.size(); ++i) {
+    if (greal[i] + 1e-12 < greal[i - 1]) monotone = false;
+  }
+  fig.check(monotone, "Greal never decreases during growth");
+
+  // Greal tracks Gideal within a factor of 2 everywhere.
+  bool tracks = true;
+  for (std::size_t i = 0; i < greal.size(); ++i) {
+    if (greal[i] > 2.0 * gideal[i] || greal[i] < 0.5 * gideal[i]) {
+      tracks = false;
+    }
+  }
+  fig.check(tracks, "Greal stays within [Gideal/2, 2*Gideal]");
+
+  // Premature creations exist: shortly before a doubling boundary the
+  // average Greal already exceeds Gideal.
+  const std::size_t boundary = 2 * vmin * 8;  // Vmax * 8: the 8->16 step
+  if (boundary < fig.steps()) {
+    fig.check(greal[boundary - 2] > gideal[boundary - 2],
+              "premature group creations before the Gideal step at V = " +
+                  std::to_string(boundary));
+  }
+  // Late creations exist: right after the boundary Greal has not yet
+  // reached the doubled Gideal.
+  if (boundary + 1 < fig.steps()) {
+    fig.check(greal[boundary + 1] < gideal[boundary + 1],
+              "late group creations after the Gideal step at V = " +
+                  std::to_string(boundary + 1));
+  }
+  // Final group count in the paper's observed band (~16-24 at V=1024).
+  fig.check(greal.back() >= gideal.back() &&
+                greal.back() <= 1.5 * gideal.back(),
+            "final Greal within [Gideal, 1.5*Gideal]; measured " +
+                std::to_string(greal.back()));
+
+  return fig.exit_code();
+}

@@ -1,0 +1,220 @@
+// Microbenchmarks (google-benchmark): costs of the core operations -
+// hashing, dyadic arithmetic, routing lookups, vnode creation in both
+// approaches, group splitting pressure, and CH joins.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "ch/ring.hpp"
+#include "common/dyadic.hpp"
+#include "common/rng.hpp"
+#include "dht/global_dht.hpp"
+#include "dht/local_dht.hpp"
+#include "cluster/distributed.hpp"
+#include "dht/router.hpp"
+#include "dht/snapshot.hpp"
+#include "hashing/hash.hpp"
+#include "kv/store.hpp"
+
+namespace {
+
+using cobalt::Dyadic;
+using cobalt::Xoshiro256;
+
+void BM_HashFnv1a64(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobalt::hashing::fnv1a64(key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashFnv1a64)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_HashXxh64(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cobalt::hashing::xxh64(key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashXxh64)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_Xoshiro256Next(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro256Next);
+
+void BM_DyadicAccumulate(benchmark::State& state) {
+  // Summing 1024 vnode quotas exactly (the invariant checker's load).
+  for (auto _ : state) {
+    Dyadic sum;
+    for (int i = 0; i < 1024; ++i) {
+      sum += Dyadic::one_over_pow2(10);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DyadicAccumulate);
+
+cobalt::dht::Config config_for(std::uint64_t pmin, std::uint64_t vmin) {
+  cobalt::dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = 42;
+  return c;
+}
+
+void BM_LocalLookup(benchmark::State& state) {
+  cobalt::dht::LocalDht dht(config_for(32, 32));
+  const auto snode = dht.add_snode();
+  for (std::int64_t i = 0; i < state.range(0); ++i) dht.create_vnode(snode);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dht.lookup(rng.next()).owner);
+  }
+}
+BENCHMARK(BM_LocalLookup)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LocalCreateVnode(benchmark::State& state) {
+  // Amortized creation cost while growing to range(0) vnodes.
+  for (auto _ : state) {
+    state.PauseTiming();
+    cobalt::dht::LocalDht dht(config_for(32, 32));
+    const auto snode = dht.add_snode();
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      dht.create_vnode(snode);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LocalCreateVnode)->Arg(128)->Arg(1024);
+
+void BM_GlobalCreateVnode(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    cobalt::dht::GlobalDht dht(config_for(32, 1));
+    const auto snode = dht.add_snode();
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      dht.create_vnode(snode);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GlobalCreateVnode)->Arg(128)->Arg(1024);
+
+void BM_SigmaQvSample(benchmark::State& state) {
+  cobalt::dht::LocalDht dht(config_for(32, 32));
+  const auto snode = dht.add_snode();
+  for (std::int64_t i = 0; i < state.range(0); ++i) dht.create_vnode(snode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dht.sigma_qv());
+  }
+}
+BENCHMARK(BM_SigmaQvSample)->Arg(256)->Arg(1024);
+
+void BM_ChAddNode(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    cobalt::ch::ConsistentHashRing ring(11);
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      ring.add_node(static_cast<std::size_t>(state.range(0)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ChAddNode)->Arg(32)->Arg(64);
+
+void BM_ChLookup(benchmark::State& state) {
+  cobalt::ch::ConsistentHashRing ring(13);
+  for (int i = 0; i < 1024; ++i) ring.add_node(32);
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.lookup(rng.next()));
+  }
+}
+BENCHMARK(BM_ChLookup);
+
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  cobalt::dht::LocalDht dht(config_for(32, 32));
+  const auto snode = dht.add_snode();
+  for (std::int64_t i = 0; i < state.range(0); ++i) dht.create_vnode(snode);
+  for (auto _ : state) {
+    std::stringstream stream;
+    cobalt::dht::save_snapshot(dht, stream);
+    auto restored = cobalt::dht::load_local_snapshot(stream);
+    benchmark::DoNotOptimize(restored.vnode_count());
+  }
+}
+BENCHMARK(BM_SnapshotRoundTrip)->Arg(128)->Arg(512);
+
+void BM_RouterLookup(benchmark::State& state) {
+  cobalt::dht::LocalDht dht(config_for(32, 32));
+  for (int s = 0; s < 64; ++s) dht.add_snode();
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    dht.create_vnode(static_cast<cobalt::dht::SNodeId>(i % 64));
+  }
+  cobalt::dht::SnodeRouter router(dht, 0);
+  Xoshiro256 rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.lookup(rng.next()).hops);
+  }
+}
+BENCHMARK(BM_RouterLookup)->Arg(256)->Arg(1024);
+
+void BM_DistributedProtocol(benchmark::State& state) {
+  // Whole-protocol throughput: creations per second through the
+  // message-level DES (8 snodes).
+  for (auto _ : state) {
+    cobalt::cluster::DistributedDht dht(config_for(32, 32), 8);
+    for (std::int64_t v = 0; v < state.range(0); ++v) {
+      dht.submit_create(static_cast<cobalt::dht::SNodeId>(v % 8));
+    }
+    benchmark::DoNotOptimize(dht.run().messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DistributedProtocol)->Arg(128)->Arg(512);
+
+void BM_KvPut(benchmark::State& state) {
+  cobalt::kv::KvStore store(config_for(32, 32));
+  const auto snode = store.add_snode();
+  for (int i = 0; i < 16; ++i) store.add_vnode(snode);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.put("bench/" + std::to_string(i++), "v"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvPut);
+
+void BM_KvGet(benchmark::State& state) {
+  cobalt::kv::KvStore store(config_for(32, 32));
+  const auto snode = store.add_snode();
+  for (int i = 0; i < 16; ++i) store.add_vnode(snode);
+  for (int i = 0; i < 100000; ++i) {
+    store.put("bench/" + std::to_string(i), "v");
+  }
+  Xoshiro256 rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.get("bench/" + std::to_string(rng.next_below(100000))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvGet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Checkpoint/restore walkthrough: snapshot a live DHT to a file,
+// restore it in a "new process", and demonstrate that the restored
+// instance continues *identically* (including future random victim
+// picks) - the operational story behind dht/snapshot.hpp.
+//
+//   ./checkpoint_restore [--vnodes=60] [--file=/tmp/cobalt.dht]
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dht/invariants.hpp"
+#include "dht/snapshot.hpp"
+
+int main(int argc, char** argv) {
+  const cobalt::CliParser args(argc, argv);
+  const std::size_t vnodes = args.get_uint("vnodes", 60);
+  const std::string path =
+      args.get_string("file", "/tmp/cobalt_checkpoint.dht");
+
+  cobalt::dht::Config config;
+  config.pmin = 8;
+  config.vmin = 8;
+  config.seed = args.get_uint("seed", 1234);
+
+  // Phase 1: a DHT lives for a while...
+  cobalt::dht::LocalDht original(config);
+  const auto snode = original.add_snode();
+  for (std::size_t v = 0; v < vnodes; ++v) original.create_vnode(snode);
+  std::cout << "original:  V=" << original.vnode_count()
+            << " groups=" << original.group_count() << " sigma(Qv)="
+            << cobalt::format_fixed(original.sigma_qv() * 100, 2) << "%\n";
+
+  // ... checkpoints to disk ...
+  {
+    std::ofstream out(path);
+    cobalt::dht::save_snapshot(original, out);
+  }
+  std::cout << "checkpoint written to " << path << "\n";
+
+  // Phase 2: a "new process" restores it.
+  std::ifstream in(path);
+  cobalt::dht::LocalDht restored = cobalt::dht::load_local_snapshot(in);
+  cobalt::dht::check_invariants(restored);
+  std::cout << "restored:  V=" << restored.vnode_count()
+            << " groups=" << restored.group_count() << " sigma(Qv)="
+            << cobalt::format_fixed(restored.sigma_qv() * 100, 2)
+            << "% (invariants OK)\n\n";
+
+  // Phase 3: both instances keep growing - in lockstep, because the
+  // snapshot captured the RNG stream too.
+  cobalt::TextTable table({"V", "original sigma(Qv)%", "restored sigma(Qv)%",
+                           "groups orig", "groups restored"});
+  for (int step = 1; step <= 5; ++step) {
+    for (int i = 0; i < 10; ++i) {
+      original.create_vnode(snode);
+      restored.create_vnode(snode);
+    }
+    table.add_row(
+        {std::to_string(original.vnode_count()),
+         cobalt::format_fixed(original.sigma_qv() * 100, 4),
+         cobalt::format_fixed(restored.sigma_qv() * 100, 4),
+         std::to_string(original.group_count()),
+         std::to_string(restored.group_count())});
+  }
+  std::cout << table.render()
+            << "\nidentical trajectories: the restored DHT is "
+               "indistinguishable from one that never stopped.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Elastic web-object cache - the classic Consistent-Hashing use case
+// (the paper's reference model [4] was designed for web caching),
+// served here by the cluster-oriented balanced DHT instead.
+//
+// Simulates a URL cache under a Zipf-like request mix while the
+// cluster scales out node by node, reporting the steady-state hit
+// ratio, the invalidation cost of each scale-out step (keys whose
+// responsible node changed), and the storage balance across nodes -
+// side by side with Consistent Hashing.
+//
+//   ./elastic_kv_cache [--urls=40000] [--requests=200000] [--nodes=8]
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ch/ring.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "kv/store.hpp"
+
+namespace {
+
+/// Zipf(s=1)-distributed URL index via rejection-free inverse CDF over
+/// precomputed cumulative weights.
+class ZipfUrls {
+ public:
+  ZipfUrls(std::size_t count, std::uint64_t seed) : rng_(seed) {
+    cdf_.reserve(count);
+    double acc = 0.0;
+    for (std::size_t i = 1; i <= count; ++i) {
+      acc += 1.0 / static_cast<double>(i);
+      cdf_.push_back(acc);
+    }
+  }
+
+  std::size_t next() {
+    const double u = rng_.next_double() * cdf_.back();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  cobalt::Xoshiro256 rng_;
+  std::vector<double> cdf_;
+};
+
+std::string url_of(std::size_t index) {
+  return "https://origin.example/asset/" + std::to_string(index);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cobalt::CliParser args(argc, argv);
+  const std::size_t url_count = args.get_uint("urls", 40000);
+  const std::size_t requests = args.get_uint("requests", 200000);
+  const std::size_t max_nodes = args.get_uint("nodes", 8);
+  const std::size_t vnodes_per_node = args.get_uint("vnodes-per-node", 8);
+
+  cobalt::dht::Config config;
+  config.pmin = 16;
+  config.vmin = 16;
+  config.seed = args.get_uint("seed", 11);
+
+  cobalt::kv::KvStore cache(config);
+  cobalt::ch::ConsistentHashRing ring(config.seed);
+
+  ZipfUrls workload(url_count, 99);
+
+  cobalt::TextTable table({"nodes", "hit ratio (%)", "keys relocated",
+                           "storage sigma (%)", "CH storage sigma (%)"});
+
+  std::uint64_t relocated_before = 0;
+  for (std::size_t n = 0; n < max_nodes; ++n) {
+    // Scale out: one more cache node joins both deployments.
+    const auto snode = cache.add_snode();
+    for (std::size_t v = 0; v < vnodes_per_node; ++v) cache.add_vnode(snode);
+    ring.add_node(32);
+
+    // Serve a request batch; misses fill the cache.
+    std::size_t hits = 0;
+    for (std::size_t r = 0; r < requests / max_nodes; ++r) {
+      const std::string url = url_of(workload.next());
+      if (cache.get(url).has_value()) {
+        ++hits;
+      } else {
+        cache.put(url, "cached-object");
+      }
+    }
+
+    // Storage balance across nodes (keys per snode).
+    const auto keys = cache.keys_per_snode();
+    std::vector<double> loads(keys.begin(), keys.end());
+    const double storage_sigma =
+        loads.size() > 1 ? cobalt::relative_stddev(loads) : 0.0;
+
+    const std::uint64_t relocated =
+        cache.migration_stats().keys_moved_across_snodes - relocated_before;
+    relocated_before = cache.migration_stats().keys_moved_across_snodes;
+
+    table.add_row(
+        {std::to_string(n + 1),
+         cobalt::format_fixed(100.0 * static_cast<double>(hits) /
+                                  (static_cast<double>(requests) /
+                                   static_cast<double>(max_nodes)),
+                              1),
+         std::to_string(relocated),
+         cobalt::format_fixed(storage_sigma * 100, 2),
+         cobalt::format_fixed(ring.sigma_qn() * 100, 2)});
+  }
+
+  std::cout << "elastic URL cache on the balanced DHT (vs CH balance)\n\n"
+            << table.render() << "\n"
+            << "final cache population: " << cache.size() << " objects, "
+            << "sigma(Qv) = "
+            << cobalt::format_fixed(cache.dht().sigma_qv() * 100, 2)
+            << "%, groups = " << cache.dht().group_count() << "\n"
+            << "note: 'keys relocated' is the invalidation cost of each "
+               "scale-out step;\n"
+            << "      storage sigma compares placement balance against a "
+               "CH ring (k=32).\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Heterogeneous cluster walkthrough - the scenario that motivates the
+// paper (section 1): a cluster mixing machine generations, where each
+// node's share of the DHT must track the resources it enrolls.
+//
+// Builds a three-tier cluster (1x / 2x / 4x machines), enrolls vnodes
+// proportionally to capacity, loads a KV dataset, and prints each
+// node's share next to its capacity - then shows an enrollment-level
+// *change* (section 2.1.2: enrollment "is not necessarily static"):
+// one node upgrades and enrolls more vnodes at runtime.
+//
+//   ./heterogeneous_cluster [--nodes=9] [--keys=90000] [--base-vnodes=6]
+
+#include <iostream>
+#include <string>
+
+#include "cluster/capacity.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "kv/store.hpp"
+
+namespace {
+
+void print_shares(const cobalt::kv::KvStore& store,
+                  const std::vector<double>& capacities,
+                  std::size_t key_count) {
+  double total_capacity = 0.0;
+  for (const double c : capacities) total_capacity += c;
+
+  cobalt::TextTable table(
+      {"snode", "capacity", "vnodes", "keys", "share (%)", "fair (%)"});
+  const auto keys = store.keys_per_snode();
+  for (std::size_t s = 0; s < capacities.size(); ++s) {
+    const double share =
+        100.0 * static_cast<double>(keys[s]) / static_cast<double>(key_count);
+    const double fair = 100.0 * capacities[s] / total_capacity;
+    table.add_row({std::to_string(s),
+                   cobalt::format_fixed(capacities[s], 1),
+                   std::to_string(store.dht().snode(
+                       static_cast<cobalt::dht::SNodeId>(s)).vnodes.size()),
+                   std::to_string(keys[s]), cobalt::format_fixed(share, 2),
+                   cobalt::format_fixed(fair, 2)});
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cobalt::CliParser args(argc, argv);
+  const std::size_t nodes = args.get_uint("nodes", 9);
+  const std::size_t key_count = args.get_uint("keys", 90000);
+  const std::size_t base_vnodes = args.get_uint("base-vnodes", 6);
+
+  const auto capacities = cobalt::cluster::make_capacities(
+      cobalt::cluster::CapacityProfile::kThreeTiers, nodes);
+
+  cobalt::dht::Config config;
+  config.pmin = 16;
+  config.vmin = 16;
+  config.seed = args.get_uint("seed", 7);
+
+  cobalt::kv::KvStore store(config);
+  std::vector<cobalt::dht::SNodeId> ids;
+  for (std::size_t s = 0; s < nodes; ++s) {
+    const auto id = store.add_snode(capacities[s]);
+    ids.push_back(id);
+    const std::size_t count =
+        cobalt::cluster::vnodes_for_capacity(base_vnodes, capacities[s]);
+    for (std::size_t v = 0; v < count; ++v) store.add_vnode(id);
+  }
+
+  for (std::size_t i = 0; i < key_count; ++i) {
+    store.put("doc/" + std::to_string(i), "payload");
+  }
+
+  std::cout << "three-tier cluster (capacity 1x / 2x / 4x), vnodes "
+               "proportional to capacity\n\n";
+  print_shares(store, capacities, key_count);
+
+  // Runtime enrollment change: node 0 upgrades from 1x to 4x - it
+  // enrolls the difference in vnodes and its share follows.
+  std::cout << "\n>>> node 0 upgrades 1x -> 4x: enrolling "
+            << cobalt::cluster::vnodes_for_capacity(base_vnodes, 3.0)
+            << " more vnodes\n\n";
+  auto upgraded = capacities;
+  upgraded[0] = 4.0;
+  const std::size_t extra =
+      cobalt::cluster::vnodes_for_capacity(base_vnodes, 3.0);
+  const std::uint64_t moved_before =
+      store.migration_stats().keys_moved_across_snodes;
+  for (std::size_t v = 0; v < extra; ++v) store.add_vnode(ids[0]);
+  print_shares(store, upgraded, key_count);
+  std::cout << "\nkeys that crossed snodes for the upgrade: "
+            << store.migration_stats().keys_moved_across_snodes - moved_before
+            << " (of " << key_count << ")\n"
+            << "sigma(Qv) after upgrade: "
+            << cobalt::format_fixed(store.dht().sigma_qv() * 100, 2) << "%\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "ch/provisioning.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cobalt::ch {
+
+std::size_t homogeneous_virtual_servers(std::size_t nodes, std::size_t k) {
+  COBALT_REQUIRE(nodes >= 1, "at least one node required");
+  COBALT_REQUIRE(k >= 1, "k must be positive");
+  const auto width = static_cast<std::size_t>(
+      std::bit_width(nodes - 1));  // ceil(log2(nodes)), 0 for nodes == 1
+  return std::max<std::size_t>(1, k * std::max<std::size_t>(1, width));
+}
+
+std::size_t weighted_virtual_servers(std::size_t baseline, double capacity) {
+  COBALT_REQUIRE(baseline >= 1, "baseline must be positive");
+  COBALT_REQUIRE(capacity > 0.0, "capacity must be positive");
+  const double raw = static_cast<double>(baseline) * capacity;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(raw)));
+}
+
+}  // namespace cobalt::ch

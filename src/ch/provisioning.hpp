@@ -1,0 +1,23 @@
+// cobalt/ch/provisioning.hpp
+//
+// Virtual-server provisioning rules for Consistent Hashing.
+//
+// "To ensure a fair distribution of the hash table, among a set of N
+//  homogeneous physical nodes, CH requires that each node receives at
+//  least k.log2(N) partitions/virtual servers." (section 4.3, after
+//  Karger et al.)  For heterogeneous nodes the CFS construction (paper
+//  ref [3]) allocates virtual servers proportionally to capacity.
+
+#pragma once
+
+#include <cstddef>
+
+namespace cobalt::ch {
+
+/// k * ceil(log2(N)) virtual servers per node (at least 1).
+std::size_t homogeneous_virtual_servers(std::size_t nodes, std::size_t k);
+
+/// CFS-style: baseline * capacity, rounded to nearest, at least 1.
+std::size_t weighted_virtual_servers(std::size_t baseline, double capacity);
+
+}  // namespace cobalt::ch

@@ -1,0 +1,135 @@
+#include "ch/ring.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace cobalt::ch {
+
+namespace {
+
+// The whole ring, in 1/2^64 arc units.
+constexpr uint128 kWholeRing = static_cast<uint128>(1) << 64;
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::uint64_t seed) : rng_(seed) {}
+
+NodeId ConsistentHashRing::add_node(std::size_t virtual_servers) {
+  COBALT_REQUIRE(virtual_servers >= 1,
+                 "a node needs at least one virtual server");
+  const auto id = static_cast<NodeId>(node_arcs_.size());
+  node_arcs_.push_back(0);
+  node_live_.push_back(true);
+  node_points_.push_back(virtual_servers);
+  ++live_nodes_;
+  for (std::size_t i = 0; i < virtual_servers; ++i) {
+    HashIndex point = rng_.next();
+    while (ring_.contains(point)) point = rng_.next();  // vanishing odds
+    insert_point(point, id);
+  }
+  return id;
+}
+
+void ConsistentHashRing::remove_node(NodeId node) {
+  COBALT_REQUIRE(node < node_live_.size() && node_live_[node],
+                 "node is not live");
+  // Collect this node's points first; erasing while iterating the map
+  // of all points would invalidate the scan.
+  std::vector<HashIndex> points;
+  points.reserve(node_points_[node]);
+  for (const auto& [point, owner] : ring_) {
+    if (owner == node) points.push_back(point);
+  }
+  for (const HashIndex point : points) {
+    const auto it = ring_.find(point);
+    if (ring_.size() == 1) {
+      node_arcs_[node] = 0;
+      ring_.erase(it);
+      continue;
+    }
+    // The removed point's arc accretes to its successor.
+    auto pred = (it == ring_.begin()) ? std::prev(ring_.end()) : std::prev(it);
+    auto succ = std::next(it);
+    if (succ == ring_.end()) succ = ring_.begin();
+    const std::uint64_t len = point - pred->first;  // wraps correctly
+    node_arcs_[node] -= len;
+    node_arcs_[succ->second] += len;
+    ring_.erase(it);
+  }
+  node_live_[node] = false;
+  node_points_[node] = 0;
+  --live_nodes_;
+  COBALT_INVARIANT(node_arcs_[node] == 0,
+                   "a removed node must own no arc units");
+}
+
+NodeId ConsistentHashRing::lookup(HashIndex key) const {
+  COBALT_REQUIRE(!ring_.empty(), "lookup on an empty ring");
+  const auto it = ring_.lower_bound(key);
+  return it == ring_.end() ? ring_.begin()->second : it->second;
+}
+
+bool ConsistentHashRing::is_live(NodeId node) const {
+  return node < node_live_.size() && node_live_[node];
+}
+
+std::vector<double> ConsistentHashRing::quotas() const {
+  std::vector<double> result;
+  result.reserve(live_nodes_);
+  for (NodeId id = 0; id < node_arcs_.size(); ++id) {
+    if (!node_live_[id]) continue;
+    result.push_back(static_cast<double>(node_arcs_[id]) * 0x1.0p-64);
+  }
+  return result;
+}
+
+double ConsistentHashRing::sigma_qn() const {
+  const std::vector<double> q = quotas();
+  return relative_stddev(q);
+}
+
+uint128 ConsistentHashRing::arc_units(NodeId node) const {
+  COBALT_REQUIRE(node < node_arcs_.size(), "unknown node");
+  return node_arcs_[node];
+}
+
+std::vector<HashIndex> ConsistentHashRing::points_of(NodeId node) const {
+  COBALT_REQUIRE(node < node_arcs_.size(), "unknown node");
+  std::vector<HashIndex> points;
+  points.reserve(node_points_[node]);
+  for (const auto& [point, owner] : ring_) {
+    if (owner == node) points.push_back(point);
+  }
+  return points;
+}
+
+HashIndex ConsistentHashRing::predecessor_point(HashIndex point) const {
+  const auto it = ring_.find(point);
+  COBALT_REQUIRE(it != ring_.end(), "not a live ring point");
+  COBALT_REQUIRE(ring_.size() >= 2, "a single point has no predecessor");
+  const auto pred =
+      (it == ring_.begin()) ? std::prev(ring_.end()) : std::prev(it);
+  return pred->first;
+}
+
+void ConsistentHashRing::insert_point(HashIndex point, NodeId node) {
+  if (ring_.empty()) {
+    ring_.emplace(point, node);
+    node_arcs_[node] += kWholeRing;
+    return;
+  }
+  // The arc (pred, succ] currently owned by succ's node splits at
+  // `point`: the new point takes (pred, point].
+  auto succ = ring_.upper_bound(point);
+  auto pred = (succ == ring_.begin()) ? std::prev(ring_.end())
+                                      : std::prev(succ);
+  if (succ == ring_.end()) succ = ring_.begin();
+  const std::uint64_t len = point - pred->first;  // wraps correctly
+  node_arcs_[succ->second] -= len;
+  node_arcs_[node] += len;
+  ring_.emplace(point, node);
+}
+
+}  // namespace cobalt::ch

@@ -1,0 +1,94 @@
+// cobalt/ch/ring.hpp
+//
+// Consistent Hashing (Karger et al., STOC'97 - the paper's reference
+// model, section 4.3): each physical node places k virtual servers at
+// random points of the hash ring; a key belongs to the first virtual
+// server at or after it (successor convention), so every point owns the
+// arc between its predecessor and itself.
+//
+// "In CH, the hash table is divided in partitions, with random size,
+//  and each partition is bound to a virtual server. Each physical node
+//  may host more than one virtual server." (section 4.3)
+//
+// Per-node quotas are tracked incrementally in exact 1/2^64 arc units,
+// so growing a ring from 1 to N nodes costs O(k log P) per join and the
+// quality metric sigma-bar(Qn) is O(N) per sample.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/int128.hpp"
+#include "common/rng.hpp"
+#include "hashing/hash_space.hpp"
+
+namespace cobalt::ch {
+
+/// Index of a physical node in the ring.
+using NodeId = std::uint32_t;
+
+/// A consistent-hashing ring with virtual servers.
+class ConsistentHashRing {
+ public:
+  /// All randomness (virtual-server placement) derives from `seed`.
+  explicit ConsistentHashRing(std::uint64_t seed);
+
+  /// Joins a node with `virtual_servers` random points; returns its id.
+  /// Heterogeneity is expressed by giving different nodes different
+  /// point counts (the CFS construction, paper ref [3]).
+  NodeId add_node(std::size_t virtual_servers);
+
+  /// Leaves: the node's points are removed and their arcs accrete to
+  /// the respective successors.
+  void remove_node(NodeId node);
+
+  /// The node responsible for `key` (successor point's owner).
+  [[nodiscard]] NodeId lookup(HashIndex key) const;
+
+  /// Number of live nodes.
+  [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
+
+  /// Number of points (virtual servers) on the ring.
+  [[nodiscard]] std::size_t point_count() const { return ring_.size(); }
+
+  /// True when `node` is live.
+  [[nodiscard]] bool is_live(NodeId node) const;
+
+  /// Per-node quotas Qn (fraction of the ring owned), live nodes in id
+  /// order. Qn sums to 1 by construction.
+  [[nodiscard]] std::vector<double> quotas() const;
+
+  /// sigma-bar(Qn, Qn-bar): relative standard deviation of the node
+  /// quotas - the comparison metric of figure 9.
+  [[nodiscard]] double sigma_qn() const;
+
+  /// Exact arc ownership of one node, in 1/2^64 units of the ring.
+  [[nodiscard]] uint128 arc_units(NodeId node) const;
+
+  /// The ring points owned by `node`, ascending.
+  [[nodiscard]] std::vector<HashIndex> points_of(NodeId node) const;
+
+  /// The point immediately before `point` on the ring (wrapping);
+  /// `point` must be a live ring point and not the only one.
+  [[nodiscard]] HashIndex predecessor_point(HashIndex point) const;
+
+ private:
+  /// Inserts one point for `node`, adjusting the quota of the point
+  /// that previously owned the enclosing arc.
+  void insert_point(HashIndex point, NodeId node);
+
+  /// The point strictly after `point` on the ring (wrapping).
+  [[nodiscard]] std::map<HashIndex, NodeId>::const_iterator successor(
+      HashIndex point) const;
+
+  std::map<HashIndex, NodeId> ring_;
+  std::vector<uint128> node_arcs_;  // indexed by NodeId; dead nodes at 0
+  std::vector<bool> node_live_;
+  std::vector<std::size_t> node_points_;
+  std::size_t live_nodes_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace cobalt::ch

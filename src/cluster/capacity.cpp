@@ -1,0 +1,64 @@
+#include "cluster/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cobalt::cluster {
+
+std::vector<double> make_capacities(CapacityProfile profile,
+                                    std::size_t nodes) {
+  COBALT_REQUIRE(nodes >= 1, "a cluster needs at least one node");
+  std::vector<double> capacities(nodes, 1.0);
+  switch (profile) {
+    case CapacityProfile::kUniform:
+      break;
+    case CapacityProfile::kTwoGenerations:
+      for (std::size_t i = nodes / 2; i < nodes; ++i) capacities[i] = 2.0;
+      break;
+    case CapacityProfile::kThreeTiers:
+      for (std::size_t i = 0; i < nodes; ++i) {
+        if (i >= 2 * nodes / 3) capacities[i] = 4.0;
+        else if (i >= nodes / 3) capacities[i] = 2.0;
+      }
+      break;
+    case CapacityProfile::kLinearRamp:
+      for (std::size_t i = 0; i < nodes; ++i) {
+        capacities[i] =
+            nodes == 1
+                ? 1.0
+                : 1.0 + static_cast<double>(i) / static_cast<double>(nodes - 1);
+      }
+      break;
+    case CapacityProfile::kPowerLaw:
+      for (std::size_t i = 0; i < nodes; ++i) {
+        // Zipf with s = 1, normalized so the *smallest* node is 1.0.
+        capacities[i] = static_cast<double>(nodes) /
+                        static_cast<double>(i + 1);
+      }
+      break;
+  }
+  return capacities;
+}
+
+std::size_t vnodes_for_capacity(std::size_t baseline_vnodes,
+                                double capacity) {
+  COBALT_REQUIRE(baseline_vnodes >= 1, "baseline vnode count must be >= 1");
+  COBALT_REQUIRE(capacity > 0.0, "capacity must be positive");
+  const double raw = static_cast<double>(baseline_vnodes) * capacity;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(raw)));
+}
+
+std::string profile_name(CapacityProfile profile) {
+  switch (profile) {
+    case CapacityProfile::kUniform: return "uniform";
+    case CapacityProfile::kTwoGenerations: return "two-generations";
+    case CapacityProfile::kThreeTiers: return "three-tiers";
+    case CapacityProfile::kLinearRamp: return "linear-ramp";
+    case CapacityProfile::kPowerLaw: return "power-law";
+  }
+  return "unknown";
+}
+
+}  // namespace cobalt::cluster

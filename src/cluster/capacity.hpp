@@ -1,0 +1,44 @@
+// cobalt/cluster/capacity.hpp
+//
+// Heterogeneous cluster capacity profiles. The paper motivates the
+// model with clusters whose nodes differ in capability ("economical
+// reasons may impose the coexistence of machines from different
+// generations; some tasks require specialized nodes", section 1); a
+// node's enrollment level - and hence its vnode count - should follow
+// its relative performance (section 2.1.2).
+//
+// Profiles generate deterministic capacity vectors for N nodes so that
+// experiments over heterogeneous clusters are reproducible.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobalt::cluster {
+
+/// Shapes of capacity distributions seen in real clusters.
+enum class CapacityProfile {
+  kUniform,         ///< homogeneous cluster (all 1.0)
+  kTwoGenerations,  ///< half old (1.0), half new (2.0) machines
+  kThreeTiers,      ///< thirds at 1.0 / 2.0 / 4.0
+  kLinearRamp,      ///< 1.0 .. 2.0 spread evenly (gradual refresh)
+  kPowerLaw,        ///< a few big nodes, many small (Zipf-like, s = 1)
+};
+
+/// Generates the capacity of each of `nodes` cluster nodes under
+/// `profile`. Values are relative weights (1.0 = baseline machine).
+std::vector<double> make_capacities(CapacityProfile profile,
+                                    std::size_t nodes);
+
+/// Number of vnodes a node of `capacity` should enroll when a baseline
+/// machine enrolls `baseline_vnodes` (rounded to nearest, at least 1).
+/// This is the coarse-grain balancement knob of section 2.1.2.
+std::size_t vnodes_for_capacity(std::size_t baseline_vnodes, double capacity);
+
+/// Human-readable profile name (for tables and CSV columns).
+std::string profile_name(CapacityProfile profile);
+
+}  // namespace cobalt::cluster

@@ -1,0 +1,585 @@
+#include "cluster/distributed.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <set>
+
+#include "common/dyadic.hpp"
+#include "common/stats.hpp"
+
+namespace cobalt::cluster {
+
+std::uint64_t GroupReplica::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [vnode, count] : counts) sum += count;
+  return sum;
+}
+
+DistributedDht::DistributedDht(dht::Config config, std::size_t snodes,
+                               NetworkModel network)
+    : config_(config), network_(network), rng_(config.seed) {
+  config_.validate();
+  COBALT_REQUIRE(snodes >= 1, "the cluster needs at least one snode");
+  processes_.resize(snodes);
+}
+
+void DistributedDht::submit_create(dht::SNodeId host) {
+  COBALT_REQUIRE(host < processes_.size(), "unknown snode id");
+  const dht::VNodeId vnode = next_vnode_++;
+  queue_.schedule_after(0.0, [this, vnode, host] {
+    if (!bootstrapped_) {
+      bootstrap(vnode, host);
+      return;
+    }
+    route_submission(vnode, host);
+  });
+}
+
+void DistributedDht::bootstrap(dht::VNodeId vnode, dht::SNodeId host) {
+  const auto splitlevel =
+      static_cast<unsigned>(std::countr_zero(config_.pmin));
+  const std::uint64_t token = next_group_token_++;
+
+  GroupReplica replica;
+  replica.id = dht::GroupId::root();
+  replica.splitlevel = splitlevel;
+  replica.members.push_back(vnode);
+  replica.counts[vnode] = static_cast<std::uint32_t>(config_.pmin);
+  replica.hosts[vnode] = host;
+
+  Process& process = processes_[host];
+  auto& partitions = process.hosted[vnode];
+  for (std::uint64_t prefix = 0; prefix < config_.pmin; ++prefix) {
+    const dht::Partition p = dht::Partition::at(prefix, splitlevel);
+    partitions.push_back(p);
+    mirror_.insert(p, vnode);
+  }
+  process.replicas[token] = std::move(replica);
+  vnode_group_[vnode] = token;
+  group_busy_[token] = false;
+  bootstrapped_ = true;
+}
+
+void DistributedDht::route_submission(dht::VNodeId vnode,
+                                      dht::SNodeId host) {
+  // Section 3.6: a random r in R_h selects the victim vnode; its group
+  // is the victim group. The routing layer (mirror) resolves r; the
+  // request travels to the victim group's leader, carrying the victim
+  // so the leader can re-derive the group if it split in flight.
+  const HashIndex r = rng_.next();
+  const dht::VNodeId victim = mirror_.lookup(r).owner;
+  const std::uint64_t token = vnode_group_.at(victim);
+
+  const GroupReplica* replica = nullptr;
+  for (const Process& process : processes_) {
+    const auto it = process.replicas.find(token);
+    if (it != process.replicas.end()) {
+      replica = &it->second;
+      break;
+    }
+  }
+  if (replica == nullptr) {
+    // The group is mid-birth (its creating round has not committed):
+    // the routing layer parks the request on the token; the commit's
+    // pump admits it.
+    group_queues_[token].emplace_back(vnode, host);
+    pump_group(token);
+    return;
+  }
+
+  Message request;
+  request.type = Message::Type::kCreateRequest;
+  request.from = host;
+  request.to = leader_of(*replica);
+  request.subject = vnode;
+  request.subject_host = host;
+  request.victim = victim;
+  send(std::move(request));
+}
+
+void DistributedDht::send(Message message) {
+  ++stats_.messages;
+  SimTime latency = message.from == message.to
+                        ? network_.record_update_us
+                        : network_.one_hop_latency_us;
+  if (message.type == Message::Type::kTransfer) {
+    latency += static_cast<SimTime>(message.partitions.size()) *
+               network_.per_partition_transfer_us;
+  }
+  queue_.schedule_after(latency, [this, m = std::move(message)] {
+    switch (m.type) {
+      case Message::Type::kCreateRequest:
+        handle_create_request(m);
+        break;
+      case Message::Type::kPrepare:
+        handle_prepare(m);
+        break;
+      case Message::Type::kTransfer:
+        handle_transfer(m);
+        break;
+      case Message::Type::kAck:
+        handle_ack(m);
+        break;
+      case Message::Type::kCommit:
+        handle_commit(m);
+        break;
+    }
+  });
+}
+
+void DistributedDht::handle_create_request(const Message& message) {
+  // The victim's group may have split while the request was in flight;
+  // the directory re-derives its current group.
+  const std::uint64_t token = vnode_group_.at(message.victim);
+  group_queues_[token].emplace_back(message.subject, message.subject_host);
+  pump_group(token);
+}
+
+void DistributedDht::pump_group(std::uint64_t group_token) {
+  if (group_dead_[group_token]) {
+    // Requests stranded on a split group re-enter routing.
+    auto& queue = group_queues_[group_token];
+    while (!queue.empty()) {
+      const auto [vnode, host] = queue.front();
+      queue.pop_front();
+      route_submission(vnode, host);
+    }
+    return;
+  }
+  if (group_busy_[group_token]) return;
+  auto& queue = group_queues_[group_token];
+  if (queue.empty()) return;
+
+  const auto [vnode, host] = queue.front();
+  queue.pop_front();
+  group_busy_[group_token] = true;
+
+  const std::uint64_t round = next_round_++;
+  auto plan = make_plan(group_token, vnode, host);
+  const auto participants = participants_of(*plan);
+
+  // Directory updates at round start: lookups hitting the affected
+  // vnodes route to the (busy) successor tokens and queue there until
+  // the commit releases them.
+  for (const dht::VNodeId member : plan->final_target.members) {
+    vnode_group_[member] = plan->target_token;
+  }
+  group_busy_[plan->target_token] = true;
+  if (plan->group_split) {
+    for (const dht::VNodeId member : plan->final_sibling.members) {
+      vnode_group_[member] = plan->sibling_token;
+    }
+    group_busy_[plan->sibling_token] = true;
+    group_dead_[plan->parent_token] = true;
+    // Requests queued on the parent re-route to the children.
+    pump_group(plan->parent_token);
+  }
+
+  Round state;
+  state.plan = plan;
+  state.outstanding_acks = participants.size();
+  state.started_at = queue_.now();
+  open_rounds_.emplace(round, std::move(state));
+  ++open_round_count_;
+  stats_.max_group_concurrency = std::max(
+      stats_.max_group_concurrency, static_cast<double>(open_round_count_));
+  ++stats_.rounds;
+  if (plan->group_split) ++stats_.group_splits;
+
+  const dht::SNodeId leader = leader_of(plan->final_target);
+  for (const dht::SNodeId participant : participants) {
+    Message prepare;
+    prepare.type = Message::Type::kPrepare;
+    prepare.from = leader;
+    prepare.to = participant;
+    prepare.round = round;
+    prepare.plan = plan;
+    send(std::move(prepare));
+  }
+}
+
+std::shared_ptr<const Plan> DistributedDht::make_plan(
+    std::uint64_t group_token, dht::VNodeId vnode, dht::SNodeId host) {
+  // Plan from the leader's replica (any copy is identical between
+  // rounds; the leader's is authoritative during one).
+  const GroupReplica* source = nullptr;
+  for (const Process& process : processes_) {
+    const auto it = process.replicas.find(group_token);
+    if (it != process.replicas.end()) {
+      source = &it->second;
+      break;
+    }
+  }
+  COBALT_INVARIANT(source != nullptr, "planning against a missing replica");
+
+  auto plan = std::make_shared<Plan>();
+  plan->parent_token = group_token;
+  plan->new_vnode = vnode;
+  plan->new_host = host;
+
+  GroupReplica target = *source;
+
+  if (target.members.size() == config_.vmax()) {
+    // Section 3.7: the full victim group splits into two groups of
+    // Vmin randomly selected vnodes; one child takes the newcomer.
+    plan->group_split = true;
+    std::vector<dht::VNodeId> shuffled = target.members;
+    shuffle(shuffled, rng_);
+    const auto [id_low, id_high] = target.id.split();
+
+    const auto build_child = [&](const dht::GroupId& id, std::size_t begin) {
+      GroupReplica child;
+      child.id = id;
+      child.splitlevel = target.splitlevel;
+      child.members.assign(
+          shuffled.begin() + static_cast<std::ptrdiff_t>(begin),
+          shuffled.begin() + static_cast<std::ptrdiff_t>(begin + config_.vmin));
+      std::sort(child.members.begin(), child.members.end());
+      for (const dht::VNodeId member : child.members) {
+        COBALT_INVARIANT(target.counts.at(member) == config_.pmin,
+                         "a splitting group must be at the G5' fixpoint");
+        child.counts[member] = target.counts.at(member);
+        child.hosts[member] = target.hosts.at(member);
+      }
+      return child;
+    };
+
+    GroupReplica low = build_child(id_low, 0);
+    GroupReplica high = build_child(id_high, config_.vmin);
+    const bool pick_high = rng_.next_bool();
+    plan->target_token = next_group_token_++;
+    plan->sibling_token = next_group_token_++;
+    target = pick_high ? std::move(high) : std::move(low);
+    plan->final_sibling = pick_high ? std::move(low) : std::move(high);
+  } else {
+    plan->target_token = group_token;
+  }
+
+  // Admit the newcomer (section 2.5 steps, count-level).
+  target.members.push_back(vnode);
+  std::sort(target.members.begin(), target.members.end());
+  target.counts[vnode] = 0;
+  target.hosts[vnode] = host;
+
+  if (target.total() < target.members.size() * config_.pmin) {
+    plan->double_partitions = true;
+    for (auto& [member, count] : target.counts) count *= 2;
+    ++target.splitlevel;
+  }
+
+  // Greedy handover, aggregated per donor.
+  std::map<dht::VNodeId, std::uint32_t> donated;
+  for (;;) {
+    dht::VNodeId victim = dht::kInvalidVNode;
+    std::uint32_t best = 0;
+    for (const auto& [member, count] : target.counts) {
+      if (member == vnode) continue;
+      if (count > best) {
+        best = count;
+        victim = member;
+      }
+    }
+    if (victim == dht::kInvalidVNode ||
+        best <= target.counts.at(vnode) + 1) {
+      break;
+    }
+    --target.counts.at(victim);
+    ++target.counts.at(vnode);
+    ++donated[victim];
+  }
+  for (const auto& [donor, count] : donated) {
+    plan->donations.push_back(PlannedDonation{donor, count});
+    stats_.partition_transfers += count;
+  }
+
+  target.version = source->version + 1;
+  plan->final_target = std::move(target);
+  return plan;
+}
+
+std::vector<dht::SNodeId> DistributedDht::participants_of(const Plan& plan) {
+  std::set<dht::SNodeId> participants;
+  for (const auto& [member, host] : plan.final_target.hosts) {
+    participants.insert(host);
+  }
+  if (plan.group_split) {
+    for (const auto& [member, host] : plan.final_sibling.hosts) {
+      participants.insert(host);
+    }
+  }
+  participants.insert(plan.new_host);
+  return {participants.begin(), participants.end()};
+}
+
+dht::SNodeId DistributedDht::leader_of(const GroupReplica& replica) {
+  COBALT_INVARIANT(!replica.members.empty(), "a group cannot be empty");
+  return replica.hosts.at(replica.members.front());
+}
+
+void DistributedDht::handle_prepare(const Message& message) {
+  const Plan& plan = *message.plan;
+  Process& process = processes_[message.to];
+
+  // --- partition-level effects on this process's vnodes -------------
+  // Group-wide binary split of the target group's partitions.
+  if (plan.double_partitions) {
+    for (const dht::VNodeId member : plan.final_target.members) {
+      if (member == plan.new_vnode) continue;
+      if (plan.final_target.hosts.at(member) != message.to) continue;
+      auto& partitions = process.hosted.at(member);
+      std::vector<dht::Partition> next;
+      next.reserve(partitions.size() * 2);
+      for (const dht::Partition& p : partitions) {
+        mirror_.split(p);
+        const auto [low, high] = p.split();
+        next.push_back(low);
+        next.push_back(high);
+      }
+      partitions = std::move(next);
+    }
+  }
+
+  // Donations from vnodes hosted here travel as kTransfer messages;
+  // the running sum over *all* donors is what the new host must await.
+  std::uint32_t expected_total = 0;
+  for (const PlannedDonation& donation : plan.donations) {
+    expected_total += donation.count;
+    if (plan.final_target.hosts.at(donation.donor) != message.to) continue;
+    auto& partitions = process.hosted.at(donation.donor);
+    COBALT_INVARIANT(partitions.size() >= donation.count,
+                     "donor holds fewer partitions than planned");
+    Message transfer;
+    transfer.type = Message::Type::kTransfer;
+    transfer.from = message.to;
+    transfer.to = plan.new_host;
+    transfer.round = message.round;
+    transfer.plan = message.plan;
+    transfer.partitions.assign(partitions.end() - donation.count,
+                               partitions.end());
+    partitions.erase(partitions.end() - donation.count, partitions.end());
+    send(std::move(transfer));
+  }
+
+  // --- replica installs ---------------------------------------------
+  const auto hosts_member_of = [&](const GroupReplica& replica) {
+    for (const auto& [member, host] : replica.hosts) {
+      if (host == message.to) return true;
+    }
+    return false;
+  };
+  if (hosts_member_of(plan.final_target)) {
+    process.replicas[plan.target_token] = plan.final_target;
+  }
+  if (plan.group_split) {
+    if (hosts_member_of(plan.final_sibling)) {
+      process.replicas[plan.sibling_token] = plan.final_sibling;
+    }
+    process.replicas.erase(plan.parent_token);
+  }
+
+  // --- new host bookkeeping / acknowledgement ------------------------
+  if (message.to == plan.new_host) {
+    process.hosted[plan.new_vnode];  // empty list awaiting transfers
+    if (expected_total > 0) {
+      process.expected_transfers[message.round] = expected_total;
+      process.ack_pending[message.round] = true;
+      return;  // ack once all transfers arrive
+    }
+  }
+  Message ack;
+  ack.type = Message::Type::kAck;
+  ack.from = message.to;
+  ack.to = leader_of(plan.final_target);
+  ack.round = message.round;
+  send(std::move(ack));
+}
+
+void DistributedDht::handle_transfer(const Message& message) {
+  const Plan& plan = *message.plan;
+  Process& process = processes_[message.to];
+  auto& partitions = process.hosted.at(plan.new_vnode);
+  for (const dht::Partition& p : message.partitions) {
+    partitions.push_back(p);
+    mirror_.set_owner(p, plan.new_vnode);
+  }
+  auto& expected = process.expected_transfers.at(message.round);
+  COBALT_INVARIANT(expected >= message.partitions.size(),
+                   "more partitions arrived than planned");
+  expected -= static_cast<std::uint32_t>(message.partitions.size());
+  if (expected == 0 && process.ack_pending[message.round]) {
+    process.ack_pending[message.round] = false;
+    process.expected_transfers.erase(message.round);
+    Message ack;
+    ack.type = Message::Type::kAck;
+    ack.from = message.to;
+    ack.to = leader_of(plan.final_target);
+    ack.round = message.round;
+    send(std::move(ack));
+  }
+}
+
+void DistributedDht::handle_ack(const Message& message) {
+  const auto it = open_rounds_.find(message.round);
+  COBALT_INVARIANT(it != open_rounds_.end(), "ack for an unknown round");
+  Round& round = it->second;
+  COBALT_INVARIANT(round.outstanding_acks > 0, "surplus ack");
+  if (--round.outstanding_acks > 0) return;
+
+  // All participants applied the plan: commit.
+  const auto plan = round.plan;
+  for (const dht::SNodeId participant : participants_of(*plan)) {
+    Message commit;
+    commit.type = Message::Type::kCommit;
+    commit.from = message.to;
+    commit.to = participant;
+    commit.round = message.round;
+    commit.plan = plan;
+    send(std::move(commit));
+  }
+
+  // The directory moved at round start; the commit releases the
+  // successor tokens for the next queued creations.
+  group_busy_[plan->target_token] = false;
+  if (plan->group_split) {
+    group_busy_[plan->sibling_token] = false;
+  } else {
+    group_busy_[plan->parent_token] = false;
+  }
+
+  open_rounds_.erase(it);
+  --open_round_count_;
+
+  pump_group(plan->target_token);
+  if (plan->group_split) {
+    pump_group(plan->sibling_token);
+  } else {
+    pump_group(plan->parent_token);
+  }
+}
+
+void DistributedDht::handle_commit(const Message& message) {
+  // Replica state was installed at prepare; the commit finalizes the
+  // version (and would release client callbacks in a deployment).
+  Process& process = processes_[message.to];
+  const Plan& plan = *message.plan;
+  const auto it = process.replicas.find(plan.target_token);
+  if (it != process.replicas.end()) {
+    it->second.version = plan.final_target.version;
+  }
+}
+
+RunStats DistributedDht::run() {
+  stats_.makespan_us = queue_.run();
+  return stats_;
+}
+
+std::size_t DistributedDht::vnode_count() const {
+  std::size_t count = 0;
+  for (const Process& process : processes_) count += process.hosted.size();
+  return count;
+}
+
+std::size_t DistributedDht::group_count() const {
+  std::set<std::uint64_t> tokens;
+  for (const auto& [vnode, token] : vnode_group_) tokens.insert(token);
+  return tokens.size();
+}
+
+double DistributedDht::sigma_qv() const {
+  std::vector<double> quotas;
+  for (const Process& process : processes_) {
+    for (const auto& [vnode, partitions] : process.hosted) {
+      double quota = 0.0;
+      for (const dht::Partition& p : partitions) {
+        quota += std::pow(0.5, static_cast<int>(p.level()));
+      }
+      quotas.push_back(quota);
+    }
+  }
+  return relative_stddev(quotas);
+}
+
+void DistributedDht::audit() const {
+  COBALT_INVARIANT(open_rounds_.empty(), "audit during an open round");
+
+  // G1': the union of per-process partitions tiles R_h exactly.
+  dht::PartitionMap assembled;
+  for (std::uint32_t host = 0; host < processes_.size(); ++host) {
+    for (const auto& [vnode, partitions] : processes_[host].hosted) {
+      for (const dht::Partition& p : partitions) assembled.insert(p, vnode);
+    }
+  }
+  COBALT_INVARIANT(assembled.tiles_whole_range(),
+                   "distributed state must tile R_h");
+
+  // Replica agreement + local-state consistency per group.
+  std::set<std::uint64_t> tokens;
+  for (const auto& [vnode, token] : vnode_group_) tokens.insert(token);
+
+  std::set<dht::VNodeId> seen;
+  Dyadic quota_sum;
+  for (const std::uint64_t token : tokens) {
+    const GroupReplica* reference = nullptr;
+    std::size_t copies = 0;
+    for (const Process& process : processes_) {
+      const auto it = process.replicas.find(token);
+      if (it == process.replicas.end()) continue;
+      ++copies;
+      if (reference == nullptr) {
+        reference = &it->second;
+        continue;
+      }
+      const GroupReplica& other = it->second;
+      COBALT_INVARIANT(other.id == reference->id &&
+                           other.splitlevel == reference->splitlevel &&
+                           other.members == reference->members &&
+                           other.counts == reference->counts &&
+                           other.hosts == reference->hosts,
+                       "LPDR replicas diverge");
+    }
+    COBALT_INVARIANT(reference != nullptr, "group without any replica");
+
+    // Exactly the participating snodes hold a copy.
+    std::set<dht::SNodeId> hosts;
+    for (const auto& [member, host] : reference->hosts) hosts.insert(host);
+    COBALT_INVARIANT(copies == hosts.size(),
+                     "replica copies must match participant count");
+
+    // Counts vs actual partition lists; level uniformity (G3'); G4'.
+    for (const dht::VNodeId member : reference->members) {
+      COBALT_INVARIANT(seen.insert(member).second,
+                       "L1: a vnode belongs to two groups");
+      const auto& partitions =
+          processes_[reference->hosts.at(member)].hosted.at(member);
+      COBALT_INVARIANT(partitions.size() == reference->counts.at(member),
+                       "replica count disagrees with hosted partitions");
+      for (const dht::Partition& p : partitions) {
+        COBALT_INVARIANT(p.level() == reference->splitlevel,
+                         "G3': mixed splitlevels inside a group");
+      }
+      if (reference->members.size() > 1) {
+        COBALT_INVARIANT(reference->counts.at(member) >= config_.pmin &&
+                             reference->counts.at(member) <= config_.pmax(),
+                         "G4': count out of [Pmin, Pmax]");
+      }
+    }
+    // L2 (group 0 exempt while alone).
+    if (tokens.size() > 1) {
+      COBALT_INVARIANT(reference->members.size() >= config_.vmin &&
+                           reference->members.size() <= config_.vmax(),
+                       "L2: group size out of [Vmin, Vmax]");
+    }
+    // G2': Pg is a power of two.
+    COBALT_INVARIANT(std::has_single_bit(reference->total()),
+                     "G2': group partition count must be 2^k");
+    quota_sum += Dyadic::one_over_pow2(reference->splitlevel) *
+                 reference->total();
+  }
+  COBALT_INVARIANT(seen.size() == vnode_count(),
+                   "L1: every vnode belongs to exactly one group");
+  COBALT_INVARIANT(quota_sum == Dyadic::one(),
+                   "group quotas must sum to exactly 1");
+}
+
+}  // namespace cobalt::cluster

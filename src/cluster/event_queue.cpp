@@ -1,0 +1,30 @@
+#include "cluster/event_queue.hpp"
+
+#include <utility>
+
+namespace cobalt::cluster {
+
+void EventQueue::schedule_at(SimTime at, std::function<void()> action) {
+  COBALT_REQUIRE(action != nullptr, "cannot schedule an empty action");
+  COBALT_REQUIRE(at >= now_, "cannot schedule into the past");
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_after(SimTime delay, std::function<void()> action) {
+  COBALT_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+SimTime EventQueue::run() {
+  while (!queue_.empty()) {
+    // Move the action out before popping; the action may schedule more.
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.at;
+    ++fired_;
+    entry.action();
+  }
+  return now_;
+}
+
+}  // namespace cobalt::cluster

@@ -1,0 +1,63 @@
+// cobalt/cluster/event_queue.hpp
+//
+// A small discrete-event simulation core: a time-ordered queue of
+// callbacks. Events scheduled at equal times fire in scheduling order
+// (a monotone sequence number breaks ties), which keeps every
+// simulation deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cobalt::cluster {
+
+/// Simulated time, in microseconds (the cluster-network scale).
+using SimTime = double;
+
+/// A deterministic discrete-event executor.
+class EventQueue {
+ public:
+  /// Schedules `action` to fire at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, std::function<void()> action);
+
+  /// Schedules `action` to fire `delay` from now (delay >= 0).
+  void schedule_after(SimTime delay, std::function<void()> action);
+
+  /// Runs events until the queue drains; returns the time of the last
+  /// event (0 when nothing ran).
+  SimTime run();
+
+  /// Current simulation time (updated as events fire).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Number of events still pending.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events fired so far.
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace cobalt::cluster

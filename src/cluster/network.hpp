@@ -1,0 +1,56 @@
+// cobalt/cluster/network.hpp
+//
+// Synthetic cluster network cost model. The paper's scalability
+// argument leans on cluster properties: "short (typically one-hop)
+// communication paths and high bandwidth, which make bearable events
+// that may require synchronization between many nodes" (section 5).
+// The constants below are cluster-like (gigabit-era LAN); only
+// *relative* results are meaningful, and the ablation harness reports
+// them as ratios.
+
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/event_queue.hpp"
+
+namespace cobalt::cluster {
+
+/// Cost parameters of one synchronization round and its payloads.
+struct NetworkModel {
+  /// One-hop message latency between any two cluster nodes (flat,
+  /// switch-based topology), in microseconds.
+  SimTime one_hop_latency_us = 100.0;
+
+  /// Time to ship one partition's bookkeeping (not the data - the
+  /// balancement protocol moves ownership; bulk data movement is the
+  /// KV layer's business), per partition handed over.
+  SimTime per_partition_transfer_us = 20.0;
+
+  /// Local processing time to apply one distribution-record update.
+  SimTime record_update_us = 2.0;
+
+  /// Duration of a coordinator-driven synchronization round among
+  /// `participants` snodes that hands over `transfers` partitions:
+  /// request broadcast + acknowledgement (2 hops), plus payload and
+  /// bookkeeping. Participants work in parallel; transfers serialize
+  /// on the coordinator.
+  [[nodiscard]] SimTime round_duration(std::size_t participants,
+                                       std::size_t transfers) const {
+    if (participants <= 1 && transfers == 0) {
+      return record_update_us;
+    }
+    return 2.0 * one_hop_latency_us +
+           static_cast<SimTime>(transfers) * per_partition_transfer_us +
+           static_cast<SimTime>(participants) * record_update_us;
+  }
+
+  /// Messages exchanged by such a round: request + ack per participant,
+  /// plus one message per partition handover.
+  [[nodiscard]] std::size_t round_messages(std::size_t participants,
+                                           std::size_t transfers) const {
+    return 2 * participants + transfers;
+  }
+};
+
+}  // namespace cobalt::cluster

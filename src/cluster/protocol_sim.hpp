@@ -1,0 +1,84 @@
+// cobalt/cluster/protocol_sim.hpp
+//
+// Discrete-event simulation of the vnode-creation *protocol* for both
+// approaches. This quantifies the paper's central scalability claim
+// (section 3): under the global approach "every snode is, necessarily,
+// involved in the creation of every vnode, [so] consecutive creations
+// of vnodes are executed serially"; under the local approach only the
+// victim group's LPDR must stay consistent, so creations in different
+// groups proceed concurrently.
+//
+// The serialization unit is therefore the *distribution record*: the
+// global approach has a single domain (the replicated GPDR), the local
+// approach one domain per group (its LPDR). A creation is one
+// synchronization round: it locks its domain for the round duration
+// (request/ack latency + handover payloads + record updates across the
+// participating snodes, per the NetworkModel). Rounds in different
+// domains overlap; rounds in one domain queue FIFO. A group split
+// spawns two fresh domains whose clocks start when the splitting round
+// completes.
+//
+// Traces are recorded from real balancer runs, so participant sets,
+// handover counts and split timing are exact, not modelled.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/event_queue.hpp"
+#include "cluster/network.hpp"
+#include "dht/config.hpp"
+
+namespace cobalt::cluster {
+
+/// One creation event of the recorded trace.
+struct CreationRecord {
+  /// Serialization domain: 0 for the global approach; the group slot
+  /// whose LPDR synchronizes for the local approach.
+  std::uint32_t domain = 0;
+
+  /// Distinct snodes taking part in the synchronization round (hosts
+  /// of the victim group's vnodes; every snode in the global approach).
+  std::size_t participants = 0;
+
+  /// Partitions handed over or split during this creation (protocol
+  /// payload).
+  std::size_t transfers = 0;
+
+  /// Domains created by a group split inside this round; their clocks
+  /// start at this round's completion.
+  std::vector<std::uint32_t> spawned_domains;
+};
+
+/// A recorded growth trace.
+struct CreationTrace {
+  std::size_t snodes = 0;
+  std::size_t domains = 1;  ///< total domains ever used (slots)
+  std::vector<CreationRecord> creations;
+};
+
+/// Builds the trace of growing a *local-approach* DHT to `vnodes`
+/// vnodes over `snodes` snodes (vnodes placed round-robin).
+CreationTrace record_local_trace(dht::Config config, std::size_t snodes,
+                                 std::size_t vnodes);
+
+/// Builds the same trace for the *global* approach (single domain,
+/// every snode participates in every creation).
+CreationTrace record_global_trace(dht::Config config, std::size_t snodes,
+                                  std::size_t vnodes);
+
+/// Aggregate results of replaying a trace through the network model.
+struct ReplayResult {
+  SimTime makespan_us = 0.0;       ///< completion time of the last round
+  std::uint64_t messages = 0;      ///< total protocol messages
+  double mean_participants = 0.0;  ///< average round size
+  double concurrency = 0.0;        ///< sum of round durations / makespan
+};
+
+/// Replays `trace` on the DES: all creations arrive at time 0, are
+/// admitted FIFO per domain, and overlap across domains.
+ReplayResult replay_trace(const CreationTrace& trace,
+                          const NetworkModel& network);
+
+}  // namespace cobalt::cluster

@@ -1,0 +1,119 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&', '~', '$'};
+
+std::string tick(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+AsciiChart::AsciiChart(ChartOptions options) : options_(std::move(options)) {
+  COBALT_REQUIRE(options_.width >= 16 && options_.height >= 4,
+                 "chart area too small");
+}
+
+void AsciiChart::add_series(ChartSeries series) {
+  COBALT_REQUIRE(!series.x.empty() && series.x.size() == series.y.size(),
+                 "series must have equal, nonzero x/y lengths");
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiChart::render() const {
+  COBALT_REQUIRE(!series_.empty(), "no series to render");
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  for (const auto& s : series_) {
+    for (double v : s.x) {
+      xmin = std::min(xmin, v);
+      xmax = std::max(xmax, v);
+    }
+    for (double v : s.y) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  if (options_.y_zero_based) ymin = std::min(ymin, options_.y_min_hint);
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const int w = options_.width;
+  const int h = options_.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    const double t = (x - xmin) / (xmax - xmin);
+    return std::clamp(static_cast<int>(std::lround(t * (w - 1))), 0, w - 1);
+  };
+  auto to_row = [&](double y) {
+    const double t = (y - ymin) / (ymax - ymin);
+    return std::clamp(h - 1 - static_cast<int>(std::lround(t * (h - 1))), 0,
+                      h - 1);
+  };
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      grid[static_cast<std::size_t>(to_row(s.y[i]))]
+          [static_cast<std::size_t>(to_col(s.x[i]))] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options_.y_label.empty()) os << options_.y_label << '\n';
+  const std::string top = tick(ymax);
+  const std::string bottom = tick(ymin);
+  const std::size_t margin = std::max(top.size(), bottom.size()) + 1;
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = top;
+    else if (r == h - 1) label = bottom;
+    os << std::string(margin - label.size(), ' ') << label << '|'
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  const std::string xlo = tick(xmin);
+  const std::string xhi = tick(xmax);
+  os << std::string(margin + 1, ' ') << xlo
+     << std::string(static_cast<std::size_t>(w) > xlo.size() + xhi.size()
+                        ? static_cast<std::size_t>(w) - xlo.size() - xhi.size()
+                        : 1,
+                    ' ')
+     << xhi << '\n';
+  if (!options_.x_label.empty())
+    os << std::string(margin + 1 + static_cast<std::size_t>(w) / 2 -
+                          std::min<std::size_t>(options_.x_label.size() / 2,
+                                                static_cast<std::size_t>(w) / 2),
+                      ' ')
+       << options_.x_label << '\n';
+  os << "  legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si)
+    os << "  [" << kGlyphs[si % sizeof(kGlyphs)] << "] " << series_[si].label;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace cobalt

@@ -1,0 +1,48 @@
+// cobalt/common/ascii_chart.hpp
+//
+// Terminal line charts. The figure benches render each reproduced plot
+// directly in the console so the curve shapes (the paper's figures 4-9)
+// can be inspected without an external plotter.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+/// One plotted series: a label and (x, y) points.
+struct ChartSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Rendering options for AsciiChart.
+struct ChartOptions {
+  int width = 96;    ///< plot area width in characters
+  int height = 24;   ///< plot area height in characters
+  std::string x_label;
+  std::string y_label;
+  double y_min_hint = 0.0;  ///< lower bound included in the y range
+  bool y_zero_based = true; ///< force the y axis to start at y_min_hint
+};
+
+/// Renders multiple series into a character grid with axes, tick labels
+/// and a legend; each series uses a distinct glyph.
+class AsciiChart {
+ public:
+  explicit AsciiChart(ChartOptions options = {});
+
+  /// Adds a series; x and y must have equal nonzero length.
+  void add_series(ChartSeries series);
+
+  /// Produces the final multi-line string.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  ChartOptions options_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace cobalt

@@ -1,0 +1,119 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+namespace {
+
+bool looks_like_option(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+template <typename T>
+T parse_number(const std::string& name, const std::string& text) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw InvalidArgument("option --" + name + " has non-numeric value '" +
+                          text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_option(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      options_[arg] = "";  // boolean flag
+    }
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  return options_.contains(name);
+}
+
+std::string CliParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return parse_number<std::int64_t>(name, it->second);
+}
+
+std::uint64_t CliParser::get_uint(const std::string& name,
+                                  std::uint64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return parse_number<std::uint64_t>(name, it->second);
+}
+
+double CliParser::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  // std::from_chars for double is available in GCC 12; use it.
+  const std::string& text = it->second;
+  double value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw InvalidArgument("option --" + name + " has non-numeric value '" +
+                          text + "'");
+  }
+  return value;
+}
+
+bool CliParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on")
+    return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw InvalidArgument("option --" + name + " has non-boolean value '" + v +
+                        "'");
+}
+
+std::vector<std::uint64_t> CliParser::get_uint_list(
+    const std::string& name, std::vector<std::uint64_t> fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  std::vector<std::uint64_t> values;
+  std::string token;
+  for (char c : it->second + ",") {
+    if (c == ',') {
+      if (!token.empty()) {
+        values.push_back(parse_number<std::uint64_t>(name, token));
+        token.clear();
+      }
+    } else {
+      token += c;
+    }
+  }
+  return values;
+}
+
+}  // namespace cobalt

@@ -1,0 +1,54 @@
+// cobalt/common/cli.hpp
+//
+// A small command-line option parser shared by examples and benches.
+// Supports "--name=value" and boolean "--name" forms; anything else is
+// positional. (A space-separated "--name value" form is deliberately
+// not supported: it is ambiguous against positional arguments.)
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+/// Parses argv into named options plus positional arguments, with typed,
+/// defaulted accessors.
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// True when --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed accessors; return `fallback` when the option is absent and
+  /// throw cobalt::InvalidArgument when the value does not parse.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. "--vmin=8,16,32".
+  [[nodiscard]] std::vector<std::uint64_t> get_uint_list(
+      const std::string& name, std::vector<std::uint64_t> fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cobalt

@@ -1,0 +1,62 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw Error("cannot open CSV file for writing: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out_ << ',';
+    out_ << escape(f);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> fields) {
+  write_row(std::vector<std::string>(fields));
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    fields.emplace_back(buf);
+  }
+  write_row(fields);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+}  // namespace cobalt

@@ -1,0 +1,42 @@
+// cobalt/common/csv.hpp
+//
+// Minimal CSV emission for the benchmark harness. Every figure bench
+// writes its series as CSV next to its console output so results can be
+// re-plotted outside the repo.
+
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+/// Streams rows of a CSV file; quotes fields only when needed.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws cobalt::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row of string fields.
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(std::initializer_list<std::string> fields);
+
+  /// Convenience: a header row followed by numeric columns.
+  void write_header(const std::vector<std::string>& names);
+  void write_numeric_row(const std::vector<double>& values);
+
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace cobalt

@@ -1,0 +1,119 @@
+#include "common/dyadic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobalt {
+
+namespace {
+
+// Number of bits needed to represent v (0 -> 0).
+unsigned bit_width_u128(uint128 v) {
+  unsigned width = 0;
+  while (v != 0) {
+    ++width;
+    v >>= 1;
+  }
+  return width;
+}
+
+}  // namespace
+
+Dyadic Dyadic::from_integer(std::uint64_t value) { return Dyadic(value, 0); }
+
+Dyadic Dyadic::one_over_pow2(unsigned level) {
+  COBALT_REQUIRE(level <= 126, "splitlevel out of supported range");
+  return Dyadic(1, level);
+}
+
+Dyadic Dyadic::ratio(uint128 num, unsigned log2den) {
+  COBALT_REQUIRE(log2den <= 126, "denominator exponent out of range");
+  return Dyadic(num, log2den);
+}
+
+void Dyadic::normalize() {
+  if (num_ == 0) {
+    log2den_ = 0;
+    return;
+  }
+  while (log2den_ > 0 && (num_ & 1) == 0) {
+    num_ >>= 1;
+    --log2den_;
+  }
+}
+
+Dyadic Dyadic::operator+(const Dyadic& other) const {
+  Dyadic result = *this;
+  result += other;
+  return result;
+}
+
+Dyadic& Dyadic::operator+=(const Dyadic& other) {
+  const unsigned den = std::max(log2den_, other.log2den_);
+  const unsigned lift_a = den - log2den_;
+  const unsigned lift_b = den - other.log2den_;
+  COBALT_INVARIANT(bit_width_u128(num_) + lift_a < 128 &&
+                       bit_width_u128(other.num_) + lift_b < 128,
+                   "dyadic addition would overflow 128-bit numerator");
+  num_ = (num_ << lift_a) + (other.num_ << lift_b);
+  log2den_ = den;
+  normalize();
+  return *this;
+}
+
+Dyadic Dyadic::operator-(const Dyadic& other) const {
+  Dyadic result = *this;
+  result -= other;
+  return result;
+}
+
+Dyadic& Dyadic::operator-=(const Dyadic& other) {
+  COBALT_REQUIRE(*this >= other,
+                 "dyadic subtraction would produce a negative value");
+  const unsigned den = std::max(log2den_, other.log2den_);
+  num_ = (num_ << (den - log2den_)) - (other.num_ << (den - other.log2den_));
+  log2den_ = den;
+  normalize();
+  return *this;
+}
+
+Dyadic Dyadic::operator*(std::uint64_t factor) const {
+  if (factor == 0 || num_ == 0) return {};
+  COBALT_INVARIANT(
+      bit_width_u128(num_) + bit_width_u128(factor) <= 128,
+      "dyadic multiplication would overflow 128-bit numerator");
+  return Dyadic(num_ * factor, log2den_);
+}
+
+std::strong_ordering Dyadic::operator<=>(const Dyadic& other) const {
+  const unsigned den = std::max(log2den_, other.log2den_);
+  // Lifting may overflow only if the values are wildly unequal in
+  // magnitude; compare bit widths first to avoid that.
+  const unsigned wa = bit_width_u128(num_) + (den - log2den_);
+  const unsigned wb = bit_width_u128(other.num_) + (den - other.log2den_);
+  if (wa != wb) return wa <=> wb;
+  const uint128 a = num_ << (den - log2den_);
+  const uint128 b = other.num_ << (den - other.log2den_);
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+double Dyadic::to_double() const {
+  return static_cast<double>(num_) * std::pow(0.5, static_cast<int>(log2den_));
+}
+
+std::string Dyadic::to_string() const {
+  // Render the 128-bit numerator in decimal.
+  uint128 v = num_;
+  std::string digits;
+  if (v == 0) digits = "0";
+  while (v != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits + "/2^" + std::to_string(log2den_);
+}
+
+}  // namespace cobalt

@@ -1,0 +1,87 @@
+// cobalt/common/dyadic.hpp
+//
+// Exact arithmetic on dyadic rationals (numbers of the form n / 2^k).
+//
+// Every partition of the hash range R_h in the paper's model results
+// from binary splits of R_h, so every partition size, vnode quota Qv and
+// group quota Qg is a dyadic rational. Representing quotas exactly lets
+// tests assert conservation laws ("the quotas of all vnodes sum to
+// exactly 1", invariant G1/G1') with no floating-point tolerance.
+//
+// The numerator is kept in an unsigned 128-bit word; with the model's
+// split levels (<= ~40 even in extreme simulations) this never gets
+// close to overflow, and additions check for it anyway.
+
+#pragma once
+
+#include <compare>
+
+#include "common/int128.hpp"
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+/// An exact non-negative dyadic rational: value = num / 2^log2den.
+/// Kept normalized (num odd, or num == 0 with log2den == 0), so equal
+/// values have equal representations and operator== is bitwise.
+class Dyadic {
+ public:
+  /// Zero.
+  constexpr Dyadic() = default;
+
+  /// The integer `value`.
+  static Dyadic from_integer(std::uint64_t value);
+
+  /// The reciprocal power of two 1 / 2^level; `level` is a partition
+  /// splitlevel in the model. Requires level <= 126.
+  static Dyadic one_over_pow2(unsigned level);
+
+  /// num / 2^log2den (normalized on construction).
+  static Dyadic ratio(uint128 num, unsigned log2den);
+
+  /// One (the quota of the whole hash range R_h).
+  static Dyadic one() { return from_integer(1); }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+
+  /// Exact sum.
+  Dyadic operator+(const Dyadic& other) const;
+  Dyadic& operator+=(const Dyadic& other);
+
+  /// Exact difference; requires *this >= other (quotas never go negative).
+  Dyadic operator-(const Dyadic& other) const;
+  Dyadic& operator-=(const Dyadic& other);
+
+  /// Exact product by a small integer (e.g. a partition count).
+  Dyadic operator*(std::uint64_t factor) const;
+
+  friend bool operator==(const Dyadic&, const Dyadic&) = default;
+  std::strong_ordering operator<=>(const Dyadic& other) const;
+
+  /// Nearest double (quotas within the model's ranges are exactly
+  /// representable until level > 52-ish numerator widths; for metrics
+  /// the rounding here is the only FP step in the pipeline).
+  [[nodiscard]] double to_double() const;
+
+  /// Decimal-free debug form "num/2^k".
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] uint128 numerator() const { return num_; }
+  [[nodiscard]] unsigned log2_denominator() const { return log2den_; }
+
+ private:
+  Dyadic(uint128 num, unsigned log2den)
+      : num_(num), log2den_(log2den) {
+    normalize();
+  }
+
+  void normalize();
+
+  uint128 num_ = 0;
+  unsigned log2den_ = 0;
+};
+
+}  // namespace cobalt

@@ -1,0 +1,29 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace cobalt::detail {
+
+namespace {
+
+std::string compose(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": " << msg << " [" << expr << "] at " << file << ":" << line;
+  return os.str();
+}
+
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(compose("invalid argument", expr, file, line, msg));
+}
+
+void throw_invariant_violation(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  throw InvariantViolation(
+      compose("invariant violation", expr, file, line, msg));
+}
+
+}  // namespace cobalt::detail

@@ -1,0 +1,65 @@
+// cobalt/common/error.hpp
+//
+// Error handling primitives shared by every cobalt module.
+//
+// The library distinguishes two failure classes:
+//   * precondition violations by the caller  -> cobalt::InvalidArgument
+//   * broken internal invariants (bugs)      -> cobalt::InvariantViolation
+//
+// Both derive from cobalt::Error so applications can catch one type.
+// The COBALT_REQUIRE / COBALT_INVARIANT macros capture the failing
+// expression and source location in the exception message.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cobalt {
+
+/// Base class of every exception thrown by the cobalt library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant of the model is broken; indicates a
+/// bug in cobalt itself (or deliberate corruption in a test).
+class InvariantViolation : public Error {
+ public:
+  explicit InvariantViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+[[noreturn]] void throw_invariant_violation(const char* expr, const char* file,
+                                            int line, const std::string& msg);
+
+}  // namespace detail
+}  // namespace cobalt
+
+/// Validate a caller-supplied precondition; throws cobalt::InvalidArgument.
+#define COBALT_REQUIRE(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::cobalt::detail::throw_invalid_argument(#expr, __FILE__, __LINE__,    \
+                                               (msg));                       \
+    }                                                                        \
+  } while (false)
+
+/// Validate an internal invariant; throws cobalt::InvariantViolation.
+#define COBALT_INVARIANT(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::cobalt::detail::throw_invariant_violation(#expr, __FILE__, __LINE__, \
+                                                  (msg));                    \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+Histogram::Histogram(double min, double max, std::size_t buckets)
+    : min_(min),
+      max_(max),
+      width_((max - min) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  COBALT_REQUIRE(max > min, "histogram range must be nonempty");
+  COBALT_REQUIRE(buckets >= 1, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double value) {
+  ++count_;
+  sum_ += value;
+  if (value < min_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (value >= max_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const auto index = static_cast<std::size_t>((value - min_) / width_);
+  ++counts_[std::min(index, counts_.size() - 1)];
+}
+
+double Histogram::percentile(double p) const {
+  COBALT_REQUIRE(count_ > 0, "percentile of an empty histogram");
+  COBALT_REQUIRE(p >= 0.0 && p <= 1.0, "p must lie in [0, 1]");
+  const double target = p * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double within =
+          counts_[i] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts_[i]);
+      return bucket_floor(i) + within * width_;
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+double Histogram::mean() const {
+  COBALT_REQUIRE(count_ > 0, "mean of an empty histogram");
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::bucket_floor(std::size_t index) const {
+  COBALT_REQUIRE(index < counts_.size(), "bucket index out of range");
+  return min_ + static_cast<double>(index) * width_;
+}
+
+std::string Histogram::summary() const {
+  if (count_ == 0) return "n=0";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f",
+                static_cast<unsigned long long>(count_), mean(),
+                percentile(0.50), percentile(0.95), percentile(0.99));
+  return buf;
+}
+
+}  // namespace cobalt

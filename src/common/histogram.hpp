@@ -1,0 +1,56 @@
+// cobalt/common/histogram.hpp
+//
+// Fixed-range linear histogram with percentile estimation, used by the
+// benches for latency/hop distributions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+/// Buckets [min, max) uniformly; out-of-range samples clamp to the
+/// first/last bucket (and are counted separately).
+class Histogram {
+ public:
+  Histogram(double min, double max, std::size_t buckets);
+
+  void add(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Approximate p-quantile (p in [0, 1]) by linear interpolation
+  /// within the containing bucket; requires a nonempty histogram.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Mean of the added samples (exact, not bucketed).
+  [[nodiscard]] double mean() const;
+
+  /// Bucket counts (for rendering / CSV).
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return counts_;
+  }
+
+  /// Lower bound of bucket `index`.
+  [[nodiscard]] double bucket_floor(std::size_t index) const;
+
+  /// A compact single-line summary "n=.. mean=.. p50=.. p95=.. p99=..".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  double min_;
+  double max_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace cobalt

@@ -1,0 +1,12 @@
+// cobalt/common/int128.hpp
+//
+// A pedantic-clean alias for GCC/Clang's 128-bit unsigned integer,
+// used by the exact dyadic arithmetic and unbiased bounded RNG.
+
+#pragma once
+
+namespace cobalt {
+
+__extension__ typedef unsigned __int128 uint128;
+
+}  // namespace cobalt

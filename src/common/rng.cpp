@@ -1,0 +1,54 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+#include "common/int128.hpp"
+
+namespace cobalt {
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  COBALT_REQUIRE(bound != 0, "next_below requires a nonzero bound");
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  uint128 m = static_cast<uint128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<uint128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t derive_seed(std::uint64_t root_seed, std::uint64_t experiment_tag,
+                          std::uint64_t run_index) {
+  // Three mixing rounds interleaved with the inputs; SplitMix64's
+  // finalizer provides full avalanche between rounds.
+  std::uint64_t s = mix64(root_seed ^ 0x6a09e667f3bcc908ull);
+  s = mix64(s ^ experiment_tag);
+  s = mix64(s ^ (run_index * 0x9e3779b97f4a7c15ull + 1));
+  return s;
+}
+
+std::vector<std::size_t> sample_without_replacement(std::size_t population,
+                                                    std::size_t count,
+                                                    Xoshiro256& rng) {
+  COBALT_REQUIRE(count <= population,
+                 "cannot sample more elements than the population holds");
+  std::vector<std::size_t> pool(population);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates: after k swaps the first k slots hold the sample.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(population - i));
+    using std::swap;
+    swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace cobalt

@@ -1,0 +1,137 @@
+// cobalt/common/rng.hpp
+//
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the paper's evaluation (random victim-group
+// selection, random vnode selection at group split, random CH ring points,
+// 100-run averaging) flows from these generators, so any experiment is
+// reproducible bit-for-bit from a single root seed.
+//
+// SplitMix64 is used for seeding / hashing single words; xoshiro256** is
+// the workhorse stream generator (fast, 256-bit state, passes BigCrush).
+// Both are implemented from the public-domain reference algorithms.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+/// SplitMix64: a 64-bit mixer/stepper. Primarily used to expand one seed
+/// word into the larger state of xoshiro256** and to derive independent
+/// per-run seeds from a root seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value of the stream.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless finalizer of SplitMix64: a high-quality 64 -> 64 bit mixing
+/// function, usable as an avalanche stage in hash functions.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: the general-purpose generator used by all simulations.
+/// Satisfies std::uniform_random_bit_generator, so it can drive
+/// std::shuffle and <random> distributions as well.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by expanding `seed` through SplitMix64
+  /// (the construction recommended by the xoshiro authors).
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform boolean.
+  bool next_bool() { return (next() >> 63) != 0; }
+
+  /// The raw 256-bit state (for checkpoint/restore).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+
+  /// Restores a state captured by state(); must not be all-zero.
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    COBALT_REQUIRE(state[0] | state[1] | state[2] | state[3],
+                   "xoshiro state must not be all-zero");
+    state_ = state;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives the seed of run `run_index` of experiment `experiment_tag`
+/// from `root_seed`. Distinct (root, tag, run) triples map to
+/// statistically independent streams.
+std::uint64_t derive_seed(std::uint64_t root_seed, std::uint64_t experiment_tag,
+                          std::uint64_t run_index);
+
+/// Fisher-Yates shuffle driven by a Xoshiro256 stream.
+template <typename T>
+void shuffle(std::vector<T>& values, Xoshiro256& rng) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+/// Draws `count` distinct indices from [0, population) (a random
+/// `count`-subset), in selection order. Requires count <= population.
+std::vector<std::size_t> sample_without_replacement(std::size_t population,
+                                                    std::size_t count,
+                                                    Xoshiro256& rng);
+
+}  // namespace cobalt

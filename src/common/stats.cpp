@@ -1,0 +1,97 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobalt {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of partial moments.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  COBALT_REQUIRE(count_ > 0, "mean of an empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  COBALT_REQUIRE(count_ > 0, "variance of an empty accumulator");
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  COBALT_REQUIRE(count_ > 0, "min of an empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  COBALT_REQUIRE(count_ > 0, "max of an empty accumulator");
+  return max_;
+}
+
+double mean(std::span<const double> values) {
+  COBALT_REQUIRE(!values.empty(), "mean of an empty span");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double population_stddev(std::span<const double> values) {
+  COBALT_REQUIRE(!values.empty(), "stddev of an empty span");
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) {
+    const double d = v - m;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(values.size()));
+}
+
+double relative_stddev(std::span<const double> values) {
+  const double m = mean(values);
+  COBALT_REQUIRE(m != 0.0, "relative stddev undefined for zero mean");
+  return population_stddev(values) / m;
+}
+
+double relative_stddev_around(std::span<const double> values,
+                              double ideal_mean) {
+  COBALT_REQUIRE(!values.empty(), "stddev of an empty span");
+  COBALT_REQUIRE(ideal_mean > 0.0, "ideal mean must be positive");
+  double ss = 0.0;
+  for (double v : values) {
+    const double d = v - ideal_mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(values.size())) / ideal_mean;
+}
+
+}  // namespace cobalt

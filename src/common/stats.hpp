@@ -1,0 +1,69 @@
+// cobalt/common/stats.hpp
+//
+// Descriptive statistics used by the paper's quality metrics.
+//
+// The paper's central metric is the *relative standard deviation*
+// sigma-bar(X, Xbar) = sigma(X) / Xbar, usually expressed in percent
+// (section 2.3). Two variants appear:
+//
+//   * against the sample mean (sigma over the observed average), used
+//     for sigma-bar(Qv) and sigma-bar(Pv);
+//   * against an *ideal* mean supplied externally, used for
+//     sigma-bar(Qg) where Qg-bar = 1/G (section 4.2.1).
+//
+// The paper's sigma is the population standard deviation (divide by N):
+// the vnode quotas are the entire population, not a sample.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+/// Single-pass accumulator (Welford) for mean / variance / extrema.
+/// Numerically stable for long accumulations (e.g. 100-run averages of
+/// per-step metrics).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Population variance (divide by N).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Population standard deviation of `values` around their own mean.
+double population_stddev(std::span<const double> values);
+
+/// sigma(values) / mean(values), as a fraction (multiply by 100 for the
+/// percentages plotted in the paper). Requires a nonzero mean.
+double relative_stddev(std::span<const double> values);
+
+/// Standard deviation of `values` around an externally supplied ideal
+/// mean, divided by that mean: the sigma-bar(Qg, 1/G) construction of
+/// section 4.2.1. Requires ideal_mean > 0.
+double relative_stddev_around(std::span<const double> values,
+                              double ideal_mean);
+
+/// Arithmetic mean; requires a nonempty span.
+double mean(std::span<const double> values);
+
+}  // namespace cobalt

@@ -1,0 +1,38 @@
+// cobalt/common/table.hpp
+//
+// Aligned console tables: the bench harness prints each figure's series
+// as the rows/columns the paper reports.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cobalt {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; `precision` digits after the point.
+  void add_numeric_row(const std::vector<double>& values, int precision = 3);
+
+  /// Renders with single-space-padded columns and a dashed header rule.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed `precision` decimals (no locale surprises).
+std::string format_fixed(double value, int precision);
+
+}  // namespace cobalt

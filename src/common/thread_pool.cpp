@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  COBALT_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    std::lock_guard lock(mutex_);
+    COBALT_REQUIRE(!stopping_, "cannot submit to a stopping pool");
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const std::size_t workers =
+      std::min(count, pool.thread_count() == 0 ? std::size_t{1}
+                                               : pool.thread_count());
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard lock(done_mutex);
+        ++done;
+      }
+      done_cv.notify_all();
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == workers; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cobalt

@@ -1,0 +1,68 @@
+// cobalt/dht/config.hpp
+//
+// Model parameters. The paper's two structural parameters are:
+//
+//   Pmin - minimum partitions per vnode; Pmax = 2*Pmin (invariant G4/G4').
+//          Controls the grain of fine-grain balancement.
+//   Vmin - minimum vnodes per group;     Vmax = 2*Vmin (invariant L2).
+//          Controls group size, i.e. how local the local approach is
+//          (Vmin only applies to the local approach).
+//
+// Both are fixed powers of two chosen at DHT creation time and constant
+// for the DHT's lifetime (section 4.1.2).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace cobalt::dht {
+
+/// Which of the donor vnode's partitions is handed over in a transfer.
+/// The paper leaves the choice open ("choose a victim partition");
+/// balancement metrics are independent of it, but data-movement locality
+/// is not, so the policy is configurable.
+enum class PartitionPick {
+  kLast,    ///< cheapest: the most recently appended partition
+  kFirst,   ///< the lowest-indexed partition held
+  kRandom,  ///< uniform among the donor's partitions (default)
+};
+
+/// Parameters of a balanced DHT.
+struct Config {
+  /// Pmin (invariant G4/G4'); must be a power of two >= 1.
+  std::uint64_t pmin = 32;
+
+  /// Vmin (invariant L2); must be a power of two >= 1. Ignored by the
+  /// global approach.
+  std::uint64_t vmin = 32;
+
+  /// Donor-partition selection policy for handovers.
+  PartitionPick pick = PartitionPick::kRandom;
+
+  /// Root seed for all randomness of this DHT instance (victim-group
+  /// selection, random member selection at group split, random picks).
+  std::uint64_t seed = 0x0ba1a9ced7ab1e5ull;
+
+  /// Pmax = 2 * Pmin (invariant G4/G4').
+  [[nodiscard]] std::uint64_t pmax() const { return 2 * pmin; }
+
+  /// Vmax = 2 * Vmin (invariant L2).
+  [[nodiscard]] std::uint64_t vmax() const { return 2 * vmin; }
+
+  /// Throws InvalidArgument unless the parameters are well formed.
+  void validate() const {
+    COBALT_REQUIRE(pmin >= 1 && std::has_single_bit(pmin),
+                   "Pmin must be a power of two >= 1");
+    COBALT_REQUIRE(vmin >= 1 && std::has_single_bit(vmin),
+                   "Vmin must be a power of two >= 1");
+    COBALT_REQUIRE(pmin <= (std::uint64_t{1} << 40),
+                   "Pmin unreasonably large");
+    COBALT_REQUIRE(vmin <= (std::uint64_t{1} << 40),
+                   "Vmin unreasonably large");
+  }
+};
+
+}  // namespace cobalt::dht

@@ -1,0 +1,140 @@
+#include "dht/dht_base.hpp"
+
+#include <algorithm>
+
+namespace cobalt::dht {
+
+DhtBase::DhtBase(Config config) : config_(config), rng_(config.seed) {
+  config_.validate();
+}
+
+SNodeId DhtBase::add_snode(double capacity) {
+  COBALT_REQUIRE(capacity > 0.0, "snode capacity must be positive");
+  snodes_.push_back(SNode{capacity, {}});
+  return static_cast<SNodeId>(snodes_.size() - 1);
+}
+
+const SNode& DhtBase::snode(SNodeId id) const {
+  COBALT_REQUIRE(id < snodes_.size(), "unknown snode id");
+  return snodes_[id];
+}
+
+const VNode& DhtBase::vnode(VNodeId id) const {
+  COBALT_REQUIRE(id < vnodes_.size(), "unknown vnode id");
+  return vnodes_[id];
+}
+
+PartitionMap::Hit DhtBase::lookup(HashIndex index) const {
+  return pmap_.lookup(index);
+}
+
+Dyadic DhtBase::exact_quota(VNodeId id) const {
+  const VNode& v = vnode(id);
+  Dyadic quota;
+  for (const Partition& p : v.partitions) quota += p.quota();
+  return quota;
+}
+
+std::vector<VNodeId> DhtBase::live_vnodes() const {
+  std::vector<VNodeId> ids;
+  ids.reserve(alive_vnodes_);
+  for (VNodeId id = 0; id < vnodes_.size(); ++id)
+    if (vnodes_[id].alive) ids.push_back(id);
+  return ids;
+}
+
+VNodeId DhtBase::allocate_vnode(SNodeId host) {
+  COBALT_REQUIRE(host < snodes_.size(), "unknown snode id");
+  vnodes_.push_back(VNode{host, 0, {}, true});
+  const auto id = static_cast<VNodeId>(vnodes_.size() - 1);
+  snodes_[host].vnodes.push_back(id);
+  ++alive_vnodes_;
+  return id;
+}
+
+void DhtBase::retire_vnode(VNodeId id) {
+  VNode& v = vnodes_.at(id);
+  COBALT_REQUIRE(v.alive, "vnode already retired");
+  COBALT_INVARIANT(v.partitions.empty(),
+                   "retiring a vnode that still holds partitions");
+  v.alive = false;
+  auto& hosted = snodes_[v.snode].vnodes;
+  hosted.erase(std::remove(hosted.begin(), hosted.end(), id), hosted.end());
+  --alive_vnodes_;
+}
+
+void DhtBase::transfer_one(VNodeId from, VNodeId to,
+                           DistributionRecord& record) {
+  VNode& donor = vnodes_.at(from);
+  VNode& recipient = vnodes_.at(to);
+  COBALT_INVARIANT(!donor.partitions.empty(),
+                   "transfer from a vnode with no partitions");
+
+  std::size_t index = 0;
+  switch (config_.pick) {
+    case PartitionPick::kLast:
+      index = donor.partitions.size() - 1;
+      break;
+    case PartitionPick::kFirst:
+      index = 0;
+      break;
+    case PartitionPick::kRandom:
+      index = static_cast<std::size_t>(
+          rng_.next_below(donor.partitions.size()));
+      break;
+  }
+
+  const Partition moved = donor.partitions[index];
+  // Order-insensitive removal: swap with the last element and pop.
+  donor.partitions[index] = donor.partitions.back();
+  donor.partitions.pop_back();
+  recipient.partitions.push_back(moved);
+
+  pmap_.set_owner(moved, to);
+  record.decrement(from);
+  record.increment(to);
+  if (observer_ != nullptr) observer_->on_transfer(moved, from, to);
+}
+
+void DhtBase::split_all_partitions(std::span<const VNodeId> members,
+                                   DistributionRecord& record) {
+  for (const VNodeId id : members) {
+    VNode& v = vnodes_.at(id);
+    std::vector<Partition> next;
+    next.reserve(v.partitions.size() * 2);
+    for (const Partition& p : v.partitions) {
+      pmap_.split(p);
+      const auto [low, high] = p.split();
+      next.push_back(low);
+      next.push_back(high);
+      if (observer_ != nullptr) observer_->on_split(p, id);
+    }
+    v.partitions = std::move(next);
+  }
+  record.double_all();
+}
+
+void DhtBase::greedy_handover(DistributionRecord& record, VNodeId newcomer) {
+  for (;;) {
+    const VNodeId victim = record.argmax();
+    if (victim == newcomer) break;  // the newcomer is already the maximum
+    const std::uint32_t max_count = record.count_of(victim);
+    const std::uint32_t new_count = record.count_of(newcomer);
+    // sigma(Pv) decreases iff max_count - new_count > 1 (see header).
+    if (max_count <= new_count + 1) break;
+    transfer_one(victim, newcomer, record);
+  }
+}
+
+void DhtBase::rebalance_pairwise(DistributionRecord& record) {
+  if (record.size() < 2) return;
+  for (;;) {
+    const VNodeId max_v = record.argmax();
+    const VNodeId min_v = record.argmin();
+    if (max_v == min_v) break;
+    if (record.count_of(max_v) <= record.count_of(min_v) + 1) break;
+    transfer_one(max_v, min_v, record);
+  }
+}
+
+}  // namespace cobalt::dht

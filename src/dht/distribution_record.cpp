@@ -1,0 +1,179 @@
+#include "dht/distribution_record.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cobalt::dht {
+
+void DistributionRecord::add_vnode(VNodeId vnode, std::uint32_t count) {
+  const auto [it, inserted] = counts_.emplace(vnode, count);
+  COBALT_REQUIRE(inserted, "vnode already present in distribution record");
+  (void)it;
+  total_ += count;
+  push_heap_entry(vnode);
+}
+
+void DistributionRecord::remove_vnode(VNodeId vnode) {
+  const auto it = counts_.find(vnode);
+  COBALT_REQUIRE(it != counts_.end(),
+                 "vnode not present in distribution record");
+  COBALT_REQUIRE(it->second == 0,
+                 "cannot remove a vnode that still holds partitions");
+  counts_.erase(it);
+  // Stale heap entries for this vnode are skipped on pop.
+}
+
+bool DistributionRecord::contains(VNodeId vnode) const {
+  return counts_.contains(vnode);
+}
+
+std::uint32_t DistributionRecord::count_of(VNodeId vnode) const {
+  const auto it = counts_.find(vnode);
+  COBALT_REQUIRE(it != counts_.end(),
+                 "vnode not present in distribution record");
+  return it->second;
+}
+
+void DistributionRecord::increment(VNodeId vnode) {
+  const auto it = counts_.find(vnode);
+  COBALT_REQUIRE(it != counts_.end(),
+                 "vnode not present in distribution record");
+  ++it->second;
+  ++total_;
+  push_heap_entry(vnode);
+}
+
+void DistributionRecord::decrement(VNodeId vnode) {
+  const auto it = counts_.find(vnode);
+  COBALT_REQUIRE(it != counts_.end(),
+                 "vnode not present in distribution record");
+  COBALT_REQUIRE(it->second > 0, "partition count underflow");
+  --it->second;
+  --total_;
+  // The new (lower) pair need not be pushed for argmax correctness as
+  // long as the entry with the *current* count is eventually present;
+  // push to keep the invariant simple.
+  push_heap_entry(vnode);
+}
+
+void DistributionRecord::set_count(VNodeId vnode, std::uint32_t count) {
+  const auto it = counts_.find(vnode);
+  COBALT_REQUIRE(it != counts_.end(),
+                 "vnode not present in distribution record");
+  total_ = total_ - it->second + count;
+  it->second = count;
+  push_heap_entry(vnode);
+}
+
+void DistributionRecord::double_all() {
+  total_ = 0;
+  for (auto& [vnode, count] : counts_) {
+    count *= 2;
+    total_ += count;
+  }
+  // All cached orderings are invalid; rebuild lazily.
+  heap_ = {};
+  for (const auto& [vnode, count] : counts_) heap_.emplace(count, vnode);
+}
+
+void DistributionRecord::halve_all() {
+  total_ = 0;
+  for (auto& [vnode, count] : counts_) {
+    COBALT_REQUIRE(count % 2 == 0, "cannot halve an odd partition count");
+    count /= 2;
+    total_ += count;
+  }
+  heap_ = {};
+  for (const auto& [vnode, count] : counts_) heap_.emplace(count, vnode);
+}
+
+VNodeId DistributionRecord::argmax() {
+  COBALT_REQUIRE(!counts_.empty(), "argmax of an empty distribution record");
+  while (!heap_.empty()) {
+    const auto [count, vnode] = heap_.top();
+    const auto it = counts_.find(vnode);
+    if (it != counts_.end() && it->second == count) return vnode;
+    heap_.pop();  // stale (count changed or vnode removed)
+  }
+  // Heap drained of valid entries (can happen after many decrements);
+  // rebuild from live counts.
+  for (const auto& [vnode, count] : counts_) heap_.emplace(count, vnode);
+  return heap_.top().second;
+}
+
+VNodeId DistributionRecord::argmin() const {
+  COBALT_REQUIRE(!counts_.empty(), "argmin of an empty distribution record");
+  VNodeId best = kInvalidVNode;
+  std::uint32_t best_count = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& [vnode, count] : counts_) {
+    if (count < best_count || (count == best_count && vnode < best)) {
+      best = vnode;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+VNodeId DistributionRecord::argmin_excluding(VNodeId excluded) const {
+  VNodeId best = kInvalidVNode;
+  std::uint32_t best_count = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& [vnode, count] : counts_) {
+    if (vnode == excluded) continue;
+    if (count < best_count || (count == best_count && vnode < best)) {
+      best = vnode;
+      best_count = count;
+    }
+  }
+  COBALT_REQUIRE(best != kInvalidVNode,
+                 "argmin_excluding needs at least one other vnode");
+  return best;
+}
+
+std::vector<std::pair<VNodeId, std::uint32_t>>
+DistributionRecord::sorted_by_count_desc() const {
+  std::vector<std::pair<VNodeId, std::uint32_t>> entries(counts_.begin(),
+                                                         counts_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return entries;
+}
+
+double DistributionRecord::relative_stddev_counts() const {
+  COBALT_REQUIRE(!counts_.empty(), "stddev of an empty distribution record");
+  const double n = static_cast<double>(counts_.size());
+  const double mean = static_cast<double>(total_) / n;
+  COBALT_REQUIRE(mean > 0.0, "relative stddev undefined for zero mean");
+  double ss = 0.0;
+  for (const auto& [vnode, count] : counts_) {
+    const double d = static_cast<double>(count) - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / n) / mean;
+}
+
+std::vector<VNodeId> DistributionRecord::vnodes() const {
+  std::vector<VNodeId> ids;
+  ids.reserve(counts_.size());
+  for (const auto& [vnode, count] : counts_) ids.push_back(vnode);
+  return ids;
+}
+
+void DistributionRecord::push_heap_entry(VNodeId vnode) {
+  heap_.emplace(counts_.at(vnode), vnode);
+  maybe_compact_heap();
+}
+
+void DistributionRecord::maybe_compact_heap() {
+  if (heap_.size() > 8 * (counts_.size() + 4)) {
+    heap_ = {};
+    for (const auto& [vnode, count] : counts_) heap_.emplace(count, vnode);
+  }
+}
+
+}  // namespace cobalt::dht

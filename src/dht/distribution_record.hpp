@@ -1,0 +1,97 @@
+// cobalt/dht/distribution_record.hpp
+//
+// The partition distribution record of the paper: a table that registers
+// the number of partitions bound to each vnode. The *global* approach
+// replicates one such table (the GPDR, section 2.1.4) on every snode;
+// the *local* approach keeps one per group (the LPDR, section 3.2),
+// "a downsized version of the GPDR, having its same basic structure".
+//
+// This class is that shared structure. The balancing algorithm of
+// section 2.5 needs two queries repeatedly: "which vnode holds the most
+// partitions" (the victim of the next handover) and "does moving one
+// partition decrease sigma(Pv)". argmax() serves the former through a
+// lazy max-heap so a creation event costs O(transfers * log V) instead
+// of O(transfers * V).
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dht/ids.hpp"
+
+namespace cobalt::dht {
+
+/// Partition counts per vnode with efficient maximum queries.
+class DistributionRecord {
+ public:
+  /// Registers a vnode with an initial partition count (0 for the new
+  /// vnode of a creation event, per step 1 of the algorithm).
+  void add_vnode(VNodeId vnode, std::uint32_t count);
+
+  /// Removes a vnode; requires its count to have been drained to zero.
+  void remove_vnode(VNodeId vnode);
+
+  [[nodiscard]] bool contains(VNodeId vnode) const;
+  [[nodiscard]] std::uint32_t count_of(VNodeId vnode) const;
+
+  void increment(VNodeId vnode);
+  void decrement(VNodeId vnode);
+
+  /// Overwrites a vnode's count (used when rebuilding after a merge of
+  /// buddy partitions).
+  void set_count(VNodeId vnode, std::uint32_t count);
+
+  /// Multiplies every count by two (a splitlevel increase: every vnode
+  /// binary-splits all of its partitions, section 2.5).
+  void double_all();
+
+  /// Halves every count (a merge of buddy partitions; counts must all
+  /// be even).
+  void halve_all();
+
+  /// Number of registered vnodes.
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+
+  /// Sum of all counts (P of the approach / Pg of the group).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// The vnode with the most partitions (the paper's "victim vnode");
+  /// requires a nonempty record. Ties break arbitrarily.
+  [[nodiscard]] VNodeId argmax();
+
+  /// The vnode with the fewest partitions (used by removal paths);
+  /// linear scan, requires a nonempty record.
+  [[nodiscard]] VNodeId argmin() const;
+
+  /// argmin over every vnode except `excluded`; requires at least one
+  /// other vnode. Used while draining a vnode slated for removal.
+  [[nodiscard]] VNodeId argmin_excluding(VNodeId excluded) const;
+
+  /// Entries sorted by descending count (step 3 of the creation
+  /// algorithm sorts the record); ties ordered by vnode id.
+  [[nodiscard]] std::vector<std::pair<VNodeId, std::uint32_t>>
+  sorted_by_count_desc() const;
+
+  /// Relative standard deviation of the counts, sigma-bar(Pv, Pv-bar):
+  /// the global approach's quality metric (section 2.4).
+  [[nodiscard]] double relative_stddev_counts() const;
+
+  /// All registered vnodes (unspecified order).
+  [[nodiscard]] std::vector<VNodeId> vnodes() const;
+
+ private:
+  void push_heap_entry(VNodeId vnode);
+  void maybe_compact_heap();
+
+  std::unordered_map<VNodeId, std::uint32_t> counts_;
+  std::uint64_t total_ = 0;
+  // Lazy max-heap of (count, vnode); entries are validated against
+  // counts_ when popped.
+  std::priority_queue<std::pair<std::uint32_t, VNodeId>> heap_;
+};
+
+}  // namespace cobalt::dht

@@ -1,0 +1,70 @@
+// cobalt/dht/entities.hpp
+//
+// In-memory representations of the model's entities (sections 2.1, 3.1):
+// snodes host vnodes; vnodes hold partitions; (local approach) vnodes
+// aggregate into groups.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dht/distribution_record.hpp"
+#include "dht/ids.hpp"
+#include "dht/partition.hpp"
+
+namespace cobalt::dht {
+
+/// A software node: the active entity a cluster node runs per DHT
+/// (section 2.1.1). Its enrollment level (section 2.1.2) is summarized
+/// by `capacity`, a relative weight used to decide how many vnodes the
+/// snode should host.
+struct SNode {
+  /// Relative amount of resources enrolled in the DHT (1.0 = baseline).
+  double capacity = 1.0;
+
+  /// vnodes currently hosted by this snode (alive ones only).
+  std::vector<VNodeId> vnodes;
+};
+
+/// A virtual node: the unit of coarse-grain balancement (section 2.1.2).
+/// Holds a fluctuating set of equal-sized partitions.
+struct VNode {
+  /// Hosting snode.
+  SNodeId snode = 0;
+
+  /// Slot index of the owning group (local approach; 0 in the global
+  /// approach where a single implicit "group" exists).
+  std::uint32_t group_slot = 0;
+
+  /// The partitions currently bound to this vnode. All share one
+  /// splitlevel (the approach-wide level in the global approach, the
+  /// group's level in the local approach).
+  std::vector<Partition> partitions;
+
+  /// False once the vnode has been deleted.
+  bool alive = true;
+};
+
+/// A group of vnodes: the unit of independent evolution in the local
+/// approach (section 3.1). Balancement events in different groups are
+/// independent; the group's LPDR is the only knowledge they need.
+struct Group {
+  /// Unique identifier per the binary-prefix scheme (section 3.7.1).
+  GroupId id = GroupId::root();
+
+  /// Member vnodes.
+  std::vector<VNodeId> members;
+
+  /// Common splitlevel lg of every partition in the group (invariant
+  /// G3': all partitions of a group share size 2^Bh / 2^lg).
+  unsigned splitlevel = 0;
+
+  /// Local partition distribution record (section 3.2).
+  DistributionRecord lpdr;
+
+  /// False once the group has split (its slot is retired).
+  bool alive = true;
+};
+
+}  // namespace cobalt::dht

@@ -1,0 +1,73 @@
+// cobalt/dht/global_dht.hpp
+//
+// The *global approach* of the paper (section 2; originally ref [7]):
+// one DHT-wide set of vnodes balanced against a single, fully
+// replicated GPDR. Invariants G1-G5:
+//
+//   G1: R_h is fully divided into non-overlapping partitions;
+//   G2: the overall number of partitions P is always a power of 2;
+//   G3: every partition has the same size S = 2^Bh / P;
+//   G4: Pmin <= Pv <= Pmax = 2*Pmin for every vnode v;
+//   G5: when V is a power of 2, every vnode has Pmin partitions.
+//
+// Creation of a vnode follows section 2.5: register the vnode with zero
+// partitions, and greedily move partitions from the current maximum
+// vnode while sigma(Pv) decreases; when the partition supply cannot
+// honour G4 (exactly after V crosses a power of two), every vnode first
+// binary-splits all of its partitions.
+//
+// Deletion (a feature of the base model's feature list, section 1, but
+// left without an algorithm in the paper) is implemented as the mirror
+// image: drain the departing vnode into the current minima, then merge
+// buddy partitions back while the halved P still honours G4's lower
+// bound, restoring the creation-flow trajectory P = 2^ceil(log2(V*Pmin)).
+
+#pragma once
+
+#include <vector>
+
+#include "dht/dht_base.hpp"
+
+namespace cobalt::dht {
+
+/// A DHT balanced with the global approach.
+class GlobalDht : public DhtBase {
+  friend class SnapshotCodec;  // checkpoint/restore (snapshot.hpp)
+
+ public:
+  explicit GlobalDht(Config config);
+
+  /// Creates a vnode hosted by `host` and rebalances (section 2.5).
+  /// The first vnode bootstraps the DHT with Pmin partitions.
+  VNodeId create_vnode(SNodeId host);
+
+  /// Removes a live vnode, redistributing its partitions; requires at
+  /// least one other live vnode to remain.
+  void remove_vnode(VNodeId id);
+
+  /// The global partition distribution record (read-only view).
+  [[nodiscard]] const DistributionRecord& gpdr() const { return gpdr_; }
+
+  /// The common splitlevel l of every partition (P = 2^l, invariant G3).
+  [[nodiscard]] unsigned splitlevel() const { return splitlevel_; }
+
+  /// Per-vnode quotas Qv as doubles, in live-vnode id order.
+  [[nodiscard]] std::vector<double> quotas() const;
+
+  /// sigma-bar(Qv, Qv-bar): the model's quality metric (section 2.3).
+  [[nodiscard]] double sigma_qv() const;
+
+  /// sigma-bar(Pv, Pv-bar): equal to sigma_qv() in the global approach
+  /// (section 2.4); kept separate so tests can assert the equality.
+  [[nodiscard]] double sigma_pv() const;
+
+ private:
+  void bootstrap(VNodeId first);
+  void split_everything();
+  void merge_everything();
+
+  DistributionRecord gpdr_;
+  unsigned splitlevel_ = 0;
+};
+
+}  // namespace cobalt::dht

@@ -1,0 +1,44 @@
+#include "dht/ids.hpp"
+
+namespace cobalt::dht {
+
+std::string canonical_name(SNodeId snode, VNodeId vnode) {
+  return std::to_string(snode) + "." + std::to_string(vnode);
+}
+
+GroupId GroupId::from_bits(std::uint64_t bits, unsigned depth) {
+  COBALT_REQUIRE(depth <= 63, "group id depth out of range");
+  COBALT_REQUIRE(bits < (std::uint64_t{1} << depth) || (depth == 0 && bits == 0),
+                 "group id value does not fit in its depth");
+  return GroupId(bits, depth);
+}
+
+std::pair<GroupId, GroupId> GroupId::split() const {
+  COBALT_REQUIRE(depth_ < 63, "group id split depth exhausted");
+  const GroupId child0(bits_, depth_ + 1);
+  const GroupId child1(bits_ | (std::uint64_t{1} << depth_), depth_ + 1);
+  return {child0, child1};
+}
+
+GroupId GroupId::parent() const {
+  COBALT_REQUIRE(depth_ >= 1, "the root group has no parent");
+  return GroupId(bits_ & ~(std::uint64_t{1} << (depth_ - 1)), depth_ - 1);
+}
+
+GroupId GroupId::sibling() const {
+  COBALT_REQUIRE(depth_ >= 1, "the root group has no sibling");
+  return GroupId(bits_ ^ (std::uint64_t{1} << (depth_ - 1)), depth_);
+}
+
+std::string GroupId::to_string() const {
+  if (depth_ == 0) return "0";  // the paper displays the first group as "0"
+  std::string digits;
+  digits.reserve(depth_);
+  // Most significant written digit is bit (depth-1).
+  for (unsigned i = depth_; i-- > 0;) {
+    digits.push_back(((bits_ >> i) & 1) ? '1' : '0');
+  }
+  return digits;
+}
+
+}  // namespace cobalt::dht

@@ -1,0 +1,97 @@
+// cobalt/dht/ids.hpp
+//
+// Identifiers for the model's entities (section 2.1 / 3.7.1 of the
+// paper): software nodes (snodes), virtual nodes (vnodes) and groups.
+//
+// vnodes are identified by their *canonical name* "snode_id.vnode_id"
+// (footnote 2 of the paper); in-memory both components are integers.
+//
+// Group identifiers implement the binary-prefix scheme of section 3.7.1
+// and figure 3: group 0 is the root; when a group splits, the children
+// inherit the parent's binary identifier *prefixed* by the digit 0 or 1.
+// Prefixing in written binary means the new digit becomes the most
+// significant digit, i.e. the bit at position `depth` of the stored
+// word. This yields globally unique identifiers with no coordination
+// beyond the splitting group itself.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace cobalt::dht {
+
+/// Index of a software node within a DHT.
+using SNodeId = std::uint32_t;
+
+/// Index of a virtual node within a DHT (dense, never reused).
+using VNodeId = std::uint32_t;
+
+/// Sentinel for "no vnode".
+inline constexpr VNodeId kInvalidVNode = ~VNodeId{0};
+
+/// Canonical name "snode_id.vnode_id" used in distribution records.
+std::string canonical_name(SNodeId snode, VNodeId vnode);
+
+/// A group identifier: `depth` binary digits (depth == number of splits
+/// in the group's ancestry). The first group of a DHT is the empty
+/// identifier, displayed as "0" per the paper; its first split yields
+/// the one-digit groups "0" and "1", whose splits yield "00"/"10" and
+/// "01"/"11" respectively, exactly the tree of figure 3.
+///
+/// Digits are stored with the *last-written* (least significant, in the
+/// paper's written-binary notation) digit at bit 0; each split adds the
+/// new most-significant written digit at bit position `depth`.
+class GroupId {
+ public:
+  /// The identifier of the first group of a DHT (group "0").
+  static GroupId root() { return GroupId(0, 0); }
+
+  /// Reconstructs an identifier from its numeric value and digit count.
+  static GroupId from_bits(std::uint64_t bits, unsigned depth);
+
+  /// The two children produced when this group splits. The paper
+  /// prefixes the written binary identifier with 0 or 1; written-binary
+  /// prefix = most significant digit, so child0 keeps the same numeric
+  /// value and child1 sets the new highest digit:
+  ///   "0"(root) -> "0" (0) and "1" (1);  "01" -> "001" (1) and "101" (5).
+  [[nodiscard]] std::pair<GroupId, GroupId> split() const;
+
+  /// The group this one was split from; requires depth() >= 1.
+  [[nodiscard]] GroupId parent() const;
+
+  /// The other group produced by the same split; requires depth() >= 1
+  /// (the root group was not produced by a split).
+  [[nodiscard]] GroupId sibling() const;
+
+  /// Numeric value of the identifier (the base-10 value in figure 3).
+  [[nodiscard]] std::uint64_t value() const { return bits_; }
+
+  /// Number of binary digits (= number of ancestor splits + 1).
+  [[nodiscard]] unsigned depth() const { return depth_; }
+
+  /// Written-binary form, most significant digit first, e.g. "101".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const GroupId&, const GroupId&) = default;
+  auto operator<=>(const GroupId&) const = default;
+
+ private:
+  GroupId(std::uint64_t bits, unsigned depth) : bits_(bits), depth_(depth) {}
+
+  std::uint64_t bits_ = 0;
+  unsigned depth_ = 1;
+};
+
+}  // namespace cobalt::dht
+
+template <>
+struct std::hash<cobalt::dht::GroupId> {
+  std::size_t operator()(const cobalt::dht::GroupId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value() * 1315423911u + id.depth());
+  }
+};

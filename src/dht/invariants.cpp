@@ -1,0 +1,155 @@
+#include "dht/invariants.hpp"
+
+#include <bit>
+#include <unordered_set>
+
+namespace cobalt::dht {
+
+namespace {
+
+bool is_power_of_two(std::uint64_t v) { return v >= 1 && std::has_single_bit(v); }
+
+/// G1/G1': the live partitions tile R_h exactly, and every live
+/// partition is owned by a live vnode whose list contains it.
+void check_tiling_and_ownership(const DhtBase& dht) {
+  COBALT_INVARIANT(dht.partition_map().tiles_whole_range(),
+                   "G1: live partitions must tile R_h exactly");
+  dht.partition_map().for_each([&](const Partition& p, VNodeId owner) {
+    const VNode& v = dht.vnode(owner);
+    COBALT_INVARIANT(v.alive, "G1: a live partition is owned by a dead vnode");
+    bool found = false;
+    for (const Partition& q : v.partitions) {
+      if (q == p) {
+        found = true;
+        break;
+      }
+    }
+    COBALT_INVARIANT(found,
+                     "routing map and vnode partition lists disagree");
+  });
+}
+
+/// Exact conservation: the quotas of all live vnodes sum to 1.
+void check_quota_conservation(const DhtBase& dht) {
+  Dyadic sum;
+  for (const VNodeId id : dht.live_vnodes()) sum += dht.exact_quota(id);
+  COBALT_INVARIANT(sum == Dyadic::one(),
+                   "vnode quotas must sum to exactly 1");
+}
+
+}  // namespace
+
+void check_invariants(const GlobalDht& dht, bool creation_only) {
+  if (dht.vnode_count() == 0) return;
+  check_tiling_and_ownership(dht);
+  check_quota_conservation(dht);
+
+  const auto& gpdr = dht.gpdr();
+  const std::uint64_t p_total = gpdr.total();
+
+  // G2: P is a power of 2; G3: uniform size follows from the uniform
+  // splitlevel, which we verify per partition below.
+  COBALT_INVARIANT(is_power_of_two(p_total),
+                   "G2: the overall number of partitions must be 2^k");
+  COBALT_INVARIANT(p_total == (std::uint64_t{1} << dht.splitlevel()),
+                   "G3: P must equal 2^splitlevel");
+
+  const std::uint64_t pmin = dht.config().pmin;
+  const std::uint64_t pmax = dht.config().pmax();
+  const std::size_t v_total = dht.vnode_count();
+
+  for (const VNodeId id : dht.live_vnodes()) {
+    const VNode& v = dht.vnode(id);
+    COBALT_INVARIANT(gpdr.count_of(id) == v.partitions.size(),
+                     "GPDR count disagrees with the partition list");
+    for (const Partition& p : v.partitions) {
+      COBALT_INVARIANT(p.level() == dht.splitlevel(),
+                       "G3: every partition must share the splitlevel");
+    }
+    if (v_total > 1) {
+      COBALT_INVARIANT(gpdr.count_of(id) >= pmin && gpdr.count_of(id) <= pmax,
+                       "G4: Pmin <= Pv <= Pmax");
+    }
+    if (creation_only && is_power_of_two(v_total)) {
+      COBALT_INVARIANT(gpdr.count_of(id) == pmin,
+                       "G5: at V = 2^k every vnode holds exactly Pmin");
+    }
+  }
+}
+
+void check_invariants(const LocalDht& dht, bool creation_only) {
+  if (dht.vnode_count() == 0) return;
+  check_tiling_and_ownership(dht);
+  check_quota_conservation(dht);
+
+  const std::uint64_t pmin = dht.config().pmin;
+  const std::uint64_t pmax = dht.config().pmax();
+  const std::uint64_t vmin = dht.config().vmin;
+  const std::uint64_t vmax = dht.config().vmax();
+
+  // L1: groups partition the live vnode set.
+  std::unordered_set<VNodeId> seen;
+  std::unordered_set<std::uint64_t> ids_seen;
+  Dyadic group_quota_sum;
+
+  for (const std::uint32_t slot : dht.live_groups()) {
+    const Group& g = dht.group(slot);
+    COBALT_INVARIANT(!g.members.empty(), "a live group cannot be empty");
+
+    // Group ids are globally unique (section 3.7.1); encode (value,
+    // depth) into one key.
+    const std::uint64_t key = (g.id.value() << 6) | g.id.depth();
+    COBALT_INVARIANT(ids_seen.insert(key).second,
+                     "duplicate group identifier");
+
+    // L2 (group 0 is exempt while it is the only group).
+    if (dht.group_count() > 1) {
+      COBALT_INVARIANT(g.members.size() >= vmin && g.members.size() <= vmax,
+                       "L2: Vmin <= Vg <= Vmax");
+    } else {
+      COBALT_INVARIANT(g.members.size() <= vmax, "L2: Vg <= Vmax");
+    }
+
+    // G2': Pg is a power of 2.
+    COBALT_INVARIANT(is_power_of_two(g.lpdr.total()),
+                     "G2': the group's partition count must be 2^k");
+
+    const bool vg_pow2 = is_power_of_two(g.members.size());
+    for (const VNodeId m : g.members) {
+      COBALT_INVARIANT(!seen.contains(m),
+                       "L1: a vnode belongs to two groups");
+      seen.insert(m);
+      const VNode& v = dht.vnode(m);
+      COBALT_INVARIANT(v.alive, "a group lists a dead vnode");
+      COBALT_INVARIANT(v.group_slot == slot,
+                       "vnode group_slot disagrees with membership");
+      COBALT_INVARIANT(g.lpdr.count_of(m) == v.partitions.size(),
+                       "LPDR count disagrees with the partition list");
+      // G3': uniform splitlevel within the group.
+      for (const Partition& p : v.partitions) {
+        COBALT_INVARIANT(p.level() == g.splitlevel,
+                         "G3': every group partition shares splitlevel lg");
+      }
+      // G4' (a single-member group 0 may hold all Pmin partitions).
+      if (g.members.size() > 1) {
+        COBALT_INVARIANT(
+            g.lpdr.count_of(m) >= pmin && g.lpdr.count_of(m) <= pmax,
+            "G4': Pmin <= Pv,g <= Pmax");
+      }
+      // G5'.
+      if (creation_only && vg_pow2) {
+        COBALT_INVARIANT(g.lpdr.count_of(m) == pmin,
+                         "G5': at Vg = 2^k every member holds exactly Pmin");
+      }
+    }
+
+    group_quota_sum += dht.exact_group_quota(slot);
+  }
+
+  COBALT_INVARIANT(seen.size() == dht.vnode_count(),
+                   "L1: every live vnode must belong to exactly one group");
+  COBALT_INVARIANT(group_quota_sum == Dyadic::one(),
+                   "group quotas must sum to exactly 1");
+}
+
+}  // namespace cobalt::dht

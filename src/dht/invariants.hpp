@@ -1,0 +1,32 @@
+// cobalt/dht/invariants.hpp
+//
+// Whole-state validation of the model's invariants (sections 2.2 and
+// 3.3 of the paper). The checkers walk the complete DHT state and throw
+// cobalt::InvariantViolation naming the first broken invariant; tests
+// run them after every mutating operation, and applications can run
+// them as a self-check.
+//
+// G5/G5' are *creation-flow* properties: the paper derives them from
+// the creation algorithm, and vnode deletion (which the paper does not
+// define) can leave counts at {Pmin..Pmax} when V re-crosses a power of
+// two from above. The checkers therefore take a flag stating whether
+// the DHT has only ever grown.
+
+#pragma once
+
+#include "dht/global_dht.hpp"
+#include "dht/local_dht.hpp"
+
+namespace cobalt::dht {
+
+/// Verifies G1-G4 always and G5 when `creation_only` is true.
+/// Additionally cross-checks the GPDR against the actual partition
+/// lists and the routing map against vnode ownership.
+void check_invariants(const GlobalDht& dht, bool creation_only = true);
+
+/// Verifies L1-L2, G1'-G4' always and G5' when `creation_only` is true.
+/// Additionally cross-checks every LPDR, the group membership mapping,
+/// the routing map, and that group quotas sum to exactly 1.
+void check_invariants(const LocalDht& dht, bool creation_only = true);
+
+}  // namespace cobalt::dht

@@ -1,0 +1,133 @@
+// cobalt/dht/local_dht.hpp
+//
+// The *local approach* of the paper (section 3): the DHT's vnodes are
+// divided into mutually exclusive *groups* that balance independently,
+// each against its own LPDR, so balancement events in different groups
+// can proceed in parallel with only group-wide (not DHT-wide)
+// synchronization. Invariants (section 3.3):
+//
+//   L1 : the global set of vnodes is fully divided into groups;
+//   L2 : Vmin <= Vg <= Vmax = 2*Vmin for every group g (group 0 is
+//        exempt while the DHT holds fewer than Vmin vnodes);
+//   G1': R_h is fully divided into non-overlapping partitions;
+//   G2': the number of partitions Pg of a group is a power of 2;
+//   G3': every partition of group g has size 2^Bh / 2^lg (the group's
+//        common splitlevel lg);
+//   G4': Pmin <= Pv,g <= Pmax = 2*Pmin within every group;
+//   G5': when Vg is a power of 2, every vnode of g has Pmin partitions.
+//
+// Creation of a vnode (section 3.6): draw r uniformly from R_h, look up
+// the vnode owning r (the victim vnode) and take its group as the
+// victim group; if the victim group is full, split it into two groups
+// of Vmin randomly chosen vnodes and pick one child at random (section
+// 3.7); finally run the global approach's greedy algorithm against the
+// victim group's LPDR.
+//
+// Vnode deletion is not specified by the paper. The implementation
+// supports the topologies that preserve the inherited invariants
+// (intra-group redistribution, and merging a group with its sibling
+// when the sibling is still a live leaf and the union fits Vmax) and
+// reports UnsupportedTopology otherwise; see DESIGN.md.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/dht_base.hpp"
+
+namespace cobalt::dht {
+
+/// Thrown by LocalDht::remove_vnode when the removal would require a
+/// group-merge topology the model does not define.
+class UnsupportedTopology : public Error {
+ public:
+  explicit UnsupportedTopology(const std::string& what) : Error(what) {}
+};
+
+/// A DHT balanced with the local approach.
+class LocalDht : public DhtBase {
+  friend class SnapshotCodec;  // checkpoint/restore (snapshot.hpp)
+
+ public:
+  explicit LocalDht(Config config);
+
+  /// Creates a vnode hosted by `host` and balances its victim group
+  /// (section 3.6). The first vnode bootstraps group 0.
+  VNodeId create_vnode(SNodeId host);
+
+  /// Removes a live vnode; throws UnsupportedTopology when the removal
+  /// would require an undefined group merge (see class comment).
+  void remove_vnode(VNodeId id);
+
+  /// Number of live groups (Greal of section 4.2.1).
+  [[nodiscard]] std::size_t group_count() const { return alive_groups_; }
+
+  /// The ideal number of groups for `vnodes` total vnodes: 1 while
+  /// V <= Vmax, doubling each time V crosses Vmax * 2^k (section 4.2.1).
+  [[nodiscard]] std::uint64_t ideal_group_count(std::uint64_t vnodes) const;
+
+  /// Read access to a group slot (slots of split groups stay allocated
+  /// with alive == false).
+  [[nodiscard]] const Group& group(std::uint32_t slot) const;
+
+  /// Slot indexes of all live groups, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> live_groups() const;
+
+  /// Total group slots ever allocated (retired slots included); slots
+  /// index into group(). Useful for observers tracking group identity.
+  [[nodiscard]] std::size_t group_slot_count() const {
+    return groups_.size();
+  }
+
+  /// The group slot a live vnode currently belongs to.
+  [[nodiscard]] std::uint32_t group_of(VNodeId id) const;
+
+  /// Per-vnode quotas Qv,g as doubles, in live-vnode id order.
+  [[nodiscard]] std::vector<double> quotas() const;
+
+  /// Per-group quotas Qg (sum of members' quotas), live-group slot order.
+  [[nodiscard]] std::vector<double> group_quotas() const;
+
+  /// sigma-bar(Qv, Qv-bar): the only valid quality metric for the local
+  /// approach (section 3.5).
+  [[nodiscard]] double sigma_qv() const;
+
+  /// sigma-bar(Qg, 1/G): balancement between groups (section 4.2.1),
+  /// measured against the ideal average quota 1/G.
+  [[nodiscard]] double sigma_qg() const;
+
+  /// Exact quota of a group (sum of partition quotas).
+  [[nodiscard]] Dyadic exact_group_quota(std::uint32_t slot) const;
+
+ private:
+  void bootstrap(VNodeId first);
+
+  /// Splits a full group into two of Vmin randomly selected members and
+  /// returns the slot randomly chosen to receive the next vnode.
+  std::uint32_t split_group(std::uint32_t slot);
+
+  /// Adds `id` to group `slot` and balances within it (section 3.6).
+  void add_vnode_to_group(VNodeId id, std::uint32_t slot);
+
+  /// Intra-group removal; preconditions checked by remove_vnode.
+  void remove_from_group(VNodeId id, std::uint32_t slot);
+
+  /// Merges group `slot` with its sibling leaf; returns the slot of the
+  /// merged group. Throws UnsupportedTopology when impossible.
+  std::uint32_t merge_with_sibling(std::uint32_t slot);
+
+  /// Collapses every buddy pair of the group (all pairs must be
+  /// complete, precomputed in `owners`: level-lg prefix -> owner).
+  void merge_group_partitions(
+      std::uint32_t slot,
+      const std::unordered_map<std::uint64_t, VNodeId>& owners);
+
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  std::vector<Group> groups_;
+  std::size_t alive_groups_ = 0;
+};
+
+}  // namespace cobalt::dht

@@ -1,0 +1,92 @@
+#include "dht/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.hpp"
+
+namespace cobalt::dht {
+
+BalanceReport summarize_shares(std::vector<double> shares) {
+  COBALT_REQUIRE(!shares.empty(), "no shares to summarize");
+  double sum = 0.0;
+  for (const double s : shares) {
+    COBALT_REQUIRE(s >= 0.0, "shares must be non-negative");
+    sum += s;
+  }
+  COBALT_REQUIRE(sum > 0.0, "shares must not all be zero");
+
+  std::sort(shares.begin(), shares.end());
+  const double n = static_cast<double>(shares.size());
+  const double avg = sum / n;
+
+  BalanceReport report;
+  report.sigma_rel = relative_stddev(shares);
+  report.max_over_min =
+      shares.front() > 0.0
+          ? shares.back() / shares.front()
+          : std::numeric_limits<double>::infinity();
+  report.max_over_avg = shares.back() / avg;
+
+  // Gini from the sorted vector: G = (2*sum_i i*x_i)/(n*sum) - (n+1)/n,
+  // with 1-based ranks.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * shares[i];
+  }
+  report.gini = (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
+  return report;
+}
+
+BalanceReport vnode_balance(const LocalDht& dht) {
+  return summarize_shares(dht.quotas());
+}
+
+BalanceReport vnode_balance(const GlobalDht& dht) {
+  return summarize_shares(dht.quotas());
+}
+
+std::vector<double> snode_quotas(const DhtBase& dht) {
+  std::vector<double> shares(dht.snode_count(), 0.0);
+  for (const VNodeId id : dht.live_vnodes()) {
+    shares[dht.vnode(id).snode] += dht.exact_quota(id).to_double();
+  }
+  return shares;
+}
+
+BalanceReport capacity_weighted_balance(const DhtBase& dht) {
+  std::vector<double> shares = snode_quotas(dht);
+  for (SNodeId s = 0; s < shares.size(); ++s) {
+    shares[s] /= dht.snode(s).capacity;
+  }
+  return summarize_shares(shares);
+}
+
+std::vector<double> lorenz_curve(std::vector<double> shares,
+                                 std::size_t points) {
+  COBALT_REQUIRE(!shares.empty(), "no shares for a Lorenz curve");
+  COBALT_REQUIRE(points >= 2, "a curve needs at least two points");
+  std::sort(shares.begin(), shares.end());
+  double sum = 0.0;
+  for (const double s : shares) sum += s;
+  COBALT_REQUIRE(sum > 0.0, "shares must not all be zero");
+
+  std::vector<double> cumulative(shares.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    acc += shares[i];
+    cumulative[i] = acc / sum;
+  }
+  std::vector<double> curve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double fraction =
+        static_cast<double>(p + 1) / static_cast<double>(points);
+    const auto index = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(shares.size()))) - 1;
+    curve[p] = cumulative[std::min(index, shares.size() - 1)];
+  }
+  return curve;
+}
+
+}  // namespace cobalt::dht

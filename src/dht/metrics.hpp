@@ -1,0 +1,50 @@
+// cobalt/dht/metrics.hpp
+//
+// Distribution-quality metrics beyond the paper's sigma-bar: the paper
+// evaluates balance exclusively through relative standard deviations
+// (sections 2.3, 3.5, 4.2.1); production operators usually also watch
+// extremes (max/min load ratio) and inequality summaries (Lorenz/Gini).
+// These helpers compute all of them from either balancer, plus
+// per-snode aggregations for heterogeneous deployments.
+
+#pragma once
+
+#include <vector>
+
+#include "dht/global_dht.hpp"
+#include "dht/local_dht.hpp"
+
+namespace cobalt::dht {
+
+/// Summary of one quota distribution.
+struct BalanceReport {
+  double sigma_rel = 0.0;    ///< sigma-bar: the paper's metric
+  double max_over_min = 0.0; ///< largest / smallest share (1 = perfect)
+  double max_over_avg = 0.0; ///< worst overload factor
+  double gini = 0.0;         ///< Gini coefficient (0 = perfect equality)
+};
+
+/// Summarizes an arbitrary non-negative share vector (must be nonempty
+/// with a positive sum).
+BalanceReport summarize_shares(std::vector<double> shares);
+
+/// Per-vnode balance of a DHT (Qv distribution).
+BalanceReport vnode_balance(const LocalDht& dht);
+BalanceReport vnode_balance(const GlobalDht& dht);
+
+/// Quota aggregated per snode: entry s = sum of quotas of the vnodes
+/// hosted by snode s (snodes hosting nothing contribute 0).
+std::vector<double> snode_quotas(const DhtBase& dht);
+
+/// Per-snode balance *weighted by capacity*: share_s / capacity_s,
+/// summarized. A perfectly capacity-proportional deployment scores
+/// sigma_rel = 0 regardless of heterogeneity.
+BalanceReport capacity_weighted_balance(const DhtBase& dht);
+
+/// Lorenz curve of a share vector: point i = cumulative share of the
+/// smallest i+1 holders (ascending), normalized to [0, 1]. Useful for
+/// plotting inequality; `points` samples evenly across holders.
+std::vector<double> lorenz_curve(std::vector<double> shares,
+                                 std::size_t points);
+
+}  // namespace cobalt::dht

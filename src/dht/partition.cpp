@@ -1,0 +1,63 @@
+#include "dht/partition.hpp"
+
+namespace cobalt::dht {
+
+Partition Partition::at(std::uint64_t prefix, unsigned level) {
+  COBALT_REQUIRE(level <= HashSpace::kMaxSplitLevel,
+                 "partition splitlevel exceeds the hash space depth");
+  COBALT_REQUIRE(level == 64 || prefix < (std::uint64_t{1} << level),
+                 "partition prefix out of range for its level");
+  return Partition(prefix, level);
+}
+
+Partition Partition::containing(HashIndex index, unsigned level) {
+  COBALT_REQUIRE(level <= HashSpace::kMaxSplitLevel,
+                 "partition splitlevel exceeds the hash space depth");
+  const std::uint64_t prefix =
+      level == 0 ? 0 : (index >> (HashSpace::kBits - level));
+  return Partition(prefix, level);
+}
+
+HashIndex Partition::begin() const {
+  return level_ == 0 ? 0 : (prefix_ << (HashSpace::kBits - level_));
+}
+
+HashIndex Partition::last() const {
+  if (level_ == 0) return HashSpace::kMaxIndex;
+  const HashIndex size_minus_one =
+      (HashIndex{1} << (HashSpace::kBits - level_)) - 1;
+  return begin() | size_minus_one;
+}
+
+bool Partition::contains(HashIndex index) const {
+  if (level_ == 0) return true;
+  return (index >> (HashSpace::kBits - level_)) == prefix_;
+}
+
+std::pair<Partition, Partition> Partition::split() const {
+  COBALT_REQUIRE(level_ < HashSpace::kMaxSplitLevel,
+                 "cannot split a single-index partition");
+  return {Partition(prefix_ << 1, level_ + 1),
+          Partition((prefix_ << 1) | 1, level_ + 1)};
+}
+
+Partition Partition::parent() const {
+  COBALT_REQUIRE(level_ > 0, "the whole range has no parent");
+  return Partition(prefix_ >> 1, level_ - 1);
+}
+
+Partition Partition::buddy() const {
+  COBALT_REQUIRE(level_ > 0, "the whole range has no buddy");
+  return Partition(prefix_ ^ 1, level_);
+}
+
+bool Partition::covers(const Partition& other) const {
+  if (other.level_ < level_) return false;
+  return (other.prefix_ >> (other.level_ - level_)) == prefix_;
+}
+
+std::string Partition::to_string() const {
+  return "l" + std::to_string(level_) + ":p" + std::to_string(prefix_);
+}
+
+}  // namespace cobalt::dht

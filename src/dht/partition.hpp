@@ -1,0 +1,93 @@
+// cobalt/dht/partition.hpp
+//
+// A partition of the hash range R_h (section 2.1.3 / 3.4 of the paper).
+//
+// In the model every partition results from repeated *binary splits* of
+// R_h, so a partition is fully described by its splitlevel l (number of
+// splits separating it from R_h) and a prefix (which of the 2^l
+// same-level cells it is). A partition at level l covers exactly
+// 1/2^l of R_h:
+//
+//   start = prefix << (Bh - l)        size = 2^(Bh - l)
+//
+// Storing (prefix, level) instead of [lo, hi) bounds makes splits O(1),
+// makes quota arithmetic exact, and encodes invariant G3/G3' ("every
+// partition of a group has the same size") structurally: equal levels
+// imply equal sizes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/dyadic.hpp"
+#include "hashing/hash_space.hpp"
+
+namespace cobalt::dht {
+
+/// One dyadic cell of R_h: the `prefix`-th cell of the level-`level`
+/// uniform division of the range. Level 0 is R_h itself.
+class Partition {
+ public:
+  /// The whole hash range (splitlevel 0).
+  static Partition whole() { return Partition(0, 0); }
+
+  /// The `prefix`-th cell at `level`; requires prefix < 2^level and
+  /// level <= HashSpace::kMaxSplitLevel.
+  static Partition at(std::uint64_t prefix, unsigned level);
+
+  /// The level-`level` cell containing hash index `index`.
+  static Partition containing(HashIndex index, unsigned level);
+
+  /// Splitlevel l: number of binary splits from R_h.
+  [[nodiscard]] unsigned level() const { return level_; }
+
+  /// Cell number within the level (0 .. 2^level - 1).
+  [[nodiscard]] std::uint64_t prefix() const { return prefix_; }
+
+  /// First hash index covered.
+  [[nodiscard]] HashIndex begin() const;
+
+  /// Last hash index covered (inclusive; the end 2^Bh is unrepresentable).
+  [[nodiscard]] HashIndex last() const;
+
+  /// True when `index` falls inside this partition.
+  [[nodiscard]] bool contains(HashIndex index) const;
+
+  /// Exact share of R_h covered: 1 / 2^level.
+  [[nodiscard]] Dyadic quota() const {
+    return HashSpace::quota_at_level(level_);
+  }
+
+  /// The two halves produced by one binary split (level + 1).
+  [[nodiscard]] std::pair<Partition, Partition> split() const;
+
+  /// The partition this one was split from; requires level() > 0.
+  [[nodiscard]] Partition parent() const;
+
+  /// The other half of this partition's parent; requires level() > 0.
+  [[nodiscard]] Partition buddy() const;
+
+  /// True when `other` covers a subrange of this partition (or is equal).
+  [[nodiscard]] bool covers(const Partition& other) const;
+
+  /// Debug form "level:prefix [begin,last]".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+  /// Orders by position in R_h, then by level (coarser first).
+  auto operator<=>(const Partition& other) const {
+    if (const auto cmp = begin() <=> other.begin(); cmp != 0) return cmp;
+    return level_ <=> other.level_;
+  }
+
+ private:
+  Partition(std::uint64_t prefix, unsigned level)
+      : prefix_(prefix), level_(level) {}
+
+  std::uint64_t prefix_;
+  unsigned level_;
+};
+
+}  // namespace cobalt::dht

@@ -1,0 +1,97 @@
+#include "dht/partition_map.hpp"
+
+namespace cobalt::dht {
+
+void PartitionMap::insert(const Partition& partition, VNodeId owner) {
+  const auto [it, inserted] =
+      entries_.emplace(partition.begin(), Entry{partition.level(), owner});
+  COBALT_REQUIRE(inserted, "a live partition already starts at this index");
+  (void)it;
+}
+
+void PartitionMap::erase(const Partition& partition) {
+  const auto it = entries_.find(partition.begin());
+  COBALT_REQUIRE(it != entries_.end() && it->second.level == partition.level(),
+                 "partition not live in the map");
+  entries_.erase(it);
+}
+
+void PartitionMap::set_owner(const Partition& partition, VNodeId owner) {
+  const auto it = entries_.find(partition.begin());
+  COBALT_REQUIRE(it != entries_.end() && it->second.level == partition.level(),
+                 "partition not live in the map");
+  it->second.owner = owner;
+}
+
+void PartitionMap::split(const Partition& partition) {
+  const auto it = entries_.find(partition.begin());
+  COBALT_REQUIRE(it != entries_.end() && it->second.level == partition.level(),
+                 "partition not live in the map");
+  const VNodeId owner = it->second.owner;
+  const auto [low, high] = partition.split();
+  // The low half keeps the same starting index; update in place.
+  it->second.level = low.level();
+  entries_.emplace(high.begin(), Entry{high.level(), owner});
+}
+
+void PartitionMap::merge(const Partition& parent, VNodeId owner_of_merge) {
+  const auto [low, high] = parent.split();
+  const auto it_low = entries_.find(low.begin());
+  const auto it_high = entries_.find(high.begin());
+  COBALT_REQUIRE(it_low != entries_.end() &&
+                     it_low->second.level == low.level() &&
+                     it_high != entries_.end() &&
+                     it_high->second.level == high.level(),
+                 "both halves must be live to merge");
+  entries_.erase(it_high);
+  it_low->second.level = parent.level();
+  it_low->second.owner = owner_of_merge;
+}
+
+PartitionMap::Hit PartitionMap::lookup(HashIndex index) const {
+  COBALT_INVARIANT(!entries_.empty(), "lookup in an empty partition map");
+  auto it = entries_.upper_bound(index);
+  COBALT_INVARIANT(it != entries_.begin(),
+                   "partition map does not cover the lowest indexes");
+  --it;
+  const Partition partition = Partition::containing(it->first, it->second.level);
+  COBALT_INVARIANT(partition.contains(index),
+                   "partition map has a hole at the looked-up index");
+  return Hit{partition, it->second.owner};
+}
+
+VNodeId PartitionMap::owner_of(const Partition& partition) const {
+  const auto it = entries_.find(partition.begin());
+  COBALT_REQUIRE(it != entries_.end() && it->second.level == partition.level(),
+                 "partition not live in the map");
+  return it->second.owner;
+}
+
+bool PartitionMap::tiles_whole_range() const {
+  if (entries_.empty()) return false;
+  HashIndex expected_start = 0;
+  bool first = true;
+  for (const auto& [start, entry] : entries_) {
+    if (!first && start != expected_start) return false;
+    if (first && start != 0) return false;
+    first = false;
+    const Partition p = Partition::containing(start, entry.level);
+    if (p.begin() != start) return false;
+    if (p.last() == HashSpace::kMaxIndex) {
+      expected_start = 0;  // end of range marker
+      continue;
+    }
+    expected_start = p.last() + 1;
+  }
+  // The final partition must have reached the end of the range.
+  return expected_start == 0;
+}
+
+void PartitionMap::for_each(
+    const std::function<void(const Partition&, VNodeId)>& visit) const {
+  for (const auto& [start, entry] : entries_) {
+    visit(Partition::containing(start, entry.level), entry.owner);
+  }
+}
+
+}  // namespace cobalt::dht

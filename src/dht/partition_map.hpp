@@ -1,0 +1,82 @@
+// cobalt/dht/partition_map.hpp
+//
+// The routing index of a DHT: which vnode owns the partition containing
+// a given hash index. The local approach's creation protocol begins
+// with exactly this lookup (section 3.6: "a random number r in R_h is
+// chosen and a lookup is performed in order to find the vnode which
+// holds the partition to where r belongs").
+//
+// The map maintains the set of live partitions, which by invariant
+// G1/G1' always tiles R_h exactly (non-overlapping, fully covering), so
+// every lookup succeeds. Partitions within the map may have different
+// splitlevels (the local approach's groups evolve independently).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+
+#include "dht/ids.hpp"
+#include "dht/partition.hpp"
+
+namespace cobalt::dht {
+
+/// Ordered index from partition start to (partition, owner vnode).
+class PartitionMap {
+ public:
+  /// A successful lookup: the live partition and the vnode owning it.
+  struct Hit {
+    Partition partition;
+    VNodeId owner;
+  };
+
+  /// Registers a live partition; it must not overlap an existing one
+  /// with the same starting index.
+  void insert(const Partition& partition, VNodeId owner);
+
+  /// Unregisters a live partition (exact match required).
+  void erase(const Partition& partition);
+
+  /// Reassigns ownership of a live partition (a handover).
+  void set_owner(const Partition& partition, VNodeId owner);
+
+  /// Replaces a live partition with its two halves, both owned by the
+  /// original owner (a binary split).
+  void split(const Partition& partition);
+
+  /// Replaces the two halves of `parent` (which must both be live and
+  /// owned by `owner_of_merge`) with `parent` itself.
+  void merge(const Partition& parent, VNodeId owner_of_merge);
+
+  /// Finds the live partition containing `index`; throws
+  /// InvariantViolation if the map does not cover it (a broken tiling).
+  [[nodiscard]] Hit lookup(HashIndex index) const;
+
+  /// Owner of an exact live partition.
+  [[nodiscard]] VNodeId owner_of(const Partition& partition) const;
+
+  /// Number of live partitions.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// True when the live partitions tile R_h exactly: they are disjoint,
+  /// contiguous and cover the whole range. O(P); used by the invariant
+  /// checker and property tests.
+  [[nodiscard]] bool tiles_whole_range() const;
+
+  /// Visits every live partition in hash-range order.
+  void for_each(
+      const std::function<void(const Partition&, VNodeId)>& visit) const;
+
+ private:
+  struct Entry {
+    unsigned level;
+    VNodeId owner;
+  };
+
+  // Keyed by Partition::begin(). Distinct live partitions always have
+  // distinct starts because they are disjoint dyadic cells.
+  std::map<HashIndex, Entry> entries_;
+};
+
+}  // namespace cobalt::dht

@@ -1,0 +1,76 @@
+#include "dht/router.hpp"
+
+namespace cobalt::dht {
+
+SnodeRouter::SnodeRouter(const LocalDht& dht, SNodeId self,
+                         std::size_t cache_capacity)
+    : dht_(dht), self_(self), capacity_(cache_capacity) {
+  COBALT_REQUIRE(self < dht.snode_count(), "unknown snode id");
+  COBALT_REQUIRE(cache_capacity >= 1, "cache capacity must be positive");
+}
+
+bool SnodeRouter::knows_locally(VNodeId owner) const {
+  const std::uint32_t slot = dht_.vnode(owner).group_slot;
+  for (const VNodeId member : dht_.group(slot).members) {
+    if (dht_.vnode(member).snode == self_) return true;
+  }
+  return false;
+}
+
+SnodeRouter::Result SnodeRouter::lookup(HashIndex index) {
+  const PartitionMap::Hit truth = dht_.lookup(index);
+  ++stats_.lookups;
+
+  Result result;
+  result.owner = truth.owner;
+
+  if (knows_locally(truth.owner)) {
+    result.hops = 0;
+    result.source = Source::kLocalKnowledge;
+    ++stats_.local;
+    stats_.hops += result.hops;
+    return result;
+  }
+
+  const auto it = cache_.find(truth.partition.begin());
+  if (it != cache_.end() && it->second.level == truth.partition.level() &&
+      it->second.owner == truth.owner) {
+    result.hops = 1;
+    result.source = Source::kCacheFresh;
+    ++stats_.cache_fresh;
+  } else if (it != cache_.end()) {
+    // The cached partition was split or handed over since it was
+    // learned: one wasted hop to the stale owner, one to the redirect.
+    it->second = CacheEntry{truth.partition.level(), truth.owner};
+    result.hops = 2;
+    result.source = Source::kCacheStale;
+    ++stats_.cache_stale;
+  } else {
+    remember(truth.partition.begin(), truth.partition.level(), truth.owner);
+    result.hops = 2;
+    result.source = Source::kRemote;
+    ++stats_.remote;
+  }
+  stats_.hops += result.hops;
+  return result;
+}
+
+void SnodeRouter::remember(HashIndex begin, unsigned level, VNodeId owner) {
+  if (cache_.size() >= capacity_) {
+    // FIFO eviction; skip keys already re-learned under a newer entry.
+    while (!insertion_order_.empty()) {
+      const HashIndex victim = insertion_order_.front();
+      insertion_order_.pop_front();
+      if (cache_.erase(victim) > 0) break;
+    }
+  }
+  cache_.emplace(begin, CacheEntry{level, owner});
+  insertion_order_.push_back(begin);
+}
+
+void SnodeRouter::flush_cache() {
+  cache_.clear();
+  insertion_order_.clear();
+}
+
+}  // namespace cobalt::dht

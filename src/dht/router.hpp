@@ -1,0 +1,98 @@
+// cobalt/dht/router.hpp
+//
+// Lookup-side consequence of the local approach: a snode keeps "only
+// partial knowledge about the distribution of the hash table" (section
+// 1) - the LPDRs of the groups its own vnodes belong to. Lookups of
+// indexes outside that knowledge must be resolved remotely (and are
+// worth caching), whereas the global approach's fully replicated GPDR
+// resolves everything locally at the cost of the synchronization
+// traffic quantified by the protocol DES.
+//
+// SnodeRouter models a snode's resolver: authoritative answers for
+// partitions of its own groups (0 hops), a bounded FIFO cache of
+// remotely learned entries (1 hop when fresh, 2 when the entry went
+// stale after a rebalance), and remote resolution for cold indexes
+// (2 hops: forward + answer).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "dht/local_dht.hpp"
+
+namespace cobalt::dht {
+
+/// Per-snode lookup resolver with partial knowledge.
+class SnodeRouter {
+ public:
+  /// Where a lookup was resolved.
+  enum class Source {
+    kLocalKnowledge,  ///< the partition belongs to one of self's groups
+    kCacheFresh,      ///< cached remote entry, still valid
+    kCacheStale,      ///< cached remote entry invalidated by a rebalance
+    kRemote,          ///< cold: resolved by forwarding
+  };
+
+  /// One lookup's outcome.
+  struct Result {
+    VNodeId owner = kInvalidVNode;
+    unsigned hops = 0;
+    Source source = Source::kRemote;
+  };
+
+  /// Cumulative counters.
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t local = 0;
+    std::uint64_t cache_fresh = 0;
+    std::uint64_t cache_stale = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t hops = 0;
+
+    [[nodiscard]] double mean_hops() const {
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hops) /
+                                static_cast<double>(lookups);
+    }
+  };
+
+  /// A resolver for snode `self` of `dht`. The DHT must outlive the
+  /// router; the router reads the DHT's current state on every lookup
+  /// (the DHT is the ground truth the network would provide).
+  SnodeRouter(const LocalDht& dht, SNodeId self,
+              std::size_t cache_capacity = 4096);
+
+  /// Resolves `index` to its owning vnode, counting hops per the model
+  /// in the header comment. Always returns the correct current owner.
+  Result lookup(HashIndex index);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Drops every cached entry (e.g. after a known large rebalance).
+  void flush_cache();
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CacheEntry {
+    unsigned level;
+    VNodeId owner;
+  };
+
+  /// True when `owner`'s group has a member hosted on self (self then
+  /// holds that group's LPDR - invariant knowledge, always fresh).
+  [[nodiscard]] bool knows_locally(VNodeId owner) const;
+
+  void remember(HashIndex begin, unsigned level, VNodeId owner);
+
+  const LocalDht& dht_;
+  SNodeId self_;
+  std::size_t capacity_;
+  std::unordered_map<HashIndex, CacheEntry> cache_;
+  std::deque<HashIndex> insertion_order_;
+  Stats stats_;
+};
+
+}  // namespace cobalt::dht

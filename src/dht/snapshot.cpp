@@ -1,0 +1,226 @@
+#include "dht/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "dht/invariants.hpp"
+
+namespace cobalt::dht {
+
+/// Befriended by the DHT classes; owns the (de)serialization logic.
+class SnapshotCodec {
+ public:
+  // ------------------------------------------------------------ save
+
+  static void save_common(const DhtBase& dht, std::ostream& out) {
+    const auto rng_state = dht.rng_.state();
+    out << "config " << dht.config_.pmin << ' ' << dht.config_.vmin << ' '
+        << dht.config_.seed << ' ' << static_cast<int>(dht.config_.pick);
+    for (const std::uint64_t word : rng_state) out << ' ' << word;
+    out << '\n';
+
+    out << "snodes " << dht.snodes_.size() << '\n';
+    for (const SNode& snode : dht.snodes_) {
+      // Hex float round-trips capacity exactly.
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%a", snode.capacity);
+      out << "s " << buf << '\n';
+    }
+
+    out << "vnodes " << dht.vnodes_.size() << '\n';
+    for (const VNode& vnode : dht.vnodes_) {
+      out << "v " << vnode.snode << ' ' << vnode.group_slot << ' '
+          << (vnode.alive ? 1 : 0) << ' ' << vnode.partitions.size();
+      for (const Partition& p : vnode.partitions) {
+        out << ' ' << p.prefix() << ':' << p.level();
+      }
+      out << '\n';
+    }
+  }
+
+  static void save(const LocalDht& dht, std::ostream& out) {
+    out << "cobalt-local-dht 1\n";
+    save_common(dht, out);
+    out << "groups " << dht.groups_.size() << '\n';
+    for (const Group& group : dht.groups_) {
+      out << "g " << group.id.value() << ' ' << group.id.depth() << ' '
+          << (group.alive ? 1 : 0) << ' ' << group.splitlevel << ' '
+          << group.members.size();
+      for (const VNodeId member : group.members) out << ' ' << member;
+      out << '\n';
+    }
+  }
+
+  static void save(const GlobalDht& dht, std::ostream& out) {
+    out << "cobalt-global-dht 1\n";
+    save_common(dht, out);
+    out << "splitlevel " << dht.splitlevel_ << '\n';
+  }
+
+  // ------------------------------------------------------------ load
+
+  static void expect_word(std::istream& in, const std::string& expected) {
+    std::string word;
+    in >> word;
+    COBALT_REQUIRE(in.good() && word == expected,
+                   "snapshot: expected token '" + expected + "'");
+  }
+
+  static void load_common(DhtBase& dht, std::istream& in) {
+    expect_word(in, "config");
+    int pick = 0;
+    std::array<std::uint64_t, 4> rng_state{};
+    in >> dht.config_.pmin >> dht.config_.vmin >> dht.config_.seed >> pick;
+    for (std::uint64_t& word : rng_state) in >> word;
+    COBALT_REQUIRE(in.good(), "snapshot: truncated config line");
+    COBALT_REQUIRE(pick >= 0 && pick <= 2, "snapshot: bad pick policy");
+    dht.config_.pick = static_cast<PartitionPick>(pick);
+    dht.config_.validate();
+    dht.rng_.set_state(rng_state);
+
+    expect_word(in, "snodes");
+    std::size_t snode_count = 0;
+    in >> snode_count;
+    dht.snodes_.assign(snode_count, SNode{});
+    for (SNode& snode : dht.snodes_) {
+      expect_word(in, "s");
+      std::string capacity_hex;
+      in >> capacity_hex;
+      snode.capacity = std::strtod(capacity_hex.c_str(), nullptr);
+      COBALT_REQUIRE(snode.capacity > 0.0, "snapshot: bad snode capacity");
+    }
+
+    expect_word(in, "vnodes");
+    std::size_t vnode_count = 0;
+    in >> vnode_count;
+    dht.vnodes_.assign(vnode_count, VNode{});
+    dht.alive_vnodes_ = 0;
+    for (VNodeId id = 0; id < dht.vnodes_.size(); ++id) {
+      VNode& vnode = dht.vnodes_[id];
+      expect_word(in, "v");
+      int alive = 0;
+      std::size_t partition_count = 0;
+      in >> vnode.snode >> vnode.group_slot >> alive >> partition_count;
+      COBALT_REQUIRE(in.good(), "snapshot: truncated vnode line");
+      COBALT_REQUIRE(vnode.snode < dht.snodes_.size(),
+                     "snapshot: vnode references an unknown snode");
+      vnode.alive = alive != 0;
+      vnode.partitions.reserve(partition_count);
+      for (std::size_t k = 0; k < partition_count; ++k) {
+        std::uint64_t prefix = 0;
+        unsigned level = 0;
+        char colon = 0;
+        in >> prefix >> colon >> level;
+        COBALT_REQUIRE(in.good() && colon == ':',
+                       "snapshot: malformed partition token");
+        const Partition p = Partition::at(prefix, level);
+        vnode.partitions.push_back(p);
+        dht.pmap_.insert(p, id);
+      }
+      if (vnode.alive) {
+        dht.snodes_[vnode.snode].vnodes.push_back(id);
+        ++dht.alive_vnodes_;
+      } else {
+        COBALT_REQUIRE(vnode.partitions.empty(),
+                       "snapshot: dead vnode holds partitions");
+      }
+    }
+  }
+
+  static LocalDht load_local(std::istream& in) {
+    expect_word(in, "cobalt-local-dht");
+    int version = 0;
+    in >> version;
+    COBALT_REQUIRE(version == 1, "snapshot: unsupported version");
+
+    LocalDht dht((Config()));
+    load_common(dht, in);
+
+    expect_word(in, "groups");
+    std::size_t group_count = 0;
+    in >> group_count;
+    dht.groups_.clear();
+    dht.groups_.reserve(group_count);
+    dht.alive_groups_ = 0;
+    for (std::size_t slot = 0; slot < group_count; ++slot) {
+      expect_word(in, "g");
+      std::uint64_t id_bits = 0;
+      unsigned id_depth = 0;
+      int alive = 0;
+      unsigned splitlevel = 0;
+      std::size_t member_count = 0;
+      in >> id_bits >> id_depth >> alive >> splitlevel >> member_count;
+      COBALT_REQUIRE(in.good(), "snapshot: truncated group line");
+      Group group;
+      group.id = GroupId::from_bits(id_bits, id_depth);
+      group.alive = alive != 0;
+      group.splitlevel = splitlevel;
+      for (std::size_t m = 0; m < member_count; ++m) {
+        VNodeId member = kInvalidVNode;
+        in >> member;
+        COBALT_REQUIRE(in.good() && member < dht.vnodes_.size(),
+                       "snapshot: bad group member");
+        group.members.push_back(member);
+        group.lpdr.add_vnode(
+            member,
+            static_cast<std::uint32_t>(dht.vnodes_[member].partitions.size()));
+      }
+      if (group.alive) ++dht.alive_groups_;
+      dht.groups_.push_back(std::move(group));
+    }
+
+    if (dht.vnode_count() > 0) {
+      check_invariants(dht, /*creation_only=*/false);
+    }
+    return dht;
+  }
+
+  static GlobalDht load_global(std::istream& in) {
+    expect_word(in, "cobalt-global-dht");
+    int version = 0;
+    in >> version;
+    COBALT_REQUIRE(version == 1, "snapshot: unsupported version");
+
+    GlobalDht dht((Config()));
+    load_common(dht, in);
+
+    expect_word(in, "splitlevel");
+    in >> dht.splitlevel_;
+    COBALT_REQUIRE(in.good(), "snapshot: truncated splitlevel line");
+    for (VNodeId id = 0; id < dht.vnodes_.size(); ++id) {
+      const VNode& vnode = dht.vnodes_[id];
+      if (vnode.alive) {
+        dht.gpdr_.add_vnode(
+            id, static_cast<std::uint32_t>(vnode.partitions.size()));
+      }
+    }
+
+    if (dht.vnode_count() > 0) {
+      check_invariants(dht, /*creation_only=*/false);
+    }
+    return dht;
+  }
+};
+
+void save_snapshot(const LocalDht& dht, std::ostream& out) {
+  SnapshotCodec::save(dht, out);
+  COBALT_REQUIRE(out.good(), "snapshot: stream write failed");
+}
+
+void save_snapshot(const GlobalDht& dht, std::ostream& out) {
+  SnapshotCodec::save(dht, out);
+  COBALT_REQUIRE(out.good(), "snapshot: stream write failed");
+}
+
+LocalDht load_local_snapshot(std::istream& in) {
+  return SnapshotCodec::load_local(in);
+}
+
+GlobalDht load_global_snapshot(std::istream& in) {
+  return SnapshotCodec::load_global(in);
+}
+
+}  // namespace cobalt::dht

@@ -1,0 +1,42 @@
+// cobalt/dht/snapshot.hpp
+//
+// Checkpoint/restore of a DHT's complete state in a line-based text
+// format. A deployment needs this for restarts; the test-suite uses it
+// for round-trip property tests ("save, load, continue - identical to
+// never having stopped", including the RNG stream, so a restored local
+// DHT picks the same victim groups it would have).
+//
+// Format (version 1):
+//   cobalt-<local|global>-dht 1
+//   config <pmin> <vmin> <seed> <pick> <rng0> <rng1> <rng2> <rng3>
+//   snodes <count>          then one "s <capacity>" line each
+//   vnodes <count>          then one line each:
+//     v <snode> <group_slot> <alive> <npartitions> <prefix:level>...
+//   groups <count>          (local only) then one line each:
+//     g <id_bits> <id_depth> <alive> <splitlevel> <nmembers> <member>...
+//   splitlevel <l>          (global only)
+//
+// Routing map, distribution records and per-snode vnode lists are
+// derived state and are rebuilt (and re-validated) on load.
+
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "dht/global_dht.hpp"
+#include "dht/local_dht.hpp"
+
+namespace cobalt::dht {
+
+/// Writes the complete state of `dht` to `out`.
+void save_snapshot(const LocalDht& dht, std::ostream& out);
+void save_snapshot(const GlobalDht& dht, std::ostream& out);
+
+/// Rebuilds a DHT from a snapshot; throws cobalt::InvalidArgument on a
+/// malformed or internally inconsistent stream (the loaded state must
+/// pass the model's invariant checks).
+LocalDht load_local_snapshot(std::istream& in);
+GlobalDht load_global_snapshot(std::istream& in);
+
+}  // namespace cobalt::dht

@@ -1,0 +1,133 @@
+#include "hashing/hash.hpp"
+
+#include <cstring>
+
+namespace cobalt::hashing {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// xxHash64 primes from the specification.
+constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ull;
+constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t kP3 = 0x165667B19E3779F9ull;
+constexpr std::uint64_t kP4 = 0x85EBCA77C2B2AE63ull;
+constexpr std::uint64_t kP5 = 0x27D4EB2F165667C5ull;
+
+std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+std::uint64_t read64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only (x86-64 target)
+}
+
+std::uint32_t read32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t xxh64_round(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kP2;
+  acc = rotl64(acc, 31);
+  acc *= kP1;
+  return acc;
+}
+
+std::uint64_t xxh64_merge_round(std::uint64_t acc, std::uint64_t val) {
+  val = xxh64_round(0, val);
+  acc ^= val;
+  acc = acc * kP1 + kP4;
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  return fnv1a64_bytes(text.data(), text.size());
+}
+
+std::uint64_t xxh64_bytes(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + size;
+  std::uint64_t h;
+
+  if (size >= 32) {
+    std::uint64_t v1 = seed + kP1 + kP2;
+    std::uint64_t v2 = seed + kP2;
+    std::uint64_t v3 = seed + 0;
+    std::uint64_t v4 = seed - kP1;
+    const unsigned char* const limit = end - 32;
+    do {
+      v1 = xxh64_round(v1, read64(p));
+      v2 = xxh64_round(v2, read64(p + 8));
+      v3 = xxh64_round(v3, read64(p + 16));
+      v4 = xxh64_round(v4, read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = xxh64_merge_round(h, v1);
+    h = xxh64_merge_round(h, v2);
+    h = xxh64_merge_round(h, v3);
+    h = xxh64_merge_round(h, v4);
+  } else {
+    h = seed + kP5;
+  }
+
+  h += static_cast<std::uint64_t>(size);
+
+  while (p + 8 <= end) {
+    h ^= xxh64_round(0, read64(p));
+    h = rotl64(h, 27) * kP1 + kP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read32(p)) * kP1;
+    h = rotl64(h, 23) * kP2 + kP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= (*p) * kP5;
+    h = rotl64(h, 11) * kP1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+std::uint64_t xxh64(std::string_view text, std::uint64_t seed) {
+  return xxh64_bytes(text.data(), text.size(), seed);
+}
+
+std::uint64_t hash_bytes(Algorithm algorithm, const void* data,
+                         std::size_t size, std::uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kFnv1a64:
+      return fnv1a64_bytes(data, size);
+    case Algorithm::kXxh64:
+      return xxh64_bytes(data, size, seed);
+  }
+  return 0;  // unreachable; keeps -Werror=return-type happy
+}
+
+}  // namespace cobalt::hashing

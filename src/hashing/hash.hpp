@@ -1,0 +1,41 @@
+// cobalt/hashing/hash.hpp
+//
+// Hash functions over byte strings, producing indexes into the model's
+// hash range R_h = [0, 2^Bh). The paper leaves the hash function h
+// abstract; the library ships three independent implementations so the
+// KV layer and examples can pick quality/speed trade-offs:
+//
+//   * fnv1a64  - classic Fowler/Noll/Vo 1a, simple and streaming-friendly
+//   * xxh64    - xxHash64, implemented from the published specification
+//   * mix64    - SplitMix64 finalizer for already-64-bit keys
+//
+// All are deterministic and seedable (where the algorithm defines a
+// seed), so DHT placements are stable across processes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cobalt::hashing {
+
+/// FNV-1a over bytes, 64-bit variant. The raw-byte form carries a
+/// distinct name so that string literals can never silently bind to a
+/// `const void*` overload with a wrong size argument.
+std::uint64_t fnv1a64_bytes(const void* data, std::size_t size);
+std::uint64_t fnv1a64(std::string_view text);
+
+/// xxHash64 with an explicit seed (0 = the conventional default).
+std::uint64_t xxh64_bytes(const void* data, std::size_t size,
+                          std::uint64_t seed = 0);
+std::uint64_t xxh64(std::string_view text, std::uint64_t seed = 0);
+
+/// Identity of the chosen hash algorithm, for configuration surfaces.
+enum class Algorithm { kFnv1a64, kXxh64 };
+
+/// Dispatches on `algorithm`; the seed is ignored by FNV-1a.
+std::uint64_t hash_bytes(Algorithm algorithm, const void* data,
+                         std::size_t size, std::uint64_t seed = 0);
+
+}  // namespace cobalt::hashing

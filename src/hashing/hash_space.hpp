@@ -1,0 +1,44 @@
+// cobalt/hashing/hash_space.hpp
+//
+// The hash range R_h of the model (section 2.2 of the paper):
+//
+//   R_h = { i in N0 : 0 <= i < 2^Bh }
+//
+// cobalt fixes Bh = 64, so hash indexes are uint64_t and R_h is the full
+// word range. HashSpace centralizes the few places where "the size of
+// R_h" (2^64, not representable in uint64_t) is needed, expressing sizes
+// and quotas as exact dyadic fractions of the whole range instead.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/dyadic.hpp"
+
+namespace cobalt {
+
+/// A position in R_h.
+using HashIndex = std::uint64_t;
+
+/// Static facts about the model's hash range (Bh = 64).
+struct HashSpace {
+  /// Number of bits Bh of a hash index.
+  static constexpr unsigned kBits = 64;
+
+  /// Largest representable index (2^Bh - 1).
+  static constexpr HashIndex kMaxIndex = ~HashIndex{0};
+
+  /// The quota of the whole range: exactly 1.
+  static Dyadic whole() { return Dyadic::one(); }
+
+  /// The quota of one partition at `splitlevel` l: exactly 1 / 2^l.
+  static Dyadic quota_at_level(unsigned splitlevel) {
+    return Dyadic::one_over_pow2(splitlevel);
+  }
+
+  /// Maximum splitlevel such that partitions still contain at least one
+  /// index (a level-64 partition would be empty).
+  static constexpr unsigned kMaxSplitLevel = kBits;
+};
+
+}  // namespace cobalt

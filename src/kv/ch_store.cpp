@@ -1,0 +1,102 @@
+#include "kv/ch_store.hpp"
+
+#include "common/error.hpp"
+
+namespace cobalt::kv {
+
+ChKvStore::ChKvStore(std::uint64_t seed, hashing::Algorithm algorithm)
+    : ring_(seed), algorithm_(algorithm) {}
+
+ch::NodeId ChKvStore::add_node(std::size_t virtual_servers) {
+  const ch::NodeId node = ring_.add_node(virtual_servers);
+  ++live_nodes_high_water_;
+  if (ring_.node_count() > 1) {
+    // Keys inside the arcs stolen by the new points relocate.
+    for (const HashIndex point : ring_.points_of(node)) {
+      const HashIndex pred = ring_.predecessor_point(point);
+      stats_.keys_moved += keys_in_arc(pred, point);
+    }
+  }
+  return node;
+}
+
+void ChKvStore::remove_node(ch::NodeId node) {
+  // Every key the node was responsible for relocates to a successor.
+  if (ring_.node_count() > 1) {
+    for (const HashIndex point : ring_.points_of(node)) {
+      const HashIndex pred = ring_.predecessor_point(point);
+      stats_.keys_moved += keys_in_arc(pred, point);
+    }
+  }
+  ring_.remove_node(node);
+}
+
+bool ChKvStore::put(const std::string& key, std::string value) {
+  COBALT_REQUIRE(ring_.node_count() >= 1,
+                 "the store needs at least one node before writes");
+  const HashIndex h = hashing::hash_bytes(algorithm_, key.data(), key.size());
+  const auto [it, inserted] =
+      buckets_[h].insert_or_assign(key, std::move(value));
+  (void)it;
+  if (inserted) ++size_;
+  return inserted;
+}
+
+std::optional<std::string> ChKvStore::get(const std::string& key) const {
+  const HashIndex h = hashing::hash_bytes(algorithm_, key.data(), key.size());
+  const auto bucket = buckets_.find(h);
+  if (bucket == buckets_.end()) return std::nullopt;
+  const auto it = bucket->second.find(key);
+  if (it == bucket->second.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ChKvStore::erase(const std::string& key) {
+  const HashIndex h = hashing::hash_bytes(algorithm_, key.data(), key.size());
+  const auto bucket = buckets_.find(h);
+  if (bucket == buckets_.end()) return false;
+  if (bucket->second.erase(key) == 0) return false;
+  if (bucket->second.empty()) buckets_.erase(bucket);
+  --size_;
+  return true;
+}
+
+ch::NodeId ChKvStore::owner_of(const std::string& key) const {
+  COBALT_REQUIRE(ring_.node_count() >= 1, "the store has no nodes");
+  const HashIndex h = hashing::hash_bytes(algorithm_, key.data(), key.size());
+  return ring_.lookup(h);
+}
+
+std::vector<std::size_t> ChKvStore::keys_per_node() const {
+  std::vector<std::size_t> counts(live_nodes_high_water_, 0);
+  for (const auto& [hash, bucket] : buckets_) {
+    counts.at(ring_.lookup(hash)) += bucket.size();
+  }
+  return counts;
+}
+
+std::uint64_t ChKvStore::keys_in_arc(HashIndex from, HashIndex to) const {
+  // Keys with hash in (from, to], wrapping when from >= to.
+  std::uint64_t count = 0;
+  const auto count_range = [&](HashIndex lo_exclusive, HashIndex hi_inclusive) {
+    auto it = buckets_.upper_bound(lo_exclusive);
+    while (it != buckets_.end() && it->first <= hi_inclusive) {
+      count += it->second.size();
+      ++it;
+    }
+  };
+  if (from < to) {
+    count_range(from, to);
+  } else {
+    count_range(from, HashSpace::kMaxIndex);
+    // And [0, to]: upper_bound(-1) is begin().
+    auto it = buckets_.begin();
+    while (it != buckets_.end() && it->first <= to) {
+      count += it->second.size();
+      ++it;
+    }
+  }
+  return count;
+}
+
+}  // namespace cobalt::kv

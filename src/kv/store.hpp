@@ -1,0 +1,135 @@
+// cobalt/kv/store.hpp
+//
+// A key-value store on top of a balanced DHT: the application-facing
+// layer a cluster service would actually use. Keys are hashed into R_h
+// and stored in per-partition shards; when the balancer splits or hands
+// over partitions, the store migrates shards accordingly and accounts
+// for the keys that crossed snode boundaries (the real cost of a
+// rebalance).
+//
+// The store template works over either balancing approach (GlobalDht or
+// LocalDht), wiring itself in as the DHT's MutationObserver.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dht/dht_base.hpp"
+#include "dht/global_dht.hpp"
+#include "dht/local_dht.hpp"
+#include "hashing/hash.hpp"
+
+namespace cobalt::kv {
+
+/// Cumulative data-movement accounting.
+struct MigrationStats {
+  /// Keys whose partition changed vnode (handover) - intra-node when
+  /// both vnodes share a snode, cross-node otherwise.
+  std::uint64_t keys_moved_total = 0;
+
+  /// The subset of keys_moved_total that crossed snode boundaries:
+  /// actual network traffic in a deployment.
+  std::uint64_t keys_moved_across_snodes = 0;
+
+  /// Keys re-bucketed by partition splits/merges (no movement - the
+  /// owner keeps both halves - but re-indexing work).
+  std::uint64_t keys_rebucketed = 0;
+};
+
+/// A DHT-backed KV store; DhtT is dht::LocalDht or dht::GlobalDht.
+template <typename DhtT>
+class BasicKvStore final : private dht::MutationObserver {
+ public:
+  /// Wraps a fresh DHT with the given model parameters and hash choice.
+  explicit BasicKvStore(dht::Config config,
+                        hashing::Algorithm algorithm = hashing::Algorithm::kXxh64);
+
+  ~BasicKvStore() override;
+
+  BasicKvStore(const BasicKvStore&) = delete;
+  BasicKvStore& operator=(const BasicKvStore&) = delete;
+
+  /// Cluster-membership operations (forwarded to the balancer).
+  dht::SNodeId add_snode(double capacity = 1.0);
+  dht::VNodeId add_vnode(dht::SNodeId host);
+  void remove_vnode(dht::VNodeId id);
+
+  /// Inserts or updates; returns true when the key was new.
+  bool put(const std::string& key, std::string value);
+
+  /// Point lookup.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Deletes; returns true when the key existed.
+  bool erase(const std::string& key);
+
+  /// Total keys stored.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Keys currently stored per snode (index = SNodeId).
+  [[nodiscard]] std::vector<std::size_t> keys_per_snode() const;
+
+  /// Visits every (key, value) pair, grouped by partition in hash-range
+  /// order (order within a partition is unspecified).
+  void for_each(const std::function<void(const std::string& key,
+                                         const std::string& value)>& visit)
+      const;
+
+  /// Visits the pairs resident on one snode (its vnodes' partitions).
+  void for_each_on_snode(
+      dht::SNodeId snode,
+      const std::function<void(const std::string& key,
+                               const std::string& value)>& visit) const;
+
+  /// Keys whose hash falls inside `partition` (a placement probe; used
+  /// by rebalancing tooling and tests).
+  [[nodiscard]] std::size_t keys_in(const dht::Partition& partition) const;
+
+  /// Data-movement counters since construction.
+  [[nodiscard]] const MigrationStats& migration_stats() const {
+    return stats_;
+  }
+
+  /// The underlying balancer (read-only; metrics, invariant checks).
+  [[nodiscard]] const DhtT& dht() const { return dht_; }
+
+ private:
+  struct Stored {
+    std::string value;
+    HashIndex hash;  // cached so splits re-bucket without re-hashing
+  };
+  /// One partition's resident keys.
+  using Shard = std::unordered_map<std::string, Stored>;
+
+  /// Packs a partition identity into a map key.
+  static std::uint64_t shard_key(const dht::Partition& p) {
+    return (p.prefix() << 7) | p.level();
+  }
+
+  [[nodiscard]] HashIndex hash_key(const std::string& key) const;
+
+  // MutationObserver:
+  void on_transfer(const dht::Partition& partition, dht::VNodeId from,
+                   dht::VNodeId to) override;
+  void on_split(const dht::Partition& partition, dht::VNodeId owner) override;
+  void on_merge(const dht::Partition& parent, dht::VNodeId owner) override;
+
+  DhtT dht_;
+  hashing::Algorithm algorithm_;
+  std::unordered_map<std::uint64_t, Shard> shards_;
+  std::size_t size_ = 0;
+  MigrationStats stats_;
+};
+
+/// The store over the paper's local approach (the default deployment).
+using KvStore = BasicKvStore<dht::LocalDht>;
+
+/// The store over the base-model global approach (for comparisons).
+using GlobalKvStore = BasicKvStore<dht::GlobalDht>;
+
+}  // namespace cobalt::kv

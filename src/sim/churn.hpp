@@ -1,0 +1,49 @@
+// cobalt/sim/churn.hpp
+//
+// Sustained-churn scenarios: the base model's feature list includes
+// nodes that "dynamically join or leave the DHT" (section 1), but the
+// paper only evaluates growth. This harness alternates removals and
+// creations at a constant population and reports (a) how the balance
+// quality behaves away from the pure-growth trajectory and (b) how
+// often the deletion extension must refuse a removal because the model
+// cannot express the required group merge (see DESIGN.md) - an honest
+// applicability metric for the extension.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dht/config.hpp"
+
+namespace cobalt::sim {
+
+/// Outcome of a churn run.
+struct ChurnResult {
+  /// sigma-bar(Qv) sampled after each completed churn cycle.
+  std::vector<double> sigma_series;
+
+  /// Removals refused with UnsupportedTopology (the targeted vnode
+  /// stayed; a substitute creation kept the population constant).
+  std::size_t refused_removals = 0;
+
+  /// Removals that completed.
+  std::size_t completed_removals = 0;
+
+  /// Final number of groups.
+  std::size_t final_groups = 0;
+};
+
+/// Grows a local-approach DHT to `initial_vnodes`, then runs `cycles`
+/// churn cycles: remove one uniformly chosen live vnode (refusals are
+/// counted and skipped), then create one vnode, keeping the population
+/// at `initial_vnodes`. All randomness derives from config.seed.
+ChurnResult run_local_churn(dht::Config config, std::size_t initial_vnodes,
+                            std::size_t cycles);
+
+/// The same protocol on the global approach (removals never refuse).
+ChurnResult run_global_churn(dht::Config config, std::size_t initial_vnodes,
+                             std::size_t cycles);
+
+}  // namespace cobalt::sim

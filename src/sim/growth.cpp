@@ -1,0 +1,93 @@
+#include "sim/growth.hpp"
+
+#include "ch/ring.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dht/global_dht.hpp"
+#include "dht/local_dht.hpp"
+
+namespace cobalt::sim {
+
+std::vector<double> run_local_growth(dht::Config config, std::size_t vnodes,
+                                     Metric metric) {
+  COBALT_REQUIRE(vnodes >= 1, "growth needs at least one vnode");
+  dht::LocalDht dht(config);
+  const dht::SNodeId snode = dht.add_snode();
+  std::vector<double> series;
+  series.reserve(vnodes);
+  for (std::size_t i = 0; i < vnodes; ++i) {
+    dht.create_vnode(snode);
+    switch (metric) {
+      case Metric::kSigmaQv:
+        series.push_back(dht.sigma_qv());
+        break;
+      case Metric::kSigmaQg:
+        series.push_back(dht.sigma_qg());
+        break;
+      case Metric::kGroupCount:
+        series.push_back(static_cast<double>(dht.group_count()));
+        break;
+    }
+  }
+  return series;
+}
+
+std::vector<double> run_global_growth(dht::Config config,
+                                      std::size_t vnodes) {
+  COBALT_REQUIRE(vnodes >= 1, "growth needs at least one vnode");
+  dht::GlobalDht dht(config);
+  const dht::SNodeId snode = dht.add_snode();
+  std::vector<double> series;
+  series.reserve(vnodes);
+  for (std::size_t i = 0; i < vnodes; ++i) {
+    dht.create_vnode(snode);
+    series.push_back(dht.sigma_qv());
+  }
+  return series;
+}
+
+std::vector<double> run_ch_growth(std::uint64_t seed, std::size_t nodes,
+                                  std::size_t virtual_servers) {
+  COBALT_REQUIRE(nodes >= 1, "growth needs at least one node");
+  ch::ConsistentHashRing ring(seed);
+  std::vector<double> series;
+  series.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ring.add_node(virtual_servers);
+    series.push_back(ring.sigma_qn());
+  }
+  return series;
+}
+
+std::vector<double> average_runs(
+    std::size_t runs, std::uint64_t root_seed, std::uint64_t experiment_tag,
+    const std::function<std::vector<double>(std::uint64_t)>& make_series,
+    ThreadPool* pool) {
+  COBALT_REQUIRE(runs >= 1, "at least one run required");
+  std::vector<std::vector<double>> all(runs);
+
+  const auto one_run = [&](std::size_t run) {
+    all[run] = make_series(derive_seed(root_seed, experiment_tag, run));
+  };
+
+  if (pool != nullptr && pool->thread_count() > 1) {
+    parallel_for(*pool, runs, one_run);
+  } else {
+    for (std::size_t run = 0; run < runs; ++run) one_run(run);
+  }
+
+  const std::size_t length = all.front().size();
+  for (const auto& series : all) {
+    COBALT_INVARIANT(series.size() == length,
+                     "all runs must produce series of equal length");
+  }
+  std::vector<double> mean(length, 0.0);
+  for (const auto& series : all) {
+    for (std::size_t i = 0; i < length; ++i) mean[i] += series[i];
+  }
+  const double inv = 1.0 / static_cast<double>(runs);
+  for (double& v : mean) v *= inv;
+  return mean;
+}
+
+}  // namespace cobalt::sim

@@ -1,0 +1,56 @@
+// cobalt/sim/growth.hpp
+//
+// The paper's evaluation methodology (section 4): "In all simulations
+// performed, 1024 vnodes were consecutively created and, after the
+// creation of each vnode, the metric under analysis was measured. All
+// the results presented are averages of 100 runs of the same test, in
+// order to account for the random choice of a victim group."
+//
+// A growth run creates vnodes one at a time and samples one metric per
+// step; multi-run averaging combines runs whose seeds derive from a
+// root seed, optionally in parallel across a thread pool.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "dht/config.hpp"
+
+namespace cobalt::sim {
+
+/// Which per-step metric a growth run samples.
+enum class Metric {
+  kSigmaQv,     ///< sigma-bar(Qv): figures 4, 6, 9 (local side)
+  kSigmaQg,     ///< sigma-bar(Qg): figure 8 (local approach only)
+  kGroupCount,  ///< Greal: figure 7 (local approach only)
+};
+
+/// One growth simulation of the *local* approach: grows a fresh DHT to
+/// `vnodes` vnodes (one snode hosting all of them - placement does not
+/// affect the balancement metrics) and returns the sampled metric after
+/// each creation; element i corresponds to V = i + 1.
+std::vector<double> run_local_growth(dht::Config config, std::size_t vnodes,
+                                     Metric metric);
+
+/// Same for the *global* approach (metric is always sigma-bar(Qv)).
+std::vector<double> run_global_growth(dht::Config config, std::size_t vnodes);
+
+/// One growth simulation of the Consistent Hashing baseline: joins
+/// `nodes` physical nodes with `virtual_servers` points each, sampling
+/// sigma-bar(Qn) after each join.
+std::vector<double> run_ch_growth(std::uint64_t seed, std::size_t nodes,
+                                  std::size_t virtual_servers);
+
+/// Pointwise average of `runs` series produced by `make_series(seed)`,
+/// with per-run seeds derived from (root_seed, experiment_tag, run).
+/// Runs execute on `pool` when provided (they are independent), else
+/// sequentially. All series must have equal length.
+std::vector<double> average_runs(
+    std::size_t runs, std::uint64_t root_seed, std::uint64_t experiment_tag,
+    const std::function<std::vector<double>(std::uint64_t)>& make_series,
+    ThreadPool* pool = nullptr);
+
+}  // namespace cobalt::sim

@@ -1,0 +1,41 @@
+#include "sim/theta.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cobalt::sim {
+
+std::vector<ThetaPoint> compute_theta(const std::vector<std::uint64_t>& vmins,
+                                      const std::vector<double>& sigmas,
+                                      double alpha) {
+  COBALT_REQUIRE(!vmins.empty() && vmins.size() == sigmas.size(),
+                 "theta needs matching, nonempty candidate lists");
+  COBALT_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+  const double beta = 1.0 - alpha;
+
+  const double max_vmin =
+      static_cast<double>(*std::max_element(vmins.begin(), vmins.end()));
+  const double max_sigma = *std::max_element(sigmas.begin(), sigmas.end());
+  COBALT_REQUIRE(max_vmin > 0.0 && max_sigma > 0.0,
+                 "normalization maxima must be positive");
+
+  std::vector<ThetaPoint> points;
+  points.reserve(vmins.size());
+  for (std::size_t i = 0; i < vmins.size(); ++i) {
+    const double theta = alpha * (static_cast<double>(vmins[i]) / max_vmin) +
+                         beta * (sigmas[i] / max_sigma);
+    points.push_back(ThetaPoint{vmins[i], sigmas[i], theta});
+  }
+  return points;
+}
+
+ThetaPoint argmin_theta(const std::vector<ThetaPoint>& points) {
+  COBALT_REQUIRE(!points.empty(), "argmin of an empty theta curve");
+  return *std::min_element(points.begin(), points.end(),
+                           [](const ThetaPoint& a, const ThetaPoint& b) {
+                             return a.theta < b.theta;
+                           });
+}
+
+}  // namespace cobalt::sim

@@ -1,0 +1,36 @@
+// cobalt/sim/theta.hpp
+//
+// The parameter-selection objective of section 4.1.2:
+//
+//   theta = alpha * [Vmin / max(Vmin)]
+//         + beta  * [sigma-bar(Qv) / max(sigma-bar(Qv))]
+//
+// with complementary weights alpha + beta = 1, both terms normalized by
+// their maxima over the candidate set. The Vmin minimizing theta
+// balances balancement quality against the storage/time cost of bigger
+// groups; the paper finds Vmin = 32 for alpha = beta = 0.5 (figure 5).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cobalt::sim {
+
+/// One candidate point of the theta curve.
+struct ThetaPoint {
+  std::uint64_t vmin;
+  double sigma_qv;  ///< measured final sigma-bar(Qv) for this Vmin
+  double theta;
+};
+
+/// Computes theta for each (vmin, sigma) candidate; candidates must be
+/// nonempty, alpha in [0, 1] (beta = 1 - alpha).
+std::vector<ThetaPoint> compute_theta(
+    const std::vector<std::uint64_t>& vmins,
+    const std::vector<double>& sigmas, double alpha);
+
+/// The candidate with minimal theta.
+ThetaPoint argmin_theta(const std::vector<ThetaPoint>& points);
+
+}  // namespace cobalt::sim

@@ -1,0 +1,89 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace cobalt::sim {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  COBALT_REQUIRE(spec_.key_count >= 1, "workload needs at least one key");
+  COBALT_REQUIRE(spec_.hot_key_fraction > 0.0 && spec_.hot_key_fraction <= 1.0,
+                 "hot key fraction must lie in (0, 1]");
+  COBALT_REQUIRE(
+      spec_.hot_access_fraction >= 0.0 && spec_.hot_access_fraction <= 1.0,
+      "hot access fraction must lie in [0, 1]");
+  if (spec_.distribution == KeyDistribution::kZipf) {
+    zipf_cdf_.reserve(spec_.key_count);
+    double acc = 0.0;
+    for (std::size_t i = 1; i <= spec_.key_count; ++i) {
+      acc += 1.0 / static_cast<double>(i);
+      zipf_cdf_.push_back(acc);
+    }
+  }
+}
+
+std::size_t WorkloadGenerator::next_index() {
+  switch (spec_.distribution) {
+    case KeyDistribution::kUniform:
+      return static_cast<std::size_t>(rng_.next_below(spec_.key_count));
+    case KeyDistribution::kZipf: {
+      const double u = rng_.next_double() * zipf_cdf_.back();
+      return static_cast<std::size_t>(
+          std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u) -
+          zipf_cdf_.begin());
+    }
+    case KeyDistribution::kHotspot: {
+      const auto hot_keys = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(spec_.key_count) *
+                 spec_.hot_key_fraction));
+      if (rng_.next_double() < spec_.hot_access_fraction) {
+        return static_cast<std::size_t>(rng_.next_below(hot_keys));
+      }
+      if (hot_keys == spec_.key_count) {
+        return static_cast<std::size_t>(rng_.next_below(spec_.key_count));
+      }
+      return hot_keys + static_cast<std::size_t>(
+                            rng_.next_below(spec_.key_count - hot_keys));
+    }
+    case KeyDistribution::kSequential: {
+      const std::size_t index = sequential_next_;
+      sequential_next_ = (sequential_next_ + 1) % spec_.key_count;
+      return index;
+    }
+  }
+  return 0;  // unreachable
+}
+
+std::string WorkloadGenerator::next_key() { return key_at(next_index()); }
+
+std::string WorkloadGenerator::key_at(std::size_t index) const {
+  COBALT_REQUIRE(index < spec_.key_count, "key index out of range");
+  return spec_.prefix + std::to_string(index);
+}
+
+double measure_skew(WorkloadGenerator& generator, std::size_t draws,
+                    double top_fraction) {
+  COBALT_REQUIRE(draws >= 1, "need at least one draw");
+  COBALT_REQUIRE(top_fraction > 0.0 && top_fraction <= 1.0,
+                 "top fraction must lie in (0, 1]");
+  std::unordered_map<std::size_t, std::size_t> counts;
+  for (std::size_t i = 0; i < draws; ++i) ++counts[generator.next_index()];
+  std::vector<std::size_t> frequencies;
+  frequencies.reserve(counts.size());
+  for (const auto& [index, count] : counts) frequencies.push_back(count);
+  std::sort(frequencies.rbegin(), frequencies.rend());
+  const auto top = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(generator.spec().key_count) * top_fraction));
+  std::size_t in_top = 0;
+  for (std::size_t i = 0; i < std::min(top, frequencies.size()); ++i) {
+    in_top += frequencies[i];
+  }
+  return static_cast<double>(in_top) / static_cast<double>(draws);
+}
+
+}  // namespace cobalt::sim

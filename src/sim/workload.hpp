@@ -1,0 +1,73 @@
+// cobalt/sim/workload.hpp
+//
+// Synthetic key workloads for the KV layer and benches. The paper
+// assumes "uniform data distributions in the DHT, and no hotspots in
+// the access to data" (section 5) and lists non-uniform access as
+// future work; these generators provide both regimes so the store and
+// the balancement policies can be exercised under each.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hashing/hash_space.hpp"
+
+namespace cobalt::sim {
+
+/// Shapes of key-access distributions.
+enum class KeyDistribution {
+  kUniform,     ///< every key equally likely (the paper's assumption)
+  kZipf,        ///< rank-frequency ~ 1/rank (web-like skew)
+  kHotspot,     ///< a small hot set takes most accesses
+  kSequential,  ///< round-robin over the key space (scan-like)
+};
+
+/// Parameters of a workload.
+struct WorkloadSpec {
+  KeyDistribution distribution = KeyDistribution::kUniform;
+
+  /// Size of the key population.
+  std::size_t key_count = 10000;
+
+  /// Hotspot regime: fraction of keys that are hot, and the fraction
+  /// of accesses they draw (classic 90/10 by default).
+  double hot_key_fraction = 0.10;
+  double hot_access_fraction = 0.90;
+
+  /// Prefix of every generated key (namespacing).
+  std::string prefix = "key/";
+};
+
+/// Deterministic stream of key indexes / names under a WorkloadSpec.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, std::uint64_t seed);
+
+  /// The index of the next accessed key, in [0, spec.key_count).
+  std::size_t next_index();
+
+  /// The next accessed key name: "<prefix><index>".
+  std::string next_key();
+
+  /// Key name of a specific index (for preloading stores).
+  [[nodiscard]] std::string key_at(std::size_t index) const;
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+  Xoshiro256 rng_;
+  std::vector<double> zipf_cdf_;   // kZipf only
+  std::size_t sequential_next_ = 0;
+};
+
+/// Empirical skew of a sample of `draws` accesses: the fraction of
+/// accesses landing on the most-accessed `top_fraction` of keys.
+/// (1.0 - uniform would give ~top_fraction.)
+double measure_skew(WorkloadGenerator& generator, std::size_t draws,
+                    double top_fraction);
+
+}  // namespace cobalt::sim

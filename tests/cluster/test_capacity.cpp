@@ -1,0 +1,79 @@
+// Tests for heterogeneous capacity profiles.
+
+#include "cluster/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cobalt::cluster {
+namespace {
+
+TEST(Capacity, UniformIsAllOnes) {
+  const auto c = make_capacities(CapacityProfile::kUniform, 5);
+  ASSERT_EQ(c.size(), 5u);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Capacity, TwoGenerationsSplitsInHalf) {
+  const auto c = make_capacities(CapacityProfile::kTwoGenerations, 6);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 2.0);
+  EXPECT_DOUBLE_EQ(c[5], 2.0);
+}
+
+TEST(Capacity, ThreeTiersQuadruplesTheTop) {
+  const auto c = make_capacities(CapacityProfile::kThreeTiers, 9);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 2.0);
+  EXPECT_DOUBLE_EQ(c[8], 4.0);
+}
+
+TEST(Capacity, LinearRampSpansOneToTwo) {
+  const auto c = make_capacities(CapacityProfile::kLinearRamp, 5);
+  EXPECT_DOUBLE_EQ(c.front(), 1.0);
+  EXPECT_DOUBLE_EQ(c.back(), 2.0);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GT(c[i], c[i - 1]);
+}
+
+TEST(Capacity, PowerLawSmallestIsOne) {
+  const auto c = make_capacities(CapacityProfile::kPowerLaw, 8);
+  EXPECT_DOUBLE_EQ(c.front(), 8.0);  // biggest first
+  EXPECT_DOUBLE_EQ(c.back(), 1.0);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i], c[i - 1]);
+}
+
+TEST(Capacity, SingleNodeClusterWorksForAllProfiles) {
+  for (const auto profile :
+       {CapacityProfile::kUniform, CapacityProfile::kTwoGenerations,
+        CapacityProfile::kThreeTiers, CapacityProfile::kLinearRamp,
+        CapacityProfile::kPowerLaw}) {
+    const auto c = make_capacities(profile, 1);
+    ASSERT_EQ(c.size(), 1u) << profile_name(profile);
+    EXPECT_GE(c[0], 1.0);
+  }
+}
+
+TEST(Capacity, VnodesForCapacityRoundsAndFloors) {
+  EXPECT_EQ(vnodes_for_capacity(4, 1.0), 4u);
+  EXPECT_EQ(vnodes_for_capacity(4, 2.0), 8u);
+  EXPECT_EQ(vnodes_for_capacity(4, 1.6), 6u);
+  EXPECT_EQ(vnodes_for_capacity(4, 0.01), 1u);
+  EXPECT_THROW((void)vnodes_for_capacity(0, 1.0), InvalidArgument);
+  EXPECT_THROW((void)vnodes_for_capacity(4, -1.0), InvalidArgument);
+}
+
+TEST(Capacity, ProfileNamesAreDistinct) {
+  EXPECT_NE(profile_name(CapacityProfile::kUniform),
+            profile_name(CapacityProfile::kPowerLaw));
+  EXPECT_EQ(profile_name(CapacityProfile::kThreeTiers), "three-tiers");
+}
+
+TEST(Capacity, RejectsEmptyCluster) {
+  EXPECT_THROW((void)make_capacities(CapacityProfile::kUniform, 0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::cluster

@@ -1,0 +1,84 @@
+// Tests for the discrete-event simulation core.
+
+#include "cluster/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cobalt::cluster {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  const SimTime end = q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 30.0);
+  EXPECT_EQ(q.fired(), 3u);
+}
+
+TEST(EventQueue, TiesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(7.0, [&, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  q.schedule_at(1.0, [&] {
+    fire_times.push_back(q.now());
+    q.schedule_after(2.0, [&] {
+      fire_times.push_back(q.now());
+      q.schedule_after(3.0, [&] { fire_times.push_back(q.now()); });
+    });
+  });
+  const SimTime end = q.run();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{1.0, 3.0, 6.0}));
+  EXPECT_DOUBLE_EQ(end, 6.0);
+}
+
+TEST(EventQueue, NowAdvancesOnlyWithEvents) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.schedule_at(5.0, [] {});
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // scheduling does not advance time
+  q.run();
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, RejectsPastAndEmptyActions) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), InvalidArgument);
+  EXPECT_THROW(q.schedule_after(-1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(q.schedule_after(1.0, nullptr), InvalidArgument);
+}
+
+TEST(EventQueue, RunOnEmptyQueueReturnsCurrentTime) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.run(), 0.0);
+}
+
+TEST(EventQueue, PendingCountsUnfiredEvents) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace cobalt::cluster

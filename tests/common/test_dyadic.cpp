@@ -1,0 +1,121 @@
+// Unit and property tests for exact dyadic-rational arithmetic.
+
+#include "common/dyadic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace cobalt {
+namespace {
+
+TEST(Dyadic, DefaultIsZero) {
+  const Dyadic zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero, Dyadic::from_integer(0));
+  EXPECT_DOUBLE_EQ(zero.to_double(), 0.0);
+}
+
+TEST(Dyadic, IntegerRoundTrip) {
+  EXPECT_DOUBLE_EQ(Dyadic::from_integer(7).to_double(), 7.0);
+  EXPECT_EQ(Dyadic::one(), Dyadic::from_integer(1));
+}
+
+TEST(Dyadic, HalvesSumToOne) {
+  const Dyadic half = Dyadic::one_over_pow2(1);
+  EXPECT_EQ(half + half, Dyadic::one());
+}
+
+TEST(Dyadic, NormalizationMakesEqualityStructural) {
+  // 2/2^1 == 1/2^0 == 1; 4/2^3 == 1/2^1.
+  EXPECT_EQ(Dyadic::ratio(2, 1), Dyadic::one());
+  EXPECT_EQ(Dyadic::ratio(4, 3), Dyadic::one_over_pow2(1));
+  EXPECT_EQ(Dyadic::ratio(4, 3).log2_denominator(), 1u);
+  EXPECT_EQ(Dyadic::ratio(4, 3).numerator(), static_cast<uint128>(1));
+}
+
+TEST(Dyadic, AdditionWithDifferentDenominators) {
+  // 1/4 + 1/8 = 3/8
+  const Dyadic sum = Dyadic::one_over_pow2(2) + Dyadic::one_over_pow2(3);
+  EXPECT_EQ(sum, Dyadic::ratio(3, 3));
+  EXPECT_DOUBLE_EQ(sum.to_double(), 0.375);
+}
+
+TEST(Dyadic, SubtractionIsExactInverse) {
+  const Dyadic a = Dyadic::ratio(5, 4);   // 5/16
+  const Dyadic b = Dyadic::ratio(3, 6);   // 3/64
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ((a + b) - a, b);
+}
+
+TEST(Dyadic, SubtractionUnderflowThrows) {
+  EXPECT_THROW((void)(Dyadic::one_over_pow2(3) - Dyadic::one_over_pow2(2)),
+               InvalidArgument);
+}
+
+TEST(Dyadic, ScalarMultiplication) {
+  // 6 * 1/8 = 3/4
+  EXPECT_EQ(Dyadic::one_over_pow2(3) * 6, Dyadic::ratio(3, 2));
+  EXPECT_TRUE((Dyadic::one() * 0).is_zero());
+}
+
+TEST(Dyadic, OrderingIsTotalAndConsistent) {
+  const Dyadic quarter = Dyadic::one_over_pow2(2);
+  const Dyadic third_of_eight = Dyadic::ratio(3, 3);  // 3/8
+  EXPECT_LT(quarter, third_of_eight);
+  EXPECT_GT(Dyadic::one(), third_of_eight);
+  EXPECT_LE(quarter, quarter);
+  // Very different magnitudes (the bit-width fast path).
+  EXPECT_LT(Dyadic::one_over_pow2(60), Dyadic::from_integer(1000));
+}
+
+TEST(Dyadic, DeepLevelsStayExact) {
+  // Sum 2^k cells of level k back to exactly 1, for deep k.
+  for (unsigned level : {10u, 20u, 40u, 60u}) {
+    Dyadic sum;
+    const Dyadic cell = Dyadic::one_over_pow2(level);
+    // Sum in two halves to keep the loop short: cell * 2^level == 1.
+    EXPECT_EQ(cell * (std::uint64_t{1} << level), Dyadic::one())
+        << "level " << level;
+    sum += cell;
+    sum += cell;
+    EXPECT_EQ(sum, Dyadic::one_over_pow2(level - 1));
+  }
+}
+
+TEST(Dyadic, ToStringReadable) {
+  EXPECT_EQ(Dyadic::ratio(3, 3).to_string(), "3/2^3");
+  EXPECT_EQ(Dyadic{}.to_string(), "0/2^0");
+  EXPECT_EQ(Dyadic::one().to_string(), "1/2^0");
+}
+
+TEST(Dyadic, LevelLimitEnforced) {
+  EXPECT_THROW((void)Dyadic::one_over_pow2(127), InvalidArgument);
+  EXPECT_NO_THROW((void)Dyadic::one_over_pow2(126));
+}
+
+// Property: random partitions of unity re-sum to exactly one. This is
+// the exact statement the invariant checker relies on.
+TEST(Dyadic, RandomBinaryPartitionsOfUnitySumExactly) {
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Repeatedly split a random cell of the current partition of 1.
+    std::vector<Dyadic> cells{Dyadic::one()};
+    std::vector<unsigned> levels{0};
+    for (int step = 0; step < 50; ++step) {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_below(cells.size()));
+      if (levels[i] >= 100) continue;
+      levels[i] += 1;
+      cells[i] = Dyadic::one_over_pow2(levels[i]);
+      cells.push_back(Dyadic::one_over_pow2(levels[i]));
+      levels.push_back(levels[i]);
+    }
+    Dyadic sum;
+    for (const Dyadic& c : cells) sum += c;
+    ASSERT_EQ(sum, Dyadic::one()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cobalt

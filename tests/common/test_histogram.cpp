@@ -1,0 +1,78 @@
+// Tests for the fixed-range histogram.
+
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cobalt {
+namespace {
+
+TEST(Histogram, CountsAndMean) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1.0);
+  h.add(2.0);
+  h.add(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OutOfRangeClampsAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, PercentilesOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.percentile(0.50), 0.5, 0.02);
+  EXPECT_NEAR(h.percentile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(h.percentile(0.05), 0.05, 0.02);
+}
+
+TEST(Histogram, PercentileOfPointMass) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(7.3);
+  // All mass in bucket [7, 8): every percentile lands inside it.
+  EXPECT_GE(h.percentile(0.01), 7.0);
+  EXPECT_LE(h.percentile(0.99), 8.0);
+}
+
+TEST(Histogram, BucketFloors) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_floor(4), 18.0);
+  EXPECT_THROW((void)h.bucket_floor(5), InvalidArgument);
+}
+
+TEST(Histogram, SummaryIsCompact) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_EQ(h.summary(), "n=0");
+  h.add(1.0);
+  h.add(3.0);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("mean=2.000"), std::string::npos);
+}
+
+TEST(Histogram, ValidatesConstructionAndQueries) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.percentile(0.5), InvalidArgument);  // empty
+  h.add(0.5);
+  EXPECT_THROW((void)h.percentile(1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt

@@ -1,0 +1,144 @@
+// Tests for the deterministic PRNG stack.
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace cobalt {
+namespace {
+
+TEST(SplitMix64, KnownReferenceSequence) {
+  // Reference values for seed 0 from the public-domain algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454full);
+}
+
+TEST(SplitMix64, SeedsProduceDistinctStreams) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64, IsAPermutationFragment) {
+  // Distinct inputs map to distinct outputs (sampled).
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 c(43);
+  bool differs = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro256, NextBelowIsInRange) {
+  Xoshiro256 rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+  EXPECT_THROW((void)rng.next_below(0), InvalidArgument);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets / 5.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BooleanIsBalanced) {
+  Xoshiro256 rng(17);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.next_bool() ? 1 : 0;
+  EXPECT_NEAR(trues, 5000, 300);
+}
+
+TEST(DeriveSeed, DistinctTriplesDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t root : {1ull, 2ull}) {
+    for (std::uint64_t tag : {0ull, 1ull, 7ull}) {
+      for (std::uint64_t run = 0; run < 50; ++run) {
+        seeds.insert(derive_seed(root, tag, run));
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 2u * 3u * 50u);
+}
+
+TEST(Shuffle, IsAPermutation) {
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  Xoshiro256 rng(23);
+  shuffle(shuffled, rng);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Shuffle, AllPermutationsReachable) {
+  // Over many shuffles of {0,1,2}, all 6 orders appear.
+  std::set<std::vector<int>> seen;
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<int> v{0, 1, 2};
+    shuffle(v, rng);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Xoshiro256 rng(31);
+  const auto sample = sample_without_replacement(100, 20, rng);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(SampleWithoutReplacement, FullPopulationIsPermutation) {
+  Xoshiro256 rng(37);
+  const auto sample = sample_without_replacement(10, 10, rng);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SampleWithoutReplacement, OversampleThrows) {
+  Xoshiro256 rng(41);
+  EXPECT_THROW((void)sample_without_replacement(5, 6, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt

@@ -1,0 +1,132 @@
+// Tests for descriptive statistics (the paper's quality metrics).
+
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cobalt {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceMatchClosedForm) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // the classic example set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAccumulatorThrows) {
+  const RunningStats s;
+  EXPECT_THROW((void)s.mean(), InvalidArgument);
+  EXPECT_THROW((void)s.variance(), InvalidArgument);
+  EXPECT_THROW((void)s.min(), InvalidArgument);
+  EXPECT_THROW((void)s.max(), InvalidArgument);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Xoshiro256 rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.next_double() * 10.0);
+
+  RunningStats whole;
+  for (const double v : values) whole.add(v);
+
+  RunningStats left;
+  RunningStats right;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 300 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Stats, MeanOfSpan) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.0);
+  EXPECT_THROW((void)mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Stats, PopulationStddevDividesByN) {
+  // {1, 3}: mean 2, population sigma 1 (sample sigma would be sqrt(2)).
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(population_stddev(v), 1.0);
+}
+
+TEST(Stats, RelativeStddevIsScaleInvariant) {
+  // Section 2.4: Y = c*X implies equal *relative* deviations.
+  const std::vector<double> x{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> y;
+  for (const double v : x) y.push_back(v * 37.5);
+  EXPECT_NEAR(relative_stddev(x), relative_stddev(y), 1e-12);
+}
+
+TEST(Stats, RelativeStddevUniformIsZero) {
+  const std::vector<double> v{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(relative_stddev(v), 0.0);
+}
+
+TEST(Stats, RelativeStddevZeroMeanThrows) {
+  const std::vector<double> v{-1.0, 1.0};
+  EXPECT_THROW((void)relative_stddev(v), InvalidArgument);
+}
+
+TEST(Stats, RelativeStddevAroundIdealMean) {
+  // sigma-bar(Qg, 1/G) of section 4.2.1: quotas {0.3, 0.7} against the
+  // ideal mean 0.5: sqrt(((0.2)^2 + (0.2)^2)/2)/0.5 = 0.4.
+  const std::vector<double> quotas{0.3, 0.7};
+  EXPECT_NEAR(relative_stddev_around(quotas, 0.5), 0.4, 1e-12);
+  // Around the true mean it coincides with relative_stddev.
+  EXPECT_NEAR(relative_stddev_around(quotas, mean(quotas)),
+              relative_stddev(quotas), 1e-12);
+}
+
+TEST(Stats, RelativeStddevAroundValidation) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)relative_stddev_around(v, 0.0), InvalidArgument);
+  EXPECT_THROW((void)relative_stddev_around(std::vector<double>{}, 1.0),
+               InvalidArgument);
+}
+
+// Property: Welford accumulation matches the two-pass formula on random
+// data, across magnitudes.
+TEST(Stats, WelfordMatchesTwoPass) {
+  Xoshiro256 rng(77);
+  for (const double scale : {1.0, 1e6, 1e-6}) {
+    std::vector<double> values;
+    RunningStats s;
+    for (int i = 0; i < 500; ++i) {
+      const double v = (rng.next_double() + 0.5) * scale;
+      values.push_back(v);
+      s.add(v);
+    }
+    EXPECT_NEAR(s.mean(), mean(values), std::abs(scale) * 1e-12);
+    EXPECT_NEAR(s.stddev(), population_stddev(values),
+                std::abs(scale) * 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cobalt

@@ -1,0 +1,103 @@
+// Tests for the worker pool and parallel_for.
+
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), InvalidArgument);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // join
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(pool, kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+  SUCCEED();
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 100,
+                   [](std::size_t i) {
+                     if (i == 13) throw InvalidArgument("unlucky");
+                   }),
+      InvalidArgument);
+  // The pool is still usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelFor, ResultsMatchSequential) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 500;
+  std::vector<double> parallel_out(kCount);
+  parallel_for(pool, kCount, [&](std::size_t i) {
+    parallel_out[i] = static_cast<double>(i) * 1.5;
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_DOUBLE_EQ(parallel_out[i], static_cast<double>(i) * 1.5);
+  }
+}
+
+TEST(ParallelFor, MoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(pool, 10000, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 10000ull * 9999ull / 2ull);
+}
+
+}  // namespace
+}  // namespace cobalt

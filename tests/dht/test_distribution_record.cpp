@@ -1,0 +1,172 @@
+// Unit tests for DistributionRecord (the GPDR/LPDR structure).
+
+#include "dht/distribution_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cobalt::dht {
+namespace {
+
+TEST(DistributionRecord, TracksCountsAndTotal) {
+  DistributionRecord r;
+  r.add_vnode(0, 4);
+  r.add_vnode(1, 0);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.total(), 4u);
+  EXPECT_EQ(r.count_of(0), 4u);
+  EXPECT_EQ(r.count_of(1), 0u);
+  r.increment(1);
+  r.decrement(0);
+  EXPECT_EQ(r.total(), 4u);
+  EXPECT_EQ(r.count_of(0), 3u);
+  EXPECT_EQ(r.count_of(1), 1u);
+}
+
+TEST(DistributionRecord, RejectsDuplicatesAndUnknownVnodes) {
+  DistributionRecord r;
+  r.add_vnode(7, 1);
+  EXPECT_THROW((void)r.add_vnode(7, 0), InvalidArgument);
+  EXPECT_THROW((void)r.count_of(8), InvalidArgument);
+  EXPECT_THROW((void)r.increment(8), InvalidArgument);
+  EXPECT_THROW((void)r.decrement(8), InvalidArgument);
+}
+
+TEST(DistributionRecord, DecrementBelowZeroThrows) {
+  DistributionRecord r;
+  r.add_vnode(0, 0);
+  EXPECT_THROW((void)r.decrement(0), InvalidArgument);
+}
+
+TEST(DistributionRecord, RemoveRequiresDrainedVnode) {
+  DistributionRecord r;
+  r.add_vnode(0, 2);
+  EXPECT_THROW((void)r.remove_vnode(0), InvalidArgument);
+  r.decrement(0);
+  r.decrement(0);
+  r.remove_vnode(0);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(DistributionRecord, ArgmaxFollowsMutations) {
+  DistributionRecord r;
+  r.add_vnode(0, 5);
+  r.add_vnode(1, 9);
+  r.add_vnode(2, 7);
+  EXPECT_EQ(r.argmax(), 1u);
+  // Drop vnode 1 below vnode 2.
+  r.decrement(1);
+  r.decrement(1);
+  r.decrement(1);
+  EXPECT_EQ(r.argmax(), 2u);
+  // Raise vnode 0 above everything.
+  for (int i = 0; i < 4; ++i) r.increment(0);
+  EXPECT_EQ(r.argmax(), 0u);
+}
+
+TEST(DistributionRecord, ArgmaxSkipsRemovedVnodes) {
+  DistributionRecord r;
+  r.add_vnode(0, 5);
+  r.add_vnode(1, 3);
+  while (r.count_of(0) > 0) r.decrement(0);
+  r.remove_vnode(0);
+  EXPECT_EQ(r.argmax(), 1u);
+}
+
+TEST(DistributionRecord, ArgminAndExclusion) {
+  DistributionRecord r;
+  r.add_vnode(0, 5);
+  r.add_vnode(1, 2);
+  r.add_vnode(2, 8);
+  EXPECT_EQ(r.argmin(), 1u);
+  EXPECT_EQ(r.argmin_excluding(1), 0u);
+  DistributionRecord single;
+  single.add_vnode(4, 1);
+  EXPECT_THROW((void)single.argmin_excluding(4), InvalidArgument);
+}
+
+TEST(DistributionRecord, DoubleAllAndHalveAllScaleCounts) {
+  DistributionRecord r;
+  r.add_vnode(0, 3);
+  r.add_vnode(1, 5);
+  r.double_all();
+  EXPECT_EQ(r.count_of(0), 6u);
+  EXPECT_EQ(r.count_of(1), 10u);
+  EXPECT_EQ(r.total(), 16u);
+  r.halve_all();
+  EXPECT_EQ(r.count_of(0), 3u);
+  EXPECT_EQ(r.total(), 8u);
+}
+
+TEST(DistributionRecord, HalveAllRejectsOddCounts) {
+  DistributionRecord r;
+  r.add_vnode(0, 3);
+  EXPECT_THROW((void)r.halve_all(), InvalidArgument);
+}
+
+TEST(DistributionRecord, SetCountAdjustsTotalAndArgmax) {
+  DistributionRecord r;
+  r.add_vnode(0, 1);
+  r.add_vnode(1, 2);
+  r.set_count(0, 10);
+  EXPECT_EQ(r.total(), 12u);
+  EXPECT_EQ(r.argmax(), 0u);
+}
+
+TEST(DistributionRecord, SortedByCountDescIsStableOnTies) {
+  DistributionRecord r;
+  r.add_vnode(3, 4);
+  r.add_vnode(1, 4);
+  r.add_vnode(2, 9);
+  const auto sorted = r.sorted_by_count_desc();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].first, 2u);
+  EXPECT_EQ(sorted[1].first, 1u);  // tie broken by vnode id
+  EXPECT_EQ(sorted[2].first, 3u);
+}
+
+TEST(DistributionRecord, RelativeStddevMatchesClosedForm) {
+  DistributionRecord r;
+  // Counts {2, 4}: mean 3, population sigma 1, relative 1/3.
+  r.add_vnode(0, 2);
+  r.add_vnode(1, 4);
+  EXPECT_NEAR(r.relative_stddev_counts(), 1.0 / 3.0, 1e-12);
+  // Uniform counts: exactly zero.
+  DistributionRecord u;
+  u.add_vnode(0, 7);
+  u.add_vnode(1, 7);
+  u.add_vnode(2, 7);
+  EXPECT_DOUBLE_EQ(u.relative_stddev_counts(), 0.0);
+}
+
+TEST(DistributionRecord, EmptyRecordQueriesThrow) {
+  DistributionRecord r;
+  EXPECT_THROW((void)r.argmax(), InvalidArgument);
+  EXPECT_THROW((void)r.argmin(), InvalidArgument);
+  EXPECT_THROW((void)r.relative_stddev_counts(), InvalidArgument);
+}
+
+// Stress property: argmax agrees with a naive scan through thousands of
+// random mutations (exercises the lazy-heap compaction path).
+TEST(DistributionRecord, ArgmaxAgreesWithNaiveScanUnderChurn) {
+  DistributionRecord r;
+  constexpr int kVnodes = 40;
+  for (VNodeId v = 0; v < kVnodes; ++v) r.add_vnode(v, 8);
+  Xoshiro256 rng(42);
+  for (int step = 0; step < 5000; ++step) {
+    const auto v = static_cast<VNodeId>(rng.next_below(kVnodes));
+    if (rng.next_bool() && r.count_of(v) > 0) r.decrement(v);
+    else r.increment(v);
+
+    const VNodeId got = r.argmax();
+    std::uint32_t best = 0;
+    for (VNodeId u = 0; u < kVnodes; ++u)
+      best = std::max(best, r.count_of(u));
+    EXPECT_EQ(r.count_of(got), best) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace cobalt::dht

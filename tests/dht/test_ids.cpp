@@ -1,0 +1,125 @@
+// Unit tests for the group identifier scheme (section 3.7.1, figure 3)
+// and canonical vnode names.
+
+#include "dht/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cobalt::dht {
+namespace {
+
+TEST(CanonicalName, FollowsSnodeDotVnodeFormat) {
+  EXPECT_EQ(canonical_name(3, 17), "3.17");
+  EXPECT_EQ(canonical_name(0, 0), "0.0");
+}
+
+TEST(GroupId, RootIsGroupZero) {
+  const GroupId root = GroupId::root();
+  EXPECT_EQ(root.value(), 0u);
+  EXPECT_EQ(root.depth(), 0u);
+  EXPECT_EQ(root.to_string(), "0");
+}
+
+TEST(GroupId, FirstSplitMatchesFigure3) {
+  // "when the first group becomes full, it splits in groups 0 and 1"
+  const auto [g0, g1] = GroupId::root().split();
+  EXPECT_EQ(g0.to_string(), "0");
+  EXPECT_EQ(g1.to_string(), "1");
+  EXPECT_EQ(g0.value(), 0u);
+  EXPECT_EQ(g1.value(), 1u);
+}
+
+TEST(GroupId, SecondGenerationMatchesFigure3) {
+  // Figure 3: 0->(00,10)=(0,2), 1->(01,11)=(1,3); next row
+  // 00->(000,100)=(0,4), 01->(001,101)=(1,5), etc.
+  const auto [g0, g1] = GroupId::root().split();
+  const auto [g00, g10] = g0.split();
+  EXPECT_EQ(g00.value(), 0u);
+  EXPECT_EQ(g10.value(), 2u);
+  EXPECT_EQ(g00.to_string(), "00");
+  EXPECT_EQ(g10.to_string(), "10");
+  const auto [g01, g11] = g1.split();
+  EXPECT_EQ(g01.value(), 1u);
+  EXPECT_EQ(g11.value(), 3u);
+  const auto [g001, g101] = g01.split();
+  EXPECT_EQ(g001.value(), 1u);
+  EXPECT_EQ(g101.value(), 5u);
+  EXPECT_EQ(g101.to_string(), "101");
+}
+
+TEST(GroupId, SplitPrefixesWrittenBinary) {
+  // Splitting prefixes the *written* identifier with 0 or 1.
+  const GroupId g = GroupId::from_bits(0b01, 2);  // written "01"... value 1
+  const auto [c0, c1] = g.split();
+  EXPECT_EQ(c0.to_string(), "001");
+  EXPECT_EQ(c1.to_string(), "101");
+  EXPECT_EQ(c0.value(), 1u);
+  EXPECT_EQ(c1.value(), 5u);
+}
+
+TEST(GroupId, SiblingAndParentInvertSplit) {
+  const GroupId g = GroupId::from_bits(0b0101, 4);
+  const auto [c0, c1] = g.split();
+  EXPECT_EQ(c0.sibling(), c1);
+  EXPECT_EQ(c1.sibling(), c0);
+  EXPECT_EQ(c0.parent(), g);
+  EXPECT_EQ(c1.parent(), g);
+}
+
+TEST(GroupId, RootHasNoParentOrSibling) {
+  EXPECT_THROW((void)GroupId::root().parent(), InvalidArgument);
+  EXPECT_THROW((void)GroupId::root().sibling(), InvalidArgument);
+}
+
+TEST(GroupId, FromBitsValidates) {
+  EXPECT_THROW((void)GroupId::from_bits(4, 2), InvalidArgument);  // needs 3 digits
+  EXPECT_THROW((void)GroupId::from_bits(1, 0), InvalidArgument);  // depth-0 root is 0
+  EXPECT_THROW((void)GroupId::from_bits(0, 64), InvalidArgument);
+  EXPECT_NO_THROW(GroupId::from_bits(3, 2));
+  EXPECT_NO_THROW(GroupId::from_bits(0, 0));
+}
+
+// Property: splitting any full binary tree of groups yields pairwise
+// distinct identifiers at every generation ("unique global identifier,
+// in an autonomous, decentralized way").
+TEST(GroupId, FullTreeGeneratesUniqueIdentifiers) {
+  std::vector<GroupId> generation{GroupId::root()};
+  for (int depth = 0; depth < 6; ++depth) {
+    std::vector<GroupId> next;
+    for (const GroupId& g : generation) {
+      const auto [a, b] = g.split();
+      next.push_back(a);
+      next.push_back(b);
+    }
+    std::set<std::uint64_t> values;
+    for (const GroupId& g : next) values.insert(g.value());
+    EXPECT_EQ(values.size(), next.size()) << "collision at depth " << depth;
+    // Values at depth d are exactly 0 .. 2^d - 1 (figure 3's base-10 row).
+    EXPECT_EQ(*values.begin(), 0u);
+    EXPECT_EQ(*values.rbegin(), next.size() - 1);
+    generation = std::move(next);
+  }
+}
+
+// Property: uniqueness also holds across *unbalanced* trees, because an
+// identifier encodes its whole split path.
+TEST(GroupId, UnbalancedTreeKeepsUniqueness) {
+  std::vector<GroupId> leaves{GroupId::root()};
+  // Repeatedly split only the first leaf, emulating maximal asynchrony.
+  for (int i = 0; i < 10; ++i) {
+    const GroupId g = leaves.front();
+    leaves.erase(leaves.begin());
+    const auto [a, b] = g.split();
+    leaves.push_back(a);
+    leaves.push_back(b);
+  }
+  std::set<std::pair<std::uint64_t, unsigned>> keys;
+  for (const GroupId& g : leaves) keys.insert({g.value(), g.depth()});
+  EXPECT_EQ(keys.size(), leaves.size());
+}
+
+}  // namespace
+}  // namespace cobalt::dht

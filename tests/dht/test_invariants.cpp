@@ -1,0 +1,175 @@
+// Tests for the invariant checker itself: it must accept every state
+// the balancers produce (covered throughout the suite) and *reject*
+// specific corruptions. Corrupt states are constructed by editing
+// snapshots - the only door into a DHT's internals - and asserting the
+// loader's final validation trips on the right class of error.
+
+#include "dht/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "dht/snapshot.hpp"
+
+namespace cobalt::dht {
+namespace {
+
+Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+/// A healthy local DHT's snapshot text.
+std::string healthy_snapshot(int vnodes = 24) {
+  LocalDht dht(cfg(4, 4, 11));
+  const auto snode = dht.add_snode();
+  for (int i = 0; i < vnodes; ++i) dht.create_vnode(snode);
+  std::stringstream stream;
+  save_snapshot(dht, stream);
+  return stream.str();
+}
+
+/// Replaces the first occurrence of `from` with `to`; asserts found.
+std::string edit(std::string text, const std::string& from,
+                 const std::string& to) {
+  const auto pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "edit target missing: " << from;
+  text.replace(pos, from.size(), to);
+  return text;
+}
+
+/// Fields of one "g ..." snapshot line plus its text range.
+struct GroupLine {
+  std::size_t begin = std::string::npos;  // index of 'g'
+  std::size_t end = std::string::npos;    // index of the trailing '\n'
+  std::uint64_t bits = 0;
+  unsigned depth = 0;
+  unsigned alive = 0;
+  unsigned level = 0;
+  std::size_t members = 0;
+  std::string member_list;  // " m1 m2 ..."
+};
+
+/// Finds the first *live* group line (retired parent slots also appear
+/// in snapshots and are invisible to the live-state checker).
+GroupLine find_live_group_line(const std::string& text) {
+  std::size_t pos = text.find("\ng ");
+  while (pos != std::string::npos) {
+    const std::size_t eol = text.find('\n', pos + 1);
+    GroupLine line;
+    line.begin = pos + 1;
+    line.end = eol;
+    std::istringstream parse(text.substr(line.begin, eol - line.begin));
+    std::string g;
+    parse >> g >> line.bits >> line.depth >> line.alive >> line.level >>
+        line.members;
+    std::getline(parse, line.member_list);
+    if (line.alive == 1) return line;
+    pos = text.find("\ng ", eol);
+  }
+  ADD_FAILURE() << "no live group line found";
+  return {};
+}
+
+/// Rebuilds a group line from (possibly edited) fields.
+std::string render_group_line(const GroupLine& line) {
+  return "g " + std::to_string(line.bits) + " " +
+         std::to_string(line.depth) + " " + std::to_string(line.alive) +
+         " " + std::to_string(line.level) + " " +
+         std::to_string(line.members) + line.member_list;
+}
+
+TEST(InvariantChecker, AcceptsHealthySnapshots) {
+  std::stringstream stream(healthy_snapshot());
+  EXPECT_NO_THROW((void)load_local_snapshot(stream));
+}
+
+TEST(InvariantChecker, DetectsVnodeInTwoGroups) {
+  // Duplicate a vnode into a live group's member list: either the LPDR
+  // build rejects the duplicate (same group) or L1 trips (two groups).
+  const std::string text = healthy_snapshot();
+  GroupLine line = find_live_group_line(text);
+  line.members += 1;
+  line.member_list += " 0";
+  std::string corrupted = text;
+  corrupted.replace(line.begin, line.end - line.begin,
+                    render_group_line(line));
+  std::stringstream stream(corrupted);
+  EXPECT_THROW((void)load_local_snapshot(stream), Error);
+}
+
+TEST(InvariantChecker, DetectsBrokenTiling) {
+  // Point one vnode's first partition at a different cell: two live
+  // partitions collide / leave a hole.
+  const std::string text = healthy_snapshot();
+  // Partitions are "prefix:level" tokens; find the first "0:" token
+  // and shift its prefix.
+  const auto pos = text.find(" 0:");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string corrupted = edit(text, " 0:", " 1:");
+  std::stringstream stream(corrupted);
+  EXPECT_THROW((void)load_local_snapshot(stream), Error);
+}
+
+TEST(InvariantChecker, DetectsWrongSplitlevelInGroup) {
+  // Bump a live group's recorded splitlevel: G3' (uniform level within
+  // the group) breaks.
+  const std::string text = healthy_snapshot();
+  GroupLine line = find_live_group_line(text);
+  line.level += 1;
+  std::string corrupted = text;
+  corrupted.replace(line.begin, line.end - line.begin,
+                    render_group_line(line));
+  std::stringstream stream(corrupted);
+  EXPECT_THROW((void)load_local_snapshot(stream), Error);
+}
+
+TEST(InvariantChecker, GlobalDetectsWrongSplitlevel) {
+  GlobalDht dht(cfg(8, 1, 5));
+  const auto snode = dht.add_snode();
+  for (int i = 0; i < 9; ++i) dht.create_vnode(snode);
+  std::stringstream stream;
+  save_snapshot(dht, stream);
+  const std::string corrupted =
+      edit(stream.str(), "splitlevel " + std::to_string(dht.splitlevel()),
+           "splitlevel " + std::to_string(dht.splitlevel() + 1));
+  std::stringstream in(corrupted);
+  EXPECT_THROW((void)load_global_snapshot(in), Error);
+}
+
+TEST(InvariantChecker, CreationFlowFlagControlsG5) {
+  // Build a state where V is a power of two but counts are not Pmin
+  // (legitimate after removals): creation_only=true must reject it,
+  // creation_only=false must accept it.
+  GlobalDht dht(cfg(8, 1, 7));
+  const auto snode = dht.add_snode();
+  std::vector<VNodeId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(dht.create_vnode(snode));
+  // Removal to V = 4 = 2^2 can leave counts off the G5 fixpoint only
+  // for some histories; force a non-fixpoint by removing from V=5.
+  dht.remove_vnode(ids[0]);  // V = 5
+  dht.remove_vnode(ids[1]);  // V = 4
+  EXPECT_NO_THROW(check_invariants(dht, /*creation_only=*/false));
+  // After the merge-back the state may or may not sit at the fixpoint;
+  // verify the two modes never contradict each other the wrong way:
+  bool strict_ok = true;
+  try {
+    check_invariants(dht, /*creation_only=*/true);
+  } catch (const InvariantViolation&) {
+    strict_ok = false;
+  }
+  // If the strict check passed, counts are all Pmin - assert that.
+  if (strict_ok) {
+    for (const VNodeId id : dht.live_vnodes()) {
+      EXPECT_EQ(dht.gpdr().count_of(id), dht.config().pmin);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cobalt::dht

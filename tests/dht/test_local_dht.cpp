@@ -1,0 +1,272 @@
+// Unit and property tests for the local approach (section 3).
+
+#include "dht/local_dht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "dht/global_dht.hpp"
+#include "dht/invariants.hpp"
+
+namespace cobalt::dht {
+namespace {
+
+Config make_config(std::uint64_t pmin, std::uint64_t vmin,
+                   std::uint64_t seed = 1) {
+  Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+/// Grows a DHT by `count` vnodes on one snode.
+void grow(LocalDht& dht, SNodeId s, int count) {
+  for (int i = 0; i < count; ++i) dht.create_vnode(s);
+}
+
+TEST(LocalDht, BootstrapCreatesGroupZero) {
+  LocalDht dht(make_config(8, 4));
+  const SNodeId s = dht.add_snode();
+  const VNodeId v = dht.create_vnode(s);
+  EXPECT_EQ(dht.group_count(), 1u);
+  const Group& g0 = dht.group(dht.group_of(v));
+  EXPECT_EQ(g0.id, GroupId::root());
+  EXPECT_EQ(g0.members.size(), 1u);
+  EXPECT_EQ(g0.lpdr.count_of(v), 8u);
+  EXPECT_EQ(dht.exact_group_quota(dht.group_of(v)), Dyadic::one());
+  check_invariants(dht);
+}
+
+TEST(LocalDht, SingleGroupPhaseMatchesGlobalApproach) {
+  // Section 4.1.1: while 1 <= V <= Vmax there is one sole group, and
+  // the evolution matches the global approach for the same Pmin.
+  const std::uint64_t pmin = 8;
+  const std::uint64_t vmin = 8;
+  LocalDht local(make_config(pmin, vmin, 5));
+  GlobalDht global([&] {
+    Config c;
+    c.pmin = pmin;
+    c.seed = 5;
+    return c;
+  }());
+  const SNodeId sl = local.add_snode();
+  const SNodeId sg = global.add_snode();
+  for (std::uint64_t i = 0; i < 2 * vmin; ++i) {
+    local.create_vnode(sl);
+    global.create_vnode(sg);
+    ASSERT_EQ(local.group_count(), 1u);
+    EXPECT_NEAR(local.sigma_qv(), global.sigma_qv(), 1e-12)
+        << "V = " << i + 1;
+  }
+}
+
+TEST(LocalDht, GroupSplitsWhenFull) {
+  LocalDht dht(make_config(4, 4, 7));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 8);  // Vmax = 8: group 0 exactly full
+  EXPECT_EQ(dht.group_count(), 1u);
+  dht.create_vnode(s);  // 9th vnode forces the split
+  EXPECT_EQ(dht.group_count(), 2u);
+  check_invariants(dht);
+
+  // The two children carry the figure-3 identifiers "0" and "1".
+  std::set<std::string> ids;
+  for (const auto slot : dht.live_groups()) {
+    ids.insert(dht.group(slot).id.to_string());
+  }
+  EXPECT_EQ(ids, (std::set<std::string>{"0", "1"}));
+}
+
+TEST(LocalDht, SplitChildrenHaveVminMembersPlusNewcomer) {
+  LocalDht dht(make_config(4, 4, 7));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 9);
+  std::multiset<std::size_t> sizes;
+  for (const auto slot : dht.live_groups()) {
+    sizes.insert(dht.group(slot).members.size());
+  }
+  // One child kept Vmin = 4 members, the other received the newcomer.
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{4, 5}));
+}
+
+TEST(LocalDht, SiblingGroupsShareTheParentQuota) {
+  LocalDht dht(make_config(4, 4, 21));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 9);
+  const auto slots = dht.live_groups();
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(dht.exact_group_quota(slots[0]), Dyadic::one_over_pow2(1));
+  EXPECT_EQ(dht.exact_group_quota(slots[1]), Dyadic::one_over_pow2(1));
+}
+
+TEST(LocalDht, InvariantsHoldThroughDeepGrowth) {
+  LocalDht dht(make_config(4, 4, 3));
+  const SNodeId s = dht.add_snode();
+  for (int i = 0; i < 200; ++i) {
+    dht.create_vnode(s);
+    ASSERT_NO_THROW(check_invariants(dht)) << "after vnode " << i + 1;
+  }
+  EXPECT_GT(dht.group_count(), 8u);
+}
+
+TEST(LocalDht, GroupQuotasAlwaysSumToOne) {
+  LocalDht dht(make_config(8, 8, 13));
+  const SNodeId s = dht.add_snode();
+  for (int i = 0; i < 150; ++i) {
+    dht.create_vnode(s);
+    Dyadic sum;
+    for (const auto slot : dht.live_groups()) {
+      sum += dht.exact_group_quota(slot);
+    }
+    ASSERT_EQ(sum, Dyadic::one()) << "after vnode " << i + 1;
+  }
+}
+
+TEST(LocalDht, IdealGroupCountDoublesAtVmaxBoundaries) {
+  LocalDht dht(make_config(32, 32));
+  EXPECT_EQ(dht.ideal_group_count(1), 1u);
+  EXPECT_EQ(dht.ideal_group_count(64), 1u);
+  EXPECT_EQ(dht.ideal_group_count(65), 2u);
+  EXPECT_EQ(dht.ideal_group_count(128), 2u);
+  EXPECT_EQ(dht.ideal_group_count(129), 4u);
+  EXPECT_EQ(dht.ideal_group_count(1024), 16u);
+}
+
+TEST(LocalDht, LookupIsConsistentWithMembership) {
+  LocalDht dht(make_config(8, 4, 17));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 40);
+  Xoshiro256 rng(23);
+  for (int probe = 0; probe < 1000; ++probe) {
+    const HashIndex r = rng.next();
+    const auto hit = dht.lookup(r);
+    EXPECT_TRUE(hit.partition.contains(r));
+    const std::uint32_t slot = dht.group_of(hit.owner);
+    EXPECT_TRUE(dht.group(slot).lpdr.contains(hit.owner));
+  }
+}
+
+TEST(LocalDht, SigmaQgIsZeroWithOneGroup) {
+  LocalDht dht(make_config(8, 8));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 10);
+  ASSERT_EQ(dht.group_count(), 1u);
+  EXPECT_NEAR(dht.sigma_qg(), 0.0, 1e-12);
+}
+
+TEST(LocalDht, RemoveVnodeWithinRoomyGroup) {
+  LocalDht dht(make_config(8, 8, 29));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 12);  // single group, 12 members (Vmin=8 < 12 < Vmax=16)
+  const VNodeId victim = dht.live_vnodes()[5];
+  dht.remove_vnode(victim);
+  EXPECT_EQ(dht.vnode_count(), 11u);
+  EXPECT_FALSE(dht.vnode(victim).alive);
+  check_invariants(dht, /*creation_only=*/false);
+}
+
+TEST(LocalDht, RemoveVnodeTriggersSiblingMerge) {
+  LocalDht dht(make_config(4, 4, 31));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 9);  // two sibling groups of sizes {4, 5}
+  ASSERT_EQ(dht.group_count(), 2u);
+  // Remove a member of the Vmin-sized group: forces the sibling merge.
+  std::uint32_t small_slot = 0;
+  for (const auto slot : dht.live_groups()) {
+    if (dht.group(slot).members.size() == 4) small_slot = slot;
+  }
+  const VNodeId victim = dht.group(small_slot).members.front();
+  dht.remove_vnode(victim);
+  EXPECT_EQ(dht.group_count(), 1u);
+  EXPECT_EQ(dht.vnode_count(), 8u);
+  check_invariants(dht, /*creation_only=*/false);
+}
+
+TEST(LocalDht, RemoveUnsupportedWhenSiblingSplitFurther) {
+  // Find (across seeds) a topology where some Vmin-sized group's
+  // sibling has itself split further: removal from that group cannot
+  // merge and must raise UnsupportedTopology, leaving the DHT intact.
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    LocalDht dht(make_config(4, 4, seed));
+    const SNodeId s = dht.add_snode();
+    grow(dht, s, 80);
+    check_invariants(dht);
+
+    for (const auto slot : dht.live_groups()) {
+      const Group& g = dht.group(slot);
+      if (g.members.size() != 4) continue;
+      if (g.id.depth() < 1) continue;
+      bool sibling_alive = false;
+      for (const auto other : dht.live_groups()) {
+        if (dht.group(other).id == g.id.sibling()) sibling_alive = true;
+      }
+      if (sibling_alive) continue;
+      // Found the target topology: the removal must be refused without
+      // corrupting any state.
+      EXPECT_THROW((void)dht.remove_vnode(g.members.front()),
+                   UnsupportedTopology);
+      check_invariants(dht, /*creation_only=*/false);
+      EXPECT_EQ(dht.vnode_count(), 80u);
+      return;
+    }
+  }
+  FAIL() << "no seed in 1..64 produced a Vmin-group with a split sibling";
+}
+
+TEST(LocalDht, RemoveLastVnodeRejected) {
+  LocalDht dht(make_config(4, 4));
+  const SNodeId s = dht.add_snode();
+  const VNodeId v = dht.create_vnode(s);
+  EXPECT_THROW((void)dht.remove_vnode(v), InvalidArgument);
+}
+
+TEST(LocalDht, GrowShrinkWithinGroupRoundTrip) {
+  LocalDht dht(make_config(8, 16, 53));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 20);  // single group (Vmax = 32)
+  std::vector<VNodeId> ids = dht.live_vnodes();
+  for (int i = 0; i < 8; ++i) {
+    dht.remove_vnode(ids[static_cast<std::size_t>(i)]);
+    ASSERT_NO_THROW(check_invariants(dht, /*creation_only=*/false));
+  }
+  grow(dht, s, 8);
+  EXPECT_EQ(dht.vnode_count(), 20u);
+  check_invariants(dht, /*creation_only=*/false);
+}
+
+TEST(LocalDht, VminLargerThanVnodeCountBehavesGlobally) {
+  // With Vmin = 512 and up to 1024 vnodes there is only ever one group
+  // (the paper's fig. 6 note on Vmin = 512).
+  LocalDht dht(make_config(8, 512, 61));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 300);
+  EXPECT_EQ(dht.group_count(), 1u);
+  check_invariants(dht);
+}
+
+// Parameterized grid over (Pmin, Vmin): invariants after a 150-vnode
+// growth, for every combination.
+class LocalGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(LocalGrid, InvariantsAtScale) {
+  const auto [pmin, vmin] = GetParam();
+  LocalDht dht(make_config(pmin, vmin, pmin * 1000 + vmin));
+  const SNodeId s = dht.add_snode();
+  grow(dht, s, 150);
+  check_invariants(dht);
+  // Quality sanity: the relative deviation stays below 100%.
+  EXPECT_LT(dht.sigma_qv(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PminVminGrid, LocalGrid,
+    ::testing::Combine(::testing::Values(2u, 4u, 16u, 64u),
+                       ::testing::Values(2u, 4u, 16u, 64u)));
+
+}  // namespace
+}  // namespace cobalt::dht

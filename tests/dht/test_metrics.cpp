@@ -1,0 +1,102 @@
+// Tests for the balance-metric helpers.
+
+#include "dht/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cobalt::dht {
+namespace {
+
+Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+TEST(BalanceReport, PerfectEqualityScoresZero) {
+  const auto report = summarize_shares({0.25, 0.25, 0.25, 0.25});
+  EXPECT_NEAR(report.sigma_rel, 0.0, 1e-12);
+  EXPECT_NEAR(report.max_over_min, 1.0, 1e-12);
+  EXPECT_NEAR(report.max_over_avg, 1.0, 1e-12);
+  EXPECT_NEAR(report.gini, 0.0, 1e-12);
+}
+
+TEST(BalanceReport, KnownSkewedDistribution) {
+  // Shares {1, 3}: mean 2, sigma 1 -> sigma_rel 0.5; ratio 3;
+  // max/avg 1.5; Gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  const auto report = summarize_shares({1.0, 3.0});
+  EXPECT_NEAR(report.sigma_rel, 0.5, 1e-12);
+  EXPECT_NEAR(report.max_over_min, 3.0, 1e-12);
+  EXPECT_NEAR(report.max_over_avg, 1.5, 1e-12);
+  EXPECT_NEAR(report.gini, 0.25, 1e-12);
+}
+
+TEST(BalanceReport, ZeroShareYieldsInfiniteRatio) {
+  const auto report = summarize_shares({0.0, 1.0});
+  EXPECT_TRUE(std::isinf(report.max_over_min));
+}
+
+TEST(BalanceReport, Validation) {
+  EXPECT_THROW((void)summarize_shares({}), InvalidArgument);
+  EXPECT_THROW((void)summarize_shares({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW((void)summarize_shares({-1.0, 2.0}), InvalidArgument);
+}
+
+TEST(BalanceReport, VnodeBalanceMatchesSigmaQv) {
+  LocalDht dht(cfg(16, 8, 5));
+  const auto snode = dht.add_snode();
+  for (int i = 0; i < 50; ++i) dht.create_vnode(snode);
+  const auto report = vnode_balance(dht);
+  EXPECT_NEAR(report.sigma_rel, dht.sigma_qv(), 1e-12);
+  EXPECT_GE(report.max_over_min, 1.0);
+  EXPECT_GE(report.max_over_avg, 1.0);
+  EXPECT_GE(report.gini, 0.0);
+  EXPECT_LT(report.gini, 0.5);
+}
+
+TEST(SnodeQuotas, SumToOneAndFollowHosting) {
+  GlobalDht dht(cfg(8, 1, 7));
+  const auto s0 = dht.add_snode();
+  const auto s1 = dht.add_snode();
+  for (int i = 0; i < 3; ++i) dht.create_vnode(s0);
+  dht.create_vnode(s1);
+  const auto shares = snode_quotas(dht);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0] + shares[1], 1.0, 1e-12);
+  EXPECT_GT(shares[0], shares[1]);  // 3 vnodes vs 1
+}
+
+TEST(CapacityWeightedBalance, ProportionalDeploymentScoresWell) {
+  LocalDht dht(cfg(16, 16, 9));
+  const auto small = dht.add_snode(1.0);
+  const auto big = dht.add_snode(3.0);
+  for (int i = 0; i < 8; ++i) dht.create_vnode(small);
+  for (int i = 0; i < 24; ++i) dht.create_vnode(big);
+  const auto report = capacity_weighted_balance(dht);
+  EXPECT_LT(report.sigma_rel, 0.15);
+}
+
+TEST(LorenzCurve, EndsAtOneAndIsMonotone) {
+  const auto curve = lorenz_curve({5.0, 1.0, 3.0, 1.0}, 8);
+  ASSERT_EQ(curve.size(), 8u);
+  EXPECT_NEAR(curve.back(), 1.0, 1e-12);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i] + 1e-12, curve[i - 1]);
+  }
+  // Equality: the curve is the diagonal.
+  const auto diag = lorenz_curve({1.0, 1.0, 1.0, 1.0}, 4);
+  EXPECT_NEAR(diag[0], 0.25, 1e-12);
+  EXPECT_NEAR(diag[2], 0.75, 1e-12);
+}
+
+TEST(LorenzCurve, Validation) {
+  EXPECT_THROW((void)lorenz_curve({}, 4), InvalidArgument);
+  EXPECT_THROW((void)lorenz_curve({1.0}, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::dht

@@ -1,0 +1,128 @@
+// Unit tests for dht::Partition: dyadic-cell geometry, splits, buddies,
+// containment and exact quotas.
+
+#include "dht/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/dyadic.hpp"
+
+namespace cobalt::dht {
+namespace {
+
+TEST(Partition, WholeRangeCoversEverything) {
+  const Partition whole = Partition::whole();
+  EXPECT_EQ(whole.level(), 0u);
+  EXPECT_EQ(whole.begin(), 0u);
+  EXPECT_EQ(whole.last(), HashSpace::kMaxIndex);
+  EXPECT_TRUE(whole.contains(0));
+  EXPECT_TRUE(whole.contains(HashSpace::kMaxIndex));
+  EXPECT_EQ(whole.quota(), Dyadic::one());
+}
+
+TEST(Partition, SplitProducesAdjacentHalves) {
+  const auto [low, high] = Partition::whole().split();
+  EXPECT_EQ(low.level(), 1u);
+  EXPECT_EQ(high.level(), 1u);
+  EXPECT_EQ(low.begin(), 0u);
+  EXPECT_EQ(low.last() + 1, high.begin());
+  EXPECT_EQ(high.last(), HashSpace::kMaxIndex);
+  EXPECT_EQ(low.quota() + high.quota(), Dyadic::one());
+}
+
+TEST(Partition, SplitHalvesQuotaExactly) {
+  Partition p = Partition::whole();
+  Dyadic expected = Dyadic::one();
+  for (int i = 0; i < 20; ++i) {
+    p = p.split().first;
+    expected = Dyadic::one_over_pow2(static_cast<unsigned>(i + 1));
+    EXPECT_EQ(p.quota(), expected) << "level " << i + 1;
+  }
+}
+
+TEST(Partition, ParentInvertsSplit) {
+  const Partition p = Partition::at(0b1011, 4);
+  const auto [low, high] = p.split();
+  EXPECT_EQ(low.parent(), p);
+  EXPECT_EQ(high.parent(), p);
+}
+
+TEST(Partition, BuddyIsTheOtherHalfOfTheParent) {
+  const Partition p = Partition::at(6, 3);
+  EXPECT_EQ(p.buddy(), Partition::at(7, 3));
+  EXPECT_EQ(p.buddy().buddy(), p);
+  EXPECT_EQ(p.buddy().parent(), p.parent());
+}
+
+TEST(Partition, ContainsMatchesBounds) {
+  const Partition p = Partition::at(2, 2);  // third quarter of the range
+  EXPECT_FALSE(p.contains(p.begin() - 1));
+  EXPECT_TRUE(p.contains(p.begin()));
+  EXPECT_TRUE(p.contains(p.last()));
+  EXPECT_FALSE(p.contains(p.last() + 1));
+}
+
+TEST(Partition, ContainingFindsTheRightCell) {
+  for (unsigned level : {1u, 3u, 7u, 16u}) {
+    const Partition p = Partition::at((1u << level) - 1, level);  // last cell
+    EXPECT_EQ(Partition::containing(p.begin(), level), p);
+    EXPECT_EQ(Partition::containing(p.last(), level), p);
+    EXPECT_EQ(Partition::containing(HashSpace::kMaxIndex, level), p);
+  }
+}
+
+TEST(Partition, CoversIsReflexiveAndHierarchical) {
+  const Partition coarse = Partition::at(1, 1);
+  const Partition fine = Partition::at(0b1101, 4);
+  EXPECT_TRUE(coarse.covers(coarse));
+  EXPECT_TRUE(coarse.covers(fine));       // 1101 starts with 1
+  EXPECT_FALSE(fine.covers(coarse));      // finer cannot cover coarser
+  EXPECT_FALSE(Partition::at(0, 1).covers(fine));
+}
+
+TEST(Partition, RejectsOutOfRangePrefix) {
+  EXPECT_THROW((void)Partition::at(4, 2), InvalidArgument);
+  EXPECT_THROW((void)Partition::at(1, 0), InvalidArgument);
+}
+
+TEST(Partition, RejectsSplittingSingleIndexCells) {
+  const Partition leaf = Partition::at(0, HashSpace::kMaxSplitLevel);
+  EXPECT_THROW((void)leaf.split(), InvalidArgument);
+}
+
+TEST(Partition, WholeHasNoParentOrBuddy) {
+  EXPECT_THROW((void)Partition::whole().parent(), InvalidArgument);
+  EXPECT_THROW((void)Partition::whole().buddy(), InvalidArgument);
+}
+
+TEST(Partition, OrderingFollowsRangePosition) {
+  const Partition a = Partition::at(0, 2);
+  const Partition b = Partition::at(1, 2);
+  EXPECT_LT(a, b);
+  // Same start, coarser level orders first.
+  EXPECT_LT(Partition::at(0, 1), Partition::at(0, 2));
+}
+
+// Property sweep: at each level, the cells exactly tile the range.
+class PartitionTiling : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PartitionTiling, CellsTileTheRange) {
+  const unsigned level = GetParam();
+  const std::uint64_t cells = std::uint64_t{1} << level;
+  HashIndex expected_begin = 0;
+  Dyadic total;
+  for (std::uint64_t prefix = 0; prefix < cells; ++prefix) {
+    const Partition p = Partition::at(prefix, level);
+    EXPECT_EQ(p.begin(), expected_begin);
+    total += p.quota();
+    if (prefix + 1 < cells) expected_begin = p.last() + 1;
+    else EXPECT_EQ(p.last(), HashSpace::kMaxIndex);
+  }
+  EXPECT_EQ(total, Dyadic::one());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, PartitionTiling,
+                         ::testing::Values(0u, 1u, 2u, 5u, 10u));
+
+}  // namespace
+}  // namespace cobalt::dht

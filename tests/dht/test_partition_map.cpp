@@ -1,0 +1,145 @@
+// Unit tests for PartitionMap: routing lookups, splits, merges, tiling.
+
+#include "dht/partition_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace cobalt::dht {
+namespace {
+
+TEST(PartitionMap, LookupOnWholeRange) {
+  PartitionMap map;
+  map.insert(Partition::whole(), 3);
+  const auto hit = map.lookup(12345);
+  EXPECT_EQ(hit.owner, 3u);
+  EXPECT_EQ(hit.partition, Partition::whole());
+  EXPECT_TRUE(map.tiles_whole_range());
+}
+
+TEST(PartitionMap, SplitKeepsOwnerAndTiling) {
+  PartitionMap map;
+  map.insert(Partition::whole(), 1);
+  map.split(Partition::whole());
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.tiles_whole_range());
+  EXPECT_EQ(map.lookup(0).owner, 1u);
+  EXPECT_EQ(map.lookup(HashSpace::kMaxIndex).owner, 1u);
+  const auto [low, high] = Partition::whole().split();
+  EXPECT_EQ(map.lookup(0).partition, low);
+  EXPECT_EQ(map.lookup(HashSpace::kMaxIndex).partition, high);
+}
+
+TEST(PartitionMap, SetOwnerReroutes) {
+  PartitionMap map;
+  map.insert(Partition::whole(), 1);
+  map.split(Partition::whole());
+  const auto [low, high] = Partition::whole().split();
+  map.set_owner(high, 9);
+  EXPECT_EQ(map.lookup(0).owner, 1u);
+  EXPECT_EQ(map.lookup(HashSpace::kMaxIndex).owner, 9u);
+}
+
+TEST(PartitionMap, MergeCollapsesBuddies) {
+  PartitionMap map;
+  map.insert(Partition::whole(), 1);
+  map.split(Partition::whole());
+  map.merge(Partition::whole(), 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.lookup(42).owner, 2u);
+  EXPECT_TRUE(map.tiles_whole_range());
+}
+
+TEST(PartitionMap, MergeRequiresBothHalvesLive) {
+  PartitionMap map;
+  map.insert(Partition::whole(), 1);
+  map.split(Partition::whole());
+  const auto [low, high] = Partition::whole().split();
+  map.split(low);  // low is now two quarters; parent merge must fail
+  EXPECT_THROW((void)map.merge(Partition::whole(), 1), InvalidArgument);
+}
+
+TEST(PartitionMap, EraseAndExactMatchChecks) {
+  PartitionMap map;
+  const Partition p = Partition::at(1, 1);
+  map.insert(Partition::at(0, 1), 0);
+  map.insert(p, 1);
+  // Wrong level at the same start is rejected.
+  EXPECT_THROW((void)map.erase(Partition::at(2, 2)), InvalidArgument);
+  map.erase(p);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_FALSE(map.tiles_whole_range());
+}
+
+TEST(PartitionMap, DuplicateStartRejected) {
+  PartitionMap map;
+  map.insert(Partition::at(0, 1), 0);
+  EXPECT_THROW((void)map.insert(Partition::at(0, 2), 1), InvalidArgument);
+}
+
+TEST(PartitionMap, OwnerOfExactPartition) {
+  PartitionMap map;
+  map.insert(Partition::at(0, 1), 5);
+  map.insert(Partition::at(1, 1), 6);
+  EXPECT_EQ(map.owner_of(Partition::at(1, 1)), 6u);
+  EXPECT_THROW((void)map.owner_of(Partition::at(1, 2)), InvalidArgument);
+}
+
+TEST(PartitionMap, TilingDetectsHoles) {
+  PartitionMap map;
+  map.insert(Partition::at(0, 2), 0);
+  map.insert(Partition::at(1, 2), 0);
+  map.insert(Partition::at(3, 2), 0);  // quarter 2 missing
+  EXPECT_FALSE(map.tiles_whole_range());
+  map.insert(Partition::at(2, 2), 0);
+  EXPECT_TRUE(map.tiles_whole_range());
+}
+
+TEST(PartitionMap, TilingDetectsTruncatedTail) {
+  PartitionMap map;
+  map.insert(Partition::at(0, 1), 0);
+  map.insert(Partition::at(2, 2), 0);  // third quarter, but last missing
+  EXPECT_FALSE(map.tiles_whole_range());
+}
+
+TEST(PartitionMap, ForEachVisitsInRangeOrder) {
+  PartitionMap map;
+  map.insert(Partition::at(1, 1), 1);
+  map.insert(Partition::at(0, 2), 2);
+  map.insert(Partition::at(1, 2), 3);
+  std::vector<VNodeId> owners;
+  map.for_each([&](const Partition&, VNodeId o) { owners.push_back(o); });
+  EXPECT_EQ(owners, (std::vector<VNodeId>{2, 3, 1}));
+}
+
+// Property: after a randomized cascade of splits, lookups are always
+// consistent with containment and the map still tiles the range.
+TEST(PartitionMap, RandomSplitCascadeKeepsConsistency) {
+  PartitionMap map;
+  map.insert(Partition::whole(), 0);
+  Xoshiro256 rng(7);
+  std::vector<Partition> live{Partition::whole()};
+  for (int step = 0; step < 300; ++step) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.next_below(live.size()));
+    const Partition target = live[pick];
+    if (target.level() >= 40) continue;
+    map.split(target);
+    const auto [low, high] = target.split();
+    live[pick] = low;
+    live.push_back(high);
+    map.set_owner(high, static_cast<VNodeId>(step + 1));
+  }
+  EXPECT_TRUE(map.tiles_whole_range());
+  EXPECT_EQ(map.size(), live.size());
+  for (int probe = 0; probe < 2000; ++probe) {
+    const HashIndex r = rng.next();
+    const auto hit = map.lookup(r);
+    EXPECT_TRUE(hit.partition.contains(r));
+    EXPECT_EQ(map.owner_of(hit.partition), hit.owner);
+  }
+}
+
+}  // namespace
+}  // namespace cobalt::dht

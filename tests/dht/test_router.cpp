@@ -1,0 +1,156 @@
+// Tests for the partial-knowledge snode router.
+
+#include "dht/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace cobalt::dht {
+namespace {
+
+Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+/// A DHT with `snodes` hosts and `vnodes` vnodes placed round-robin.
+LocalDht make_dht(std::size_t snodes, std::size_t vnodes,
+                  std::uint64_t seed) {
+  LocalDht dht(cfg(8, 4, seed));
+  for (std::size_t s = 0; s < snodes; ++s) dht.add_snode();
+  for (std::size_t v = 0; v < vnodes; ++v) {
+    dht.create_vnode(static_cast<SNodeId>(v % snodes));
+  }
+  return dht;
+}
+
+TEST(SnodeRouter, AlwaysReturnsTheTrueOwner) {
+  const LocalDht dht = make_dht(8, 64, 1);
+  SnodeRouter router(dht, 0);
+  Xoshiro256 rng(9);
+  for (int probe = 0; probe < 2000; ++probe) {
+    const HashIndex r = rng.next();
+    EXPECT_EQ(router.lookup(r).owner, dht.lookup(r).owner);
+  }
+}
+
+TEST(SnodeRouter, SingleSnodeResolvesEverythingLocally) {
+  const LocalDht dht = make_dht(1, 20, 2);
+  SnodeRouter router(dht, 0);
+  Xoshiro256 rng(3);
+  for (int probe = 0; probe < 500; ++probe) {
+    const auto result = router.lookup(rng.next());
+    EXPECT_EQ(result.hops, 0u);
+    EXPECT_EQ(result.source, SnodeRouter::Source::kLocalKnowledge);
+  }
+  EXPECT_EQ(router.stats().local, 500u);
+  EXPECT_DOUBLE_EQ(router.stats().mean_hops(), 0.0);
+}
+
+TEST(SnodeRouter, RepeatLookupsHitTheCache) {
+  const LocalDht dht = make_dht(16, 128, 3);
+  SnodeRouter router(dht, 0);
+  // Find an index resolved remotely, then repeat it.
+  Xoshiro256 rng(4);
+  HashIndex remote_index = 0;
+  for (int probe = 0; probe < 5000; ++probe) {
+    const HashIndex r = rng.next();
+    if (router.lookup(r).source == SnodeRouter::Source::kRemote) {
+      remote_index = r;
+      break;
+    }
+  }
+  const auto again = router.lookup(remote_index);
+  EXPECT_EQ(again.source, SnodeRouter::Source::kCacheFresh);
+  EXPECT_EQ(again.hops, 1u);
+}
+
+TEST(SnodeRouter, RebalanceInvalidatesCacheEntries) {
+  LocalDht dht = make_dht(16, 64, 5);
+  SnodeRouter router(dht, 0);
+  // Warm the cache over the whole range.
+  Xoshiro256 rng(6);
+  std::vector<HashIndex> probes;
+  for (int i = 0; i < 3000; ++i) {
+    const HashIndex r = rng.next();
+    probes.push_back(r);
+    router.lookup(r);
+  }
+  // Churn: enough creations to split partitions and hand many over.
+  for (int i = 0; i < 64; ++i) {
+    dht.create_vnode(static_cast<SNodeId>(i % 16));
+  }
+  const auto before = router.stats();
+  for (const HashIndex r : probes) router.lookup(r);
+  const auto after = router.stats();
+  EXPECT_GT(after.cache_stale, before.cache_stale);
+  // Correctness never suffers - only hop counts do.
+  for (const HashIndex r : probes) {
+    ASSERT_EQ(router.lookup(r).owner, dht.lookup(r).owner);
+  }
+}
+
+TEST(SnodeRouter, FlushDropsTheCache) {
+  const LocalDht dht = make_dht(8, 64, 7);
+  SnodeRouter router(dht, 0);
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 500; ++i) router.lookup(rng.next());
+  EXPECT_GT(router.cache_size(), 0u);
+  router.flush_cache();
+  EXPECT_EQ(router.cache_size(), 0u);
+}
+
+TEST(SnodeRouter, CacheRespectsCapacity) {
+  const LocalDht dht = make_dht(16, 256, 9);
+  SnodeRouter router(dht, 0, /*cache_capacity=*/16);
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 5000; ++i) router.lookup(rng.next());
+  EXPECT_LE(router.cache_size(), 17u);  // capacity + in-flight insert
+}
+
+TEST(SnodeRouter, StatsAddUp) {
+  const LocalDht dht = make_dht(8, 64, 11);
+  SnodeRouter router(dht, 3);
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 1000; ++i) router.lookup(rng.next());
+  const auto& stats = router.stats();
+  EXPECT_EQ(stats.lookups, 1000u);
+  EXPECT_EQ(stats.local + stats.cache_fresh + stats.cache_stale +
+                stats.remote,
+            1000u);
+  EXPECT_EQ(stats.hops,
+            stats.cache_fresh + 2 * (stats.cache_stale + stats.remote));
+}
+
+TEST(SnodeRouter, ValidatesConstruction) {
+  const LocalDht dht = make_dht(4, 8, 13);
+  EXPECT_THROW(SnodeRouter(dht, 99), InvalidArgument);
+  EXPECT_THROW(SnodeRouter(dht, 0, 0), InvalidArgument);
+}
+
+TEST(SnodeRouter, MoreSnodesMeansLessLocalKnowledge) {
+  // With many snodes, a single snode's groups cover a small share of
+  // the ring, so the local-resolution fraction drops.
+  const LocalDht small = make_dht(2, 64, 14);
+  const LocalDht large = make_dht(32, 64, 14);
+  SnodeRouter small_router(small, 0);
+  SnodeRouter large_router(large, 0);
+  Xoshiro256 rng(15);
+  for (int i = 0; i < 2000; ++i) {
+    const HashIndex r = rng.next();
+    small_router.lookup(r);
+    large_router.lookup(r);
+  }
+  const double small_local =
+      static_cast<double>(small_router.stats().local) / 2000.0;
+  const double large_local =
+      static_cast<double>(large_router.stats().local) / 2000.0;
+  EXPECT_GT(small_local, large_local);
+}
+
+}  // namespace
+}  // namespace cobalt::dht

@@ -1,0 +1,157 @@
+// Tests for DHT checkpoint/restore.
+
+#include "dht/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dht/invariants.hpp"
+
+namespace cobalt::dht {
+namespace {
+
+Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Snapshot, LocalRoundTripPreservesState) {
+  LocalDht original(cfg(8, 4, 42));
+  const auto s0 = original.add_snode(1.5);
+  const auto s1 = original.add_snode(2.5);
+  for (int i = 0; i < 50; ++i) {
+    original.create_vnode(i % 2 == 0 ? s0 : s1);
+  }
+
+  std::stringstream stream;
+  save_snapshot(original, stream);
+  LocalDht restored = load_local_snapshot(stream);
+
+  EXPECT_EQ(restored.vnode_count(), original.vnode_count());
+  EXPECT_EQ(restored.snode_count(), original.snode_count());
+  EXPECT_EQ(restored.group_count(), original.group_count());
+  EXPECT_EQ(restored.group_slot_count(), original.group_slot_count());
+  EXPECT_DOUBLE_EQ(restored.sigma_qv(), original.sigma_qv());
+  EXPECT_DOUBLE_EQ(restored.snode(0).capacity, 1.5);
+  EXPECT_EQ(restored.quotas(), original.quotas());
+  for (const VNodeId v : original.live_vnodes()) {
+    EXPECT_EQ(restored.exact_quota(v), original.exact_quota(v));
+    EXPECT_EQ(restored.group_of(v), original.group_of(v));
+  }
+  check_invariants(restored);
+}
+
+TEST(Snapshot, RestoredDhtContinuesIdentically) {
+  // The definitive property: growing the restored DHT produces the
+  // exact same evolution as growing the original (RNG state included).
+  LocalDht original(cfg(8, 8, 7));
+  const auto snode = original.add_snode();
+  for (int i = 0; i < 40; ++i) original.create_vnode(snode);
+
+  std::stringstream stream;
+  save_snapshot(original, stream);
+  LocalDht restored = load_local_snapshot(stream);
+
+  for (int i = 0; i < 60; ++i) {
+    const VNodeId a = original.create_vnode(snode);
+    const VNodeId b = restored.create_vnode(snode);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(original.group_of(a), restored.group_of(b)) << "step " << i;
+    ASSERT_DOUBLE_EQ(original.sigma_qv(), restored.sigma_qv());
+  }
+  EXPECT_EQ(original.group_count(), restored.group_count());
+}
+
+TEST(Snapshot, GlobalRoundTripPreservesState) {
+  GlobalDht original(cfg(16, 1, 99));
+  const auto snode = original.add_snode();
+  for (int i = 0; i < 23; ++i) original.create_vnode(snode);
+
+  std::stringstream stream;
+  save_snapshot(original, stream);
+  GlobalDht restored = load_global_snapshot(stream);
+
+  EXPECT_EQ(restored.vnode_count(), original.vnode_count());
+  EXPECT_EQ(restored.splitlevel(), original.splitlevel());
+  EXPECT_EQ(restored.gpdr().total(), original.gpdr().total());
+  EXPECT_DOUBLE_EQ(restored.sigma_qv(), original.sigma_qv());
+  check_invariants(restored);
+
+  // Continue both: identical evolution.
+  for (int i = 0; i < 10; ++i) {
+    original.create_vnode(snode);
+    restored.create_vnode(snode);
+  }
+  EXPECT_EQ(restored.quotas(), original.quotas());
+}
+
+TEST(Snapshot, SurvivesRemovedVnodes) {
+  LocalDht original(cfg(8, 16, 3));
+  const auto snode = original.add_snode();
+  std::vector<VNodeId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(original.create_vnode(snode));
+  original.remove_vnode(ids[3]);
+  original.remove_vnode(ids[7]);
+
+  std::stringstream stream;
+  save_snapshot(original, stream);
+  LocalDht restored = load_local_snapshot(stream);
+  EXPECT_EQ(restored.vnode_count(), 18u);
+  EXPECT_FALSE(restored.vnode(ids[3]).alive);
+  EXPECT_EQ(restored.quotas(), original.quotas());
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  std::stringstream garbage("not-a-snapshot 1\n");
+  EXPECT_THROW((void)load_local_snapshot(garbage), InvalidArgument);
+
+  std::stringstream wrong_kind;
+  GlobalDht global(cfg(8, 1, 1));
+  const auto snode = global.add_snode();
+  global.create_vnode(snode);
+  save_snapshot(global, wrong_kind);
+  EXPECT_THROW((void)load_local_snapshot(wrong_kind), InvalidArgument);
+}
+
+TEST(Snapshot, RejectsTruncatedStream) {
+  LocalDht dht(cfg(8, 4, 5));
+  const auto snode = dht.add_snode();
+  for (int i = 0; i < 10; ++i) dht.create_vnode(snode);
+  std::stringstream stream;
+  save_snapshot(dht, stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)load_local_snapshot(truncated), Error);
+}
+
+TEST(Snapshot, RejectsCorruptedCounts) {
+  LocalDht dht(cfg(8, 4, 6));
+  const auto snode = dht.add_snode();
+  for (int i = 0; i < 10; ++i) dht.create_vnode(snode);
+  std::stringstream stream;
+  save_snapshot(dht, stream);
+  std::string text = stream.str();
+  // Flip one vnode's snode reference out of range.
+  const auto pos = text.find("\nv 0 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "\nv 9 ");
+  std::stringstream corrupted(text);
+  EXPECT_THROW((void)load_local_snapshot(corrupted), Error);
+}
+
+TEST(Snapshot, EmptyDhtRoundTrips) {
+  LocalDht empty(cfg(8, 4, 7));
+  empty.add_snode();
+  std::stringstream stream;
+  save_snapshot(empty, stream);
+  LocalDht restored = load_local_snapshot(stream);
+  EXPECT_EQ(restored.vnode_count(), 0u);
+  EXPECT_EQ(restored.snode_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cobalt::dht

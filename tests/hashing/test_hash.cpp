@@ -1,0 +1,114 @@
+// Tests for the hash-function implementations, against published test
+// vectors and statistical properties.
+
+#include "hashing/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hashing/hash_space.hpp"
+
+namespace cobalt::hashing {
+namespace {
+
+TEST(Fnv1a64, PublishedTestVectors) {
+  // Reference vectors from the FNV specification page.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Xxh64, PublishedTestVectors) {
+  // Reference vectors from the xxHash repository.
+  EXPECT_EQ(xxh64("", 0), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(xxh64("a", 0), 0xD24EC4F1A98C6E5Bull);
+  EXPECT_EQ(xxh64("abc", 0), 0x44BC2CF5AD770999ull);
+}
+
+TEST(Xxh64, SeedChangesTheHash) {
+  EXPECT_NE(xxh64("payload", 0), xxh64("payload", 1));
+  EXPECT_EQ(xxh64("payload", 7), xxh64("payload", 7));
+}
+
+TEST(Xxh64, CoversAllLengthPaths) {
+  // Exercise the <4, <8, <32 and >=32 byte code paths and verify they
+  // all differ (no accidental truncation).
+  std::set<std::uint64_t> hashes;
+  std::string s;
+  for (std::size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u, 63u,
+                          64u, 100u}) {
+    s.assign(len, 'x');
+    hashes.insert(xxh64(s));
+  }
+  EXPECT_EQ(hashes.size(), 13u);
+}
+
+TEST(HashBytes, DispatchesOnAlgorithm) {
+  const std::string key = "dispatch";
+  EXPECT_EQ(hash_bytes(Algorithm::kFnv1a64, key.data(), key.size()),
+            fnv1a64(key));
+  EXPECT_EQ(hash_bytes(Algorithm::kXxh64, key.data(), key.size(), 5),
+            xxh64(key, 5));
+}
+
+TEST(Hashes, SingleBitChangesAvalanche) {
+  // Flipping one input bit flips ~half the output bits on average.
+  for (const Algorithm algorithm : {Algorithm::kFnv1a64, Algorithm::kXxh64}) {
+    double total_flips = 0.0;
+    int cases = 0;
+    for (int i = 0; i < 64; ++i) {
+      std::string a = "avalanche-test-key-0000";
+      std::string b = a;
+      b[static_cast<std::size_t>(i) % b.size()] ^=
+          static_cast<char>(1 << (i % 8));
+      if (a == b) continue;
+      const std::uint64_t d = hash_bytes(algorithm, a.data(), a.size()) ^
+                              hash_bytes(algorithm, b.data(), b.size());
+      total_flips += static_cast<double>(__builtin_popcountll(d));
+      ++cases;
+    }
+    const double mean_flips = total_flips / cases;
+    EXPECT_GT(mean_flips, 24.0) << "algorithm " << static_cast<int>(algorithm);
+    EXPECT_LT(mean_flips, 40.0) << "algorithm " << static_cast<int>(algorithm);
+  }
+}
+
+TEST(Hashes, OutputIsUniformAcrossHashSpaceHalves) {
+  // Keys hashed into R_h should split evenly around the midpoint -
+  // the property the DHT's balancement ultimately relies on.
+  for (const Algorithm algorithm : {Algorithm::kFnv1a64, Algorithm::kXxh64}) {
+    int upper = 0;
+    constexpr int kKeys = 20000;
+    for (int i = 0; i < kKeys; ++i) {
+      const std::string key = "uniformity/" + std::to_string(i);
+      if (hash_bytes(algorithm, key.data(), key.size()) >
+          HashSpace::kMaxIndex / 2) {
+        ++upper;
+      }
+    }
+    EXPECT_NEAR(upper, kKeys / 2, kKeys / 20);
+  }
+}
+
+TEST(Hashes, FewCollisionsOnSequentialKeys) {
+  std::set<std::uint64_t> seen;
+  constexpr int kKeys = 50000;
+  for (int i = 0; i < kKeys; ++i) {
+    seen.insert(xxh64("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(HashSpace, QuotasAreExactPowersOfTwo) {
+  EXPECT_EQ(HashSpace::whole(), Dyadic::one());
+  EXPECT_EQ(HashSpace::quota_at_level(3) * 8, Dyadic::one());
+  EXPECT_EQ(HashSpace::kBits, 64u);
+  EXPECT_EQ(HashSpace::kMaxIndex, ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace cobalt::hashing

@@ -1,0 +1,109 @@
+// Figure-shape regression tests: a reduced-scale rendition of each
+// reproduced figure's defining property, pinned into the test suite so
+// a behavioural regression in the balancers cannot slip past CI even
+// if nobody re-reads the bench output. (The bench harnesses check the
+// same shapes at full scale - 100 runs - as the paper does.)
+
+#include <gtest/gtest.h>
+
+#include "sim/growth.hpp"
+#include "sim/theta.hpp"
+
+namespace cobalt {
+namespace {
+
+dht::Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+constexpr std::size_t kVnodes = 1024;
+constexpr std::size_t kRuns = 5;
+constexpr std::uint64_t kRoot = 0x5eed;
+
+double plateau(const std::vector<double>& series) {
+  double sum = 0.0;
+  const std::size_t from = series.size() - series.size() / 4;
+  for (std::size_t i = from; i < series.size(); ++i) sum += series[i];
+  return sum / static_cast<double>(series.size() - from);
+}
+
+std::vector<double> averaged_local(std::uint64_t pmin, std::uint64_t vmin,
+                                   sim::Metric metric) {
+  return sim::average_runs(kRuns, kRoot, pmin * 1000 + vmin,
+                           [&](std::uint64_t seed) {
+                             return sim::run_local_growth(
+                                 cfg(pmin, vmin, seed), kVnodes, metric);
+                           });
+}
+
+TEST(FigureRegression, Fig4PlateauBandsAndOrdering) {
+  const auto p8 = plateau(averaged_local(8, 8, sim::Metric::kSigmaQv));
+  const auto p32 = plateau(averaged_local(32, 32, sim::Metric::kSigmaQv));
+  const auto p128 = plateau(averaged_local(128, 128, sim::Metric::kSigmaQv));
+  // Paper's figure 4 bands (generous to sampling noise at 5 runs).
+  EXPECT_GT(p8, 0.17);
+  EXPECT_LT(p8, 0.27);
+  EXPECT_GT(p32, 0.07);
+  EXPECT_LT(p32, 0.14);
+  EXPECT_GT(p128, 0.02);
+  EXPECT_LT(p128, 0.07);
+  EXPECT_LT(p32, p8);
+  EXPECT_LT(p128, p32);
+}
+
+TEST(FigureRegression, Fig5ThetaMinimizesAtThirtyTwo) {
+  const std::vector<std::uint64_t> vmins{8, 16, 32, 64, 128};
+  std::vector<double> sigmas;
+  for (const auto vmin : vmins) {
+    sigmas.push_back(
+        averaged_local(vmin, vmin, sim::Metric::kSigmaQv).back());
+  }
+  const auto best =
+      sim::argmin_theta(sim::compute_theta(vmins, sigmas, 0.5));
+  EXPECT_EQ(best.vmin, 32u);
+}
+
+TEST(FigureRegression, Fig6MonotoneInVminAndGlobalLimit) {
+  const auto v8 = plateau(averaged_local(32, 8, sim::Metric::kSigmaQv));
+  const auto v64 = plateau(averaged_local(32, 64, sim::Metric::kSigmaQv));
+  const auto v512 = averaged_local(32, 512, sim::Metric::kSigmaQv);
+  EXPECT_LT(v64, v8);
+  // Single group throughout: exactly the global sawtooth, zero at 2^k.
+  EXPECT_NEAR(v512[1023], 0.0, 1e-12);
+  EXPECT_NEAR(v512[511], 0.0, 1e-12);
+}
+
+TEST(FigureRegression, Fig7GroupCountBand) {
+  const auto greal = averaged_local(32, 32, sim::Metric::kGroupCount);
+  EXPECT_GE(greal.back(), 16.0);   // Gideal at V=1024
+  EXPECT_LE(greal.back(), 26.0);   // paper's plot tops out ~24
+}
+
+TEST(FigureRegression, Fig8SpikeBand) {
+  const auto qg = averaged_local(32, 32, sim::Metric::kSigmaQg);
+  double peak = 0.0;
+  for (const double v : qg) peak = std::max(peak, v);
+  EXPECT_GT(peak, 0.20);
+  EXPECT_LT(peak, 0.55);
+  // Zero while one group exists.
+  for (std::size_t v = 0; v < 64; ++v) EXPECT_NEAR(qg[v], 0.0, 1e-12);
+}
+
+TEST(FigureRegression, Fig9ChLevelsAndLocalWin) {
+  const auto ch32 = sim::average_runs(
+      kRuns, kRoot, 9032, [](std::uint64_t seed) {
+        return sim::run_ch_growth(seed, kVnodes, 32);
+      });
+  const auto local32 = averaged_local(32, 32, sim::Metric::kSigmaQv);
+  const double ch_level = plateau(ch32);
+  EXPECT_GT(ch_level, 0.13);
+  EXPECT_LT(ch_level, 0.25);
+  EXPECT_LT(plateau(local32), ch_level);
+}
+
+}  // namespace
+}  // namespace cobalt

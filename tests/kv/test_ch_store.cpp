@@ -1,0 +1,99 @@
+// Tests for the consistent-hashing KV store.
+
+#include "kv/ch_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cobalt::kv {
+namespace {
+
+TEST(ChKvStore, PutGetEraseRoundTrip) {
+  ChKvStore store(1);
+  store.add_node(8);
+  EXPECT_TRUE(store.put("a", "1"));
+  EXPECT_FALSE(store.put("a", "2"));
+  EXPECT_EQ(store.get("a"), "2");
+  EXPECT_EQ(store.get("b"), std::nullopt);
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ChKvStore, WritesRequireANode) {
+  ChKvStore store(2);
+  EXPECT_THROW((void)store.put("k", "v"), InvalidArgument);
+}
+
+TEST(ChKvStore, KeysSurviveMembershipChanges) {
+  ChKvStore store(3);
+  store.add_node(16);
+  for (int i = 0; i < 1000; ++i) {
+    store.put("k" + std::to_string(i), std::to_string(i));
+  }
+  for (int n = 0; n < 7; ++n) store.add_node(16);
+  store.remove_node(2);
+  store.remove_node(5);
+  EXPECT_EQ(store.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(store.get("k" + std::to_string(i)), std::to_string(i));
+  }
+}
+
+TEST(ChKvStore, OwnerTracksTheRing) {
+  ChKvStore store(5);
+  for (int n = 0; n < 4; ++n) store.add_node(16);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "o" + std::to_string(i);
+    store.put(key, "v");
+    EXPECT_TRUE(store.ring().is_live(store.owner_of(key)));
+  }
+}
+
+TEST(ChKvStore, JoinMovesRoughlyAFairShare) {
+  ChKvStore store(7);
+  store.add_node(32);
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) store.put("f" + std::to_string(i), "v");
+  for (int n = 1; n < 10; ++n) store.add_node(32);
+  // Joining node n steals ~K/n keys; summed over joins 2..10 that is
+  // K * (1/2 + ... + 1/10) ~ 1.93 K. Allow a wide band.
+  const double moved = static_cast<double>(store.migration_stats().keys_moved);
+  EXPECT_GT(moved, 1.0 * kKeys);
+  EXPECT_LT(moved, 3.0 * kKeys);
+}
+
+TEST(ChKvStore, LeaveMovesOnlyTheNodesKeys) {
+  ChKvStore store(9);
+  for (int n = 0; n < 8; ++n) store.add_node(32);
+  constexpr int kKeys = 8000;
+  for (int i = 0; i < kKeys; ++i) store.put("l" + std::to_string(i), "v");
+  const auto before = store.keys_per_node();
+  const std::uint64_t moved_before = store.migration_stats().keys_moved;
+  store.remove_node(3);
+  const std::uint64_t moved = store.migration_stats().keys_moved - moved_before;
+  EXPECT_EQ(moved, before[3]);
+  // The departed node's keys are reachable on survivors.
+  EXPECT_EQ(store.keys_per_node()[3], 0u);
+  std::size_t total = 0;
+  for (const auto c : store.keys_per_node()) total += c;
+  EXPECT_EQ(total, static_cast<std::size_t>(kKeys));
+}
+
+TEST(ChKvStore, StorageBalanceMatchesQuotaBalance) {
+  ChKvStore store(11);
+  for (int n = 0; n < 16; ++n) store.add_node(32);
+  constexpr int kKeys = 64000;
+  for (int i = 0; i < kKeys; ++i) store.put("s" + std::to_string(i), "v");
+  const auto counts = store.keys_per_node();
+  const auto quotas = store.ring().quotas();
+  for (std::size_t n = 0; n < counts.size(); ++n) {
+    const double observed =
+        static_cast<double>(counts[n]) / static_cast<double>(kKeys);
+    EXPECT_NEAR(observed, quotas[n], 0.02) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace cobalt::kv

@@ -1,0 +1,237 @@
+// Tests for the DHT-backed key-value store.
+
+#include "kv/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "dht/invariants.hpp"
+
+namespace cobalt::kv {
+namespace {
+
+dht::Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+TEST(KvStore, PutGetEraseRoundTrip) {
+  KvStore store(cfg(8, 4, 1));
+  const auto s = store.add_snode();
+  store.add_vnode(s);
+  EXPECT_TRUE(store.put("alpha", "1"));
+  EXPECT_FALSE(store.put("alpha", "2"));  // overwrite
+  EXPECT_TRUE(store.put("beta", "3"));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get("alpha"), "2");
+  EXPECT_EQ(store.get("beta"), "3");
+  EXPECT_EQ(store.get("gamma"), std::nullopt);
+  EXPECT_TRUE(store.erase("alpha"));
+  EXPECT_FALSE(store.erase("alpha"));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get("alpha"), std::nullopt);
+}
+
+TEST(KvStore, WritesRequireAVnode) {
+  KvStore store(cfg(8, 4, 1));
+  store.add_snode();
+  EXPECT_THROW((void)store.put("k", "v"), InvalidArgument);
+  EXPECT_EQ(store.get("k"), std::nullopt);
+}
+
+TEST(KvStore, KeysSurviveVnodeCreations) {
+  KvStore store(cfg(8, 4, 2));
+  const auto s = store.add_snode();
+  store.add_vnode(s);
+  constexpr int kKeys = 2000;
+  for (int i = 0; i < kKeys; ++i) {
+    store.put("key-" + std::to_string(i), "value-" + std::to_string(i));
+  }
+  // Grow through several splits and group formations.
+  for (int i = 0; i < 40; ++i) store.add_vnode(s);
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_EQ(store.get("key-" + std::to_string(i)),
+              "value-" + std::to_string(i))
+        << "key " << i;
+  }
+  dht::check_invariants(store.dht());
+}
+
+TEST(KvStore, KeysSurviveVnodeRemovals) {
+  KvStore store(cfg(8, 16, 3));
+  const auto s = store.add_snode();
+  std::vector<dht::VNodeId> vnodes;
+  for (int i = 0; i < 20; ++i) vnodes.push_back(store.add_vnode(s));
+  constexpr int kKeys = 1000;
+  for (int i = 0; i < kKeys; ++i) {
+    store.put("k" + std::to_string(i), std::to_string(i));
+  }
+  for (int i = 0; i < 6; ++i) {
+    store.remove_vnode(vnodes[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_EQ(store.get("k" + std::to_string(i)), std::to_string(i));
+  }
+}
+
+TEST(KvStore, GlobalFlavourWorksIdentically) {
+  GlobalKvStore store(cfg(8, 1, 4));
+  const auto s = store.add_snode();
+  store.add_vnode(s);
+  for (int i = 0; i < 500; ++i) {
+    store.put("g" + std::to_string(i), std::to_string(i * i));
+  }
+  for (int i = 0; i < 12; ++i) store.add_vnode(s);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(store.get("g" + std::to_string(i)), std::to_string(i * i));
+  }
+}
+
+TEST(KvStore, MigrationAccountingTracksCrossSnodeMoves) {
+  KvStore store(cfg(8, 4, 5));
+  const auto s0 = store.add_snode();
+  store.add_vnode(s0);
+  for (int i = 0; i < 3000; ++i) {
+    store.put("m" + std::to_string(i), "x");
+  }
+  EXPECT_EQ(store.migration_stats().keys_moved_total, 0u);
+
+  // A second vnode on the same snode: keys move between vnodes but not
+  // across snodes.
+  store.add_vnode(s0);
+  const auto after_same = store.migration_stats();
+  EXPECT_GT(after_same.keys_moved_total, 0u);
+  EXPECT_EQ(after_same.keys_moved_across_snodes, 0u);
+
+  // A vnode on a different snode: now cross-node movement happens.
+  const auto s1 = store.add_snode();
+  store.add_vnode(s1);
+  const auto after_cross = store.migration_stats();
+  EXPECT_GT(after_cross.keys_moved_across_snodes, 0u);
+  EXPECT_LE(after_cross.keys_moved_across_snodes,
+            after_cross.keys_moved_total);
+}
+
+TEST(KvStore, SplitsRebucketWithoutMoving) {
+  KvStore store(cfg(4, 4, 6));
+  const auto s = store.add_snode();
+  store.add_vnode(s);
+  for (int i = 0; i < 1000; ++i) store.put("r" + std::to_string(i), "v");
+  const auto before = store.migration_stats();
+  EXPECT_EQ(before.keys_rebucketed, 0u);
+  // The second vnode forces one full split wave (V crosses 2^0).
+  store.add_vnode(s);
+  const auto after = store.migration_stats();
+  EXPECT_GT(after.keys_rebucketed, 0u);
+}
+
+TEST(KvStore, FairShareMovementPerJoin) {
+  // A vnode join should move roughly K/V keys, not O(K).
+  KvStore store(cfg(32, 32, 7));
+  const auto s0 = store.add_snode();
+  store.add_vnode(s0);
+  constexpr std::uint64_t kKeys = 20000;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    store.put("f" + std::to_string(i), "v");
+  }
+  // Grow to 16 vnodes, then measure the 17th join.
+  const auto s1 = store.add_snode();
+  for (int i = 0; i < 15; ++i) store.add_vnode(s1);
+  const std::uint64_t moved_before =
+      store.migration_stats().keys_moved_total;
+  store.add_vnode(s1);
+  const std::uint64_t moved =
+      store.migration_stats().keys_moved_total - moved_before;
+  // Fair share at V=17 is ~K/17 ~ 1176; allow generous slack.
+  EXPECT_LT(moved, kKeys / 4);
+  EXPECT_GT(moved, kKeys / 60);
+}
+
+TEST(KvStore, KeysPerSnodeTracksQuotas) {
+  KvStore store(cfg(8, 8, 8));
+  const auto s0 = store.add_snode();
+  const auto s1 = store.add_snode();
+  for (int i = 0; i < 4; ++i) store.add_vnode(s0);
+  for (int i = 0; i < 4; ++i) store.add_vnode(s1);
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) store.put("d" + std::to_string(i), "v");
+  const auto counts = store.keys_per_snode();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0] + counts[1], static_cast<std::size_t>(kKeys));
+  // Equal vnode counts and a balanced DHT: close to a 50/50 split.
+  const double share =
+      static_cast<double>(counts[0]) / static_cast<double>(kKeys);
+  EXPECT_NEAR(share, 0.5, 0.1);
+}
+
+TEST(KvStore, ForEachVisitsEveryPairExactlyOnce) {
+  KvStore store(cfg(8, 4, 10));
+  const auto s = store.add_snode();
+  store.add_vnode(s);
+  for (int i = 0; i < 300; ++i) {
+    store.put("e" + std::to_string(i), std::to_string(i));
+  }
+  for (int i = 0; i < 6; ++i) store.add_vnode(s);
+  std::map<std::string, std::string> seen;
+  store.for_each([&](const std::string& k, const std::string& v) {
+    EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate " << k;
+  });
+  EXPECT_EQ(seen.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(seen.at("e" + std::to_string(i)), std::to_string(i));
+  }
+}
+
+TEST(KvStore, ForEachOnSnodePartitionsTheIteration) {
+  KvStore store(cfg(8, 4, 11));
+  const auto s0 = store.add_snode();
+  const auto s1 = store.add_snode();
+  for (int i = 0; i < 3; ++i) store.add_vnode(s0);
+  for (int i = 0; i < 3; ++i) store.add_vnode(s1);
+  for (int i = 0; i < 500; ++i) store.put("p" + std::to_string(i), "v");
+  std::size_t n0 = 0;
+  std::size_t n1 = 0;
+  store.for_each_on_snode(s0, [&](const std::string&, const std::string&) {
+    ++n0;
+  });
+  store.for_each_on_snode(s1, [&](const std::string&, const std::string&) {
+    ++n1;
+  });
+  EXPECT_EQ(n0 + n1, 500u);
+  EXPECT_GT(n0, 0u);
+  EXPECT_GT(n1, 0u);
+  EXPECT_THROW(store.for_each_on_snode(
+                   9, [](const std::string&, const std::string&) {}),
+               InvalidArgument);
+}
+
+TEST(KvStore, KeysInCountsByHashContainment) {
+  KvStore store(cfg(8, 4, 12));
+  const auto s = store.add_snode();
+  store.add_vnode(s);
+  for (int i = 0; i < 1000; ++i) store.put("c" + std::to_string(i), "v");
+  const auto whole = dht::Partition::whole();
+  EXPECT_EQ(store.keys_in(whole), 1000u);
+  const auto [low, high] = whole.split();
+  EXPECT_EQ(store.keys_in(low) + store.keys_in(high), 1000u);
+  // Roughly half on each side for a good hash.
+  EXPECT_NEAR(static_cast<double>(store.keys_in(low)), 500.0, 80.0);
+}
+
+TEST(KvStore, HashAlgorithmIsConfigurable) {
+  KvStore fnv(cfg(8, 4, 9), hashing::Algorithm::kFnv1a64);
+  const auto s = fnv.add_snode();
+  fnv.add_vnode(s);
+  fnv.put("key", "value");
+  EXPECT_EQ(fnv.get("key"), "value");
+}
+
+}  // namespace
+}  // namespace cobalt::kv

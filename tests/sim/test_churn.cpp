@@ -1,0 +1,74 @@
+// Tests for the sustained-churn harness.
+
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cobalt::sim {
+namespace {
+
+dht::Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Churn, GlobalChurnNeverRefusesAndStaysBalanced) {
+  const auto result = run_global_churn(cfg(8, 1, 1), 40, 100);
+  EXPECT_EQ(result.refused_removals, 0u);
+  EXPECT_EQ(result.completed_removals, 100u);
+  ASSERT_EQ(result.sigma_series.size(), 100u);
+  for (const double sigma : result.sigma_series) {
+    EXPECT_LT(sigma, 0.2);  // greedy keeps counts within ~2 of the mean
+  }
+}
+
+TEST(Churn, LocalChurnKeepsPopulationAndSanity) {
+  const auto result = run_local_churn(cfg(8, 8, 2), 64, 150);
+  EXPECT_EQ(result.sigma_series.size(), 150u);
+  EXPECT_GT(result.completed_removals, 0u);
+  EXPECT_GT(result.final_groups, 0u);
+  for (const double sigma : result.sigma_series) {
+    EXPECT_GE(sigma, 0.0);
+    EXPECT_LT(sigma, 1.0);
+  }
+}
+
+TEST(Churn, RefusalsAreRareWithRoomyGroups) {
+  // With a single group (Vmin >= population) every removal is an
+  // intra-group redistribution; refusals can only come from the
+  // (rarely infeasible) count bound, which the single group's complete
+  // buddy set always satisfies.
+  const auto result = run_local_churn(cfg(8, 64, 3), 48, 100);
+  EXPECT_EQ(result.refused_removals, 0u);
+  EXPECT_EQ(result.final_groups, 1u);
+}
+
+TEST(Churn, SigmaStaysBoundedUnderSustainedLocalChurn) {
+  const auto result = run_local_churn(cfg(32, 32, 4), 128, 200);
+  double late = 0.0;
+  for (std::size_t i = 150; i < 200; ++i) late += result.sigma_series[i];
+  late /= 50.0;
+  // The plateau band of figure 4 at (32,32) is ~10%; churn should not
+  // blow it past a generous multiple.
+  EXPECT_LT(late, 0.30);
+}
+
+TEST(Churn, DeterministicPerSeed) {
+  const auto a = run_local_churn(cfg(8, 8, 7), 40, 60);
+  const auto b = run_local_churn(cfg(8, 8, 7), 40, 60);
+  EXPECT_EQ(a.sigma_series, b.sigma_series);
+  EXPECT_EQ(a.refused_removals, b.refused_removals);
+}
+
+TEST(Churn, Validation) {
+  EXPECT_THROW((void)run_local_churn(cfg(8, 8, 1), 1, 10), InvalidArgument);
+  EXPECT_THROW((void)run_global_churn(cfg(8, 1, 1), 0, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::sim

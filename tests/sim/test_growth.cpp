@@ -1,0 +1,136 @@
+// Tests for the growth harness and multi-run averaging.
+
+#include "sim/growth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cobalt::sim {
+namespace {
+
+dht::Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Growth, LocalSeriesHasOneSamplePerVnode) {
+  const auto series = run_local_growth(cfg(8, 8, 1), 50, Metric::kSigmaQv);
+  ASSERT_EQ(series.size(), 50u);
+  // V = 1: a single vnode owns everything, deviation zero.
+  EXPECT_NEAR(series[0], 0.0, 1e-12);
+  for (double v : series) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Growth, GlobalSeriesSawtoothsToZeroAtPowersOfTwo) {
+  const auto series = run_global_growth(cfg(16, 1, 2), 64);
+  for (std::size_t v = 1; v <= 64; v *= 2) {
+    EXPECT_NEAR(series[v - 1], 0.0, 1e-12) << "V = " << v;
+  }
+  // Between powers of two the deviation is strictly positive.
+  EXPECT_GT(series[2], 0.0);   // V = 3
+  EXPECT_GT(series[40], 0.0);  // V = 41
+}
+
+TEST(Growth, GroupCountSeriesIsMonotoneUnderCreation) {
+  const auto series = run_local_growth(cfg(4, 4, 3), 120, Metric::kGroupCount);
+  EXPECT_NEAR(series[0], 1.0, 0.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i], series[i - 1]) << "step " << i;
+  }
+  EXPECT_GT(series.back(), 4.0);
+}
+
+TEST(Growth, SigmaQgIsZeroWhileOneGroup) {
+  const auto series = run_local_growth(cfg(8, 8, 4), 16, Metric::kSigmaQg);
+  // Vmax = 16: a single group throughout, so sigma-bar(Qg) == 0.
+  for (double v : series) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Growth, ChSeriesBoundedAndSeeded) {
+  const auto a = run_ch_growth(10, 64, 32);
+  const auto b = run_ch_growth(10, 64, 32);
+  const auto c = run_ch_growth(11, 64, 32);
+  ASSERT_EQ(a.size(), 64u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NEAR(a[0], 0.0, 1e-12);  // one node owns everything
+}
+
+TEST(Growth, LocalDeterministicPerSeed) {
+  const auto a = run_local_growth(cfg(8, 4, 42), 80, Metric::kSigmaQv);
+  const auto b = run_local_growth(cfg(8, 4, 42), 80, Metric::kSigmaQv);
+  const auto c = run_local_growth(cfg(8, 4, 43), 80, Metric::kSigmaQv);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Growth, AverageRunsMatchesManualMean) {
+  const auto make = [](std::uint64_t seed) {
+    return std::vector<double>{static_cast<double>(seed % 7),
+                               static_cast<double>(seed % 3)};
+  };
+  const auto avg = average_runs(5, 1, 2, make);
+  double m0 = 0.0;
+  double m1 = 0.0;
+  for (std::size_t run = 0; run < 5; ++run) {
+    const auto s = make(derive_seed(1, 2, run));
+    m0 += s[0];
+    m1 += s[1];
+  }
+  EXPECT_NEAR(avg[0], m0 / 5.0, 1e-12);
+  EXPECT_NEAR(avg[1], m1 / 5.0, 1e-12);
+}
+
+TEST(Growth, AverageRunsParallelEqualsSequential) {
+  const auto make = [](std::uint64_t seed) {
+    return run_local_growth(cfg(4, 4, seed), 40, Metric::kSigmaQv);
+  };
+  const auto seq = average_runs(8, 7, 1, make, nullptr);
+  ThreadPool pool(4);
+  const auto par = average_runs(8, 7, 1, make, &pool);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq[i], par[i]) << "index " << i;
+  }
+}
+
+TEST(Growth, AveragingSmoothsRandomness) {
+  // A single local run is noisy; the 100-run average of the same
+  // experiment changes much less between disjoint run batches.
+  const auto make = [](std::uint64_t seed) {
+    return run_local_growth(cfg(8, 8, seed), 100, Metric::kSigmaQv);
+  };
+  const auto avg_a = average_runs(50, 1000, 1, make);
+  const auto avg_b = average_runs(50, 2000, 1, make);
+  const auto one_a = make(1);
+  const auto one_b = make(2);
+  double diff_avg = 0.0;
+  double diff_one = 0.0;
+  for (std::size_t i = 40; i < 100; ++i) {  // past the single-group zone
+    diff_avg += std::abs(avg_a[i] - avg_b[i]);
+    diff_one += std::abs(one_a[i] - one_b[i]);
+  }
+  EXPECT_LT(diff_avg, diff_one);
+}
+
+TEST(Growth, RejectsDegenerateArguments) {
+  EXPECT_THROW((void)run_local_growth(cfg(8, 8, 1), 0, Metric::kSigmaQv),
+               InvalidArgument);
+  EXPECT_THROW((void)run_ch_growth(1, 0, 8), InvalidArgument);
+  EXPECT_THROW(
+      (void)average_runs(0, 1, 1, [](std::uint64_t) {
+        return std::vector<double>{};
+      }),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::sim

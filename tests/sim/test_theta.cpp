@@ -1,0 +1,58 @@
+// Tests for the theta parameter-selection objective (section 4.1.2).
+
+#include "sim/theta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cobalt::sim {
+namespace {
+
+TEST(Theta, NormalizationMakesExtremesComparable) {
+  // The largest Vmin contributes alpha to its theta; the largest sigma
+  // contributes beta to its theta.
+  const std::vector<std::uint64_t> vmins{8, 128};
+  const std::vector<double> sigmas{0.20, 0.05};
+  const auto pts = compute_theta(vmins, sigmas, 0.5);
+  ASSERT_EQ(pts.size(), 2u);
+  // Vmin=8: 0.5*(8/128) + 0.5*(0.20/0.20) = 0.03125 + 0.5
+  EXPECT_NEAR(pts[0].theta, 0.53125, 1e-12);
+  // Vmin=128: 0.5*1 + 0.5*(0.05/0.20) = 0.5 + 0.125
+  EXPECT_NEAR(pts[1].theta, 0.625, 1e-12);
+}
+
+TEST(Theta, AlphaZeroSelectsBestQuality) {
+  const std::vector<std::uint64_t> vmins{8, 16, 32};
+  const std::vector<double> sigmas{0.3, 0.2, 0.1};
+  const auto pts = compute_theta(vmins, sigmas, 0.0);
+  EXPECT_EQ(argmin_theta(pts).vmin, 32u);
+}
+
+TEST(Theta, AlphaOneSelectsSmallestGroups) {
+  const std::vector<std::uint64_t> vmins{8, 16, 32};
+  const std::vector<double> sigmas{0.3, 0.2, 0.1};
+  const auto pts = compute_theta(vmins, sigmas, 1.0);
+  EXPECT_EQ(argmin_theta(pts).vmin, 8u);
+}
+
+TEST(Theta, InteriorMinimumWithBalancedWeights) {
+  // A convex trade-off (sigma halving per doubling of Vmin, like the
+  // paper's ~30% rule but steeper) has an interior argmin.
+  const std::vector<std::uint64_t> vmins{8, 16, 32, 64, 128};
+  const std::vector<double> sigmas{0.32, 0.16, 0.08, 0.04, 0.02};
+  const auto pts = compute_theta(vmins, sigmas, 0.5);
+  const auto best = argmin_theta(pts);
+  EXPECT_GT(best.vmin, 8u);
+  EXPECT_LT(best.vmin, 128u);
+}
+
+TEST(Theta, RejectsBadInputs) {
+  EXPECT_THROW((void)compute_theta({}, {}, 0.5), InvalidArgument);
+  EXPECT_THROW((void)compute_theta({8}, {0.1, 0.2}, 0.5), InvalidArgument);
+  EXPECT_THROW((void)compute_theta({8}, {0.1}, 1.5), InvalidArgument);
+  EXPECT_THROW((void)argmin_theta({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::sim

@@ -1,0 +1,111 @@
+// Tests for the synthetic workload generators.
+
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cobalt::sim {
+namespace {
+
+WorkloadSpec spec_of(KeyDistribution d, std::size_t keys = 1000) {
+  WorkloadSpec spec;
+  spec.distribution = d;
+  spec.key_count = keys;
+  return spec;
+}
+
+TEST(Workload, IndicesAlwaysInRange) {
+  for (const auto d : {KeyDistribution::kUniform, KeyDistribution::kZipf,
+                       KeyDistribution::kHotspot,
+                       KeyDistribution::kSequential}) {
+    WorkloadGenerator gen(spec_of(d, 97), 1);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_LT(gen.next_index(), 97u) << "distribution "
+                                       << static_cast<int>(d);
+    }
+  }
+}
+
+TEST(Workload, KeysCarryThePrefix) {
+  WorkloadSpec spec = spec_of(KeyDistribution::kUniform, 10);
+  spec.prefix = "asset::";
+  WorkloadGenerator gen(spec, 2);
+  EXPECT_EQ(gen.next_key().rfind("asset::", 0), 0u);
+  EXPECT_EQ(gen.key_at(7), "asset::7");
+  EXPECT_THROW((void)gen.key_at(10), InvalidArgument);
+}
+
+TEST(Workload, SequentialIsRoundRobin) {
+  WorkloadGenerator gen(spec_of(KeyDistribution::kSequential, 5), 3);
+  std::vector<std::size_t> seen;
+  for (int i = 0; i < 11; ++i) seen.push_back(gen.next_index());
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0}));
+}
+
+TEST(Workload, UniformShowsNoSkew) {
+  WorkloadGenerator gen(spec_of(KeyDistribution::kUniform, 1000), 4);
+  // The top 10% of keys should draw about 10% of accesses (a little
+  // more from sampling noise).
+  const double skew = measure_skew(gen, 50000, 0.10);
+  EXPECT_NEAR(skew, 0.12, 0.04);
+}
+
+TEST(Workload, ZipfConcentratesOnTheHead) {
+  WorkloadGenerator gen(spec_of(KeyDistribution::kZipf, 1000), 5);
+  // Zipf(s=1, N=1000): the top 10% of ranks carry ~2/3 of the mass.
+  const double skew = measure_skew(gen, 50000, 0.10);
+  EXPECT_GT(skew, 0.55);
+  EXPECT_LT(skew, 0.80);
+}
+
+TEST(Workload, HotspotFollowsItsParameters) {
+  WorkloadSpec spec = spec_of(KeyDistribution::kHotspot, 1000);
+  spec.hot_key_fraction = 0.05;
+  spec.hot_access_fraction = 0.80;
+  WorkloadGenerator gen(spec, 6);
+  std::size_t hot_hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.next_index() < 50) ++hot_hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_hits) / kDraws, 0.80, 0.02);
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadGenerator a(spec_of(KeyDistribution::kZipf), 7);
+  WorkloadGenerator b(spec_of(KeyDistribution::kZipf), 7);
+  WorkloadGenerator c(spec_of(KeyDistribution::kZipf), 8);
+  bool all_equal = true;
+  bool any_differs = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto va = a.next_index();
+    all_equal &= (va == b.next_index());
+    any_differs |= (va != c.next_index());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Workload, ValidatesSpec) {
+  WorkloadSpec bad = spec_of(KeyDistribution::kUniform, 0);
+  EXPECT_THROW(WorkloadGenerator(bad, 1), InvalidArgument);
+  WorkloadSpec bad_hot = spec_of(KeyDistribution::kHotspot);
+  bad_hot.hot_key_fraction = 0.0;
+  EXPECT_THROW(WorkloadGenerator(bad_hot, 1), InvalidArgument);
+  bad_hot.hot_key_fraction = 0.5;
+  bad_hot.hot_access_fraction = 1.5;
+  EXPECT_THROW(WorkloadGenerator(bad_hot, 1), InvalidArgument);
+}
+
+TEST(Workload, MeasureSkewValidation) {
+  WorkloadGenerator gen(spec_of(KeyDistribution::kUniform), 9);
+  EXPECT_THROW((void)measure_skew(gen, 0, 0.1), InvalidArgument);
+  EXPECT_THROW((void)measure_skew(gen, 10, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::sim
