@@ -2,12 +2,17 @@
 //
 // The balancement quality of figures 4-9 is only half the story for a
 // real deployment: every rebalance moves stored keys. This harness
-// loads a store with synthetic keys, grows the cluster vnode by vnode,
-// and reports the keys moved per join for the local approach, the
-// global approach, and Consistent Hashing (whose minimal-disruption
+// loads a kv::Store with synthetic keys, grows the cluster node by
+// node, and reports the keys moved per join for the local approach,
+// the global approach, and Consistent Hashing (whose minimal-disruption
 // property is the classic reference point).
 //
-// Expected shape: all three move O(K / V) keys per join (a fair share);
+// All three schemes run through the same backend-generic movement loop
+// (sim::run_movement_growth over kv::Store<Backend>); they differ only
+// in the store's backend type, and every number comes from the same
+// unified MigrationStats surface.
+//
+// Expected shape: all three move O(K / N) keys per join (a fair share);
 // CH moves slightly less than the fair share on average (it only steals
 // the arcs of the new node's points), while the model's split waves add
 // rebucketing work but no extra cross-node movement.
@@ -16,48 +21,15 @@
 #include <string>
 #include <vector>
 
-#include "ch/ring.hpp"
-#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "kv/store.hpp"
+#include "sim/scenario.hpp"
 #include "support/figure.hpp"
 
-namespace {
-
-using cobalt::bench::FigureHarness;
-using cobalt::bench::Series;
-
-/// Counts keys CH moves when one node joins: the keys inside the arcs
-/// stolen by the new node's points. Key population given as sorted
-/// hashes.
-std::uint64_t ch_keys_moved_on_join(cobalt::ch::ConsistentHashRing& ring,
-                                    const std::vector<cobalt::HashIndex>& keys,
-                                    std::size_t virtual_servers) {
-  const auto node = ring.add_node(virtual_servers);
-  std::uint64_t moved = 0;
-  for (const cobalt::HashIndex point : ring.points_of(node)) {
-    if (ring.point_count() < 2) {
-      moved += keys.size();
-      continue;
-    }
-    const cobalt::HashIndex pred = ring.predecessor_point(point);
-    // Keys in (pred, point], wrapping when pred >= point.
-    const auto count_le = [&](cobalt::HashIndex x) {
-      return static_cast<std::uint64_t>(
-          std::upper_bound(keys.begin(), keys.end(), x) - keys.begin());
-    };
-    if (pred < point) {
-      moved += count_le(point) - count_le(pred);
-    } else {
-      moved += count_le(point) + (keys.size() - count_le(pred));
-    }
-  }
-  return moved;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using cobalt::bench::FigureHarness;
+  using cobalt::bench::Series;
+
   FigureHarness fig(argc, argv, "abl2",
                     "Ablation A2: keys moved per join (local vs global "
                     "vs CH)",
@@ -65,17 +37,7 @@ int main(int argc, char** argv) {
   fig.print_banner();
 
   const std::uint64_t key_count = fig.args().get_uint("keys", 200000);
-  const std::size_t snodes = fig.args().get_uint("snodes", 16);
   const std::size_t ch_k = fig.args().get_uint("ch-partitions", 32);
-
-  cobalt::dht::Config local_config;
-  local_config.pmin = 32;
-  local_config.vmin = 32;
-  local_config.seed = fig.seed();
-  cobalt::kv::KvStore local(local_config);
-
-  cobalt::dht::Config global_config = local_config;
-  cobalt::kv::GlobalKvStore global(global_config);
 
   // Key population: synthetic URLs (exercises the real hash path).
   std::vector<std::string> keys;
@@ -85,66 +47,36 @@ int main(int argc, char** argv) {
                    std::to_string(i));
   }
 
-  // Stand up both stores on `snodes` snodes with one initial vnode.
-  std::vector<cobalt::dht::SNodeId> local_snodes;
-  std::vector<cobalt::dht::SNodeId> global_snodes;
-  for (std::size_t s = 0; s < snodes; ++s) {
-    local_snodes.push_back(local.add_snode());
-    global_snodes.push_back(global.add_snode());
-  }
-  local.add_vnode(local_snodes[0]);
-  global.add_vnode(global_snodes[0]);
-  for (const auto& key : keys) {
-    local.put(key, "v");
-    global.put(key, "v");
-  }
+  cobalt::dht::Config config;
+  config.pmin = 32;
+  config.vmin = 32;
+  config.seed = fig.seed();
 
-  // CH comparison set: the hashed key population, sorted.
-  std::vector<cobalt::HashIndex> ch_keys;
-  ch_keys.reserve(keys.size());
-  for (const auto& key : keys) {
-    ch_keys.push_back(cobalt::hashing::xxh64(key));
-  }
-  std::sort(ch_keys.begin(), ch_keys.end());
-  cobalt::ch::ConsistentHashRing ring(fig.seed());
-  ring.add_node(ch_k);
+  // The same scenario loop, three backends.
+  cobalt::kv::KvStore local({config, 1});
+  cobalt::kv::GlobalKvStore global({config, 1});
+  cobalt::kv::ChKvStore ch({fig.seed(), ch_k});
+  const auto local_moved =
+      cobalt::sim::run_movement_growth(local, keys, fig.steps());
+  const auto global_moved =
+      cobalt::sim::run_movement_growth(global, keys, fig.steps());
+  const auto ch_moved = cobalt::sim::run_movement_growth(ch, keys, fig.steps());
 
-  // Grow all three, recording movement per join.
-  std::vector<double> local_moved;
-  std::vector<double> global_moved;
-  std::vector<double> ch_moved;
   std::vector<double> fair_share;
-  std::uint64_t local_prev = 0;
-  std::uint64_t global_prev = 0;
-  for (std::size_t v = 2; v <= fig.steps(); ++v) {
-    const auto host = static_cast<cobalt::dht::SNodeId>(v % snodes);
-    local.add_vnode(local_snodes[host]);
-    global.add_vnode(global_snodes[host]);
-    const std::uint64_t lm =
-        local.migration_stats().keys_moved_total - local_prev;
-    const std::uint64_t gm =
-        global.migration_stats().keys_moved_total - global_prev;
-    local_prev = local.migration_stats().keys_moved_total;
-    global_prev = global.migration_stats().keys_moved_total;
-    local_moved.push_back(static_cast<double>(lm));
-    global_moved.push_back(static_cast<double>(gm));
-    ch_moved.push_back(
-        static_cast<double>(ch_keys_moved_on_join(ring, ch_keys, ch_k)));
+  std::vector<double> xs;
+  for (std::size_t n = 2; n <= fig.steps(); ++n) {
+    xs.push_back(static_cast<double>(n));
     fair_share.push_back(static_cast<double>(key_count) /
-                         static_cast<double>(v));
+                         static_cast<double>(n));
   }
 
-  std::vector<double> xs;
-  for (std::size_t v = 2; v <= fig.steps(); ++v) {
-    xs.push_back(static_cast<double>(v));
-  }
   const std::vector<Series> series{Series{"local", local_moved},
                                    Series{"global", global_moved},
                                    Series{"CH", ch_moved},
-                                   Series{"fair share K/V", fair_share}};
-  fig.print_table(xs, series, xs.size() / 16, /*percent=*/false, "vnodes");
-  fig.print_chart(xs, series, "vnodes / nodes joined", "keys moved on join");
-  fig.write_csv(xs, series, "vnodes");
+                                   Series{"fair share K/N", fair_share}};
+  fig.print_table(xs, series, xs.size() / 16, /*percent=*/false, "nodes");
+  fig.print_chart(xs, series, "nodes joined", "keys moved on join");
+  fig.write_csv(xs, series, "nodes");
 
   // --- checks -------------------------------------------------------
   const auto tail_ratio = [&](const std::vector<double>& moved) {
@@ -162,17 +94,25 @@ int main(int argc, char** argv) {
   const double ch_ratio = tail_ratio(ch_moved);
   fig.check(local_ratio > 0.3 && local_ratio < 3.0,
             "local approach moves a fair share per join (ratio " +
-                cobalt::format_fixed(local_ratio, 2) + "x of K/V)");
+                cobalt::format_fixed(local_ratio, 2) + "x of K/N)");
   fig.check(global_ratio > 0.3 && global_ratio < 3.0,
             "global approach moves a fair share per join (ratio " +
-                cobalt::format_fixed(global_ratio, 2) + "x of K/V)");
+                cobalt::format_fixed(global_ratio, 2) + "x of K/N)");
   fig.check(ch_ratio > 0.3 && ch_ratio < 3.0,
             "CH moves a fair share per join (ratio " +
-                cobalt::format_fixed(ch_ratio, 2) + "x of K/V)");
-  // Integrity: no keys lost by either store.
-  fig.check(local.size() == key_count && global.size() == key_count,
+                cobalt::format_fixed(ch_ratio, 2) + "x of K/N)");
+  // One vnode per node: every DHT handover crosses nodes, so the two
+  // movement counters must agree; CH never re-buckets.
+  fig.check(local.migration_stats().keys_moved_across_nodes ==
+                local.migration_stats().keys_moved_total,
+            "local: all movement crosses nodes at one vnode/node");
+  fig.check(ch.migration_stats().keys_rebucketed == 0,
+            "CH never re-buckets keys");
+  // Integrity: no keys lost by any store.
+  fig.check(local.size() == key_count && global.size() == key_count &&
+                ch.size() == key_count,
             "no keys lost through " + std::to_string(fig.steps()) +
-                " joins (local and global)");
+                " joins (local, global, CH)");
 
   return fig.exit_code();
 }

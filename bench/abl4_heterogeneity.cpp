@@ -58,25 +58,18 @@ int main(int argc, char** argv) {
     const auto capacities =
         cobalt::cluster::make_capacities(profile, snodes);
 
-    // Capacity-aware deployment: vnodes proportional to capacity.
+    // Capacity-aware deployment: the placement backend enrolls vnodes
+    // proportionally to the capacity passed at join time.
     cobalt::dht::Config config;
     config.pmin = 16;
     config.vmin = 16;
     config.seed = fig.seed();
-    cobalt::kv::KvStore aware(config);
-    for (std::size_t s = 0; s < snodes; ++s) {
-      const auto id = aware.add_snode(capacities[s]);
-      const std::size_t count = cobalt::cluster::vnodes_for_capacity(
-          baseline_vnodes, capacities[s]);
-      for (std::size_t v = 0; v < count; ++v) aware.add_vnode(id);
-    }
+    cobalt::kv::KvStore aware({config, baseline_vnodes});
+    for (std::size_t s = 0; s < snodes; ++s) aware.add_node(capacities[s]);
 
     // Naive deployment: heterogeneity ignored (equal vnodes per node).
-    cobalt::kv::KvStore naive(config);
-    for (std::size_t s = 0; s < snodes; ++s) {
-      const auto id = naive.add_snode(capacities[s]);
-      for (std::size_t v = 0; v < baseline_vnodes; ++v) naive.add_vnode(id);
-    }
+    cobalt::kv::KvStore naive({config, baseline_vnodes});
+    for (std::size_t s = 0; s < snodes; ++s) naive.add_node(1.0);
 
     for (std::uint64_t i = 0; i < key_count; ++i) {
       const std::string key =
@@ -86,13 +79,13 @@ int main(int argc, char** argv) {
     }
 
     const double aware_imbalance = capacity_weighted_imbalance(
-        aware.keys_per_snode(), capacities);
+        aware.keys_per_node(), capacities);
     const double naive_imbalance = capacity_weighted_imbalance(
-        naive.keys_per_snode(), capacities);
+        naive.keys_per_node(), capacities);
 
     // Naive overload: the busiest per-capacity-unit node relative to a
     // fair per-unit share.
-    const auto naive_keys = naive.keys_per_snode();
+    const auto naive_keys = naive.keys_per_node();
     double total_capacity = 0.0;
     for (const double c : capacities) total_capacity += c;
     const double fair_per_unit =

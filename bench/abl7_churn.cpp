@@ -3,11 +3,16 @@
 //
 // The paper's feature list includes nodes leaving the DHT but its
 // evaluation only grows. This harness holds the population constant
-// while vnodes leave and join, reporting: the sigma-bar(Qv) level under
-// churn vs the pure-growth plateau, and the fraction of removals the
-// local approach must refuse because the model defines no cross-group
-// merge for that topology (DESIGN.md, deletion support) - as a function
-// of Vmin. The global approach is the reference: it never refuses.
+// while nodes leave and join, reporting: the balance level under churn
+// vs the pure-growth plateau, and the fraction of removals the local
+// approach must refuse because the model defines no cross-group merge
+// for that topology (DESIGN notes, deletion support) - as a function
+// of Vmin. The global approach and Consistent Hashing are the
+// references: neither ever refuses.
+//
+// Every scheme runs through the same backend-generic churn loop
+// (sim::run_churn over the PlacementBackend concept) and the same
+// growth loop for its plateau; a scheme is one backend factory.
 
 #include <iostream>
 #include <string>
@@ -15,11 +20,14 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "sim/churn.hpp"
-#include "sim/growth.hpp"
+#include "placement/ch_backend.hpp"
+#include "placement/dht_backend.hpp"
+#include "sim/scenario.hpp"
 #include "support/figure.hpp"
 
 namespace {
+
+using cobalt::bench::FigureHarness;
 
 double mean_tail(const std::vector<double>& series) {
   const std::size_t from = series.size() - series.size() / 4;
@@ -28,14 +36,46 @@ double mean_tail(const std::vector<double>& series) {
   return sum / static_cast<double>(series.size() - from);
 }
 
+/// Averaged outcome of one scheme under the shared churn + growth
+/// protocol.
+struct SchemeOutcome {
+  double churn_level = 0.0;     ///< mean-tail sigma under churn
+  double growth_plateau = 0.0;  ///< mean-tail sigma under pure growth
+  double refused = 0.0;         ///< refused removals / cycles
+};
+
+/// The one shared scenario loop of this ablation: run fig.runs()
+/// churn and growth runs of whatever backend `make(seed)` builds.
+template <typename MakeBackend>
+SchemeOutcome run_scheme(FigureHarness& fig, std::uint64_t tag,
+                         std::size_t population, std::size_t cycles,
+                         MakeBackend make) {
+  SchemeOutcome out;
+  for (std::size_t run = 0; run < fig.runs(); ++run) {
+    const std::uint64_t seed = cobalt::derive_seed(fig.seed(), tag, run);
+    auto churn_backend = make(seed);
+    const auto churn =
+        cobalt::sim::run_churn(churn_backend, population, cycles, seed);
+    out.churn_level += mean_tail(churn.sigma_series);
+    out.refused += static_cast<double>(churn.refused_removals) /
+                   static_cast<double>(cycles);
+    auto growth_backend = make(seed);
+    out.growth_plateau +=
+        mean_tail(cobalt::sim::run_growth(growth_backend, population));
+  }
+  const double n = static_cast<double>(fig.runs());
+  out.churn_level /= n;
+  out.growth_plateau /= n;
+  out.refused /= n;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using cobalt::bench::FigureHarness;
-
   FigureHarness fig(argc, argv, "abl7",
-                    "Ablation A7: sigma-bar(Qv) and removal refusals "
-                    "under sustained churn",
+                    "Ablation A7: balance and removal refusals under "
+                    "sustained churn (local vs global vs CH)",
                     /*default_runs=*/10, /*default_steps=*/256);
   fig.print_banner();
 
@@ -46,72 +86,65 @@ int main(int argc, char** argv) {
       fig.args().get_uint_list("vmin", {8, 32, 128});
 
   cobalt::TextTable table({"scheme", "growth plateau (%)",
-                           "churn level (%)", "refused removals (%)",
-                           "final groups"});
+                           "churn level (%)", "refused removals (%)"});
+  const auto add_row = [&](const std::string& label,
+                           const SchemeOutcome& out) {
+    table.add_row({label, cobalt::format_fixed(out.growth_plateau * 100, 2),
+                   cobalt::format_fixed(out.churn_level * 100, 2),
+                   cobalt::format_fixed(out.refused * 100, 1)});
+  };
 
-  // Global reference.
-  {
-    double churn_level = 0.0;
-    for (std::size_t run = 0; run < fig.runs(); ++run) {
-      cobalt::dht::Config config;
-      config.pmin = pmin;
-      config.vmin = 1;
-      config.seed = cobalt::derive_seed(fig.seed(), 70, run);
-      churn_level +=
-          mean_tail(cobalt::sim::run_global_churn(config, population, cycles)
-                        .sigma_series);
-    }
-    churn_level /= static_cast<double>(fig.runs());
-    table.add_row({"global", "(sawtooth)",
-                   cobalt::format_fixed(churn_level * 100, 2), "0.0",
-                   "1"});
-    fig.check(churn_level < 0.05,
-              "global approach stays tightly balanced under churn (" +
-                  cobalt::format_fixed(churn_level * 100, 2) + "%)");
-  }
+  // Global reference: always expressible removals, tight balance.
+  const auto global = run_scheme(
+      fig, 70, population, cycles, [&](std::uint64_t seed) {
+        cobalt::dht::Config config;
+        config.pmin = pmin;
+        config.vmin = 1;
+        config.seed = seed;
+        return cobalt::placement::GlobalDhtBackend({config, 1});
+      });
+  add_row("global", global);
+  fig.check(global.refused == 0.0, "global approach never refuses");
+  fig.check(global.churn_level < 0.05,
+            "global approach stays tightly balanced under churn (" +
+                cobalt::format_fixed(global.churn_level * 100, 2) + "%)");
 
+  // CH reference: removals always succeed; churn sits at the (flat)
+  // growth level.
+  const auto ch = run_scheme(
+      fig, 71, population, cycles, [&](std::uint64_t seed) {
+        return cobalt::placement::ChBackend(
+            {seed, static_cast<std::size_t>(pmin)});
+      });
+  add_row("CH, " + std::to_string(pmin) + " partitions/node", ch);
+  fig.check(ch.refused == 0.0, "CH never refuses");
+  fig.check(ch.churn_level < 2.0 * ch.growth_plateau + 0.02,
+            "CH churn level stays near its growth level (" +
+                cobalt::format_fixed(ch.churn_level * 100, 1) + "% vs " +
+                cobalt::format_fixed(ch.growth_plateau * 100, 1) + "%)");
+
+  // The local approach across group sizes.
   double refusal_small_vmin = 0.0;
   double refusal_large_vmin = 0.0;
-
   for (const std::uint64_t vmin : vmins) {
-    double churn_level = 0.0;
-    double growth_plateau = 0.0;
-    double refused = 0.0;
-    double groups = 0.0;
-    for (std::size_t run = 0; run < fig.runs(); ++run) {
-      cobalt::dht::Config config;
-      config.pmin = pmin;
-      config.vmin = vmin;
-      config.seed = cobalt::derive_seed(fig.seed(), vmin, run);
-      const auto churn =
-          cobalt::sim::run_local_churn(config, population, cycles);
-      churn_level += mean_tail(churn.sigma_series);
-      refused += static_cast<double>(churn.refused_removals) /
-                 static_cast<double>(cycles);
-      groups += static_cast<double>(churn.final_groups);
-      growth_plateau += mean_tail(cobalt::sim::run_local_growth(
-          config, population, cobalt::sim::Metric::kSigmaQv));
-    }
-    const double n = static_cast<double>(fig.runs());
-    churn_level /= n;
-    growth_plateau /= n;
-    refused /= n;
-    groups /= n;
+    const auto local = run_scheme(
+        fig, vmin, population, cycles, [&](std::uint64_t seed) {
+          cobalt::dht::Config config;
+          config.pmin = pmin;
+          config.vmin = vmin;
+          config.seed = seed;
+          return cobalt::placement::LocalDhtBackend({config, 1});
+        });
+    add_row("local Vmin=" + std::to_string(vmin), local);
 
-    table.add_row({"local Vmin=" + std::to_string(vmin),
-                   cobalt::format_fixed(growth_plateau * 100, 2),
-                   cobalt::format_fixed(churn_level * 100, 2),
-                   cobalt::format_fixed(refused * 100, 1),
-                   cobalt::format_fixed(groups, 1)});
-
-    fig.check(churn_level < 2.5 * growth_plateau + 0.02,
+    fig.check(local.churn_level < 2.5 * local.growth_plateau + 0.02,
               "churn keeps Vmin=" + std::to_string(vmin) +
                   " near its growth plateau (" +
-                  cobalt::format_fixed(churn_level * 100, 1) + "% vs " +
-                  cobalt::format_fixed(growth_plateau * 100, 1) + "%)");
+                  cobalt::format_fixed(local.churn_level * 100, 1) + "% vs " +
+                  cobalt::format_fixed(local.growth_plateau * 100, 1) + "%)");
 
-    if (vmin == vmins.front()) refusal_small_vmin = refused;
-    if (vmin == vmins.back()) refusal_large_vmin = refused;
+    if (vmin == vmins.front()) refusal_small_vmin = local.refused;
+    if (vmin == vmins.back()) refusal_large_vmin = local.refused;
   }
 
   std::cout << table.render();
@@ -124,7 +157,8 @@ int main(int argc, char** argv) {
                 cobalt::format_fixed(refusal_large_vmin * 100, 1) + "%)");
   FigureHarness::note(
       "refusals are the honest boundary of the deletion extension: the "
-      "model defines no cross-group partition merge (DESIGN.md)");
+      "model defines no cross-group partition merge (only the local "
+      "approach ever refuses)");
 
   return fig.exit_code();
 }

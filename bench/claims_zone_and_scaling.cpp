@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "placement/dht_backend.hpp"
 #include "sim/growth.hpp"
+#include "sim/scenario.hpp"
 #include "support/figure.hpp"
 
 namespace {
@@ -41,20 +43,23 @@ int main(int argc, char** argv) {
 
   // --- C1: zone-1 equality with the global approach (exact) ---------
   // While a single group exists the local algorithm *is* the global
-  // algorithm, so the match is exact, not approximate, per step.
+  // algorithm, so the match is exact, not approximate, per step. Both
+  // schemes run through the same backend-generic growth loop; only the
+  // backend differs.
   for (const std::uint64_t p : {8ull, 32ull, 128ull}) {
     cobalt::dht::Config local_config;
     local_config.pmin = p;
     local_config.vmin = p;
     local_config.seed = fig.seed();
     const std::size_t vmax = static_cast<std::size_t>(2 * p);
-    const auto local = cobalt::sim::run_local_growth(
-        local_config, vmax, cobalt::sim::Metric::kSigmaQv);
+    cobalt::placement::LocalDhtBackend local_backend({local_config, 1});
+    const auto local = cobalt::sim::run_growth(local_backend, vmax);
 
     cobalt::dht::Config global_config;
     global_config.pmin = p;
     global_config.seed = fig.seed();
-    const auto global = cobalt::sim::run_global_growth(global_config, vmax);
+    cobalt::placement::GlobalDhtBackend global_backend({global_config, 1});
+    const auto global = cobalt::sim::run_growth(global_backend, vmax);
 
     double max_diff = 0.0;
     for (std::size_t v = 0; v < vmax; ++v) {

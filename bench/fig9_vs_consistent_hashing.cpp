@@ -1,23 +1,33 @@
 // Figure 9 reproduction: comparison with Consistent Hashing - the
 // evolution of sigma-bar(Qn) as homogeneous physical nodes join, for
 // CH with 32 and 64 partitions/node versus the local approach with
-// Pmin = 32 and Vmin in {32, 64, 128, 256, 512} (section 4.3).
+// Pmin = 32 and Vmin in {32, 64, 128, 256, 512} (section 4.3), plus
+// the global approach as the local family's limit curve.
 //
-// One vnode per snode, so sigma-bar(Qn) = sigma-bar(Qv) on the local
-// side. Expected shape (paper): CH hovers around a roughly flat level
-// (~19% at k=32, ~13% at k=64) while the local approach sits below CH
-// for every Vmin in the sweep, improving with Vmin - but only because
-// Vmin was chosen well, which is the point of the comparison.
+// Every curve is produced by the same backend-generic growth loop
+// (sim::run_growth over the PlacementBackend concept); the schemes
+// differ only in the backend factory passed to the sweep. One vnode
+// per node, so sigma() = sigma-bar(Qv) on the DHT side. Expected shape
+// (paper): CH hovers around a roughly flat level (~19% at k=32, ~13%
+// at k=64) while the local approach sits below CH for every Vmin in
+// the sweep, improving with Vmin - but only because Vmin was chosen
+// well, which is the point of the comparison.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "placement/ch_backend.hpp"
+#include "placement/dht_backend.hpp"
 #include "sim/growth.hpp"
+#include "sim/scenario.hpp"
 #include "support/figure.hpp"
 
 namespace {
+
+using cobalt::bench::FigureHarness;
+using cobalt::bench::Series;
 
 double tail_mean(const std::vector<double>& y) {
   const std::size_t from = y.size() - y.size() / 4;
@@ -26,12 +36,24 @@ double tail_mean(const std::vector<double>& y) {
   return sum / static_cast<double>(y.size() - from);
 }
 
+/// The one shared scenario loop of this figure: average fig.runs()
+/// growth series of whatever backend `make(seed)` builds.
+template <typename MakeBackend>
+Series growth_series(FigureHarness& fig, const std::string& label,
+                     std::uint64_t tag, MakeBackend make) {
+  return Series{label, cobalt::sim::average_runs(
+                           fig.runs(), fig.seed(), tag,
+                           [&](std::uint64_t seed) {
+                             auto backend = make(seed);
+                             return cobalt::sim::run_growth(backend,
+                                                            fig.steps());
+                           },
+                           &fig.pool())};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using cobalt::bench::FigureHarness;
-  using cobalt::bench::Series;
-
   FigureHarness fig(argc, argv, "fig9",
                     "Figure 9: sigma-bar(Qn), local approach vs "
                     "Consistent Hashing",
@@ -47,32 +69,37 @@ int main(int argc, char** argv) {
   std::vector<Series> series;
 
   for (const std::uint64_t k : ch_ks) {
-    const auto make = [&, k](std::uint64_t seed) {
-      return cobalt::sim::run_ch_growth(seed, fig.steps(),
-                                        static_cast<std::size_t>(k));
-    };
-    series.push_back(Series{"CH, " + std::to_string(k) + " partitions/node",
-                            cobalt::sim::average_runs(fig.runs(), fig.seed(),
-                                                      1000 + k, make,
-                                                      &fig.pool())});
+    series.push_back(growth_series(
+        fig, "CH, " + std::to_string(k) + " partitions/node", 1000 + k,
+        [k](std::uint64_t seed) {
+          return cobalt::placement::ChBackend(
+              {seed, static_cast<std::size_t>(k)});
+        }));
     std::cout << "  swept CH k=" << k << "\n";
   }
 
   for (const std::uint64_t vmin : vmins) {
-    const auto make = [&, vmin](std::uint64_t seed) {
-      cobalt::dht::Config config;
-      config.pmin = pmin;
-      config.vmin = vmin;
-      config.seed = seed;
-      return cobalt::sim::run_local_growth(config, fig.steps(),
-                                           cobalt::sim::Metric::kSigmaQv);
-    };
-    series.push_back(Series{"local, Vmin=" + std::to_string(vmin),
-                            cobalt::sim::average_runs(fig.runs(), fig.seed(),
-                                                      vmin, make,
-                                                      &fig.pool())});
+    series.push_back(growth_series(
+        fig, "local, Vmin=" + std::to_string(vmin), vmin,
+        [pmin, vmin](std::uint64_t seed) {
+          cobalt::dht::Config config;
+          config.pmin = pmin;
+          config.vmin = vmin;
+          config.seed = seed;
+          return cobalt::placement::LocalDhtBackend({config, 1});
+        }));
     std::cout << "  swept local Vmin=" << vmin << "\n";
   }
+
+  series.push_back(growth_series(
+      fig, "global (limit)", 2000, [pmin](std::uint64_t seed) {
+        cobalt::dht::Config config;
+        config.pmin = pmin;
+        config.vmin = 1;
+        config.seed = seed;
+        return cobalt::placement::GlobalDhtBackend({config, 1});
+      }));
+  std::cout << "  swept global\n";
 
   const auto xs = cobalt::bench::one_to_n(fig.steps());
   fig.print_table(xs, series, fig.steps() / 16, /*percent=*/true,
@@ -99,7 +126,9 @@ int main(int argc, char** argv) {
   // Every local configuration in the sweep beats both CH curves
   // ("it is still able to show better values than the reference
   // model... when properly parameterized").
-  for (std::size_t i = ch_ks.size(); i < series.size(); ++i) {
+  const std::size_t local_first = ch_ks.size();
+  const std::size_t local_last = local_first + vmins.size();  // exclusive
+  for (std::size_t i = local_first; i < local_last; ++i) {
     const double local = tail_mean(series[i].y);
     fig.check(local < ch64,
               series[i].label + " beats CH k=64 (" +
@@ -107,10 +136,16 @@ int main(int argc, char** argv) {
                   cobalt::format_fixed(ch64 * 100, 1) + "%)");
   }
   // Larger Vmin keeps improving the local curves.
-  for (std::size_t i = ch_ks.size() + 1; i < series.size(); ++i) {
+  for (std::size_t i = local_first + 1; i < local_last; ++i) {
     fig.check(tail_mean(series[i].y) < tail_mean(series[i - 1].y),
               series[i].label + " improves on " + series[i - 1].label);
   }
+  // The global approach bounds the local family from below.
+  const double global_level = tail_mean(series[local_last].y);
+  fig.check(global_level < tail_mean(series[local_first].y),
+            "global approach lies below local Vmin=" +
+                std::to_string(vmins.front()) + " (" +
+                cobalt::format_fixed(global_level * 100, 1) + "%)");
 
   return fig.exit_code();
 }

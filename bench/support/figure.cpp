@@ -45,6 +45,7 @@ void FigureHarness::print_table(const std::vector<double>& xs,
   }
   TextTable table(std::move(headers));
   const double scale = percent ? 100.0 : 1.0;
+  if (stride == 0) stride = 1;  // short series: print every point
   for (std::size_t i = 0; i < xs.size(); ++i) {
     const bool sampled = (i % stride == stride - 1) || i + 1 == xs.size() ||
                          i == 0;

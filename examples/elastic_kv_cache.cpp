@@ -1,12 +1,13 @@
 // Elastic web-object cache - the classic Consistent-Hashing use case
 // (the paper's reference model [4] was designed for web caching),
-// served here by the cluster-oriented balanced DHT instead.
+// served side by side by the cluster-oriented balanced DHT and by CH
+// itself, through the *same* store template and the same serving loop.
 //
 // Simulates a URL cache under a Zipf-like request mix while the
-// cluster scales out node by node, reporting the steady-state hit
-// ratio, the invalidation cost of each scale-out step (keys whose
-// responsible node changed), and the storage balance across nodes -
-// side by side with Consistent Hashing.
+// cluster scales out node by node, reporting per deployment the
+// steady-state hit ratio, the invalidation cost of each scale-out step
+// (keys whose responsible node changed), and the storage balance
+// across nodes.
 //
 //   ./elastic_kv_cache [--urls=40000] [--requests=200000] [--nodes=8]
 
@@ -15,7 +16,6 @@
 #include <string>
 #include <vector>
 
-#include "ch/ring.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -52,6 +52,46 @@ std::string url_of(std::size_t index) {
   return "https://origin.example/asset/" + std::to_string(index);
 }
 
+/// One scale-out step's report for one deployment.
+struct StepReport {
+  double hit_ratio = 0.0;
+  std::uint64_t relocated = 0;
+  double storage_sigma = 0.0;
+};
+
+/// The shared serving loop: scale out by one node, serve a request
+/// batch (misses fill the cache), report. Backend-generic: `cache` is
+/// any kv::Store instantiation.
+template <typename StoreT>
+StepReport serve_step(StoreT& cache, ZipfUrls& workload,
+                      std::size_t requests, std::uint64_t& relocated_before) {
+  StepReport report;
+  cache.add_node();
+
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::string url = url_of(workload.next());
+    if (cache.get(url).has_value()) {
+      ++hits;
+    } else {
+      cache.put(url, "cached-object");
+    }
+  }
+  report.hit_ratio =
+      static_cast<double>(hits) / static_cast<double>(requests);
+
+  const auto keys = cache.keys_per_node();
+  std::vector<double> loads(keys.begin(), keys.end());
+  report.storage_sigma =
+      loads.size() > 1 ? cobalt::relative_stddev(loads) : 0.0;
+
+  const std::uint64_t relocated_total =
+      cache.migration_stats().keys_moved_across_nodes;
+  report.relocated = relocated_total - relocated_before;
+  relocated_before = relocated_total;
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,62 +106,46 @@ int main(int argc, char** argv) {
   config.vmin = 16;
   config.seed = args.get_uint("seed", 11);
 
-  cobalt::kv::KvStore cache(config);
-  cobalt::ch::ConsistentHashRing ring(config.seed);
+  cobalt::kv::KvStore dht_cache({config, vnodes_per_node});
+  cobalt::kv::ChKvStore ch_cache({config.seed, 32});
 
-  ZipfUrls workload(url_count, 99);
+  // Independent but identically seeded request streams, so both
+  // deployments serve the same mix.
+  ZipfUrls dht_workload(url_count, 99);
+  ZipfUrls ch_workload(url_count, 99);
 
-  cobalt::TextTable table({"nodes", "hit ratio (%)", "keys relocated",
-                           "storage sigma (%)", "CH storage sigma (%)"});
+  cobalt::TextTable table({"nodes", "hit dht (%)", "hit ch (%)",
+                           "relocated dht", "relocated ch",
+                           "storage sigma dht (%)", "storage sigma ch (%)"});
 
-  std::uint64_t relocated_before = 0;
+  std::uint64_t dht_relocated = 0;
+  std::uint64_t ch_relocated = 0;
   for (std::size_t n = 0; n < max_nodes; ++n) {
-    // Scale out: one more cache node joins both deployments.
-    const auto snode = cache.add_snode();
-    for (std::size_t v = 0; v < vnodes_per_node; ++v) cache.add_vnode(snode);
-    ring.add_node(32);
-
-    // Serve a request batch; misses fill the cache.
-    std::size_t hits = 0;
-    for (std::size_t r = 0; r < requests / max_nodes; ++r) {
-      const std::string url = url_of(workload.next());
-      if (cache.get(url).has_value()) {
-        ++hits;
-      } else {
-        cache.put(url, "cached-object");
-      }
-    }
-
-    // Storage balance across nodes (keys per snode).
-    const auto keys = cache.keys_per_snode();
-    std::vector<double> loads(keys.begin(), keys.end());
-    const double storage_sigma =
-        loads.size() > 1 ? cobalt::relative_stddev(loads) : 0.0;
-
-    const std::uint64_t relocated =
-        cache.migration_stats().keys_moved_across_snodes - relocated_before;
-    relocated_before = cache.migration_stats().keys_moved_across_snodes;
-
-    table.add_row(
-        {std::to_string(n + 1),
-         cobalt::format_fixed(100.0 * static_cast<double>(hits) /
-                                  (static_cast<double>(requests) /
-                                   static_cast<double>(max_nodes)),
-                              1),
-         std::to_string(relocated),
-         cobalt::format_fixed(storage_sigma * 100, 2),
-         cobalt::format_fixed(ring.sigma_qn() * 100, 2)});
+    const std::size_t batch = requests / max_nodes;
+    const auto dht_step =
+        serve_step(dht_cache, dht_workload, batch, dht_relocated);
+    const auto ch_step =
+        serve_step(ch_cache, ch_workload, batch, ch_relocated);
+    table.add_row({std::to_string(n + 1),
+                   cobalt::format_fixed(dht_step.hit_ratio * 100, 1),
+                   cobalt::format_fixed(ch_step.hit_ratio * 100, 1),
+                   std::to_string(dht_step.relocated),
+                   std::to_string(ch_step.relocated),
+                   cobalt::format_fixed(dht_step.storage_sigma * 100, 2),
+                   cobalt::format_fixed(ch_step.storage_sigma * 100, 2)});
   }
 
-  std::cout << "elastic URL cache on the balanced DHT (vs CH balance)\n\n"
+  std::cout << "elastic URL cache: balanced DHT vs CH, one serving loop\n\n"
             << table.render() << "\n"
-            << "final cache population: " << cache.size() << " objects, "
-            << "sigma(Qv) = "
-            << cobalt::format_fixed(cache.dht().sigma_qv() * 100, 2)
-            << "%, groups = " << cache.dht().group_count() << "\n"
-            << "note: 'keys relocated' is the invalidation cost of each "
-               "scale-out step;\n"
-            << "      storage sigma compares placement balance against a "
-               "CH ring (k=32).\n";
+            << "final population: dht " << dht_cache.size() << " / ch "
+            << ch_cache.size() << " objects\n"
+            << "balance sigma: dht "
+            << cobalt::format_fixed(dht_cache.backend().sigma() * 100, 2)
+            << "% (groups = "
+            << dht_cache.backend().dht().group_count() << "), ch "
+            << cobalt::format_fixed(ch_cache.backend().sigma() * 100, 2)
+            << "%\n"
+            << "note: 'relocated' is the invalidation cost of each "
+               "scale-out step\n";
   return 0;
 }

@@ -2,11 +2,12 @@
 // paper (section 1): a cluster mixing machine generations, where each
 // node's share of the DHT must track the resources it enrolls.
 //
-// Builds a three-tier cluster (1x / 2x / 4x machines), enrolls vnodes
-// proportionally to capacity, loads a KV dataset, and prints each
-// node's share next to its capacity - then shows an enrollment-level
-// *change* (section 2.1.2: enrollment "is not necessarily static"):
-// one node upgrades and enrolls more vnodes at runtime.
+// Builds a three-tier cluster (1x / 2x / 4x machines) by passing each
+// node's capacity to the placement backend (which enrolls vnodes
+// proportionally), loads a KV dataset, and prints each node's share
+// next to its capacity - then shows an enrollment-level *change*
+// (section 2.1.2: enrollment "is not necessarily static"): one node
+// upgrades at runtime via resize_node.
 //
 //   ./heterogeneous_cluster [--nodes=9] [--keys=90000] [--base-vnodes=6]
 
@@ -27,17 +28,17 @@ void print_shares(const cobalt::kv::KvStore& store,
   for (const double c : capacities) total_capacity += c;
 
   cobalt::TextTable table(
-      {"snode", "capacity", "vnodes", "keys", "share (%)", "fair (%)"});
-  const auto keys = store.keys_per_snode();
-  for (std::size_t s = 0; s < capacities.size(); ++s) {
+      {"node", "capacity", "vnodes", "keys", "share (%)", "fair (%)"});
+  const auto keys = store.keys_per_node();
+  for (std::size_t n = 0; n < capacities.size(); ++n) {
     const double share =
-        100.0 * static_cast<double>(keys[s]) / static_cast<double>(key_count);
-    const double fair = 100.0 * capacities[s] / total_capacity;
-    table.add_row({std::to_string(s),
-                   cobalt::format_fixed(capacities[s], 1),
-                   std::to_string(store.dht().snode(
-                       static_cast<cobalt::dht::SNodeId>(s)).vnodes.size()),
-                   std::to_string(keys[s]), cobalt::format_fixed(share, 2),
+        100.0 * static_cast<double>(keys[n]) / static_cast<double>(key_count);
+    const double fair = 100.0 * capacities[n] / total_capacity;
+    table.add_row({std::to_string(n),
+                   cobalt::format_fixed(capacities[n], 1),
+                   std::to_string(store.backend().vnodes_of(
+                       static_cast<cobalt::placement::NodeId>(n))),
+                   std::to_string(keys[n]), cobalt::format_fixed(share, 2),
                    cobalt::format_fixed(fair, 2)});
   }
   std::cout << table.render();
@@ -59,14 +60,10 @@ int main(int argc, char** argv) {
   config.vmin = 16;
   config.seed = args.get_uint("seed", 7);
 
-  cobalt::kv::KvStore store(config);
-  std::vector<cobalt::dht::SNodeId> ids;
-  for (std::size_t s = 0; s < nodes; ++s) {
-    const auto id = store.add_snode(capacities[s]);
-    ids.push_back(id);
-    const std::size_t count =
-        cobalt::cluster::vnodes_for_capacity(base_vnodes, capacities[s]);
-    for (std::size_t v = 0; v < count; ++v) store.add_vnode(id);
+  cobalt::kv::KvStore store({config, base_vnodes});
+  std::vector<cobalt::placement::NodeId> ids;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    ids.push_back(store.add_node(capacities[n]));
   }
 
   for (std::size_t i = 0; i < key_count; ++i) {
@@ -77,23 +74,23 @@ int main(int argc, char** argv) {
                "proportional to capacity\n\n";
   print_shares(store, capacities, key_count);
 
-  // Runtime enrollment change: node 0 upgrades from 1x to 4x - it
-  // enrolls the difference in vnodes and its share follows.
-  std::cout << "\n>>> node 0 upgrades 1x -> 4x: enrolling "
-            << cobalt::cluster::vnodes_for_capacity(base_vnodes, 3.0)
-            << " more vnodes\n\n";
+  // Runtime enrollment change: node 0 upgrades from 1x to 4x - the
+  // backend enrolls the difference in vnodes and its share follows.
+  const std::size_t before_vnodes = store.backend().vnodes_of(ids[0]);
+  const std::uint64_t moved_before =
+      store.migration_stats().keys_moved_across_nodes;
+  store.backend().resize_node(ids[0], 4.0);
   auto upgraded = capacities;
   upgraded[0] = 4.0;
-  const std::size_t extra =
-      cobalt::cluster::vnodes_for_capacity(base_vnodes, 3.0);
-  const std::uint64_t moved_before =
-      store.migration_stats().keys_moved_across_snodes;
-  for (std::size_t v = 0; v < extra; ++v) store.add_vnode(ids[0]);
+  std::cout << "\n>>> node 0 upgrades 1x -> 4x: enrolling "
+            << store.backend().vnodes_of(ids[0]) - before_vnodes
+            << " more vnodes\n\n";
   print_shares(store, upgraded, key_count);
-  std::cout << "\nkeys that crossed snodes for the upgrade: "
-            << store.migration_stats().keys_moved_across_snodes - moved_before
+  std::cout << "\nkeys that crossed nodes for the upgrade: "
+            << store.migration_stats().keys_moved_across_nodes - moved_before
             << " (of " << key_count << ")\n"
             << "sigma(Qv) after upgrade: "
-            << cobalt::format_fixed(store.dht().sigma_qv() * 100, 2) << "%\n";
+            << cobalt::format_fixed(store.backend().dht().sigma_qv() * 100, 2)
+            << "% (per-vnode; per-node quotas differ by design here)\n";
   return 0;
 }

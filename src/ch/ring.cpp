@@ -16,7 +16,8 @@ constexpr uint128 kWholeRing = static_cast<uint128>(1) << 64;
 
 ConsistentHashRing::ConsistentHashRing(std::uint64_t seed) : rng_(seed) {}
 
-NodeId ConsistentHashRing::add_node(std::size_t virtual_servers) {
+NodeId ConsistentHashRing::add_node(std::size_t virtual_servers,
+                                    std::vector<ArcTransfer>* events) {
   COBALT_REQUIRE(virtual_servers >= 1,
                  "a node needs at least one virtual server");
   const auto id = static_cast<NodeId>(node_arcs_.size());
@@ -27,12 +28,13 @@ NodeId ConsistentHashRing::add_node(std::size_t virtual_servers) {
   for (std::size_t i = 0; i < virtual_servers; ++i) {
     HashIndex point = rng_.next();
     while (ring_.contains(point)) point = rng_.next();  // vanishing odds
-    insert_point(point, id);
+    insert_point(point, id, events);
   }
   return id;
 }
 
-void ConsistentHashRing::remove_node(NodeId node) {
+void ConsistentHashRing::remove_node(NodeId node,
+                                     std::vector<ArcTransfer>* events) {
   COBALT_REQUIRE(node < node_live_.size() && node_live_[node],
                  "node is not live");
   // Collect this node's points first; erasing while iterating the map
@@ -45,6 +47,7 @@ void ConsistentHashRing::remove_node(NodeId node) {
   for (const HashIndex point : points) {
     const auto it = ring_.find(point);
     if (ring_.size() == 1) {
+      // The ring empties: no successor exists to report a transfer to.
       node_arcs_[node] = 0;
       ring_.erase(it);
       continue;
@@ -56,6 +59,7 @@ void ConsistentHashRing::remove_node(NodeId node) {
     const std::uint64_t len = point - pred->first;  // wraps correctly
     node_arcs_[node] -= len;
     node_arcs_[succ->second] += len;
+    report_arc(events, pred->first, point, node, succ->second);
     ring_.erase(it);
   }
   node_live_[node] = false;
@@ -114,8 +118,11 @@ HashIndex ConsistentHashRing::predecessor_point(HashIndex point) const {
   return pred->first;
 }
 
-void ConsistentHashRing::insert_point(HashIndex point, NodeId node) {
+void ConsistentHashRing::insert_point(HashIndex point, NodeId node,
+                                      std::vector<ArcTransfer>* events) {
   if (ring_.empty()) {
+    // Bootstrap: the first point takes the whole ring; there is no
+    // previous owner to report a transfer from.
     ring_.emplace(point, node);
     node_arcs_[node] += kWholeRing;
     return;
@@ -129,7 +136,25 @@ void ConsistentHashRing::insert_point(HashIndex point, NodeId node) {
   const std::uint64_t len = point - pred->first;  // wraps correctly
   node_arcs_[succ->second] -= len;
   node_arcs_[node] += len;
+  report_arc(events, pred->first, point, succ->second, node);
   ring_.emplace(point, node);
+}
+
+void ConsistentHashRing::report_arc(std::vector<ArcTransfer>* events,
+                                    HashIndex pred, HashIndex last,
+                                    NodeId from, NodeId to) {
+  // Arcs between two points of one node carry no real movement; they
+  // are artifacts of point-by-point insertion/removal order.
+  if (events == nullptr || from == to) return;
+  if (pred < last) {
+    events->push_back(ArcTransfer{pred + 1, last, from, to});
+    return;
+  }
+  // (pred, last] wraps past the top of R_h: report the two halves.
+  if (pred < HashSpace::kMaxIndex) {
+    events->push_back(ArcTransfer{pred + 1, HashSpace::kMaxIndex, from, to});
+  }
+  events->push_back(ArcTransfer{0, last, from, to});
 }
 
 }  // namespace cobalt::ch

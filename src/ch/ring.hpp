@@ -29,6 +29,17 @@ namespace cobalt::ch {
 /// Index of a physical node in the ring.
 using NodeId = std::uint32_t;
 
+/// One hash range whose responsible node changed during a membership
+/// event. Ranges are inclusive and never wrap (a wrapping arc is
+/// reported as two transfers); transfers where nothing actually moved
+/// (an arc passing between two points of one node) are not reported.
+struct ArcTransfer {
+  HashIndex first;  ///< first hash index of the range
+  HashIndex last;   ///< last hash index (inclusive)
+  NodeId from;      ///< previously responsible node
+  NodeId to;        ///< now responsible node
+};
+
 /// A consistent-hashing ring with virtual servers.
 class ConsistentHashRing {
  public:
@@ -37,18 +48,29 @@ class ConsistentHashRing {
 
   /// Joins a node with `virtual_servers` random points; returns its id.
   /// Heterogeneity is expressed by giving different nodes different
-  /// point counts (the CFS construction, paper ref [3]).
-  NodeId add_node(std::size_t virtual_servers);
+  /// point counts (the CFS construction, paper ref [3]). When `events`
+  /// is non-null, the arcs the new node steals are appended to it
+  /// (nothing is reported for the very first point of an empty ring).
+  NodeId add_node(std::size_t virtual_servers,
+                  std::vector<ArcTransfer>* events = nullptr);
 
   /// Leaves: the node's points are removed and their arcs accrete to
-  /// the respective successors.
-  void remove_node(NodeId node);
+  /// the respective successors. When `events` is non-null, the arcs
+  /// leaving the node are appended to it (nothing is reported when the
+  /// last point of the ring disappears).
+  void remove_node(NodeId node, std::vector<ArcTransfer>* events = nullptr);
 
   /// The node responsible for `key` (successor point's owner).
   [[nodiscard]] NodeId lookup(HashIndex key) const;
 
   /// Number of live nodes.
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
+
+  /// Total node slots ever allocated (departed nodes keep their slot);
+  /// NodeIds index into [0, node_slot_count()).
+  [[nodiscard]] std::size_t node_slot_count() const {
+    return node_arcs_.size();
+  }
 
   /// Number of points (virtual servers) on the ring.
   [[nodiscard]] std::size_t point_count() const { return ring_.size(); }
@@ -77,7 +99,13 @@ class ConsistentHashRing {
  private:
   /// Inserts one point for `node`, adjusting the quota of the point
   /// that previously owned the enclosing arc.
-  void insert_point(HashIndex point, NodeId node);
+  void insert_point(HashIndex point, NodeId node,
+                    std::vector<ArcTransfer>* events);
+
+  /// Appends the (possibly wrapping) arc (pred, last] as one or two
+  /// non-wrapping inclusive transfers, unless from == to.
+  static void report_arc(std::vector<ArcTransfer>* events, HashIndex pred,
+                         HashIndex last, NodeId from, NodeId to);
 
   /// The point strictly after `point` on the ring (wrapping).
   [[nodiscard]] std::map<HashIndex, NodeId>::const_iterator successor(

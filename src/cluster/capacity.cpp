@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "placement/types.hpp"
 
 namespace cobalt::cluster {
 
@@ -45,9 +46,8 @@ std::vector<double> make_capacities(CapacityProfile profile,
 std::size_t vnodes_for_capacity(std::size_t baseline_vnodes,
                                 double capacity) {
   COBALT_REQUIRE(baseline_vnodes >= 1, "baseline vnode count must be >= 1");
-  COBALT_REQUIRE(capacity > 0.0, "capacity must be positive");
-  const double raw = static_cast<double>(baseline_vnodes) * capacity;
-  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(raw)));
+  // The rounding policy itself lives with the placement backends.
+  return placement::scaled_enrollment(baseline_vnodes, capacity);
 }
 
 std::string profile_name(CapacityProfile profile) {

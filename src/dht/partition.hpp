@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/dyadic.hpp"
+#include "common/int128.hpp"
 #include "hashing/hash_space.hpp"
 
 namespace cobalt::dht {
@@ -70,6 +71,15 @@ class Partition {
 
   /// True when `other` covers a subrange of this partition (or is equal).
   [[nodiscard]] bool covers(const Partition& other) const;
+
+  /// Collision-free identity of the cell across *all* levels: the heap
+  /// numbering 2^level + prefix (at most 65 bits, hence uint128). Use
+  /// this to key maps by partition; ad-hoc packings of the form
+  /// (prefix << k) | level silently collide once prefix reaches
+  /// 2^(64 - k), i.e. for splitlevels deeper than 64 - k.
+  [[nodiscard]] uint128 key() const {
+    return (static_cast<uint128>(1) << level_) + static_cast<uint128>(prefix_);
+  }
 
   /// Debug form "level:prefix [begin,last]".
   [[nodiscard]] std::string to_string() const;

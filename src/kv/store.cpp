@@ -2,189 +2,10 @@
 
 namespace cobalt::kv {
 
-template <typename DhtT>
-BasicKvStore<DhtT>::BasicKvStore(dht::Config config,
-                                 hashing::Algorithm algorithm)
-    : dht_(config), algorithm_(algorithm) {
-  dht_.set_observer(this);
-}
-
-template <typename DhtT>
-BasicKvStore<DhtT>::~BasicKvStore() {
-  dht_.set_observer(nullptr);
-}
-
-template <typename DhtT>
-dht::SNodeId BasicKvStore<DhtT>::add_snode(double capacity) {
-  return dht_.add_snode(capacity);
-}
-
-template <typename DhtT>
-dht::VNodeId BasicKvStore<DhtT>::add_vnode(dht::SNodeId host) {
-  return dht_.create_vnode(host);
-}
-
-template <typename DhtT>
-void BasicKvStore<DhtT>::remove_vnode(dht::VNodeId id) {
-  dht_.remove_vnode(id);
-}
-
-template <typename DhtT>
-HashIndex BasicKvStore<DhtT>::hash_key(const std::string& key) const {
-  return hashing::hash_bytes(algorithm_, key.data(), key.size());
-}
-
-template <typename DhtT>
-bool BasicKvStore<DhtT>::put(const std::string& key, std::string value) {
-  COBALT_REQUIRE(dht_.vnode_count() >= 1,
-                 "the store needs at least one vnode before writes");
-  const HashIndex h = hash_key(key);
-  const auto hit = dht_.lookup(h);
-  Shard& shard = shards_[shard_key(hit.partition)];
-  const auto [it, inserted] =
-      shard.insert_or_assign(key, Stored{std::move(value), h});
-  (void)it;
-  if (inserted) ++size_;
-  return inserted;
-}
-
-template <typename DhtT>
-std::optional<std::string> BasicKvStore<DhtT>::get(
-    const std::string& key) const {
-  if (dht_.vnode_count() == 0) return std::nullopt;
-  const HashIndex h = hash_key(key);
-  const auto hit = dht_.lookup(h);
-  const auto shard_it = shards_.find(shard_key(hit.partition));
-  if (shard_it == shards_.end()) return std::nullopt;
-  const auto it = shard_it->second.find(key);
-  if (it == shard_it->second.end()) return std::nullopt;
-  return it->second.value;
-}
-
-template <typename DhtT>
-bool BasicKvStore<DhtT>::erase(const std::string& key) {
-  if (dht_.vnode_count() == 0) return false;
-  const HashIndex h = hash_key(key);
-  const auto hit = dht_.lookup(h);
-  const auto shard_it = shards_.find(shard_key(hit.partition));
-  if (shard_it == shards_.end()) return false;
-  if (shard_it->second.erase(key) == 0) return false;
-  --size_;
-  return true;
-}
-
-template <typename DhtT>
-std::vector<std::size_t> BasicKvStore<DhtT>::keys_per_snode() const {
-  std::vector<std::size_t> counts(dht_.snode_count(), 0);
-  dht_.partition_map().for_each(
-      [&](const dht::Partition& p, dht::VNodeId owner) {
-        const auto it = shards_.find(shard_key(p));
-        if (it == shards_.end()) return;
-        counts.at(dht_.vnode(owner).snode) += it->second.size();
-      });
-  return counts;
-}
-
-template <typename DhtT>
-void BasicKvStore<DhtT>::for_each(
-    const std::function<void(const std::string&, const std::string&)>& visit)
-    const {
-  dht_.partition_map().for_each(
-      [&](const dht::Partition& p, dht::VNodeId /*owner*/) {
-        const auto it = shards_.find(shard_key(p));
-        if (it == shards_.end()) return;
-        for (const auto& [key, stored] : it->second) {
-          visit(key, stored.value);
-        }
-      });
-}
-
-template <typename DhtT>
-void BasicKvStore<DhtT>::for_each_on_snode(
-    dht::SNodeId snode,
-    const std::function<void(const std::string&, const std::string&)>& visit)
-    const {
-  COBALT_REQUIRE(snode < dht_.snode_count(), "unknown snode id");
-  dht_.partition_map().for_each(
-      [&](const dht::Partition& p, dht::VNodeId owner) {
-        if (dht_.vnode(owner).snode != snode) return;
-        const auto it = shards_.find(shard_key(p));
-        if (it == shards_.end()) return;
-        for (const auto& [key, stored] : it->second) {
-          visit(key, stored.value);
-        }
-      });
-}
-
-template <typename DhtT>
-std::size_t BasicKvStore<DhtT>::keys_in(
-    const dht::Partition& partition) const {
-  std::size_t count = 0;
-  dht_.partition_map().for_each(
-      [&](const dht::Partition& p, dht::VNodeId /*owner*/) {
-        if (!partition.covers(p)) return;
-        const auto it = shards_.find(shard_key(p));
-        if (it != shards_.end()) count += it->second.size();
-      });
-  return count;
-}
-
-template <typename DhtT>
-void BasicKvStore<DhtT>::on_transfer(const dht::Partition& partition,
-                                     dht::VNodeId from, dht::VNodeId to) {
-  const auto it = shards_.find(shard_key(partition));
-  if (it == shards_.end()) return;  // empty partition: nothing to move
-  const std::uint64_t moved = it->second.size();
-  stats_.keys_moved_total += moved;
-  if (dht_.vnode(from).snode != dht_.vnode(to).snode) {
-    stats_.keys_moved_across_snodes += moved;
-  }
-  // Shards are keyed by partition, so the handover itself is pure
-  // accounting - routing already points at the new owner.
-}
-
-template <typename DhtT>
-void BasicKvStore<DhtT>::on_split(const dht::Partition& partition,
-                                  dht::VNodeId /*owner*/) {
-  const auto it = shards_.find(shard_key(partition));
-  if (it == shards_.end()) return;
-  Shard parent = std::move(it->second);
-  shards_.erase(it);
-  const auto [low, high] = partition.split();
-  Shard shard_low;
-  Shard shard_high;
-  for (auto& [key, stored] : parent) {
-    // One fresh bit of the cached hash decides the half.
-    if (high.contains(stored.hash)) {
-      shard_high.emplace(key, std::move(stored));
-    } else {
-      shard_low.emplace(key, std::move(stored));
-    }
-  }
-  stats_.keys_rebucketed += shard_low.size() + shard_high.size();
-  if (!shard_low.empty()) shards_.emplace(shard_key(low), std::move(shard_low));
-  if (!shard_high.empty())
-    shards_.emplace(shard_key(high), std::move(shard_high));
-}
-
-template <typename DhtT>
-void BasicKvStore<DhtT>::on_merge(const dht::Partition& parent,
-                                  dht::VNodeId /*owner*/) {
-  const auto [low, high] = parent.split();
-  Shard merged;
-  for (const dht::Partition& half : {low, high}) {
-    const auto it = shards_.find(shard_key(half));
-    if (it == shards_.end()) continue;
-    stats_.keys_rebucketed += it->second.size();
-    for (auto& [key, stored] : it->second) {
-      merged.emplace(key, std::move(stored));
-    }
-    shards_.erase(it);
-  }
-  if (!merged.empty()) shards_.emplace(shard_key(parent), std::move(merged));
-}
-
-template class BasicKvStore<dht::LocalDht>;
-template class BasicKvStore<dht::GlobalDht>;
+// The three shipped schemes, compiled once here; new backends only
+// need to model placement::PlacementBackend to get a store for free.
+template class Store<placement::LocalDhtBackend>;
+template class Store<placement::GlobalDhtBackend>;
+template class Store<placement::ChBackend>;
 
 }  // namespace cobalt::kv

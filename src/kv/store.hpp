@@ -1,135 +1,208 @@
 // cobalt/kv/store.hpp
 //
-// A key-value store on top of a balanced DHT: the application-facing
-// layer a cluster service would actually use. Keys are hashed into R_h
-// and stored in per-partition shards; when the balancer splits or hands
-// over partitions, the store migrates shards accordingly and accounts
-// for the keys that crossed snode boundaries (the real cost of a
-// rebalance).
+// The key-value store: the application-facing layer a cluster service
+// would actually use, written once over the PlacementBackend concept
+// and instantiated for every placement scheme (the paper's local and
+// global balanced-DHT approaches, and the Consistent Hashing reference
+// model). This is what makes the paper's comparison an apples-to-apples
+// one at the store level: every backend drives the same shard core and
+// reports the same MigrationStats.
 //
-// The store template works over either balancing approach (GlobalDht or
-// LocalDht), wiring itself in as the DHT's MutationObserver.
+// Keys are hashed into R_h and bucketed by hash in range order; the
+// responsible node of a bucket is *derived* from the backend on read,
+// so membership changes move no bytes inside the store - only the
+// accounting moves, fed by the backend's RelocationObserver events
+// (the real cost a deployment would pay in network traffic).
+//
+// The old per-scheme stores (BasicKvStore<DhtT> keyed by partition,
+// ChKvStore keyed by arc) are collapsed into this one template; their
+// divergent shard keying is gone, and with it the lossy
+// (prefix << 7) | level packing (see dht::Partition::key() for the
+// collision-free identity that replaced it).
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "dht/dht_base.hpp"
-#include "dht/global_dht.hpp"
-#include "dht/local_dht.hpp"
+#include "common/error.hpp"
 #include "hashing/hash.hpp"
+#include "placement/backend.hpp"
+#include "placement/ch_backend.hpp"
+#include "placement/dht_backend.hpp"
 
 namespace cobalt::kv {
 
-/// Cumulative data-movement accounting.
-struct MigrationStats {
-  /// Keys whose partition changed vnode (handover) - intra-node when
-  /// both vnodes share a snode, cross-node otherwise.
-  std::uint64_t keys_moved_total = 0;
-
-  /// The subset of keys_moved_total that crossed snode boundaries:
-  /// actual network traffic in a deployment.
-  std::uint64_t keys_moved_across_snodes = 0;
-
-  /// Keys re-bucketed by partition splits/merges (no movement - the
-  /// owner keeps both halves - but re-indexing work).
-  std::uint64_t keys_rebucketed = 0;
-};
-
-/// A DHT-backed KV store; DhtT is dht::LocalDht or dht::GlobalDht.
-template <typename DhtT>
-class BasicKvStore final : private dht::MutationObserver {
+/// A KV store over any placement backend.
+template <placement::PlacementBackend Backend>
+class Store final : private placement::RelocationObserver {
  public:
-  /// Wraps a fresh DHT with the given model parameters and hash choice.
-  explicit BasicKvStore(dht::Config config,
-                        hashing::Algorithm algorithm = hashing::Algorithm::kXxh64);
+  using Options = typename Backend::Options;
 
-  ~BasicKvStore() override;
+  explicit Store(Options options,
+                 hashing::Algorithm algorithm = hashing::Algorithm::kXxh64)
+      : backend_(std::move(options)), algorithm_(algorithm) {
+    backend_.set_observer(this);
+  }
 
-  BasicKvStore(const BasicKvStore&) = delete;
-  BasicKvStore& operator=(const BasicKvStore&) = delete;
+  ~Store() override { backend_.set_observer(nullptr); }
 
-  /// Cluster-membership operations (forwarded to the balancer).
-  dht::SNodeId add_snode(double capacity = 1.0);
-  dht::VNodeId add_vnode(dht::SNodeId host);
-  void remove_vnode(dht::VNodeId id);
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
 
-  /// Inserts or updates; returns true when the key was new.
-  bool put(const std::string& key, std::string value);
+  /// Cluster membership (forwarded to the backend). remove_node
+  /// returns false when the scheme refuses the removal (the node
+  /// stays; see placement/backend.hpp).
+  placement::NodeId add_node(double capacity = 1.0) {
+    return backend_.add_node(capacity);
+  }
+  bool remove_node(placement::NodeId node) {
+    return backend_.remove_node(node);
+  }
+
+  /// Inserts or updates; returns true when the key was new. Requires
+  /// at least one node.
+  bool put(const std::string& key, std::string value) {
+    COBALT_REQUIRE(backend_.node_count() >= 1,
+                   "the store needs at least one node before writes");
+    const HashIndex h = hash_key(key);
+    const auto [it, inserted] =
+        buckets_[h].insert_or_assign(key, std::move(value));
+    (void)it;
+    if (inserted) ++size_;
+    return inserted;
+  }
 
   /// Point lookup.
-  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto bucket = buckets_.find(hash_key(key));
+    if (bucket == buckets_.end()) return std::nullopt;
+    const auto it = bucket->second.find(key);
+    if (it == bucket->second.end()) return std::nullopt;
+    return it->second;
+  }
 
   /// Deletes; returns true when the key existed.
-  bool erase(const std::string& key);
+  bool erase(const std::string& key) {
+    const auto bucket = buckets_.find(hash_key(key));
+    if (bucket == buckets_.end()) return false;
+    if (bucket->second.erase(key) == 0) return false;
+    if (bucket->second.empty()) buckets_.erase(bucket);
+    --size_;
+    return true;
+  }
 
   /// Total keys stored.
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  /// Keys currently stored per snode (index = SNodeId).
-  [[nodiscard]] std::vector<std::size_t> keys_per_snode() const;
+  /// The node currently responsible for `key`.
+  [[nodiscard]] placement::NodeId owner_of(const std::string& key) const {
+    COBALT_REQUIRE(backend_.node_count() >= 1, "the store has no nodes");
+    return backend_.owner_of(hash_key(key));
+  }
 
-  /// Visits every (key, value) pair, grouped by partition in hash-range
-  /// order (order within a partition is unspecified).
+  /// Keys currently resident per node (index = NodeId; departed nodes
+  /// report 0).
+  [[nodiscard]] std::vector<std::size_t> keys_per_node() const {
+    std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
+    for (const auto& [hash, bucket] : buckets_) {
+      counts.at(backend_.owner_of(hash)) += bucket.size();
+    }
+    return counts;
+  }
+
+  /// Visits every (key, value) pair in hash-range order (order within
+  /// one bucket is unspecified).
   void for_each(const std::function<void(const std::string& key,
                                          const std::string& value)>& visit)
-      const;
+      const {
+    for (const auto& [hash, bucket] : buckets_) {
+      for (const auto& [key, value] : bucket) visit(key, value);
+    }
+  }
 
-  /// Visits the pairs resident on one snode (its vnodes' partitions).
-  void for_each_on_snode(
-      dht::SNodeId snode,
+  /// Visits the pairs a single node is responsible for.
+  void for_each_on_node(
+      placement::NodeId node,
       const std::function<void(const std::string& key,
-                               const std::string& value)>& visit) const;
+                               const std::string& value)>& visit) const {
+    COBALT_REQUIRE(node < backend_.node_slot_count(), "unknown node id");
+    for (const auto& [hash, bucket] : buckets_) {
+      if (backend_.owner_of(hash) != node) continue;
+      for (const auto& [key, value] : bucket) visit(key, value);
+    }
+  }
 
-  /// Keys whose hash falls inside `partition` (a placement probe; used
-  /// by rebalancing tooling and tests).
-  [[nodiscard]] std::size_t keys_in(const dht::Partition& partition) const;
+  /// Keys whose hash falls inside [first, last] (a placement probe;
+  /// used by rebalancing tooling and tests).
+  [[nodiscard]] std::size_t keys_in_range(HashIndex first,
+                                          HashIndex last) const {
+    return static_cast<std::size_t>(count_range(first, last));
+  }
 
-  /// Data-movement counters since construction.
-  [[nodiscard]] const MigrationStats& migration_stats() const {
+  /// Data-movement counters since construction - the same struct for
+  /// every backend.
+  [[nodiscard]] const placement::MigrationStats& migration_stats() const {
     return stats_;
   }
 
-  /// The underlying balancer (read-only; metrics, invariant checks).
-  [[nodiscard]] const DhtT& dht() const { return dht_; }
+  /// The placement backend (scheme-specific surface: the DHT adapters
+  /// expose the balancer and vnode-level elasticity, the CH adapter
+  /// the ring).
+  [[nodiscard]] Backend& backend() { return backend_; }
+  [[nodiscard]] const Backend& backend() const { return backend_; }
 
  private:
-  struct Stored {
-    std::string value;
-    HashIndex hash;  // cached so splits re-bucket without re-hashing
-  };
-  /// One partition's resident keys.
-  using Shard = std::unordered_map<std::string, Stored>;
+  /// One hash position's resident keys (collisions are possible but
+  /// vanishingly rare at Bh = 64).
+  using Bucket = std::unordered_map<std::string, std::string>;
 
-  /// Packs a partition identity into a map key.
-  static std::uint64_t shard_key(const dht::Partition& p) {
-    return (p.prefix() << 7) | p.level();
+  [[nodiscard]] HashIndex hash_key(const std::string& key) const {
+    return hashing::hash_bytes(algorithm_, key.data(), key.size());
   }
 
-  [[nodiscard]] HashIndex hash_key(const std::string& key) const;
+  [[nodiscard]] std::uint64_t count_range(HashIndex first,
+                                          HashIndex last) const {
+    std::uint64_t count = 0;
+    for (auto it = buckets_.lower_bound(first);
+         it != buckets_.end() && it->first <= last; ++it) {
+      count += it->second.size();
+    }
+    return count;
+  }
 
-  // MutationObserver:
-  void on_transfer(const dht::Partition& partition, dht::VNodeId from,
-                   dht::VNodeId to) override;
-  void on_split(const dht::Partition& partition, dht::VNodeId owner) override;
-  void on_merge(const dht::Partition& parent, dht::VNodeId owner) override;
+  // RelocationObserver: buckets are keyed by hash, so relocations are
+  // pure accounting - routing already derives the new owner.
+  void on_relocate(HashIndex first, HashIndex last, placement::NodeId from,
+                   placement::NodeId to) override {
+    const std::uint64_t moved = count_range(first, last);
+    stats_.keys_moved_total += moved;
+    if (from != to) stats_.keys_moved_across_nodes += moved;
+  }
 
-  DhtT dht_;
+  void on_rebucket(HashIndex first, HashIndex last) override {
+    stats_.keys_rebucketed += count_range(first, last);
+  }
+
+  Backend backend_;
   hashing::Algorithm algorithm_;
-  std::unordered_map<std::uint64_t, Shard> shards_;
+  std::map<HashIndex, Bucket> buckets_;
   std::size_t size_ = 0;
-  MigrationStats stats_;
+  placement::MigrationStats stats_;
 };
 
 /// The store over the paper's local approach (the default deployment).
-using KvStore = BasicKvStore<dht::LocalDht>;
+using KvStore = Store<placement::LocalDhtBackend>;
 
 /// The store over the base-model global approach (for comparisons).
-using GlobalKvStore = BasicKvStore<dht::GlobalDht>;
+using GlobalKvStore = Store<placement::GlobalDhtBackend>;
+
+/// The store over the Consistent Hashing reference model.
+using ChKvStore = Store<placement::ChBackend>;
 
 }  // namespace cobalt::kv

@@ -1,0 +1,69 @@
+// cobalt/placement/backend.hpp
+//
+// The PlacementBackend concept: the single surface every placement
+// scheme models so the KV store (kv::Store<Backend>), the scenario
+// drivers (sim/scenario.hpp) and the comparison benches are written
+// once and instantiated N times.
+//
+// A backend owns the scheme's state and exposes:
+//   * membership     - add_node(capacity) / remove_node(id), where
+//                      capacity expresses heterogeneous enrollment
+//                      (section 2.1.2 of the paper);
+//   * routing        - owner_of(index): the node responsible for a
+//                      hash index;
+//   * quality        - quotas() and sigma(), the relative standard
+//                      deviation of per-node quotas (the metric of
+//                      figure 9, comparable across schemes);
+//   * relocation     - set_observer(): range-level callbacks that feed
+//                      the unified MigrationStats.
+//
+// remove_node returns false when the scheme cannot express the removal
+// (the local approach's missing cross-group merge, see DESIGN notes in
+// dht/local_dht.hpp); callers treat a refusal as "the node stayed at
+// its enrollment". An aborted multi-vnode drain may still have
+// rebalanced internally; any movement it caused is reported through
+// the observer (see dht_backend.hpp).
+
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "placement/types.hpp"
+
+namespace cobalt::placement {
+
+template <typename B>
+concept PlacementBackend =
+    std::constructible_from<B, typename B::Options> &&
+    requires(B backend, const B const_backend, double capacity, NodeId node,
+             HashIndex index, RelocationObserver* observer) {
+      typename B::Options;
+
+      // Membership.
+      { backend.add_node(capacity) } -> std::same_as<NodeId>;
+      { backend.remove_node(node) } -> std::same_as<bool>;
+
+      // Routing.
+      { const_backend.owner_of(index) } -> std::same_as<NodeId>;
+
+      // Registry: live count, total slots ever allocated (node ids
+      // index into [0, node_slot_count)), liveness probe.
+      { const_backend.node_count() } -> std::same_as<std::size_t>;
+      { const_backend.node_slot_count() } -> std::same_as<std::size_t>;
+      { const_backend.is_live(node) } -> std::same_as<bool>;
+
+      // Quality metrics (live nodes, ascending id order).
+      { const_backend.quotas() } -> std::same_as<std::vector<double>>;
+      { const_backend.sigma() } -> std::same_as<double>;
+
+      // Relocation events.
+      { backend.set_observer(observer) };
+
+      // Scheme identity for tables, CSV columns and logs.
+      { B::scheme_name() } -> std::convertible_to<std::string_view>;
+    };
+
+}  // namespace cobalt::placement

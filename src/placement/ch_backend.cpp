@@ -1,0 +1,47 @@
+#include "placement/ch_backend.hpp"
+
+#include "common/error.hpp"
+
+namespace cobalt::placement {
+
+ChBackend::ChBackend(Options options)
+    : options_(options), ring_(options.seed) {
+  COBALT_REQUIRE(options_.virtual_servers >= 1,
+                 "a node must place at least one virtual server");
+}
+
+std::size_t ChBackend::target_points(double capacity) const {
+  return scaled_enrollment(options_.virtual_servers, capacity);
+}
+
+NodeId ChBackend::add_node(double capacity) {
+  std::vector<ch::ArcTransfer> events;
+  const ch::NodeId node = ring_.add_node(
+      target_points(capacity), observer_ != nullptr ? &events : nullptr);
+  forward(events);
+  return static_cast<NodeId>(node);
+}
+
+bool ChBackend::remove_node(NodeId node) {
+  COBALT_REQUIRE(is_live(node), "node is not live");
+  COBALT_REQUIRE(ring_.node_count() >= 2, "cannot remove the last live node");
+  std::vector<ch::ArcTransfer> events;
+  ring_.remove_node(static_cast<ch::NodeId>(node),
+                    observer_ != nullptr ? &events : nullptr);
+  forward(events);
+  return true;
+}
+
+NodeId ChBackend::owner_of(HashIndex index) const {
+  return static_cast<NodeId>(ring_.lookup(index));
+}
+
+void ChBackend::forward(const std::vector<ch::ArcTransfer>& events) {
+  if (observer_ == nullptr) return;
+  for (const ch::ArcTransfer& t : events) {
+    observer_->on_relocate(t.first, t.last, static_cast<NodeId>(t.from),
+                           static_cast<NodeId>(t.to));
+  }
+}
+
+}  // namespace cobalt::placement

@@ -1,0 +1,162 @@
+#include "placement/dht_backend.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace cobalt::placement {
+
+template <typename DhtT>
+DhtBackend<DhtT>::DhtBackend(Options options)
+    : options_(options), dht_(options.dht) {
+  COBALT_REQUIRE(options_.vnodes_per_node >= 1,
+                 "a node must enroll at least one vnode");
+  dht_.set_observer(this);
+}
+
+template <typename DhtT>
+DhtBackend<DhtT>::~DhtBackend() {
+  dht_.set_observer(nullptr);
+}
+
+template <typename DhtT>
+std::size_t DhtBackend<DhtT>::target_vnodes(double capacity) const {
+  return scaled_enrollment(options_.vnodes_per_node, capacity);
+}
+
+template <typename DhtT>
+NodeId DhtBackend<DhtT>::add_node(double capacity) {
+  const dht::SNodeId snode = dht_.add_snode(capacity);
+  node_live_.push_back(true);
+  ++live_nodes_;
+  const std::size_t count = target_vnodes(capacity);
+  for (std::size_t v = 0; v < count; ++v) dht_.create_vnode(snode);
+  return static_cast<NodeId>(snode);
+}
+
+template <typename DhtT>
+bool DhtBackend<DhtT>::remove_node(NodeId node) {
+  COBALT_REQUIRE(is_live(node), "node is not live");
+  COBALT_REQUIRE(live_nodes_ >= 2, "cannot remove the last live node");
+  const auto snode = static_cast<dht::SNodeId>(node);
+
+  // Drain the node's vnodes; on a refusal partway, re-enroll what was
+  // drained so the node keeps its full enrollment count. This is an
+  // aborted decommission, not an undo - see the header contract.
+  const std::vector<dht::VNodeId> members = dht_.snode(snode).vnodes;
+  for (std::size_t drained = 0; drained < members.size(); ++drained) {
+    try {
+      dht_.remove_vnode(members[drained]);
+    } catch (const dht::UnsupportedTopology&) {
+      for (std::size_t v = 0; v < drained; ++v) dht_.create_vnode(snode);
+      return false;
+    }
+  }
+  node_live_[node] = false;
+  --live_nodes_;
+  return true;
+}
+
+template <typename DhtT>
+NodeId DhtBackend<DhtT>::owner_of(HashIndex index) const {
+  const auto hit = dht_.lookup(index);
+  return static_cast<NodeId>(dht_.vnode(hit.owner).snode);
+}
+
+template <typename DhtT>
+bool DhtBackend<DhtT>::is_live(NodeId node) const {
+  return node < node_live_.size() && node_live_[node];
+}
+
+template <typename DhtT>
+std::vector<double> DhtBackend<DhtT>::quotas() const {
+  std::vector<double> result;
+  result.reserve(live_nodes_);
+  for (NodeId node = 0; node < node_live_.size(); ++node) {
+    if (!node_live_[node]) continue;
+    Dyadic quota;
+    for (const dht::VNodeId v :
+         dht_.snode(static_cast<dht::SNodeId>(node)).vnodes) {
+      quota += dht_.exact_quota(v);
+    }
+    result.push_back(quota.to_double());
+  }
+  return result;
+}
+
+template <typename DhtT>
+double DhtBackend<DhtT>::sigma() const {
+  if (live_nodes_ == 0) return 0.0;
+  const std::vector<double> q = quotas();
+  return relative_stddev(q);
+}
+
+template <>
+std::string_view DhtBackend<dht::GlobalDht>::scheme_name() {
+  return "global";
+}
+
+template <>
+std::string_view DhtBackend<dht::LocalDht>::scheme_name() {
+  return "local";
+}
+
+template <typename DhtT>
+dht::VNodeId DhtBackend<DhtT>::add_vnode(NodeId node) {
+  COBALT_REQUIRE(is_live(node), "node is not live");
+  return dht_.create_vnode(static_cast<dht::SNodeId>(node));
+}
+
+template <typename DhtT>
+void DhtBackend<DhtT>::remove_vnode(dht::VNodeId id) {
+  dht_.remove_vnode(id);
+}
+
+template <typename DhtT>
+bool DhtBackend<DhtT>::resize_node(NodeId node, double capacity) {
+  COBALT_REQUIRE(is_live(node), "node is not live");
+  const auto snode = static_cast<dht::SNodeId>(node);
+  const std::size_t target = target_vnodes(capacity);
+  while (dht_.snode(snode).vnodes.size() < target) dht_.create_vnode(snode);
+  while (dht_.snode(snode).vnodes.size() > target) {
+    try {
+      dht_.remove_vnode(dht_.snode(snode).vnodes.back());
+    } catch (const dht::UnsupportedTopology&) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename DhtT>
+std::size_t DhtBackend<DhtT>::vnodes_of(NodeId node) const {
+  COBALT_REQUIRE(node < node_live_.size(), "unknown node");
+  return dht_.snode(static_cast<dht::SNodeId>(node)).vnodes.size();
+}
+
+template <typename DhtT>
+void DhtBackend<DhtT>::on_transfer(const dht::Partition& partition,
+                                   dht::VNodeId from, dht::VNodeId to) {
+  if (observer_ == nullptr) return;
+  observer_->on_relocate(partition.begin(), partition.last(),
+                         static_cast<NodeId>(dht_.vnode(from).snode),
+                         static_cast<NodeId>(dht_.vnode(to).snode));
+}
+
+template <typename DhtT>
+void DhtBackend<DhtT>::on_split(const dht::Partition& partition,
+                                dht::VNodeId /*owner*/) {
+  if (observer_ == nullptr) return;
+  observer_->on_rebucket(partition.begin(), partition.last());
+}
+
+template <typename DhtT>
+void DhtBackend<DhtT>::on_merge(const dht::Partition& parent,
+                                dht::VNodeId /*owner*/) {
+  if (observer_ == nullptr) return;
+  observer_->on_rebucket(parent.begin(), parent.last());
+}
+
+template class DhtBackend<dht::GlobalDht>;
+template class DhtBackend<dht::LocalDht>;
+
+}  // namespace cobalt::placement

@@ -1,0 +1,82 @@
+// cobalt/placement/types.hpp
+//
+// Shared vocabulary of the placement layer: every placement scheme
+// (the paper's global and local balanced-DHT approaches, and the
+// Consistent Hashing reference model) is driven through one node-level
+// surface so stores, simulators and benches can be written once and
+// instantiated per scheme.
+//
+// A placement *node* is the unit the comparison of the paper cares
+// about: one physical cluster node. The balanced-DHT backends map a
+// node to an snode plus its enrolled vnodes; the CH backend maps it to
+// a ring node with its virtual servers.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "hashing/hash_space.hpp"
+
+namespace cobalt::placement {
+
+/// Index of a placement node within a backend. Node ids are dense,
+/// assigned in join order, and never reused after a node leaves.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Units (vnodes, ring points) a node of relative `capacity` enrolls
+/// when a capacity-1.0 node enrolls `baseline` of them: rounded to
+/// nearest, at least one (the enrollment rule of section 2.1.2).
+/// Shared by every backend so the rounding policy lives in one place.
+inline std::size_t scaled_enrollment(std::size_t baseline, double capacity) {
+  COBALT_REQUIRE(capacity > 0.0, "node capacity must be positive");
+  const auto scaled = static_cast<std::size_t>(
+      std::llround(static_cast<double>(baseline) * capacity));
+  return scaled < 1 ? 1 : scaled;
+}
+
+/// Cumulative data-movement accounting, identical for every backend.
+struct MigrationStats {
+  /// Keys whose responsible unit changed in a membership event. For the
+  /// DHT backends this counts vnode-level handovers (intra-node ones
+  /// included); for CH it counts keys inside relocated arcs.
+  std::uint64_t keys_moved_total = 0;
+
+  /// The subset of keys_moved_total whose responsible *node* changed:
+  /// actual network traffic in a deployment.
+  std::uint64_t keys_moved_across_nodes = 0;
+
+  /// Keys re-indexed in place by partition splits/merges (the DHT
+  /// backends' split waves; always 0 for CH, which never re-buckets).
+  std::uint64_t keys_rebucketed = 0;
+};
+
+/// Observes responsibility changes of hash ranges. The KV store derives
+/// its migration accounting entirely from these callbacks; protocol and
+/// cost models can tap the same surface.
+///
+/// Ranges are inclusive and never wrap; a backend reports a wrapping
+/// arc as two calls.
+class RelocationObserver {
+ public:
+  virtual ~RelocationObserver() = default;
+
+  /// Keys hashed into [first, last] moved from node `from` to node
+  /// `to`. `from == to` when the movement stayed inside one node (e.g.
+  /// a handover between two vnodes of one snode): it still counts as
+  /// movement at the backend's internal granularity, but not as
+  /// cross-node traffic.
+  virtual void on_relocate(HashIndex first, HashIndex last, NodeId from,
+                           NodeId to) = 0;
+
+  /// Keys hashed into [first, last] were re-indexed in place (binary
+  /// split or buddy merge); the responsible node is unchanged.
+  virtual void on_rebucket(HashIndex first, HashIndex last) = 0;
+};
+
+}  // namespace cobalt::placement

@@ -1,67 +1,32 @@
 #include "sim/churn.hpp"
 
-#include "common/rng.hpp"
-#include "dht/global_dht.hpp"
-#include "dht/local_dht.hpp"
+#include "placement/ch_backend.hpp"
+#include "placement/dht_backend.hpp"
+#include "sim/scenario.hpp"
 
 namespace cobalt::sim {
 
-namespace {
-
-template <typename DhtT>
-dht::VNodeId random_live(const DhtT& dht, Xoshiro256& rng) {
-  const auto live = dht.live_vnodes();
-  return live[static_cast<std::size_t>(rng.next_below(live.size()))];
-}
-
-}  // namespace
+// Both churn entry points are thin wrappers over the backend-generic
+// scenario loop (sim/scenario.hpp), run at one vnode per node.
 
 ChurnResult run_local_churn(dht::Config config, std::size_t initial_vnodes,
                             std::size_t cycles) {
-  COBALT_REQUIRE(initial_vnodes >= 2, "churn needs at least two vnodes");
-  dht::LocalDht dht(config);
-  const dht::SNodeId snode = dht.add_snode();
-  for (std::size_t v = 0; v < initial_vnodes; ++v) dht.create_vnode(snode);
-
-  Xoshiro256 churn_rng(derive_seed(config.seed, 0xC4u, 0));
-  ChurnResult result;
-  result.sigma_series.reserve(cycles);
-
-  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
-    const dht::VNodeId victim = random_live(dht, churn_rng);
-    try {
-      dht.remove_vnode(victim);
-      ++result.completed_removals;
-      dht.create_vnode(snode);
-    } catch (const dht::UnsupportedTopology&) {
-      ++result.refused_removals;
-      // Population unchanged; no substitute creation needed.
-    }
-    result.sigma_series.push_back(dht.sigma_qv());
-  }
-  result.final_groups = dht.group_count();
-  return result;
+  placement::LocalDhtBackend backend({config, 1});
+  ChurnOutcome outcome =
+      run_churn(backend, initial_vnodes, cycles, config.seed);
+  return ChurnResult{std::move(outcome.sigma_series),
+                     outcome.refused_removals, outcome.completed_removals,
+                     backend.dht().group_count()};
 }
 
 ChurnResult run_global_churn(dht::Config config, std::size_t initial_vnodes,
                              std::size_t cycles) {
-  COBALT_REQUIRE(initial_vnodes >= 2, "churn needs at least two vnodes");
-  dht::GlobalDht dht(config);
-  const dht::SNodeId snode = dht.add_snode();
-  for (std::size_t v = 0; v < initial_vnodes; ++v) dht.create_vnode(snode);
-
-  Xoshiro256 churn_rng(derive_seed(config.seed, 0xC4u, 0));
-  ChurnResult result;
-  result.sigma_series.reserve(cycles);
-
-  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
-    dht.remove_vnode(random_live(dht, churn_rng));
-    ++result.completed_removals;
-    dht.create_vnode(snode);
-    result.sigma_series.push_back(dht.sigma_qv());
-  }
-  result.final_groups = 1;
-  return result;
+  placement::GlobalDhtBackend backend({config, 1});
+  ChurnOutcome outcome =
+      run_churn(backend, initial_vnodes, cycles, config.seed);
+  return ChurnResult{std::move(outcome.sigma_series),
+                     outcome.refused_removals, outcome.completed_removals,
+                     /*final_groups=*/1};
 }
 
 }  // namespace cobalt::sim

@@ -35,10 +35,12 @@ struct ChurnResult {
   std::size_t final_groups = 0;
 };
 
-/// Grows a local-approach DHT to `initial_vnodes`, then runs `cycles`
-/// churn cycles: remove one uniformly chosen live vnode (refusals are
-/// counted and skipped), then create one vnode, keeping the population
-/// at `initial_vnodes`. All randomness derives from config.seed.
+/// Grows a local-approach DHT to `initial_vnodes` (one vnode per
+/// node), then runs `cycles` churn cycles: remove one uniformly chosen
+/// live vnode (refusals are counted and skipped), then create one
+/// vnode, keeping the population at `initial_vnodes`. All randomness
+/// derives from config.seed. A thin wrapper over the backend-generic
+/// sim::run_churn (scenario.hpp).
 ChurnResult run_local_churn(dht::Config config, std::size_t initial_vnodes,
                             std::size_t cycles);
 

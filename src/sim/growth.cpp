@@ -1,62 +1,48 @@
 #include "sim/growth.hpp"
 
-#include "ch/ring.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "dht/global_dht.hpp"
-#include "dht/local_dht.hpp"
+#include "placement/ch_backend.hpp"
+#include "placement/dht_backend.hpp"
+#include "sim/scenario.hpp"
 
 namespace cobalt::sim {
 
+// The three growth entry points are thin wrappers over the
+// backend-generic scenario loop (sim/scenario.hpp): one node joins per
+// step with one vnode (or one ring-point set) each, the figure-4/9
+// footprint. With one vnode per node the backend's sigma() is exactly
+// the paper's sigma-bar(Qv), so these reproduce the seed series
+// bit-for-bit.
+
 std::vector<double> run_local_growth(dht::Config config, std::size_t vnodes,
                                      Metric metric) {
-  COBALT_REQUIRE(vnodes >= 1, "growth needs at least one vnode");
-  dht::LocalDht dht(config);
-  const dht::SNodeId snode = dht.add_snode();
-  std::vector<double> series;
-  series.reserve(vnodes);
-  for (std::size_t i = 0; i < vnodes; ++i) {
-    dht.create_vnode(snode);
-    switch (metric) {
-      case Metric::kSigmaQv:
-        series.push_back(dht.sigma_qv());
-        break;
-      case Metric::kSigmaQg:
-        series.push_back(dht.sigma_qg());
-        break;
-      case Metric::kGroupCount:
-        series.push_back(static_cast<double>(dht.group_count()));
-        break;
-    }
-  }
-  return series;
+  placement::LocalDhtBackend backend({config, 1});
+  return run_growth(
+      backend, vnodes,
+      [metric](const placement::LocalDhtBackend& b) {
+        switch (metric) {
+          case Metric::kSigmaQg:
+            return b.dht().sigma_qg();
+          case Metric::kGroupCount:
+            return static_cast<double>(b.dht().group_count());
+          case Metric::kSigmaQv:
+            break;
+        }
+        return b.sigma();
+      });
 }
 
 std::vector<double> run_global_growth(dht::Config config,
                                       std::size_t vnodes) {
-  COBALT_REQUIRE(vnodes >= 1, "growth needs at least one vnode");
-  dht::GlobalDht dht(config);
-  const dht::SNodeId snode = dht.add_snode();
-  std::vector<double> series;
-  series.reserve(vnodes);
-  for (std::size_t i = 0; i < vnodes; ++i) {
-    dht.create_vnode(snode);
-    series.push_back(dht.sigma_qv());
-  }
-  return series;
+  placement::GlobalDhtBackend backend({config, 1});
+  return run_growth(backend, vnodes);
 }
 
 std::vector<double> run_ch_growth(std::uint64_t seed, std::size_t nodes,
                                   std::size_t virtual_servers) {
-  COBALT_REQUIRE(nodes >= 1, "growth needs at least one node");
-  ch::ConsistentHashRing ring(seed);
-  std::vector<double> series;
-  series.reserve(nodes);
-  for (std::size_t i = 0; i < nodes; ++i) {
-    ring.add_node(virtual_servers);
-    series.push_back(ring.sigma_qn());
-  }
-  return series;
+  placement::ChBackend backend({seed, virtual_servers});
+  return run_growth(backend, nodes);
 }
 
 std::vector<double> average_runs(

@@ -29,9 +29,10 @@ enum class Metric {
 };
 
 /// One growth simulation of the *local* approach: grows a fresh DHT to
-/// `vnodes` vnodes (one snode hosting all of them - placement does not
+/// `vnodes` vnodes (one vnode per node - snode placement does not
 /// affect the balancement metrics) and returns the sampled metric after
-/// each creation; element i corresponds to V = i + 1.
+/// each creation; element i corresponds to V = i + 1. A thin wrapper
+/// over the backend-generic sim::run_growth (scenario.hpp).
 std::vector<double> run_local_growth(dht::Config config, std::size_t vnodes,
                                      Metric metric);
 

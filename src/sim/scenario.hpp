@@ -1,0 +1,126 @@
+// cobalt/sim/scenario.hpp
+//
+// Backend-generic scenario drivers: the growth, churn and
+// data-movement protocols of the paper's evaluation (and the
+// ablations), written once over the PlacementBackend concept. Every
+// comparison bench instantiates these same loops per scheme, so a new
+// scenario is written once and a new backend gets every scenario for
+// free.
+//
+// All drivers are deterministic given the backend's construction seed
+// (growth, movement) plus an explicit scenario seed (churn's victim
+// choice).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "placement/backend.hpp"
+
+namespace cobalt::sim {
+
+/// The paper's growth protocol (section 4): join `joins` nodes one at
+/// a time, sampling `sample(backend)` after each join; element i
+/// corresponds to N = i + 1.
+template <placement::PlacementBackend B, typename Sample>
+std::vector<double> run_growth(B& backend, std::size_t joins,
+                               Sample&& sample) {
+  COBALT_REQUIRE(joins >= 1, "growth needs at least one node");
+  std::vector<double> series;
+  series.reserve(joins);
+  for (std::size_t i = 0; i < joins; ++i) {
+    backend.add_node();
+    series.push_back(sample(static_cast<const B&>(backend)));
+  }
+  return series;
+}
+
+/// Growth sampling the backend's own balance metric sigma (the
+/// figure-4/6/9 protocol).
+template <placement::PlacementBackend B>
+std::vector<double> run_growth(B& backend, std::size_t joins) {
+  return run_growth(backend, joins,
+                    [](const B& b) { return b.sigma(); });
+}
+
+/// Outcome of a constant-population churn run.
+struct ChurnOutcome {
+  /// sigma sampled after each completed churn cycle.
+  std::vector<double> sigma_series;
+
+  /// Removals the scheme refused (the targeted node stayed, keeping
+  /// the population constant). Only the local approach ever refuses.
+  std::size_t refused_removals = 0;
+
+  /// Removals that completed (each followed by a replacement join).
+  std::size_t completed_removals = 0;
+};
+
+/// Sustained churn at constant population: grow to `population` nodes,
+/// then run `cycles` cycles of {remove one uniformly chosen live node,
+/// join a replacement}. Refused removals are counted and skipped. The
+/// victim choice derives from `seed` alone, so two backends fed the
+/// same seed see the same victim positions.
+template <placement::PlacementBackend B>
+ChurnOutcome run_churn(B& backend, std::size_t population,
+                       std::size_t cycles, std::uint64_t seed) {
+  COBALT_REQUIRE(population >= 2, "churn needs at least two nodes");
+  for (std::size_t n = 0; n < population; ++n) backend.add_node();
+
+  Xoshiro256 churn_rng(derive_seed(seed, 0xC4u, 0));
+  ChurnOutcome result;
+  result.sigma_series.reserve(cycles);
+
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    // Pick a victim uniformly among live nodes.
+    std::vector<placement::NodeId> live;
+    live.reserve(population);
+    for (placement::NodeId node = 0; node < backend.node_slot_count();
+         ++node) {
+      if (backend.is_live(node)) live.push_back(node);
+    }
+    const placement::NodeId victim =
+        live[static_cast<std::size_t>(churn_rng.next_below(live.size()))];
+    if (backend.remove_node(victim)) {
+      ++result.completed_removals;
+      backend.add_node();
+    } else {
+      ++result.refused_removals;  // population unchanged
+    }
+    result.sigma_series.push_back(backend.sigma());
+  }
+  return result;
+}
+
+/// Data movement under growth (ablation A2): preload `store` (one
+/// node) with `keys`, then join nodes until `target_nodes`, recording
+/// the keys moved by each join as reported by the store's unified
+/// MigrationStats. Element i corresponds to the join taking the
+/// population to i + 2 nodes.
+template <typename StoreT>
+std::vector<double> run_movement_growth(StoreT& store,
+                                        std::span<const std::string> keys,
+                                        std::size_t target_nodes) {
+  COBALT_REQUIRE(target_nodes >= 2, "movement growth needs two joins");
+  store.add_node();
+  for (const std::string& key : keys) store.put(key, "v");
+
+  std::vector<double> moved_per_join;
+  moved_per_join.reserve(target_nodes - 1);
+  std::uint64_t previous = store.migration_stats().keys_moved_total;
+  for (std::size_t n = 2; n <= target_nodes; ++n) {
+    store.add_node();
+    const std::uint64_t total = store.migration_stats().keys_moved_total;
+    moved_per_join.push_back(static_cast<double>(total - previous));
+    previous = total;
+  }
+  return moved_per_join;
+}
+
+}  // namespace cobalt::sim

@@ -140,6 +140,70 @@ TEST(GlobalDht, RemoveManyVnodesKeepsInvariants) {
   EXPECT_EQ(dht.vnode_count(), 16u);
 }
 
+namespace {
+
+/// Counts mutation events (drain-path coverage: remove_vnode must
+/// announce every transfer of the drain and every buddy merge of
+/// merge_everything to its observer).
+class EventCounter final : public MutationObserver {
+ public:
+  void on_transfer(const Partition&, VNodeId from, VNodeId /*to*/) override {
+    ++transfers;
+    last_transfer_from = from;
+  }
+  void on_split(const Partition&, VNodeId) override { ++splits; }
+  void on_merge(const Partition& parent, VNodeId) override {
+    ++merges;
+    merged_level = parent.level();
+  }
+
+  std::size_t transfers = 0;
+  std::size_t splits = 0;
+  std::size_t merges = 0;
+  VNodeId last_transfer_from = kInvalidVNode;
+  unsigned merged_level = 0;
+};
+
+}  // namespace
+
+TEST(GlobalDht, RemovalDrainAnnouncesTransfersAndMerges) {
+  // V = 9 -> 8 crosses a power of two downward: the drain must emit
+  // one transfer per partition the departing vnode held, then
+  // merge_everything must emit one merge per surviving buddy pair.
+  GlobalDht dht(make_config(8));
+  const SNodeId s = dht.add_snode();
+  std::vector<VNodeId> ids;
+  for (int i = 0; i < 9; ++i) ids.push_back(dht.create_vnode(s));
+
+  EventCounter events;
+  dht.set_observer(&events);
+  const std::uint64_t held = dht.gpdr().count_of(ids[4]);
+  const std::uint64_t p_before = dht.gpdr().total();
+  const unsigned level_before = dht.splitlevel();
+  dht.remove_vnode(ids[4]);
+  dht.set_observer(nullptr);
+
+  EXPECT_GE(events.transfers, held);  // drain + pairwise rebalance
+  EXPECT_EQ(events.merges, p_before / 2);
+  EXPECT_EQ(events.merged_level, level_before - 1);
+  EXPECT_EQ(dht.splitlevel(), level_before - 1);
+  EXPECT_EQ(events.splits, 0u);
+  check_invariants(dht, /*creation_only=*/false);
+}
+
+TEST(GlobalDht, DrainedVnodeHoldsNothingAndSurvivorsCoverTheRange) {
+  GlobalDht dht(make_config(4, 11));
+  const SNodeId s = dht.add_snode();
+  std::vector<VNodeId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(dht.create_vnode(s));
+  dht.remove_vnode(ids[2]);
+  EXPECT_EQ(dht.exact_quota(ids[2]).to_double(), 0.0);
+  EXPECT_TRUE(dht.vnode(ids[2]).partitions.empty());
+  Dyadic total;
+  for (const VNodeId id : dht.live_vnodes()) total += dht.exact_quota(id);
+  EXPECT_DOUBLE_EQ(total.to_double(), 1.0);
+}
+
 TEST(GlobalDht, RemoveLastVnodeRejected) {
   GlobalDht dht(make_config(4));
   const SNodeId s = dht.add_snode();

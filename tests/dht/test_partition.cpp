@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+
 #include "common/dyadic.hpp"
 
 namespace cobalt::dht {
@@ -93,6 +96,38 @@ TEST(Partition, RejectsSplittingSingleIndexCells) {
 TEST(Partition, WholeHasNoParentOrBuddy) {
   EXPECT_THROW((void)Partition::whole().parent(), InvalidArgument);
   EXPECT_THROW((void)Partition::whole().buddy(), InvalidArgument);
+}
+
+TEST(Partition, KeyIsCollisionFreeAtDeepSplitlevels) {
+  // Regression for the retired shard packing (prefix << 7) | level,
+  // which shifted the prefix out of the word once level exceeded 57:
+  // at level 58, prefix 2^57 packed identically to prefix 0.
+  const auto old_packing = [](const Partition& p) {
+    return (p.prefix() << 7) | p.level();
+  };
+  const Partition deep_hi = Partition::at(std::uint64_t{1} << 57, 58);
+  const Partition deep_lo = Partition::at(0, 58);
+  EXPECT_EQ(old_packing(deep_hi), old_packing(deep_lo));  // the bug
+  EXPECT_NE(deep_hi.key(), deep_lo.key());                // the fix
+
+  // key() is injective across levels too (same prefix, different level).
+  EXPECT_NE(Partition::at(0, 1).key(), Partition::at(0, 2).key());
+  EXPECT_NE(Partition::at(3, 5).key(), Partition::at(3, 6).key());
+
+  // Exhaustive uniqueness over a mixed-level sample.
+  std::set<cobalt::uint128> seen;
+  for (unsigned level = 0; level <= 10; ++level) {
+    for (std::uint64_t prefix = 0; prefix < (std::uint64_t{1} << level);
+         prefix += (level < 5 ? 1 : 37)) {
+      EXPECT_TRUE(seen.insert(Partition::at(prefix, level).key()).second)
+          << "collision at level " << level << " prefix " << prefix;
+    }
+  }
+  // The extremes of the representable space stay distinct.
+  EXPECT_NE(Partition::whole().key(),
+            Partition::at(0, HashSpace::kMaxSplitLevel).key());
+  EXPECT_NE(Partition::at(~std::uint64_t{0}, 64).key(),
+            Partition::at(0, 64).key());
 }
 
 TEST(Partition, OrderingFollowsRangePosition) {

@@ -46,13 +46,11 @@ TEST(EndToEnd, PaperScaleGrowthKeepsEveryInvariant) {
 }
 
 TEST(EndToEnd, KvStoreSurvivesAggressiveElasticityWithData) {
-  kv::KvStore store(cfg(8, 8, 123));
-  std::vector<dht::SNodeId> snodes;
-  for (int s = 0; s < 8; ++s) snodes.push_back(store.add_snode());
-  store.add_vnode(snodes[0]);
+  kv::KvStore store({cfg(8, 8, 123), 2});
 
   // Interleave writes, growth, reads and removals.
-  std::vector<dht::VNodeId> vnodes;
+  std::vector<placement::NodeId> nodes;
+  nodes.push_back(store.add_node());
   int next_key = 0;
   for (int round = 0; round < 12; ++round) {
     for (int k = 0; k < 500; ++k) {
@@ -60,9 +58,11 @@ TEST(EndToEnd, KvStoreSurvivesAggressiveElasticityWithData) {
                 std::to_string(next_key));
       ++next_key;
     }
-    for (int j = 0; j < 4; ++j) {
-      vnodes.push_back(
-          store.add_vnode(snodes[static_cast<std::size_t>(round) % 8]));
+    for (int j = 0; j < 2; ++j) nodes.push_back(store.add_node());
+    if (round % 3 == 2) {
+      // A leave mid-traffic (the local approach may refuse; the node
+      // then simply stays).
+      if (store.remove_node(nodes.front())) nodes.erase(nodes.begin());
     }
     // Spot-check reads of old and new keys every round.
     for (int probe = 0; probe < next_key; probe += 97) {
@@ -71,8 +71,33 @@ TEST(EndToEnd, KvStoreSurvivesAggressiveElasticityWithData) {
           << "round " << round;
     }
   }
-  ASSERT_NO_THROW(dht::check_invariants(store.dht()));
+  ASSERT_NO_THROW(dht::check_invariants(store.backend().dht(),
+                                        /*creation_only=*/false));
   EXPECT_EQ(store.size(), static_cast<std::size_t>(next_key));
+}
+
+TEST(EndToEnd, OneScenarioLoopDrivesEveryStoreBackend) {
+  // The store-level counterpart of figure 9: the same loop loads,
+  // grows and audits a store; only the backend differs.
+  const auto audit = [](auto& store) {
+    for (int n = 0; n < 3; ++n) store.add_node();
+    for (int i = 0; i < 2000; ++i) {
+      store.put("x/" + std::to_string(i), std::to_string(i));
+    }
+    for (int n = 0; n < 5; ++n) store.add_node();
+    std::size_t resident = 0;
+    for (const auto c : store.keys_per_node()) resident += c;
+    EXPECT_EQ(resident, 2000u);
+    EXPECT_EQ(store.size(), 2000u);
+    EXPECT_GT(store.migration_stats().keys_moved_across_nodes, 0u);
+    return store.backend().sigma();
+  };
+  kv::KvStore local({cfg(8, 8, 31), 1});
+  kv::GlobalKvStore global({cfg(8, 1, 31), 1});
+  kv::ChKvStore ch({31, 16});
+  EXPECT_LT(audit(local), 1.0);
+  EXPECT_LT(audit(global), 1.0);
+  EXPECT_LT(audit(ch), 1.0);
 }
 
 TEST(EndToEnd, GrowthHarnessAgreesWithDirectSimulation) {
@@ -146,16 +171,14 @@ TEST(EndToEnd, DeterminismAcrossTheWholeStack) {
   // Same seeds => identical balancer state, KV placement, CH ring and
   // protocol replay, across independent constructions.
   const auto run_once = [] {
-    kv::KvStore store(cfg(8, 8, 2024));
-    const auto s0 = store.add_snode();
-    const auto s1 = store.add_snode();
-    store.add_vnode(s0);
+    kv::KvStore store({cfg(8, 8, 2024), 1});
+    store.add_node();
     for (int i = 0; i < 1000; ++i) store.put("d" + std::to_string(i), "v");
-    for (int i = 0; i < 10; ++i) store.add_vnode(i % 2 == 0 ? s0 : s1);
-    const auto keys = store.keys_per_snode();
+    for (int i = 0; i < 10; ++i) store.add_node();
+    const auto keys = store.keys_per_node();
     const auto trace = cluster::record_local_trace(cfg(8, 8, 1), 8, 100);
     const auto replay = cluster::replay_trace(trace, cluster::NetworkModel{});
-    return std::tuple{keys, store.dht().sigma_qv(), replay.makespan_us,
+    return std::tuple{keys, store.backend().sigma(), replay.makespan_us,
                       replay.messages};
   };
   EXPECT_EQ(run_once(), run_once());
