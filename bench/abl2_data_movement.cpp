@@ -3,19 +3,23 @@
 // The balancement quality of figures 4-9 is only half the story for a
 // real deployment: every rebalance moves stored keys. This harness
 // loads a kv::Store with synthetic keys, grows the cluster node by
-// node, and reports the keys moved per join for the local approach,
-// the global approach, and Consistent Hashing (whose minimal-disruption
-// property is the classic reference point).
+// node, and reports the keys moved per join for every placement scheme
+// behind the PlacementBackend concept: the local approach, the global
+// approach, Consistent Hashing (whose minimal-disruption property is
+// the classic reference point), weighted rendezvous (HRW), jump
+// consistent hash, maglev lookup tables, and CH with bounded loads.
 //
-// All three schemes run through the same backend-generic movement loop
+// All schemes run through the same backend-generic movement loop
 // (sim::run_movement_growth over kv::Store<Backend>); they differ only
 // in the store's backend type, and every number comes from the same
 // unified MigrationStats surface.
 //
-// Expected shape: all three move O(K / N) keys per join (a fair share);
-// CH moves slightly less than the fair share on average (it only steals
-// the arcs of the new node's points), while the model's split waves add
-// rebucketing work but no extra cross-node movement.
+// Expected shape: most schemes move O(K / N) keys per join (a fair
+// share); CH and jump move slightly less than the fair share on
+// average (they only steal what the new node ends up owning), the
+// model's split waves add rebucketing work but no extra cross-node
+// movement, maglev's table-wide repopulation and bounded CH's cap
+// reshuffling add overhead above the fair share.
 
 #include <iostream>
 #include <string>
@@ -31,13 +35,16 @@ int main(int argc, char** argv) {
   using cobalt::bench::Series;
 
   FigureHarness fig(argc, argv, "abl2",
-                    "Ablation A2: keys moved per join (local vs global "
-                    "vs CH)",
+                    "Ablation A2: keys moved per join (all seven "
+                    "placement schemes)",
                     /*default_runs=*/1, /*default_steps=*/256);
   fig.print_banner();
 
   const std::uint64_t key_count = fig.args().get_uint("keys", 200000);
   const std::size_t ch_k = fig.args().get_uint("ch-partitions", 32);
+  const auto grid_bits =
+      static_cast<unsigned>(fig.args().get_uint("grid-bits", 14));
+  const double epsilon = fig.args().get_double("epsilon", 0.1);
 
   // Key population: synthetic URLs (exercises the real hash path).
   std::vector<std::string> keys;
@@ -52,15 +59,28 @@ int main(int argc, char** argv) {
   config.vmin = 32;
   config.seed = fig.seed();
 
-  // The same scenario loop, three backends.
+  // The same scenario loop, seven backends.
   cobalt::kv::KvStore local({config, 1});
   cobalt::kv::GlobalKvStore global({config, 1});
   cobalt::kv::ChKvStore ch({fig.seed(), ch_k});
+  cobalt::kv::HrwKvStore hrw({fig.seed(), grid_bits});
+  cobalt::kv::JumpKvStore jump({fig.seed(), grid_bits});
+  cobalt::kv::MaglevKvStore maglev({fig.seed(), grid_bits});
+  cobalt::kv::BoundedChKvStore bounded(
+      {fig.seed(), ch_k, epsilon, grid_bits});
   const auto local_moved =
       cobalt::sim::run_movement_growth(local, keys, fig.steps());
   const auto global_moved =
       cobalt::sim::run_movement_growth(global, keys, fig.steps());
   const auto ch_moved = cobalt::sim::run_movement_growth(ch, keys, fig.steps());
+  const auto hrw_moved =
+      cobalt::sim::run_movement_growth(hrw, keys, fig.steps());
+  const auto jump_moved =
+      cobalt::sim::run_movement_growth(jump, keys, fig.steps());
+  const auto maglev_moved =
+      cobalt::sim::run_movement_growth(maglev, keys, fig.steps());
+  const auto bounded_moved =
+      cobalt::sim::run_movement_growth(bounded, keys, fig.steps());
 
   std::vector<double> fair_share;
   std::vector<double> xs;
@@ -73,6 +93,10 @@ int main(int argc, char** argv) {
   const std::vector<Series> series{Series{"local", local_moved},
                                    Series{"global", global_moved},
                                    Series{"CH", ch_moved},
+                                   Series{"HRW", hrw_moved},
+                                   Series{"jump", jump_moved},
+                                   Series{"maglev", maglev_moved},
+                                   Series{"bounded CH", bounded_moved},
                                    Series{"fair share K/N", fair_share}};
   fig.print_table(xs, series, xs.size() / 16, /*percent=*/false, "nodes");
   fig.print_chart(xs, series, "nodes joined", "keys moved on join");
@@ -89,18 +113,28 @@ int main(int argc, char** argv) {
     }
     return m / f;
   };
-  const double local_ratio = tail_ratio(local_moved);
-  const double global_ratio = tail_ratio(global_moved);
-  const double ch_ratio = tail_ratio(ch_moved);
-  fig.check(local_ratio > 0.3 && local_ratio < 3.0,
-            "local approach moves a fair share per join (ratio " +
-                cobalt::format_fixed(local_ratio, 2) + "x of K/N)");
-  fig.check(global_ratio > 0.3 && global_ratio < 3.0,
-            "global approach moves a fair share per join (ratio " +
-                cobalt::format_fixed(global_ratio, 2) + "x of K/N)");
-  fig.check(ch_ratio > 0.3 && ch_ratio < 3.0,
-            "CH moves a fair share per join (ratio " +
-                cobalt::format_fixed(ch_ratio, 2) + "x of K/N)");
+  const auto check_fair = [&](const std::string& label,
+                              const std::vector<double>& moved, double lo,
+                              double hi) {
+    const double ratio = tail_ratio(moved);
+    fig.check(ratio > lo && ratio < hi,
+              label + " moves a fair share per join (ratio " +
+                  cobalt::format_fixed(ratio, 2) + "x of K/N)");
+  };
+  check_fair("local approach", local_moved, 0.3, 3.0);
+  check_fair("global approach", global_moved, 0.3, 3.0);
+  check_fair("CH", ch_moved, 0.3, 3.0);
+  check_fair("HRW", hrw_moved, 0.3, 3.0);
+  check_fair("jump", jump_moved, 0.3, 3.0);
+  // Maglev repopulates its whole table per join and bounded CH
+  // reshuffles overflow cells as the caps shrink: both may exceed the
+  // fair share, but must stay within a small multiple of it.
+  check_fair("maglev", maglev_moved, 0.3, 8.0);
+  check_fair("bounded CH", bounded_moved, 0.3, 8.0);
+  // Minimal disruption: a jump join only steals what the new tail
+  // bucket ends up owning, so it sits at (or below) the fair share.
+  fig.check(tail_ratio(jump_moved) < 1.5,
+            "jump stays near the minimal-disruption bound");
   // One vnode per node: every DHT handover crosses nodes, so the two
   // movement counters must agree; CH never re-buckets.
   fig.check(local.migration_stats().keys_moved_across_nodes ==
@@ -108,11 +142,19 @@ int main(int argc, char** argv) {
             "local: all movement crosses nodes at one vnode/node");
   fig.check(ch.migration_stats().keys_rebucketed == 0,
             "CH never re-buckets keys");
+  // The grid-backed schemes report plain relocations only.
+  fig.check(hrw.migration_stats().keys_rebucketed == 0 &&
+                jump.migration_stats().keys_rebucketed == 0 &&
+                maglev.migration_stats().keys_rebucketed == 0 &&
+                bounded.migration_stats().keys_rebucketed == 0,
+            "HRW, jump, maglev and bounded CH never re-bucket keys");
   // Integrity: no keys lost by any store.
   fig.check(local.size() == key_count && global.size() == key_count &&
-                ch.size() == key_count,
+                ch.size() == key_count && hrw.size() == key_count &&
+                jump.size() == key_count && maglev.size() == key_count &&
+                bounded.size() == key_count,
             "no keys lost through " + std::to_string(fig.steps()) +
-                " joins (local, global, CH)");
+                " joins (all seven schemes)");
 
   return fig.exit_code();
 }

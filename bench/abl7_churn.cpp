@@ -20,8 +20,12 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "placement/bounded_ch_backend.hpp"
 #include "placement/ch_backend.hpp"
 #include "placement/dht_backend.hpp"
+#include "placement/hrw_backend.hpp"
+#include "placement/jump_backend.hpp"
+#include "placement/maglev_backend.hpp"
 #include "sim/scenario.hpp"
 #include "support/figure.hpp"
 
@@ -75,7 +79,7 @@ SchemeOutcome run_scheme(FigureHarness& fig, std::uint64_t tag,
 int main(int argc, char** argv) {
   FigureHarness fig(argc, argv, "abl7",
                     "Ablation A7: balance and removal refusals under "
-                    "sustained churn (local vs global vs CH)",
+                    "sustained churn (all seven placement schemes)",
                     /*default_runs=*/10, /*default_steps=*/256);
   fig.print_banner();
 
@@ -122,6 +126,50 @@ int main(int argc, char** argv) {
             "CH churn level stays near its growth level (" +
                 cobalt::format_fixed(ch.churn_level * 100, 1) + "% vs " +
                 cobalt::format_fixed(ch.growth_plateau * 100, 1) + "%)");
+
+  // The table-driven alternatives: none of them can refuse a removal,
+  // and their churn level should hold at their growth level (the grid
+  // resamples identically regardless of membership history).
+  const auto grid_bits =
+      static_cast<unsigned>(fig.args().get_uint("grid-bits", 14));
+  const double epsilon = fig.args().get_double("epsilon", 0.1);
+
+  const auto hrw = run_scheme(
+      fig, 72, population, cycles, [&](std::uint64_t seed) {
+        return cobalt::placement::HrwBackend({seed, grid_bits});
+      });
+  add_row("HRW (rendezvous)", hrw);
+  fig.check(hrw.refused == 0.0, "HRW never refuses");
+
+  const auto jump = run_scheme(
+      fig, 73, population, cycles, [&](std::uint64_t seed) {
+        return cobalt::placement::JumpBackend({seed, grid_bits});
+      });
+  add_row("jump", jump);
+  fig.check(jump.refused == 0.0,
+            "jump never refuses (the bucket remap layer absorbs "
+            "non-tail removals)");
+
+  const auto maglev = run_scheme(
+      fig, 74, population, cycles, [&](std::uint64_t seed) {
+        return cobalt::placement::MaglevBackend({seed, grid_bits});
+      });
+  add_row("maglev", maglev);
+  fig.check(maglev.refused == 0.0, "maglev never refuses");
+
+  const auto bounded = run_scheme(
+      fig, 75, population, cycles, [&](std::uint64_t seed) {
+        return cobalt::placement::BoundedChBackend(
+            {seed, static_cast<std::size_t>(pmin), epsilon, grid_bits});
+      });
+  add_row("bounded CH (eps=" + cobalt::format_fixed(epsilon, 2) + ")",
+          bounded);
+  fig.check(bounded.refused == 0.0, "bounded CH never refuses");
+  fig.check(bounded.churn_level < 2.0 * bounded.growth_plateau + 0.02,
+            "bounded CH churn level stays near its growth level (" +
+                cobalt::format_fixed(bounded.churn_level * 100, 1) +
+                "% vs " +
+                cobalt::format_fixed(bounded.growth_plateau * 100, 1) + "%)");
 
   // The local approach across group sizes.
   double refusal_small_vmin = 0.0;

@@ -61,7 +61,10 @@ class FigureHarness {
                  const std::string& x_name) const;
 
   /// Records a qualitative check ("who wins / what shape"); prints
-  /// CHECK[ok] / CHECK[FAIL] and tracks the overall exit code.
+  /// CHECK[ok] / CHECK[FAIL] and tracks the overall exit code. With
+  /// --checks=off (smoke runs at reduced scale, where the paper's
+  /// full-scale shapes need not hold) failures are still printed but
+  /// do not affect the exit code.
   void check(bool ok, const std::string& what);
 
   /// Prints a free-form observation the paper states (no pass/fail).
@@ -79,6 +82,7 @@ class FigureHarness {
   std::uint64_t seed_;
   std::string csv_dir_;
   bool chart_;
+  bool checks_enforced_;
   int failed_checks_ = 0;
   ThreadPool pool_;
 };

@@ -92,6 +92,14 @@ class ConsistentHashRing {
   /// The ring points owned by `node`, ascending.
   [[nodiscard]] std::vector<HashIndex> points_of(NodeId node) const;
 
+  /// Read-only view of every live ring point (position -> owning
+  /// node), ascending by position. Lets layered schemes (e.g. the
+  /// bounded-load backend's overflow-to-successor walk) iterate the
+  /// ring without duplicating its state.
+  [[nodiscard]] const std::map<HashIndex, NodeId>& points() const {
+    return ring_;
+  }
+
   /// The point immediately before `point` on the ring (wrapping);
   /// `point` must be a live ring point and not the only one.
   [[nodiscard]] HashIndex predecessor_point(HashIndex point) const;

@@ -78,7 +78,10 @@ double population_stddev(std::span<const double> values) {
 
 double relative_stddev(std::span<const double> values) {
   const double m = mean(values);
-  COBALT_REQUIRE(m != 0.0, "relative stddev undefined for zero mean");
+  // A merely-nonzero check would let a negative mean silently flip the
+  // sign of sigma; every quota/load vector this is used on is
+  // non-negative, so demand a positive mean outright.
+  COBALT_REQUIRE(m > 0.0, "relative stddev requires a positive mean");
   return population_stddev(values) / m;
 }
 

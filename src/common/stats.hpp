@@ -54,7 +54,8 @@ class RunningStats {
 double population_stddev(std::span<const double> values);
 
 /// sigma(values) / mean(values), as a fraction (multiply by 100 for the
-/// percentages plotted in the paper). Requires a nonzero mean.
+/// percentages plotted in the paper). Requires a positive mean (a
+/// negative one would flip the sign of sigma).
 double relative_stddev(std::span<const double> values);
 
 /// Standard deviation of `values` around an externally supplied ideal

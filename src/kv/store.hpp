@@ -33,8 +33,12 @@
 #include "common/error.hpp"
 #include "hashing/hash.hpp"
 #include "placement/backend.hpp"
+#include "placement/bounded_ch_backend.hpp"
 #include "placement/ch_backend.hpp"
 #include "placement/dht_backend.hpp"
+#include "placement/hrw_backend.hpp"
+#include "placement/jump_backend.hpp"
+#include "placement/maglev_backend.hpp"
 
 namespace cobalt::kv {
 
@@ -204,5 +208,17 @@ using GlobalKvStore = Store<placement::GlobalDhtBackend>;
 
 /// The store over the Consistent Hashing reference model.
 using ChKvStore = Store<placement::ChBackend>;
+
+/// The store over weighted rendezvous (HRW) hashing.
+using HrwKvStore = Store<placement::HrwBackend>;
+
+/// The store over jump consistent hash.
+using JumpKvStore = Store<placement::JumpBackend>;
+
+/// The store over maglev hashing.
+using MaglevKvStore = Store<placement::MaglevBackend>;
+
+/// The store over consistent hashing with bounded loads.
+using BoundedChKvStore = Store<placement::BoundedChBackend>;
 
 }  // namespace cobalt::kv

@@ -1,0 +1,91 @@
+#include "placement/bounded_ch_backend.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace cobalt::placement {
+
+BoundedChBackend::BoundedChBackend(Options options)
+    : options_(options), ring_(options.seed), grid_(options.grid_bits) {
+  COBALT_REQUIRE(options_.virtual_servers >= 1,
+                 "a node must place at least one virtual server");
+  COBALT_REQUIRE(options_.epsilon > 0.0, "epsilon must be positive");
+}
+
+NodeId BoundedChBackend::add_node(double capacity) {
+  COBALT_REQUIRE(capacity > 0.0, "node capacity must be positive");
+  node_weight_.push_back(capacity);
+  const ch::NodeId node = ring_.add_node(
+      scaled_enrollment(options_.virtual_servers, capacity), nullptr);
+  rebuild();
+  return static_cast<NodeId>(node);
+}
+
+bool BoundedChBackend::remove_node(NodeId node) {
+  COBALT_REQUIRE(is_live(node), "node is not live");
+  COBALT_REQUIRE(ring_.node_count() >= 2, "cannot remove the last live node");
+  ring_.remove_node(static_cast<ch::NodeId>(node), nullptr);
+  node_weight_[node] = 0.0;
+  rebuild();
+  return true;
+}
+
+void BoundedChBackend::rebuild() {
+  const std::size_t cells = grid_.size();
+  const std::size_t slots = node_weight_.size();
+
+  // Load caps: ceil((1 + epsilon) * weighted fair share) in cells.
+  // The ceilings make the cap sum strictly exceed the cell count, so a
+  // node with spare capacity always exists and the overflow walk
+  // terminates.
+  double total_weight = 0.0;
+  for (NodeId node = 0; node < slots; ++node) {
+    if (ring_.is_live(node)) total_weight += node_weight_[node];
+  }
+  node_cap_.assign(slots, 0);
+  for (NodeId node = 0; node < slots; ++node) {
+    if (!ring_.is_live(node)) continue;
+    node_cap_[node] = static_cast<std::size_t>(
+        std::ceil((1.0 + options_.epsilon) * node_weight_[node] /
+                  total_weight * static_cast<double>(cells)));
+  }
+
+  // Assign cells in ascending order (a deterministic arrival order):
+  // preferred owner first (the successor point, exactly the plain
+  // ring's routing), then forward along the ring past full nodes.
+  const auto& points = ring_.points();
+  std::vector<std::size_t> load(slots, 0);
+  std::vector<NodeId> next(cells, kInvalidNode);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    auto it = points.lower_bound(grid_.cell_first(cell));
+    for (;;) {
+      if (it == points.end()) it = points.begin();
+      const NodeId candidate = it->second;
+      if (load[candidate] < node_cap_[candidate]) {
+        next[cell] = candidate;
+        ++load[candidate];
+        break;
+      }
+      ++it;
+    }
+  }
+  grid_.assign(std::move(next), observer_);
+}
+
+std::vector<double> BoundedChBackend::quotas() const {
+  std::vector<bool> live(node_weight_.size());
+  for (NodeId node = 0; node < node_weight_.size(); ++node) {
+    live[node] = ring_.is_live(node);
+  }
+  return grid_quotas(grid_, live);
+}
+
+double BoundedChBackend::sigma() const { return relative_stddev(quotas()); }
+
+std::size_t BoundedChBackend::cap_of(NodeId node) const {
+  COBALT_REQUIRE(node < node_cap_.size(), "unknown node");
+  return node_cap_[node];
+}
+
+}  // namespace cobalt::placement

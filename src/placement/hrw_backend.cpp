@@ -1,0 +1,83 @@
+#include "placement/hrw_backend.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/stats.hpp"
+
+namespace cobalt::placement {
+
+HrwBackend::HrwBackend(Options options)
+    : options_(options),
+      grid_(options.grid_bits),
+      winning_score_(grid_.size(), -std::numeric_limits<double>::infinity()),
+      rng_(options.seed) {}
+
+double HrwBackend::score(std::size_t cell, NodeId node) const {
+  // An independent uniform draw per (cell, node), strictly inside
+  // (0, 1) so the logarithm is finite and negative.
+  const std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(cell) ^ node_draw_[node]);
+  const double u = (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+  return -node_weight_[node] / std::log(u);
+}
+
+NodeId HrwBackend::add_node(double capacity) {
+  COBALT_REQUIRE(capacity > 0.0, "node capacity must be positive");
+  const auto id = static_cast<NodeId>(node_live_.size());
+  node_weight_.push_back(capacity);
+  node_draw_.push_back(rng_.next());
+  node_live_.push_back(true);
+  ++live_nodes_;
+
+  // The new node wins exactly the cells where its score beats the
+  // stored winner; every other cell is untouched.
+  std::vector<NodeId> next(grid_.owners());
+  for (std::size_t cell = 0; cell < next.size(); ++cell) {
+    const double s = score(cell, id);
+    if (s > winning_score_[cell]) {
+      winning_score_[cell] = s;
+      next[cell] = id;
+    }
+  }
+  grid_.assign(std::move(next), observer_);
+  return id;
+}
+
+bool HrwBackend::remove_node(NodeId node) {
+  COBALT_REQUIRE(is_live(node), "node is not live");
+  COBALT_REQUIRE(live_nodes_ >= 2, "cannot remove the last live node");
+  node_live_[node] = false;
+  node_weight_[node] = 0.0;
+  --live_nodes_;
+
+  // Only the cells the departed node won change hands: rerun the
+  // rendezvous among the survivors for exactly those cells.
+  std::vector<NodeId> next(grid_.owners());
+  for (std::size_t cell = 0; cell < next.size(); ++cell) {
+    if (next[cell] != node) continue;
+    NodeId winner = kInvalidNode;
+    double best = -std::numeric_limits<double>::infinity();
+    for (NodeId candidate = 0; candidate < node_live_.size(); ++candidate) {
+      if (!node_live_[candidate]) continue;
+      const double s = score(cell, candidate);
+      if (s > best) {
+        best = s;
+        winner = candidate;
+      }
+    }
+    next[cell] = winner;
+    winning_score_[cell] = best;
+  }
+  grid_.assign(std::move(next), observer_);
+  return true;
+}
+
+double HrwBackend::sigma() const { return relative_stddev(quotas()); }
+
+double HrwBackend::weight_of(NodeId node) const {
+  COBALT_REQUIRE(node < node_weight_.size(), "unknown node");
+  return node_weight_[node];
+}
+
+}  // namespace cobalt::placement

@@ -1,0 +1,68 @@
+#include "placement/maglev_backend.hpp"
+
+#include "common/stats.hpp"
+
+namespace cobalt::placement {
+
+MaglevBackend::MaglevBackend(Options options)
+    : options_(options), table_(options.table_bits), rng_(options.seed) {}
+
+NodeId MaglevBackend::add_node(double capacity) {
+  COBALT_REQUIRE(capacity > 0.0, "node capacity must be positive");
+  const auto id = static_cast<NodeId>(node_live_.size());
+  const std::size_t slots = table_.size();
+  node_weight_.push_back(capacity);
+  node_offset_.push_back(rng_.next() & (slots - 1));
+  // An odd skip is coprime with the power-of-two table size, so the
+  // permutation offset + i * skip visits every slot.
+  node_skip_.push_back((rng_.next() & (slots - 1)) | 1);
+  node_live_.push_back(true);
+  ++live_nodes_;
+  repopulate();
+  return id;
+}
+
+bool MaglevBackend::remove_node(NodeId node) {
+  COBALT_REQUIRE(is_live(node), "node is not live");
+  COBALT_REQUIRE(live_nodes_ >= 2, "cannot remove the last live node");
+  node_live_[node] = false;
+  node_weight_[node] = 0.0;
+  --live_nodes_;
+  repopulate();
+  return true;
+}
+
+void MaglevBackend::repopulate() {
+  const std::size_t slots = table_.size();
+  std::vector<NodeId> next(slots, kInvalidNode);
+  std::vector<std::size_t> cursor(node_live_.size(), 0);
+  std::vector<double> credit(node_live_.size(), 0.0);
+  std::size_t filled = 0;
+  // Round-robin fill: each round every live node accrues its weight in
+  // claim credit and spends whole credits on the first unclaimed slots
+  // of its permutation (the weighted generalization of the maglev
+  // paper's one-claim-per-turn population loop).
+  while (filled < slots) {
+    for (NodeId node = 0; node < node_live_.size() && filled < slots;
+         ++node) {
+      if (!node_live_[node]) continue;
+      credit[node] += node_weight_[node];
+      while (credit[node] >= 1.0 && filled < slots) {
+        credit[node] -= 1.0;
+        std::size_t slot;
+        do {
+          slot = (node_offset_[node] + cursor[node] * node_skip_[node]) &
+                 (slots - 1);
+          ++cursor[node];
+        } while (next[slot] != kInvalidNode);
+        next[slot] = node;
+        ++filled;
+      }
+    }
+  }
+  table_.assign(std::move(next), observer_);
+}
+
+double MaglevBackend::sigma() const { return relative_stddev(quotas()); }
+
+}  // namespace cobalt::placement

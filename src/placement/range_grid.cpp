@@ -1,0 +1,56 @@
+#include "placement/range_grid.hpp"
+
+namespace cobalt::placement {
+
+RangeGrid::RangeGrid(unsigned bits)
+    : bits_(bits), shift_(HashSpace::kBits - bits) {
+  COBALT_REQUIRE(bits >= 1 && bits <= 30,
+                 "grid resolution must be between 1 and 30 bits");
+  owners_.assign(std::size_t{1} << bits, kInvalidNode);
+}
+
+void RangeGrid::assign(std::vector<NodeId> next, RelocationObserver* observer) {
+  COBALT_INVARIANT(next.size() == owners_.size(),
+                   "grid reassignment must keep the resolution");
+  if (observer != nullptr) {
+    const std::size_t n = owners_.size();
+    std::size_t i = 0;
+    while (i < n) {
+      const NodeId from = owners_[i];
+      const NodeId to = next[i];
+      if (from == to || from == kInvalidNode) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < n && owners_[j] == from && next[j] == to) ++j;
+      observer->on_relocate(cell_first(i), cell_last(j - 1), from, to);
+      i = j;
+    }
+  }
+  owners_ = std::move(next);
+}
+
+std::vector<std::size_t> RangeGrid::cell_counts(std::size_t slot_count) const {
+  std::vector<std::size_t> counts(slot_count, 0);
+  for (const NodeId owner : owners_) {
+    if (owner == kInvalidNode) continue;
+    COBALT_INVARIANT(owner < slot_count, "grid owner outside the registry");
+    ++counts[owner];
+  }
+  return counts;
+}
+
+std::vector<double> grid_quotas(const RangeGrid& grid,
+                                const std::vector<bool>& node_live) {
+  const auto counts = grid.cell_counts(node_live.size());
+  const double total = static_cast<double>(grid.size());
+  std::vector<double> quotas;
+  for (NodeId node = 0; node < node_live.size(); ++node) {
+    if (!node_live[node]) continue;
+    quotas.push_back(static_cast<double>(counts[node]) / total);
+  }
+  return quotas;
+}
+
+}  // namespace cobalt::placement

@@ -73,23 +73,29 @@ ChurnOutcome run_churn(B& backend, std::size_t population,
   COBALT_REQUIRE(population >= 2, "churn needs at least two nodes");
   for (std::size_t n = 0; n < population; ++n) backend.add_node();
 
+  // The live set, maintained incrementally: node ids are never reused,
+  // so rebuilding it by scanning node_slot_count() slots every cycle
+  // would grow by one slot per completed cycle and turn a long churn
+  // run quadratic. Scan once (covering nodes that predate this call),
+  // then let each replacement join take its victim's position.
+  std::vector<placement::NodeId> live;
+  live.reserve(backend.node_count());
+  for (placement::NodeId node = 0; node < backend.node_slot_count();
+       ++node) {
+    if (backend.is_live(node)) live.push_back(node);
+  }
+
   Xoshiro256 churn_rng(derive_seed(seed, 0xC4u, 0));
   ChurnOutcome result;
   result.sigma_series.reserve(cycles);
 
   for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
     // Pick a victim uniformly among live nodes.
-    std::vector<placement::NodeId> live;
-    live.reserve(population);
-    for (placement::NodeId node = 0; node < backend.node_slot_count();
-         ++node) {
-      if (backend.is_live(node)) live.push_back(node);
-    }
-    const placement::NodeId victim =
-        live[static_cast<std::size_t>(churn_rng.next_below(live.size()))];
-    if (backend.remove_node(victim)) {
+    const auto pick =
+        static_cast<std::size_t>(churn_rng.next_below(live.size()));
+    if (backend.remove_node(live[pick])) {
       ++result.completed_removals;
-      backend.add_node();
+      live[pick] = backend.add_node();
     } else {
       ++result.refused_removals;  // population unchanged
     }
@@ -102,12 +108,16 @@ ChurnOutcome run_churn(B& backend, std::size_t population,
 /// node) with `keys`, then join nodes until `target_nodes`, recording
 /// the keys moved by each join as reported by the store's unified
 /// MigrationStats. Element i corresponds to the join taking the
-/// population to i + 2 nodes.
+/// population to i + 2 nodes; the smallest allowed target, 2 nodes,
+/// performs exactly one join past the preload node and returns a
+/// one-element series.
 template <typename StoreT>
 std::vector<double> run_movement_growth(StoreT& store,
                                         std::span<const std::string> keys,
                                         std::size_t target_nodes) {
-  COBALT_REQUIRE(target_nodes >= 2, "movement growth needs two joins");
+  COBALT_REQUIRE(target_nodes >= 2,
+                 "movement growth needs at least one join past the "
+                 "preload node (target_nodes >= 2)");
   store.add_node();
   for (const std::string& key : keys) store.put(key, "v");
 

@@ -93,6 +93,13 @@ TEST(Stats, RelativeStddevZeroMeanThrows) {
   EXPECT_THROW((void)relative_stddev(v), InvalidArgument);
 }
 
+TEST(Stats, RelativeStddevNegativeMeanThrows) {
+  // Regression: a merely-nonzero mean check let a negative mean flip
+  // the sign of sigma ({-2, -4} used to report -sqrt(1)/3).
+  const std::vector<double> v{-2.0, -4.0};
+  EXPECT_THROW((void)relative_stddev(v), InvalidArgument);
+}
+
 TEST(Stats, RelativeStddevAroundIdealMean) {
   // sigma-bar(Qg, 1/G) of section 4.2.1: quotas {0.3, 0.7} against the
   // ideal mean 0.5: sqrt(((0.2)^2 + (0.2)^2)/2)/0.5 = 0.4.

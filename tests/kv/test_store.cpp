@@ -1,8 +1,9 @@
 // Tests for the unified key-value store: one typed suite drives
-// kv::Store over all three placement backends (local DHT, global DHT,
-// Consistent Hashing) through identical scenarios - the store-level
-// counterpart of the paper's comparison - plus DHT-specific coverage
-// of the migration accounting.
+// kv::Store over all seven placement backends (local DHT, global DHT,
+// Consistent Hashing, HRW, jump, maglev, bounded-load CH) through
+// identical scenarios - the store-level counterpart of the paper's
+// comparison - plus DHT-specific coverage of the migration
+// accounting.
 
 #include "kv/store.hpp"
 
@@ -44,10 +45,32 @@ ChKvStore make_store<ChKvStore>(std::uint64_t seed) {
   return ChKvStore({seed, 16});
 }
 
+template <>
+HrwKvStore make_store<HrwKvStore>(std::uint64_t seed) {
+  return HrwKvStore({seed, 12});
+}
+
+template <>
+JumpKvStore make_store<JumpKvStore>(std::uint64_t seed) {
+  return JumpKvStore({seed, 12});
+}
+
+template <>
+MaglevKvStore make_store<MaglevKvStore>(std::uint64_t seed) {
+  return MaglevKvStore({seed, 12});
+}
+
+template <>
+BoundedChKvStore make_store<BoundedChKvStore>(std::uint64_t seed) {
+  return BoundedChKvStore({seed, 16, 0.25, 12});
+}
+
 template <typename StoreT>
 class StoreSuite : public ::testing::Test {};
 
-using StoreTypes = ::testing::Types<KvStore, GlobalKvStore, ChKvStore>;
+using StoreTypes =
+    ::testing::Types<KvStore, GlobalKvStore, ChKvStore, HrwKvStore,
+                     JumpKvStore, MaglevKvStore, BoundedChKvStore>;
 TYPED_TEST_SUITE(StoreSuite, StoreTypes);
 
 TYPED_TEST(StoreSuite, PutGetEraseRoundTrip) {

@@ -1,0 +1,231 @@
+// Backend-generic property tests: one typed suite drives every
+// placement scheme - the paper's local and global approaches, plain
+// Consistent Hashing, and the table-driven alternatives (HRW, jump,
+// maglev, bounded-load CH) - through the same invariants:
+//
+//   * quotas() is a probability vector (sums to ~1.0, entries
+//     non-negative) after arbitrary join/leave sequences;
+//   * the relocation events of a join conserve hash-range mass: the
+//     net mass reported into the new node equals the mass the node
+//     ends up owning (catches wrap-around and off-by-one range
+//     reporting in the adapters);
+//   * the scenario drivers of sim/scenario.hpp run unmodified over
+//     every backend.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/int128.hpp"
+#include "common/rng.hpp"
+#include "placement/backend.hpp"
+#include "placement/bounded_ch_backend.hpp"
+#include "placement/ch_backend.hpp"
+#include "placement/dht_backend.hpp"
+#include "placement/hrw_backend.hpp"
+#include "placement/jump_backend.hpp"
+#include "placement/maglev_backend.hpp"
+#include "sim/scenario.hpp"
+
+namespace cobalt::placement {
+namespace {
+
+// Every shipped scheme models the concept - a surface regression is a
+// build error, not a test failure.
+static_assert(PlacementBackend<LocalDhtBackend>);
+static_assert(PlacementBackend<GlobalDhtBackend>);
+static_assert(PlacementBackend<ChBackend>);
+static_assert(PlacementBackend<HrwBackend>);
+static_assert(PlacementBackend<JumpBackend>);
+static_assert(PlacementBackend<MaglevBackend>);
+static_assert(PlacementBackend<BoundedChBackend>);
+
+dht::Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+/// Per-backend factory with a comparable footprint (small enrollments
+/// and grids keep the suite fast).
+template <typename B>
+B make_backend(std::uint64_t seed);
+
+template <>
+LocalDhtBackend make_backend<LocalDhtBackend>(std::uint64_t seed) {
+  return LocalDhtBackend({cfg(8, 8, seed), 1});
+}
+
+template <>
+GlobalDhtBackend make_backend<GlobalDhtBackend>(std::uint64_t seed) {
+  return GlobalDhtBackend({cfg(8, 1, seed), 1});
+}
+
+template <>
+ChBackend make_backend<ChBackend>(std::uint64_t seed) {
+  return ChBackend({seed, 16});
+}
+
+template <>
+HrwBackend make_backend<HrwBackend>(std::uint64_t seed) {
+  return HrwBackend({seed, 10});
+}
+
+template <>
+JumpBackend make_backend<JumpBackend>(std::uint64_t seed) {
+  return JumpBackend({seed, 10});
+}
+
+template <>
+MaglevBackend make_backend<MaglevBackend>(std::uint64_t seed) {
+  return MaglevBackend({seed, 10});
+}
+
+template <>
+BoundedChBackend make_backend<BoundedChBackend>(std::uint64_t seed) {
+  return BoundedChBackend({seed, 16, 0.25, 10});
+}
+
+/// Accounts the mass (in 1/2^64 units of R_h) flowing into and out of
+/// one node through on_relocate events, validating the range contract
+/// on the way.
+class MassLedger final : public RelocationObserver {
+ public:
+  explicit MassLedger(NodeId tracked) : tracked_(tracked) {}
+
+  void on_relocate(HashIndex first, HashIndex last, NodeId from,
+                   NodeId to) override {
+    ASSERT_LE(first, last) << "ranges must not wrap";
+    ASSERT_NE(from, kInvalidNode);
+    ASSERT_NE(to, kInvalidNode);
+    const uint128 mass = static_cast<uint128>(last - first) + 1;
+    if (to == tracked_) in_ += mass;
+    if (from == tracked_) out_ += mass;
+    ++events_;
+  }
+
+  void on_rebucket(HashIndex first, HashIndex last) override {
+    ASSERT_LE(first, last) << "ranges must not wrap";
+  }
+
+  /// Net mass into the tracked node (negative when the node is a net
+  /// loser), as a fraction of R_h.
+  [[nodiscard]] double net_fraction() const {
+    return (static_cast<double>(in_) - static_cast<double>(out_)) *
+           0x1.0p-64;
+  }
+
+  [[nodiscard]] std::size_t events() const { return events_; }
+
+ private:
+  NodeId tracked_;
+  uint128 in_ = 0;
+  uint128 out_ = 0;
+  std::size_t events_ = 0;
+};
+
+double quota_sum(const std::vector<double>& quotas) {
+  return std::accumulate(quotas.begin(), quotas.end(), 0.0);
+}
+
+template <typename B>
+class BackendPropertySuite : public ::testing::Test {};
+
+using AllBackends =
+    ::testing::Types<LocalDhtBackend, GlobalDhtBackend, ChBackend,
+                     HrwBackend, JumpBackend, MaglevBackend,
+                     BoundedChBackend>;
+TYPED_TEST_SUITE(BackendPropertySuite, AllBackends);
+
+TYPED_TEST(BackendPropertySuite, QuotasStayAProbabilityVector) {
+  auto backend = make_backend<TypeParam>(101);
+  Xoshiro256 rng(977);
+  backend.add_node();
+  backend.add_node();
+  for (int step = 0; step < 60; ++step) {
+    const bool leave = backend.node_count() > 2 && rng.next_bool();
+    if (leave) {
+      std::vector<NodeId> live;
+      for (NodeId node = 0; node < backend.node_slot_count(); ++node) {
+        if (backend.is_live(node)) live.push_back(node);
+      }
+      const NodeId victim =
+          live[static_cast<std::size_t>(rng.next_below(live.size()))];
+      (void)backend.remove_node(victim);  // a refusal keeps the node
+    } else {
+      backend.add_node();
+    }
+    const auto quotas = backend.quotas();
+    ASSERT_EQ(quotas.size(), backend.node_count()) << "step " << step;
+    for (const double q : quotas) ASSERT_GE(q, 0.0);
+    ASSERT_NEAR(quota_sum(quotas), 1.0, 1e-9) << "step " << step;
+    ASSERT_GE(backend.sigma(), 0.0);
+  }
+}
+
+TYPED_TEST(BackendPropertySuite, JoinEventsConserveHashRangeMass) {
+  // The total mass the relocation events report into a joining node
+  // (net of anything reported back out, e.g. bounded CH's overflow
+  // cascade) must equal the mass the node ends up owning.
+  auto backend = make_backend<TypeParam>(202);
+  for (int n = 0; n < 10; ++n) backend.add_node();
+
+  for (int joins = 0; joins < 4; ++joins) {
+    MassLedger ledger(static_cast<NodeId>(backend.node_slot_count()));
+    backend.set_observer(&ledger);
+    backend.add_node();
+    backend.set_observer(nullptr);
+
+    EXPECT_GT(ledger.events(), 0u);
+    // The joined node has the highest id, hence the last quota slot.
+    const double owned = backend.quotas().back();
+    EXPECT_NEAR(ledger.net_fraction(), owned, 1e-9);
+  }
+}
+
+TYPED_TEST(BackendPropertySuite, ChurnScenarioRunsUnmodified) {
+  auto backend = make_backend<TypeParam>(404);
+  const auto outcome = sim::run_churn(backend, 12, 30, 555);
+  EXPECT_EQ(outcome.sigma_series.size(), 30u);
+  EXPECT_EQ(outcome.completed_removals + outcome.refused_removals, 30u);
+  EXPECT_EQ(backend.node_count(), 12u);  // population held constant
+  for (const double sigma : outcome.sigma_series) {
+    EXPECT_TRUE(std::isfinite(sigma));
+    EXPECT_GE(sigma, 0.0);
+  }
+}
+
+TYPED_TEST(BackendPropertySuite, GrowthScenarioRunsUnmodified) {
+  auto backend = make_backend<TypeParam>(505);
+  const auto series = sim::run_growth(backend, 16);
+  ASSERT_EQ(series.size(), 16u);
+  EXPECT_NEAR(series[0], 0.0, 1e-12);  // one node owns everything
+  for (const double sigma : series) {
+    EXPECT_TRUE(std::isfinite(sigma));
+    EXPECT_GE(sigma, 0.0);
+  }
+}
+
+TYPED_TEST(BackendPropertySuite, DeterministicPerSeed) {
+  const auto run_once = [] {
+    auto backend = make_backend<TypeParam>(606);
+    for (int n = 0; n < 9; ++n) backend.add_node();
+    (void)backend.remove_node(4);
+    backend.add_node();
+    return backend.quotas();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TYPED_TEST(BackendPropertySuite, SchemeNamesAreNonEmptyAndStable) {
+  const auto name = TypeParam::scheme_name();
+  EXPECT_FALSE(name.empty());
+  EXPECT_EQ(name, TypeParam::scheme_name());
+}
+
+}  // namespace
+}  // namespace cobalt::placement

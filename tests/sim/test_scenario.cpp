@@ -1,0 +1,79 @@
+// Tests for the backend-generic scenario drivers (sim/scenario.hpp):
+// the churn driver's incrementally maintained live set and the
+// movement-growth boundary conditions.
+
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kv/store.hpp"
+#include "placement/hrw_backend.hpp"
+
+namespace cobalt::sim {
+namespace {
+
+TEST(ChurnDriver, HoldsThePopulationWithoutRescanningSlots) {
+  // Long churn at a small population: node ids are never reused, so
+  // after 300 completed cycles the slot space is ~25x the population.
+  // The driver must keep tracking the live set correctly regardless.
+  placement::HrwBackend backend({7, 8});
+  const auto outcome = run_churn(backend, 12, 300, 99);
+  EXPECT_EQ(outcome.completed_removals, 300u);
+  EXPECT_EQ(outcome.refused_removals, 0u);
+  EXPECT_EQ(backend.node_count(), 12u);
+  EXPECT_EQ(backend.node_slot_count(), 12u + 300u);
+  std::size_t live = 0;
+  for (placement::NodeId node = 0; node < backend.node_slot_count();
+       ++node) {
+    if (backend.is_live(node)) ++live;
+  }
+  EXPECT_EQ(live, 12u);
+}
+
+TEST(ChurnDriver, CountsNodesThatPredateTheCall) {
+  // The one slot scan happens at entry, so nodes added before the
+  // driver ran are churn victims like any other.
+  placement::HrwBackend backend({8, 8});
+  for (int n = 0; n < 3; ++n) backend.add_node();
+  const auto outcome = run_churn(backend, 4, 50, 100);
+  EXPECT_EQ(outcome.completed_removals, 50u);
+  EXPECT_EQ(backend.node_count(), 7u);  // 3 preexisting + 4 grown
+}
+
+TEST(ChurnDriver, DeterministicPerSeed) {
+  const auto run_once = [] {
+    placement::HrwBackend backend({9, 8});
+    return run_churn(backend, 10, 80, 123).sigma_series;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(MovementGrowth, TargetOfTwoPerformsExactlyOneJoin) {
+  // Boundary regression: target_nodes == 2 is one join past the
+  // preload node and must be accepted, returning a one-element series.
+  kv::HrwKvStore store({11, 10});
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back("k" + std::to_string(i));
+  const auto moved = run_movement_growth(store, keys, 2);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(store.backend().node_count(), 2u);
+  // The single join's movement is the store's entire movement total.
+  EXPECT_EQ(moved[0],
+            static_cast<double>(store.migration_stats().keys_moved_total));
+  EXPECT_GT(moved[0], 0.0);
+  EXPECT_EQ(store.size(), keys.size());
+}
+
+TEST(MovementGrowth, RejectsTargetsBelowTwo) {
+  kv::HrwKvStore store({12, 10});
+  std::vector<std::string> keys{"a", "b"};
+  EXPECT_THROW((void)run_movement_growth(store, keys, 1), InvalidArgument);
+  EXPECT_THROW((void)run_movement_growth(store, keys, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::sim
