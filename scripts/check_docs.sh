@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Doc link + drift check (the CI docs job; runnable locally).
+#
+#   1. Every relative markdown link in README.md and docs/*.md must
+#      resolve to an existing file.
+#   2. Every bench harness (bench/fig*.cpp, bench/abl*.cpp) must be
+#      documented in docs/BENCHMARKS.md.
+#   3. Every fig*/abl* bench name mentioned in README.md or docs/*.md
+#      must exist as bench/<name>.cpp (no docs for deleted benches).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative markdown links -------------------------------------
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # ](target) links, minus external URLs and pure anchors.
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" \
+             | sed -E 's/^\]\(//; s/\)$//; s/#.*$//' \
+             | grep -vE '^https?://' || true)
+done
+
+# --- 2. every bench harness is documented ---------------------------
+for src in bench/fig*.cpp bench/abl*.cpp; do
+  name=$(basename "$src" .cpp)
+  if ! grep -q "$name" docs/BENCHMARKS.md; then
+    echo "UNDOCUMENTED BENCH: $name missing from docs/BENCHMARKS.md"
+    fail=1
+  fi
+done
+
+# --- 3. every documented bench name exists --------------------------
+while IFS= read -r name; do
+  if [ ! -e "bench/$name.cpp" ]; then
+    echo "STALE DOC REFERENCE: $name has no bench/$name.cpp"
+    fail=1
+  fi
+done < <(grep -ohE '\b(fig|abl)[0-9]+_[a-z0-9_]+' README.md docs/*.md \
+           | sort -u)
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: ok"

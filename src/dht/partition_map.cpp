@@ -60,6 +60,14 @@ PartitionMap::Hit PartitionMap::lookup(HashIndex index) const {
   return Hit{partition, it->second.owner};
 }
 
+PartitionMap::Hit PartitionMap::successor(const Partition& partition) const {
+  COBALT_INVARIANT(!entries_.empty(), "successor in an empty partition map");
+  auto it = entries_.upper_bound(partition.begin());
+  if (it == entries_.end()) it = entries_.begin();
+  return Hit{Partition::containing(it->first, it->second.level),
+             it->second.owner};
+}
+
 VNodeId PartitionMap::owner_of(const Partition& partition) const {
   const auto it = entries_.find(partition.begin());
   COBALT_REQUIRE(it != entries_.end() && it->second.level == partition.level(),

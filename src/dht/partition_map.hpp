@@ -53,6 +53,13 @@ class PartitionMap {
   /// InvariantViolation if the map does not cover it (a broken tiling).
   [[nodiscard]] Hit lookup(HashIndex index) const;
 
+  /// The live partition immediately after the one starting at
+  /// `partition.begin()` in hash order, wrapping past the top of R_h
+  /// back to the first partition. With a single live partition this is
+  /// that partition itself. The successor walk of the replication
+  /// layer (placement::DhtBackend::replica_set) is built on this.
+  [[nodiscard]] Hit successor(const Partition& partition) const;
+
   /// Owner of an exact live partition.
   [[nodiscard]] VNodeId owner_of(const Partition& partition) const;
 

@@ -2,10 +2,14 @@
 
 namespace cobalt::kv {
 
-// The three shipped schemes, compiled once here; new backends only
+// All seven shipped schemes, compiled once here; new backends only
 // need to model placement::PlacementBackend to get a store for free.
 template class Store<placement::LocalDhtBackend>;
 template class Store<placement::GlobalDhtBackend>;
 template class Store<placement::ChBackend>;
+template class Store<placement::HrwBackend>;
+template class Store<placement::JumpBackend>;
+template class Store<placement::MaglevBackend>;
+template class Store<placement::BoundedChBackend>;
 
 }  // namespace cobalt::kv

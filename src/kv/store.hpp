@@ -6,13 +6,44 @@
 // global balanced-DHT approaches, and the Consistent Hashing reference
 // model). This is what makes the paper's comparison an apples-to-apples
 // one at the store level: every backend drives the same shard core and
-// reports the same MigrationStats.
+// reports the same movement accounting.
 //
 // Keys are hashed into R_h and bucketed by hash in range order; the
 // responsible node of a bucket is *derived* from the backend on read,
 // so membership changes move no bytes inside the store - only the
 // accounting moves, fed by the backend's RelocationObserver events
 // (the real cost a deployment would pay in network traffic).
+//
+// Replication (owner + k-1 successors). Constructed with a replication
+// factor k > 1, every write fans out to the backend's replica_set of
+// the key's hash: rank 0 is the primary (owner_of), ranks 1..k-1 the
+// fallback copies. The store *materializes* each bucket's replica set
+// at write time and re-derives it after every membership event, so the
+// difference between the materialized and the desired set is exactly
+// the re-replication traffic a deployment would pay - a channel
+// distinct from primary relocation (see the two stats surfaces below).
+// Reads can be served by any live materialized replica
+// (read_node_of()); a key whose whole materialized replica set dies in
+// one correlated failure is counted lost.
+//
+// Movement accounting is split into two independently queryable
+// channels (they measure different protocols and must not be summed
+// blindly):
+//   * relocation_stats()  - placement::MigrationStats fed by the
+//     backend's RelocationObserver events: keys whose *primary* owner
+//     changed. migration_stats() remains as the historical alias.
+//   * replication_stats() - ReplicationStats maintained by the store's
+//     re-replication passes: key copies created to repair replica
+//     sets, and keys lost to correlated failures. At k == 1 the
+//     re-replication mass tracks primary relocation (the only copy IS
+//     the primary); at k > 1 it additionally counts fallback repair,
+//     and a primary handover to a node that already held a fallback
+//     copy costs relocation but no re-replication.
+//
+// Membership must change through the store (add_node / remove_node /
+// fail_nodes) for the replication bookkeeping to stay aligned;
+// mutating membership through backend() directly bypasses the
+// re-replication pass (relocation accounting still works, as before).
 //
 // The old per-scheme stores (BasicKvStore<DhtT> keyed by partition,
 // ChKvStore keyed by arc) are collapsed into this one template; their
@@ -22,12 +53,15 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -42,6 +76,35 @@
 
 namespace cobalt::kv {
 
+/// Cumulative replication accounting: the store's re-replication
+/// channel, distinct from the relocation channel
+/// (placement::MigrationStats). All counters are key copies / keys,
+/// never bytes.
+struct ReplicationStats {
+  /// Copies written by put() fan-out: each put writes one copy per
+  /// materialized replica (k copies at full replication).
+  std::uint64_t replica_writes = 0;
+
+  /// Key copies created by re-replication passes: for every bucket,
+  /// one per key per node that entered the bucket's replica set. This
+  /// is the repair traffic of a deployment - the figure-of-merit of
+  /// ablation A8.
+  std::uint64_t keys_rereplicated = 0;
+
+  /// Keys whose *entire* materialized replica set was dead at a crash
+  /// re-replication pass (fail_nodes): the data-loss window of a
+  /// correlated failure. Graceful drains (remove_node) never lose
+  /// keys - the departing node cooperates as a copy source. Lost keys
+  /// still count into keys_rereplicated (the simulator restores them
+  /// so scenarios can continue; a deployment would refetch from cold
+  /// storage).
+  std::uint64_t keys_lost = 0;
+
+  /// Re-replication passes run (one per membership event through the
+  /// store, one per fail_nodes batch).
+  std::uint64_t rereplication_passes = 0;
+};
+
 /// A KV store over any placement backend.
 template <placement::PlacementBackend Backend>
 class Store final : private placement::RelocationObserver {
@@ -50,7 +113,18 @@ class Store final : private placement::RelocationObserver {
 
   explicit Store(Options options,
                  hashing::Algorithm algorithm = hashing::Algorithm::kXxh64)
-      : backend_(std::move(options)), algorithm_(algorithm) {
+      : Store(std::move(options), 1, algorithm) {}
+
+  /// A replicated store: every key is held by `replication` distinct
+  /// nodes (clamped to the live node count while the cluster is
+  /// smaller than that).
+  Store(Options options, std::size_t replication,
+        hashing::Algorithm algorithm = hashing::Algorithm::kXxh64)
+      : backend_(std::move(options)),
+        algorithm_(algorithm),
+        replication_(replication) {
+    COBALT_REQUIRE(replication >= 1,
+                   "the replication factor must be at least 1");
     backend_.set_observer(this);
   }
 
@@ -59,24 +133,60 @@ class Store final : private placement::RelocationObserver {
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
 
-  /// Cluster membership (forwarded to the backend). remove_node
+  /// The configured replication factor k.
+  [[nodiscard]] std::size_t replication() const { return replication_; }
+
+  /// Cluster membership. Every completed change is followed by one
+  /// re-replication pass that repairs the materialized replica sets
+  /// (see replication_stats()). remove_node is a *graceful drain*: it
   /// returns false when the scheme refuses the removal (the node
-  /// stays; see placement/backend.hpp).
+  /// stays; see placement/backend.hpp), and never loses keys.
   placement::NodeId add_node(double capacity = 1.0) {
-    return backend_.add_node(capacity);
+    const placement::NodeId id = backend_.add_node(capacity);
+    rereplicate(/*crash=*/false);
+    return id;
   }
   bool remove_node(placement::NodeId node) {
-    return backend_.remove_node(node);
+    const bool removed = backend_.remove_node(node);
+    // A refused drain may still have rebalanced internally (the local
+    // approach's aborted decommission), so the pass runs either way.
+    rereplicate(/*crash=*/false);
+    return removed;
   }
 
-  /// Inserts or updates; returns true when the key was new. Requires
-  /// at least one node.
+  /// Removes `nodes` as one *correlated crash*: all removals are
+  /// applied before the single re-replication pass, so keys whose
+  /// whole materialized replica set was inside the batch are counted
+  /// lost (replication_stats().keys_lost). Refused removals (the local
+  /// approach) leave the node alive - its copies still count as
+  /// survivors - as do entries the backend cannot remove at all
+  /// (already-dead ids, duplicates, or a batch that would empty the
+  /// cluster: the last live node always survives). Returns the number
+  /// of removals that completed; the repair pass runs regardless.
+  std::size_t fail_nodes(std::span<const placement::NodeId> nodes) {
+    std::size_t failed = 0;
+    for (const placement::NodeId node : nodes) {
+      if (backend_.node_count() < 2 || !backend_.is_live(node)) continue;
+      if (backend_.remove_node(node)) ++failed;
+    }
+    rereplicate(/*crash=*/true);
+    return failed;
+  }
+
+  /// Inserts or updates; returns true when the key was new. The write
+  /// fans out to every node of the key's replica set (replica_writes).
+  /// Requires at least one node.
   bool put(const std::string& key, std::string value) {
     COBALT_REQUIRE(backend_.node_count() >= 1,
                    "the store needs at least one node before writes");
     const HashIndex h = hash_key(key);
+    Bucket& bucket = buckets_[h];
+    if (bucket.replicas.empty()) {
+      bucket.replicas = backend_.replica_set(h, replica_target());
+    }
+    replication_stats_.replica_writes += bucket.replicas.size();
     const auto [it, inserted] =
-        buckets_[h].insert_or_assign(key, std::move(value));
+        bucket.entries.insert_or_assign(key, std::move(value));
     (void)it;
     if (inserted) ++size_;
     return inserted;
@@ -86,8 +196,8 @@ class Store final : private placement::RelocationObserver {
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const auto bucket = buckets_.find(hash_key(key));
     if (bucket == buckets_.end()) return std::nullopt;
-    const auto it = bucket->second.find(key);
-    if (it == bucket->second.end()) return std::nullopt;
+    const auto it = bucket->second.entries.find(key);
+    if (it == bucket->second.entries.end()) return std::nullopt;
     return it->second;
   }
 
@@ -95,8 +205,8 @@ class Store final : private placement::RelocationObserver {
   bool erase(const std::string& key) {
     const auto bucket = buckets_.find(hash_key(key));
     if (bucket == buckets_.end()) return false;
-    if (bucket->second.erase(key) == 0) return false;
-    if (bucket->second.empty()) buckets_.erase(bucket);
+    if (bucket->second.entries.erase(key) == 0) return false;
+    if (bucket->second.entries.empty()) buckets_.erase(bucket);
     --size_;
     return true;
   }
@@ -104,18 +214,62 @@ class Store final : private placement::RelocationObserver {
   /// Total keys stored.
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  /// The node currently responsible for `key`.
+  /// The node currently responsible for `key` (replica rank 0).
   [[nodiscard]] placement::NodeId owner_of(const std::string& key) const {
     COBALT_REQUIRE(backend_.node_count() >= 1, "the store has no nodes");
     return backend_.owner_of(hash_key(key));
   }
 
-  /// Keys currently resident per node (index = NodeId; departed nodes
-  /// report 0).
+  /// The materialized replica set currently holding `key`, in rank
+  /// order (element 0 was the primary when the set was last repaired).
+  /// Empty when the key is not stored.
+  [[nodiscard]] std::vector<placement::NodeId> replicas_of(
+      const std::string& key) const {
+    const auto bucket = buckets_.find(hash_key(key));
+    if (bucket == buckets_.end() ||
+        bucket->second.entries.find(key) == bucket->second.entries.end()) {
+      return {};
+    }
+    return bucket->second.replicas;
+  }
+
+  /// A node that can serve a read of `key`: the lowest-ranked live
+  /// materialized replica (reads prefer the primary and fall over to
+  /// successors). kInvalidNode when the key is not stored or no
+  /// materialized replica is live (a data-loss window between a crash
+  /// and its repair pass).
+  [[nodiscard]] placement::NodeId read_node_of(const std::string& key) const {
+    const auto bucket = buckets_.find(hash_key(key));
+    if (bucket == buckets_.end() ||
+        bucket->second.entries.find(key) == bucket->second.entries.end()) {
+      return placement::kInvalidNode;
+    }
+    for (const placement::NodeId node : bucket->second.replicas) {
+      if (backend_.is_live(node)) return node;
+    }
+    return placement::kInvalidNode;
+  }
+
+  /// Keys currently resident per *primary* node (index = NodeId;
+  /// departed nodes report 0). Replica copies are not counted; see
+  /// replica_copies_per_node() for the serving footprint.
   [[nodiscard]] std::vector<std::size_t> keys_per_node() const {
     std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
     for (const auto& [hash, bucket] : buckets_) {
-      counts.at(backend_.owner_of(hash)) += bucket.size();
+      counts.at(backend_.owner_of(hash)) += bucket.entries.size();
+    }
+    return counts;
+  }
+
+  /// Key *copies* resident per node under the materialized replica
+  /// sets (a node holds a copy of every key whose replica set lists
+  /// it). Sums to size() x k at full replication.
+  [[nodiscard]] std::vector<std::size_t> replica_copies_per_node() const {
+    std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
+    for (const auto& [hash, bucket] : buckets_) {
+      for (const placement::NodeId node : bucket.replicas) {
+        counts.at(node) += bucket.entries.size();
+      }
     }
     return counts;
   }
@@ -126,11 +280,11 @@ class Store final : private placement::RelocationObserver {
                                          const std::string& value)>& visit)
       const {
     for (const auto& [hash, bucket] : buckets_) {
-      for (const auto& [key, value] : bucket) visit(key, value);
+      for (const auto& [key, value] : bucket.entries) visit(key, value);
     }
   }
 
-  /// Visits the pairs a single node is responsible for.
+  /// Visits the pairs a single node is *primary* for.
   void for_each_on_node(
       placement::NodeId node,
       const std::function<void(const std::string& key,
@@ -138,7 +292,7 @@ class Store final : private placement::RelocationObserver {
     COBALT_REQUIRE(node < backend_.node_slot_count(), "unknown node id");
     for (const auto& [hash, bucket] : buckets_) {
       if (backend_.owner_of(hash) != node) continue;
-      for (const auto& [key, value] : bucket) visit(key, value);
+      for (const auto& [key, value] : bucket.entries) visit(key, value);
     }
   }
 
@@ -149,25 +303,107 @@ class Store final : private placement::RelocationObserver {
     return static_cast<std::size_t>(count_range(first, last));
   }
 
-  /// Data-movement counters since construction - the same struct for
-  /// every backend.
+  /// Relocation channel: keys whose primary owner changed, fed by the
+  /// backend's range-level relocation events. Same struct for every
+  /// backend.
+  [[nodiscard]] const placement::MigrationStats& relocation_stats() const {
+    return relocation_stats_;
+  }
+
+  /// Historical alias of relocation_stats() (pre-replication callers).
   [[nodiscard]] const placement::MigrationStats& migration_stats() const {
-    return stats_;
+    return relocation_stats_;
+  }
+
+  /// Re-replication channel: repair copies and correlated-failure
+  /// losses (see the header comment for how the channels relate).
+  [[nodiscard]] const ReplicationStats& replication_stats() const {
+    return replication_stats_;
   }
 
   /// The placement backend (scheme-specific surface: the DHT adapters
   /// expose the balancer and vnode-level elasticity, the CH adapter
-  /// the ring).
+  /// the ring). Changing membership through it bypasses the
+  /// re-replication bookkeeping - prefer the store's membership calls.
   [[nodiscard]] Backend& backend() { return backend_; }
   [[nodiscard]] const Backend& backend() const { return backend_; }
 
  private:
   /// One hash position's resident keys (collisions are possible but
-  /// vanishingly rare at Bh = 64).
-  using Bucket = std::unordered_map<std::string, std::string>;
+  /// vanishingly rare at Bh = 64) plus the materialized replica set
+  /// every key in the bucket is copied to.
+  struct Bucket {
+    std::unordered_map<std::string, std::string> entries;
+    std::vector<placement::NodeId> replicas;
+  };
 
   [[nodiscard]] HashIndex hash_key(const std::string& key) const {
     return hashing::hash_bytes(algorithm_, key.data(), key.size());
+  }
+
+  /// k clamped to the live node count (replica_set cannot return more
+  /// distinct nodes than exist - and asking for fewer keeps the grid
+  /// walks from scanning a full circle on small clusters).
+  [[nodiscard]] std::size_t replica_target() const {
+    const std::size_t live = backend_.node_count();
+    return replication_ < live ? replication_ : live;
+  }
+
+  /// The repair pass: re-derives the buckets' replica sets and counts
+  /// the copies a deployment would transfer to get from the
+  /// materialized sets to the desired ones. With `crash` set, a bucket
+  /// whose materialized set has no live survivor is counted lost.
+  ///
+  /// At k == 1 the desired set is exactly {owner_of(hash)}, which only
+  /// changes inside the hash ranges the membership event relocated -
+  /// so the pass visits just the buckets inside the ranges recorded by
+  /// on_relocate instead of scanning the whole store (the unreplicated
+  /// growth benches would otherwise pay O(buckets) per join). At
+  /// k > 1 a fallback replica can change outside every relocated range
+  /// (e.g. a CH join reshuffles rank-1 successors of untouched arcs),
+  /// so the full scan is the honest pass.
+  void rereplicate(bool crash) {
+    if (backend_.node_count() == 0) {
+      pending_relocations_.clear();
+      return;
+    }
+    ++replication_stats_.rereplication_passes;
+    if (replication_ == 1) {
+      for (const auto& [first, last] : pending_relocations_) {
+        for (auto it = buckets_.lower_bound(first);
+             it != buckets_.end() && it->first <= last; ++it) {
+          repair_bucket(it->first, it->second, crash);
+        }
+      }
+    } else {
+      for (auto& [hash, bucket] : buckets_) {
+        repair_bucket(hash, bucket, crash);
+      }
+    }
+    pending_relocations_.clear();
+  }
+
+  void repair_bucket(HashIndex hash, Bucket& bucket, bool crash) {
+    std::vector<placement::NodeId> desired =
+        backend_.replica_set(hash, replica_target());
+    if (desired == bucket.replicas) return;
+    if (crash) {
+      const bool survived = std::any_of(
+          bucket.replicas.begin(), bucket.replicas.end(),
+          [&](placement::NodeId node) { return backend_.is_live(node); });
+      if (!survived) {
+        replication_stats_.keys_lost += bucket.entries.size();
+      }
+    }
+    std::uint64_t joiners = 0;
+    for (const placement::NodeId node : desired) {
+      if (std::find(bucket.replicas.begin(), bucket.replicas.end(), node) ==
+          bucket.replicas.end()) {
+        ++joiners;
+      }
+    }
+    replication_stats_.keys_rereplicated += joiners * bucket.entries.size();
+    bucket.replicas = std::move(desired);
   }
 
   [[nodiscard]] std::uint64_t count_range(HashIndex first,
@@ -175,7 +411,7 @@ class Store final : private placement::RelocationObserver {
     std::uint64_t count = 0;
     for (auto it = buckets_.lower_bound(first);
          it != buckets_.end() && it->first <= last; ++it) {
-      count += it->second.size();
+      count += it->second.entries.size();
     }
     return count;
   }
@@ -185,19 +421,34 @@ class Store final : private placement::RelocationObserver {
   void on_relocate(HashIndex first, HashIndex last, placement::NodeId from,
                    placement::NodeId to) override {
     const std::uint64_t moved = count_range(first, last);
-    stats_.keys_moved_total += moved;
-    if (from != to) stats_.keys_moved_across_nodes += moved;
+    relocation_stats_.keys_moved_total += moved;
+    if (from != to) {
+      relocation_stats_.keys_moved_across_nodes += moved;
+      // Remember where ownership changed so the k == 1 repair pass can
+      // visit only the affected buckets (see rereplicate()).
+      if (replication_ == 1) pending_relocations_.emplace_back(first, last);
+    }
   }
 
   void on_rebucket(HashIndex first, HashIndex last) override {
-    stats_.keys_rebucketed += count_range(first, last);
+    relocation_stats_.keys_rebucketed += count_range(first, last);
+    // A buddy merge may hand the odd half over *implicitly* (the DHT
+    // adapters account that as rebucketing, not movement - see
+    // dht_backend.hpp), so the k == 1 repair must check these ranges
+    // too; for pure splits the check is a no-op.
+    if (replication_ == 1) pending_relocations_.emplace_back(first, last);
   }
 
   Backend backend_;
   hashing::Algorithm algorithm_;
+  std::size_t replication_;
   std::map<HashIndex, Bucket> buckets_;
   std::size_t size_ = 0;
-  placement::MigrationStats stats_;
+  placement::MigrationStats relocation_stats_;
+  ReplicationStats replication_stats_;
+  /// Ownership-changing ranges of the in-flight membership event,
+  /// consumed by the next k == 1 repair pass (empty at k > 1).
+  std::vector<std::pair<HashIndex, HashIndex>> pending_relocations_;
 };
 
 /// The store over the paper's local approach (the default deployment).

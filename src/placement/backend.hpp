@@ -11,11 +11,29 @@
 //                      (section 2.1.2 of the paper);
 //   * routing        - owner_of(index): the node responsible for a
 //                      hash index;
+//   * replication    - replica_set(index, k): the ranked distinct
+//                      nodes that hold the k copies of a key hashed at
+//                      index (rank 0 is always owner_of(index));
 //   * quality        - quotas() and sigma(), the relative standard
 //                      deviation of per-node quotas (the metric of
 //                      figure 9, comparable across schemes);
 //   * relocation     - set_observer(): range-level callbacks that feed
 //                      the unified MigrationStats.
+//
+// replica_set invariants (shared by every adapter, property-tested in
+// tests/placement/test_replica_set.cpp):
+//   * element 0 equals owner_of(index) - the primary IS replica 0;
+//   * elements are distinct live nodes, at most min(k, node_count());
+//     a scheme whose placement assigns a live node zero mass (possible
+//     for extreme weights on the table-driven schemes) may return
+//     fewer;
+//   * the result for k is a prefix of the result for k' > k (the
+//     ranking does not depend on how many replicas are requested), so
+//     raising the replication factor only appends copies.
+// The ranking is the scheme's native preference order: the successor
+// walk over partitions (DHT backends), ring points (CH) or grid cells
+// (jump, maglev, bounded-load CH), and the score order for rendezvous
+// hashing.
 //
 // remove_node returns false when the scheme cannot express the removal
 // (the local approach's missing cross-group merge, see DESIGN notes in
@@ -39,7 +57,8 @@ template <typename B>
 concept PlacementBackend =
     std::constructible_from<B, typename B::Options> &&
     requires(B backend, const B const_backend, double capacity, NodeId node,
-             HashIndex index, RelocationObserver* observer) {
+             HashIndex index, std::size_t replicas,
+             RelocationObserver* observer) {
       typename B::Options;
 
       // Membership.
@@ -48,6 +67,12 @@ concept PlacementBackend =
 
       // Routing.
       { const_backend.owner_of(index) } -> std::same_as<NodeId>;
+
+      // Replication: ranked distinct owners of the k copies of a key
+      // hashed at `index`; element 0 == owner_of(index).
+      {
+        const_backend.replica_set(index, replicas)
+      } -> std::same_as<std::vector<NodeId>>;
 
       // Registry: live count, total slots ever allocated (node ids
       // index into [0, node_slot_count)), liveness probe.

@@ -73,6 +73,16 @@ class BoundedChBackend final {
     return grid_.owner_of(index);
   }
 
+  /// Ranked distinct owners of the k copies of a key at `index`: the
+  /// successor walk over the *bounded* assignment grid (forward cell
+  /// walk, first-encounter order), so replicas respect the load caps
+  /// the scheme exists to enforce - walking the raw ring instead could
+  /// rank an at-capacity node as a fallback.
+  [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
+                                                std::size_t k) const {
+    return grid_replica_walk(grid_, index, k);
+  }
+
   [[nodiscard]] std::size_t node_count() const { return ring_.node_count(); }
   [[nodiscard]] std::size_t node_slot_count() const {
     return ring_.node_slot_count();

@@ -1,5 +1,7 @@
 #include "placement/ch_backend.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace cobalt::placement {
@@ -34,6 +36,30 @@ bool ChBackend::remove_node(NodeId node) {
 
 NodeId ChBackend::owner_of(HashIndex index) const {
   return static_cast<NodeId>(ring_.lookup(index));
+}
+
+std::vector<NodeId> ChBackend::replica_set(HashIndex index,
+                                           std::size_t k) const {
+  COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
+  COBALT_REQUIRE(ring_.node_count() >= 1, "the backend has no nodes");
+  const std::size_t want =
+      k < ring_.node_count() ? k : ring_.node_count();
+  std::vector<NodeId> replicas;
+  replicas.reserve(want);
+  // Successor walk: the first point at or after `index` is the owner
+  // (the ring's lookup convention), later points rank the fallbacks.
+  const auto& points = ring_.points();
+  auto it = points.lower_bound(index);
+  for (std::size_t step = 0;
+       step < points.size() && replicas.size() < want; ++step, ++it) {
+    if (it == points.end()) it = points.begin();
+    const auto node = static_cast<NodeId>(it->second);
+    if (std::find(replicas.begin(), replicas.end(), node) ==
+        replicas.end()) {
+      replicas.push_back(node);
+    }
+  }
+  return replicas;
 }
 
 void ChBackend::forward(const std::vector<ch::ArcTransfer>& events) {

@@ -54,6 +54,13 @@ class ChBackend final {
 
   [[nodiscard]] NodeId owner_of(HashIndex index) const;
 
+  /// Ranked distinct owners of the k copies of a key at `index`: the
+  /// classic CH successor walk (Chord/Dynamo replication) - the ring
+  /// points at or after `index`, wrapping, skipping points of nodes
+  /// that already hold a lower-ranked copy.
+  [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
+                                                std::size_t k) const;
+
   [[nodiscard]] std::size_t node_count() const { return ring_.node_count(); }
   [[nodiscard]] std::size_t node_slot_count() const {
     return ring_.node_slot_count();

@@ -1,5 +1,7 @@
 #include "placement/dht_backend.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -60,6 +62,32 @@ template <typename DhtT>
 NodeId DhtBackend<DhtT>::owner_of(HashIndex index) const {
   const auto hit = dht_.lookup(index);
   return static_cast<NodeId>(dht_.vnode(hit.owner).snode);
+}
+
+template <typename DhtT>
+std::vector<NodeId> DhtBackend<DhtT>::replica_set(HashIndex index,
+                                                  std::size_t k) const {
+  COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
+  COBALT_REQUIRE(live_nodes_ >= 1, "the backend has no nodes");
+  const std::size_t want = k < live_nodes_ ? k : live_nodes_;
+  std::vector<NodeId> replicas;
+  replicas.reserve(want);
+  // Walk the partition tiling from the owning partition; every live
+  // snode owns at least one partition (a vnode always holds Pmin >= 1
+  // partitions), so the walk finds `want` distinct nodes within one
+  // full circle.
+  dht::PartitionMap::Hit hit = dht_.lookup(index);
+  const std::size_t partitions = dht_.partition_map().size();
+  for (std::size_t step = 0; step < partitions && replicas.size() < want;
+       ++step) {
+    const auto node = static_cast<NodeId>(dht_.vnode(hit.owner).snode);
+    if (std::find(replicas.begin(), replicas.end(), node) ==
+        replicas.end()) {
+      replicas.push_back(node);
+    }
+    hit = dht_.partition_map().successor(hit.partition);
+  }
+  return replicas;
 }
 
 template <typename DhtT>

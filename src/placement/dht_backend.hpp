@@ -69,6 +69,15 @@ class DhtBackend final : private dht::MutationObserver {
   /// The node responsible for `index`.
   [[nodiscard]] NodeId owner_of(HashIndex index) const;
 
+  /// Ranked distinct owners of the k copies of a key at `index`: the
+  /// owner's partition first, then the successor walk over the
+  /// partition map in hash order (wrapping), skipping partitions whose
+  /// snode already holds a lower-ranked copy. Successor partitions are
+  /// how the paper's model expresses adjacency, so this is the direct
+  /// analogue of CH's successor-replication.
+  [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
+                                                std::size_t k) const;
+
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] std::size_t node_slot_count() const {
     return node_live_.size();

@@ -1,7 +1,9 @@
 #include "placement/hrw_backend.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/stats.hpp"
 
@@ -71,6 +73,43 @@ bool HrwBackend::remove_node(NodeId node) {
   }
   grid_.assign(std::move(next), observer_);
   return true;
+}
+
+std::vector<NodeId> HrwBackend::replica_set(HashIndex index,
+                                            std::size_t k) const {
+  COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
+  COBALT_REQUIRE(live_nodes_ >= 1, "the backend has no nodes");
+  const std::size_t cell = grid_.cell_of(index);
+  std::vector<std::pair<double, NodeId>> ranked;
+  ranked.reserve(live_nodes_);
+  for (NodeId node = 0; node < node_live_.size(); ++node) {
+    if (node_live_[node]) ranked.emplace_back(score(cell, node), node);
+  }
+  const std::size_t want = k < ranked.size() ? k : ranked.size();
+  std::partial_sort(ranked.begin(),
+                    ranked.begin() + static_cast<std::ptrdiff_t>(want),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<NodeId> replicas;
+  replicas.reserve(want);
+  for (std::size_t rank = 0; rank < want; ++rank) {
+    replicas.push_back(ranked[rank].second);
+  }
+  // The stored winner decides rank 0 even in the (measure-zero) event
+  // of a score tie, keeping replica_set exactly consistent with
+  // owner_of; moving it to the front keeps the remaining ranks in
+  // score order, so the k-prefix invariant of the concept holds.
+  const NodeId owner = grid_.owner(cell);
+  const auto it = std::find(replicas.begin(), replicas.end(), owner);
+  if (it == replicas.end()) {
+    replicas.pop_back();
+    replicas.insert(replicas.begin(), owner);
+  } else {
+    std::rotate(replicas.begin(), it, it + 1);
+  }
+  return replicas;
 }
 
 double HrwBackend::sigma() const { return relative_stddev(quotas()); }

@@ -61,6 +61,14 @@ class HrwBackend final {
     return grid_.owner_of(index);
   }
 
+  /// Ranked distinct owners of the k copies of a key at `index`: the
+  /// live nodes in descending rendezvous-score order for the cell
+  /// containing `index` - HRW's native replication rule (every rank is
+  /// an independent rendezvous, so replica placement inherits the
+  /// weighting). Rank 0 is the grid's stored winner.
+  [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
+                                                std::size_t k) const;
+
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] std::size_t node_slot_count() const {
     return node_live_.size();

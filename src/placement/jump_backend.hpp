@@ -63,6 +63,16 @@ class JumpBackend final {
     return grid_.owner_of(index);
   }
 
+  /// Ranked distinct owners of the k copies of a key at `index`: the
+  /// table probe of range_grid.hpp (forward cell walk from the owning
+  /// cell, first-encounter order). Jump hash itself defines no replica
+  /// rule; probing the materialized table keeps the set exactly
+  /// consistent with owner_of.
+  [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
+                                                std::size_t k) const {
+    return grid_replica_walk(grid_, index, k);
+  }
+
   [[nodiscard]] std::size_t node_count() const { return slots_.size(); }
   [[nodiscard]] std::size_t node_slot_count() const {
     return node_bucket_.size();

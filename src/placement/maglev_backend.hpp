@@ -66,6 +66,15 @@ class MaglevBackend final {
     return table_.owner_of(index);
   }
 
+  /// Ranked distinct owners of the k copies of a key at `index`: the
+  /// lookup-table probe (forward slot walk from the owning slot,
+  /// first-encounter order) - the maglev analogue of successor
+  /// replication, exactly consistent with owner_of.
+  [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
+                                                std::size_t k) const {
+    return grid_replica_walk(table_, index, k);
+  }
+
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] std::size_t node_slot_count() const {
     return node_live_.size();

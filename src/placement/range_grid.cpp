@@ -1,5 +1,7 @@
 #include "placement/range_grid.hpp"
 
+#include <algorithm>
+
 namespace cobalt::placement {
 
 RangeGrid::RangeGrid(unsigned bits)
@@ -51,6 +53,23 @@ std::vector<double> grid_quotas(const RangeGrid& grid,
     quotas.push_back(static_cast<double>(counts[node]) / total);
   }
   return quotas;
+}
+
+std::vector<NodeId> grid_replica_walk(const RangeGrid& grid, HashIndex index,
+                                      std::size_t k) {
+  COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
+  std::vector<NodeId> replicas;
+  const std::size_t cells = grid.size();
+  const std::size_t start = grid.cell_of(index);
+  for (std::size_t step = 0; step < cells && replicas.size() < k; ++step) {
+    const NodeId owner = grid.owner((start + step) & (cells - 1));
+    if (owner == kInvalidNode) continue;  // pre-bootstrap grid only
+    if (std::find(replicas.begin(), replicas.end(), owner) ==
+        replicas.end()) {
+      replicas.push_back(owner);
+    }
+  }
+  return replicas;
 }
 
 }  // namespace cobalt::placement

@@ -88,4 +88,14 @@ class RangeGrid {
 std::vector<double> grid_quotas(const RangeGrid& grid,
                                 const std::vector<bool>& node_live);
 
+/// The replica_set of a grid-backed scheme: walk the cells forward from
+/// the cell containing `index` (wrapping), collecting distinct owners
+/// in first-encounter order, until `k` nodes are found or the walk
+/// comes full circle. Element 0 is the grid's own owner_of(index), so
+/// the result satisfies the rank-0 invariant of the PlacementBackend
+/// concept by construction; the walk only ever sees live nodes because
+/// membership events reassign every cell of a departed owner.
+std::vector<NodeId> grid_replica_walk(const RangeGrid& grid, HashIndex index,
+                                      std::size_t k);
+
 }  // namespace cobalt::placement

@@ -1,15 +1,21 @@
 // cobalt/sim/scenario.hpp
 //
-// Backend-generic scenario drivers: the growth, churn and
-// data-movement protocols of the paper's evaluation (and the
-// ablations), written once over the PlacementBackend concept. Every
-// comparison bench instantiates these same loops per scheme, so a new
-// scenario is written once and a new backend gets every scenario for
-// free.
+// Backend-generic scenario drivers: the growth, churn, data-movement,
+// correlated-failure and rolling-upgrade protocols of the paper's
+// evaluation (and the ablations), written once over the
+// PlacementBackend concept. Every comparison bench instantiates these
+// same loops per scheme, so a new scenario is written once and a new
+// backend gets every scenario for free.
+//
+// Backend-level drivers (run_growth, run_churn) take a bare backend;
+// store-level drivers (run_movement_growth, run_correlated_failure,
+// run_rolling_upgrade) take a kv::Store<Backend> because their
+// figure-of-merit is key movement / replication repair, which only the
+// store's accounting channels can report.
 //
 // All drivers are deterministic given the backend's construction seed
-// (growth, movement) plus an explicit scenario seed (churn's victim
-// choice).
+// (growth, movement, upgrade) plus an explicit scenario seed (churn's
+// victim choice, the failed rack).
 
 #pragma once
 
@@ -102,6 +108,126 @@ ChurnOutcome run_churn(B& backend, std::size_t population,
     result.sigma_series.push_back(backend.sigma());
   }
   return result;
+}
+
+/// Outcome of a correlated-failure event (ablation A8).
+struct CorrelatedFailureOutcome {
+  /// Nodes the crash actually removed.
+  std::size_t failed = 0;
+
+  /// Removals the scheme refused (the local approach's missing
+  /// cross-group merge); the node survives the "crash" in the model's
+  /// terms, so its copies still count.
+  std::size_t refused = 0;
+
+  /// Keys whose whole replica set was inside the failed rack - the
+  /// data-loss window the replication factor exists to close.
+  std::uint64_t keys_lost = 0;
+
+  /// Re-replication mass of the repair (key copies created).
+  std::uint64_t keys_rereplicated = 0;
+
+  /// Balance after the repair.
+  double sigma_after = 0.0;
+};
+
+/// Correlated failure (ablation A8): grow `store` to `population`
+/// nodes, preload `keys`, then crash a random "rack" of `rack_size`
+/// live nodes *at once* (one batched fail_nodes event, so keys whose
+/// entire replica set lived in the rack are honestly lost rather than
+/// being saved by one-at-a-time repair). The rack choice derives from
+/// `seed` alone, so two stores fed the same seed lose the same rack
+/// positions.
+template <typename StoreT>
+CorrelatedFailureOutcome run_correlated_failure(
+    StoreT& store, std::size_t population, std::size_t rack_size,
+    std::span<const std::string> keys, std::uint64_t seed) {
+  COBALT_REQUIRE(population >= 2, "a correlated failure needs survivors");
+  COBALT_REQUIRE(rack_size >= 1 && rack_size < population,
+                 "the rack must be a proper subset of the population");
+  for (std::size_t n = 0; n < population; ++n) store.add_node();
+  for (const std::string& key : keys) store.put(key, "v");
+
+  // Pick rack_size distinct live nodes.
+  std::vector<placement::NodeId> live;
+  for (placement::NodeId node = 0; node < store.backend().node_slot_count();
+       ++node) {
+    if (store.backend().is_live(node)) live.push_back(node);
+  }
+  Xoshiro256 rack_rng(derive_seed(seed, 0xFAu, 0));
+  std::vector<placement::NodeId> rack;
+  rack.reserve(rack_size);
+  for (const std::size_t pick :
+       sample_without_replacement(live.size(), rack_size, rack_rng)) {
+    rack.push_back(live[pick]);
+  }
+
+  const auto before = store.replication_stats();
+  CorrelatedFailureOutcome out;
+  out.failed = store.fail_nodes(rack);
+  out.refused = rack_size - out.failed;
+  out.keys_lost = store.replication_stats().keys_lost - before.keys_lost;
+  out.keys_rereplicated =
+      store.replication_stats().keys_rereplicated - before.keys_rereplicated;
+  out.sigma_after = store.backend().sigma();
+  return out;
+}
+
+/// Outcome of a rolling-upgrade sweep (ablation A8).
+struct RollingUpgradeOutcome {
+  /// Nodes successfully drained and replaced.
+  std::size_t upgraded = 0;
+
+  /// Drains the scheme refused (the node keeps serving, unupgraded).
+  std::size_t refused = 0;
+
+  /// Re-replication mass of the whole sweep (key copies created).
+  std::uint64_t keys_rereplicated = 0;
+
+  /// Keys lost during the sweep. Zero by construction: drains are
+  /// graceful (the departing node cooperates as a copy source).
+  std::uint64_t keys_lost = 0;
+
+  /// sigma after each drain+rejoin step (one element per fleet node).
+  std::vector<double> sigma_series;
+};
+
+/// Rolling upgrade (ablation A8): grow `store` to `population` nodes,
+/// preload `keys`, then sweep the original fleet in id order - each
+/// node is gracefully drained (remove_node) and immediately replaced
+/// by a fresh join, the drain/rejoin cycle of an in-place upgrade.
+/// Refused drains are counted and skipped (the node stays on the old
+/// version). Deterministic given the store's construction seed.
+template <typename StoreT>
+RollingUpgradeOutcome run_rolling_upgrade(StoreT& store,
+                                          std::size_t population,
+                                          std::span<const std::string> keys) {
+  COBALT_REQUIRE(population >= 2,
+                 "a rolling upgrade needs a node to hold the data while "
+                 "its peer drains");
+  std::vector<placement::NodeId> fleet;
+  fleet.reserve(population);
+  for (std::size_t n = 0; n < population; ++n) {
+    fleet.push_back(store.add_node());
+  }
+  for (const std::string& key : keys) store.put(key, "v");
+
+  const auto before = store.replication_stats();
+  RollingUpgradeOutcome out;
+  out.sigma_series.reserve(fleet.size());
+  for (const placement::NodeId node : fleet) {
+    if (store.remove_node(node)) {
+      ++out.upgraded;
+      store.add_node();
+    } else {
+      ++out.refused;
+    }
+    out.sigma_series.push_back(store.backend().sigma());
+  }
+  out.keys_rereplicated =
+      store.replication_stats().keys_rereplicated - before.keys_rereplicated;
+  out.keys_lost = store.replication_stats().keys_lost - before.keys_lost;
+  return out;
 }
 
 /// Data movement under growth (ablation A2): preload `store` (one

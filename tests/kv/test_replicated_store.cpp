@@ -1,0 +1,328 @@
+// Tests for the replicated key-value store: one typed suite drives the
+// replication layer of kv::Store over all seven placement backends
+// through identical scenarios - write fan-out, graceful drains,
+// correlated crashes, and the separation of the relocation and
+// re-replication accounting channels (the two stats surfaces of
+// kv/store.hpp).
+
+#include "kv/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobalt::kv {
+namespace {
+
+dht::Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+/// Per-backend replicated-store factory with a comparable footprint.
+template <typename StoreT>
+StoreT make_store(std::uint64_t seed, std::size_t replication);
+
+template <>
+KvStore make_store<KvStore>(std::uint64_t seed, std::size_t replication) {
+  return KvStore({cfg(8, 8, seed), 1}, replication);
+}
+
+template <>
+GlobalKvStore make_store<GlobalKvStore>(std::uint64_t seed,
+                                        std::size_t replication) {
+  return GlobalKvStore({cfg(8, 1, seed), 1}, replication);
+}
+
+template <>
+ChKvStore make_store<ChKvStore>(std::uint64_t seed,
+                                std::size_t replication) {
+  return ChKvStore({seed, 16}, replication);
+}
+
+template <>
+HrwKvStore make_store<HrwKvStore>(std::uint64_t seed,
+                                  std::size_t replication) {
+  return HrwKvStore({seed, 12}, replication);
+}
+
+template <>
+JumpKvStore make_store<JumpKvStore>(std::uint64_t seed,
+                                    std::size_t replication) {
+  return JumpKvStore({seed, 12}, replication);
+}
+
+template <>
+MaglevKvStore make_store<MaglevKvStore>(std::uint64_t seed,
+                                        std::size_t replication) {
+  return MaglevKvStore({seed, 12}, replication);
+}
+
+template <>
+BoundedChKvStore make_store<BoundedChKvStore>(std::uint64_t seed,
+                                              std::size_t replication) {
+  return BoundedChKvStore({seed, 16, 0.25, 12}, replication);
+}
+
+template <typename StoreT>
+class ReplicatedStoreSuite : public ::testing::Test {};
+
+using StoreTypes =
+    ::testing::Types<KvStore, GlobalKvStore, ChKvStore, HrwKvStore,
+                     JumpKvStore, MaglevKvStore, BoundedChKvStore>;
+TYPED_TEST_SUITE(ReplicatedStoreSuite, StoreTypes);
+
+/// The conservation invariant of the replication layer: after any
+/// membership event through the store, every key is held by exactly
+/// min(k, node_count()) distinct live nodes and the primary is rank 0.
+template <typename StoreT>
+void expect_fully_replicated(const StoreT& store,
+                             const std::vector<std::string>& keys) {
+  const std::size_t expected =
+      std::min(store.replication(), store.backend().node_count());
+  for (const std::string& key : keys) {
+    const auto replicas = store.replicas_of(key);
+    ASSERT_EQ(replicas.size(), expected) << "key " << key;
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      ASSERT_TRUE(store.backend().is_live(replicas[i]));
+      for (std::size_t j = i + 1; j < replicas.size(); ++j) {
+        ASSERT_NE(replicas[i], replicas[j]) << "duplicate replica";
+      }
+    }
+    ASSERT_EQ(replicas.front(), store.owner_of(key))
+        << "rank 0 must be the primary";
+  }
+}
+
+TYPED_TEST(ReplicatedStoreSuite, WritesMaterializeKDistinctLiveReplicas) {
+  auto store = make_store<TypeParam>(901, 3);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back("w" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  expect_fully_replicated(store, keys);
+  // Fan-out accounting: every put wrote one copy per replica.
+  EXPECT_EQ(store.replication_stats().replica_writes, 300u * 3u);
+  // Reads are served by the primary while it lives.
+  for (const std::string& key : keys) {
+    EXPECT_EQ(store.read_node_of(key), store.owner_of(key));
+  }
+}
+
+TYPED_TEST(ReplicatedStoreSuite, ReplicationConservedThroughMembership) {
+  auto store = make_store<TypeParam>(902, 2);
+  std::vector<placement::NodeId> nodes;
+  for (int n = 0; n < 6; ++n) nodes.push_back(store.add_node());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back("c" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  // Joins, graceful drains and crashes all repair the replica sets.
+  store.add_node();
+  expect_fully_replicated(store, keys);
+  (void)store.remove_node(nodes[1]);
+  expect_fully_replicated(store, keys);
+  const std::vector<placement::NodeId> rack = {nodes[3]};
+  store.fail_nodes(rack);
+  expect_fully_replicated(store, keys);
+  store.add_node();
+  expect_fully_replicated(store, keys);
+  EXPECT_EQ(store.size(), keys.size());
+}
+
+TYPED_TEST(ReplicatedStoreSuite, GracefulDrainNeverLosesKeys) {
+  auto store = make_store<TypeParam>(903, 2);
+  std::vector<placement::NodeId> nodes;
+  for (int n = 0; n < 10; ++n) nodes.push_back(store.add_node());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("g" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  int drained = 0;
+  for (std::size_t i = 0; i < nodes.size() && drained < 4; ++i) {
+    if (store.remove_node(nodes[i])) ++drained;
+  }
+  EXPECT_GT(drained, 0);
+  EXPECT_EQ(store.replication_stats().keys_lost, 0u);
+  EXPECT_GT(store.replication_stats().keys_rereplicated, 0u);
+  expect_fully_replicated(store, keys);
+}
+
+TYPED_TEST(ReplicatedStoreSuite, UnreplicatedCrashLosesExactlyTheOwnedKeys) {
+  auto store = make_store<TypeParam>(904, 1);
+  std::vector<placement::NodeId> nodes;
+  for (int n = 0; n < 8; ++n) nodes.push_back(store.add_node());
+  for (int i = 0; i < 600; ++i) store.put("u" + std::to_string(i), "v");
+  // Crash a node the scheme will let go (skip potential refusals by
+  // probing with the crash itself: fail_nodes reports completions).
+  // The ownership snapshot is taken per attempt because even a refused
+  // drain may shuffle primaries internally (the local approach's
+  // aborted decommission).
+  for (const placement::NodeId victim : nodes) {
+    const auto owned = store.keys_per_node();
+    const std::vector<placement::NodeId> rack = {victim};
+    const std::uint64_t lost_before = store.replication_stats().keys_lost;
+    if (store.fail_nodes(rack) == 1) {
+      EXPECT_EQ(store.replication_stats().keys_lost - lost_before,
+                owned[victim])
+          << "at k=1, a crash loses exactly the victim's keys";
+      return;
+    }
+    EXPECT_EQ(store.replication_stats().keys_lost, lost_before)
+        << "a refused crash must not lose keys";
+  }
+  FAIL() << "no removable node found";
+}
+
+TYPED_TEST(ReplicatedStoreSuite, ReplicatedSingleCrashLosesNothing) {
+  auto store = make_store<TypeParam>(905, 2);
+  std::vector<placement::NodeId> nodes;
+  for (int n = 0; n < 8; ++n) nodes.push_back(store.add_node());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("r" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  const std::vector<placement::NodeId> rack = {nodes[2]};
+  store.fail_nodes(rack);
+  EXPECT_EQ(store.replication_stats().keys_lost, 0u);
+  // Every key is still readable from a live replica.
+  for (const std::string& key : keys) {
+    EXPECT_TRUE(store.backend().is_live(store.read_node_of(key)));
+  }
+}
+
+TYPED_TEST(ReplicatedStoreSuite, CrashOfAWholeReplicaSetIsCountedLost) {
+  auto store = make_store<TypeParam>(906, 2);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back("l" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  // Crash the full replica set of one key in a single batch.
+  const auto rack = store.replicas_of(keys.front());
+  ASSERT_EQ(rack.size(), 2u);
+  const std::size_t failed = store.fail_nodes(rack);
+  if (failed == rack.size()) {
+    EXPECT_GT(store.replication_stats().keys_lost, 0u);
+  }
+  // The simulator keeps the bytes so scenarios can continue; the loss
+  // is an accounting fact, not a wipe.
+  EXPECT_EQ(store.size(), keys.size());
+  expect_fully_replicated(store, keys);
+}
+
+TYPED_TEST(ReplicatedStoreSuite, RelocationAndReplicationChannelsAreSplit) {
+  auto store = make_store<TypeParam>(907, 2);
+  for (int n = 0; n < 6; ++n) store.add_node();
+  for (int i = 0; i < 800; ++i) store.put("s" + std::to_string(i), "v");
+  const auto relocation_before = store.relocation_stats();
+  const auto replication_before = store.replication_stats();
+  store.add_node();
+  // The join moved primaries (relocation channel) and repaired replica
+  // sets (replication channel); each is queryable on its own.
+  EXPECT_GT(store.relocation_stats().keys_moved_across_nodes,
+            relocation_before.keys_moved_across_nodes);
+  EXPECT_GT(store.replication_stats().keys_rereplicated,
+            replication_before.keys_rereplicated);
+  EXPECT_EQ(store.replication_stats().keys_lost, 0u);
+  // migration_stats() remains the historical alias of the relocation
+  // channel.
+  EXPECT_EQ(&store.migration_stats(), &store.relocation_stats());
+}
+
+TYPED_TEST(ReplicatedStoreSuite, ReplicaCopiesSumToKTimesKeys) {
+  auto store = make_store<TypeParam>(908, 3);
+  for (int n = 0; n < 9; ++n) store.add_node();
+  constexpr std::size_t kKeys = 600;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    store.put("t" + std::to_string(i), "v");
+  }
+  const auto copies = store.replica_copies_per_node();
+  std::size_t total = 0;
+  for (const std::size_t c : copies) total += c;
+  EXPECT_EQ(total, kKeys * 3u);
+  const auto primaries = store.keys_per_node();
+  std::size_t primary_total = 0;
+  for (const std::size_t c : primaries) primary_total += c;
+  EXPECT_EQ(primary_total, kKeys);
+}
+
+TYPED_TEST(ReplicatedStoreSuite, FactorOneBehavesLikeTheUnreplicatedStore) {
+  auto store = make_store<TypeParam>(909, 1);
+  for (int n = 0; n < 4; ++n) store.add_node();
+  store.put("solo", "v");
+  EXPECT_EQ(store.replication(), 1u);
+  const auto replicas = store.replicas_of("solo");
+  ASSERT_EQ(replicas.size(), 1u);
+  EXPECT_EQ(replicas.front(), store.owner_of("solo"));
+  EXPECT_EQ(store.replicas_of("missing").size(), 0u);
+  EXPECT_EQ(store.read_node_of("missing"), placement::kInvalidNode);
+}
+
+TYPED_TEST(ReplicatedStoreSuite, RejectsAZeroReplicationFactor) {
+  EXPECT_THROW((void)make_store<TypeParam>(910, 0), InvalidArgument);
+}
+
+TYPED_TEST(ReplicatedStoreSuite, FailNodesSurvivesDegenerateBatches) {
+  // A batch that would empty the cluster, repeat a victim, or name a
+  // dead node must not throw mid-loop: the guarded entries count as
+  // survivors and the single repair pass still runs.
+  auto store = make_store<TypeParam>(911, 2);
+  const auto a = store.add_node();
+  const auto b = store.add_node();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back("f" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  const std::uint64_t passes_before =
+      store.replication_stats().rereplication_passes;
+  const std::vector<placement::NodeId> batch = {a, a, b};
+  // At most one removal can complete (the last live node survives; a
+  // scheme may also refuse, keeping both).
+  const std::size_t failed = store.fail_nodes(batch);
+  EXPECT_LE(failed, 1u);
+  EXPECT_EQ(store.backend().node_count(), 2u - failed);
+  EXPECT_EQ(store.replication_stats().rereplication_passes,
+            passes_before + 1);
+  // The repair pass ran: no materialized replica set lists a dead
+  // node, and every key reads from the survivor.
+  expect_fully_replicated(store, keys);
+  EXPECT_EQ(store.replication_stats().keys_lost, 0u);
+}
+
+TYPED_TEST(ReplicatedStoreSuite,
+           UnreplicatedRepairStaysAlignedThroughMixedEvents) {
+  // The k == 1 repair pass only visits relocated ranges; after an
+  // arbitrary join/drain/crash mix its materialized owners must be
+  // indistinguishable from a full re-derivation.
+  auto store = make_store<TypeParam>(912, 1);
+  std::vector<placement::NodeId> nodes;
+  for (int n = 0; n < 5; ++n) nodes.push_back(store.add_node());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 400; ++i) {
+    keys.push_back("a" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  store.add_node();
+  (void)store.remove_node(nodes[0]);
+  const std::vector<placement::NodeId> rack = {nodes[2]};
+  store.fail_nodes(rack);
+  store.add_node();
+  expect_fully_replicated(store, keys);  // replicas_of == {owner_of}
+}
+
+}  // namespace
+}  // namespace cobalt::kv

@@ -1,0 +1,201 @@
+// Backend-generic property tests of the replication surface: one typed
+// suite drives replica_set over every placement scheme - the paper's
+// local and global approaches, plain Consistent Hashing, and the
+// table-driven alternatives (HRW, jump, maglev, bounded-load CH) -
+// through the invariants of the PlacementBackend contract
+// (placement/backend.hpp):
+//
+//   * the set holds min(k, node_count()) distinct live nodes;
+//   * rank 0 equals owner_of (the primary IS replica 0);
+//   * the set for k is a prefix of the set for k' > k (the ranking is
+//     independent of how many replicas are requested);
+//   * departed nodes leave every replica set;
+//   * the result is deterministic for a fixed membership.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "placement/backend.hpp"
+#include "placement/bounded_ch_backend.hpp"
+#include "placement/ch_backend.hpp"
+#include "placement/dht_backend.hpp"
+#include "placement/hrw_backend.hpp"
+#include "placement/jump_backend.hpp"
+#include "placement/maglev_backend.hpp"
+
+namespace cobalt::placement {
+namespace {
+
+dht::Config cfg(std::uint64_t pmin, std::uint64_t vmin, std::uint64_t seed) {
+  dht::Config c;
+  c.pmin = pmin;
+  c.vmin = vmin;
+  c.seed = seed;
+  return c;
+}
+
+/// Per-backend factory with a comparable footprint (small enrollments
+/// and grids keep the suite fast).
+template <typename B>
+B make_backend(std::uint64_t seed);
+
+template <>
+LocalDhtBackend make_backend<LocalDhtBackend>(std::uint64_t seed) {
+  return LocalDhtBackend({cfg(8, 8, seed), 1});
+}
+
+template <>
+GlobalDhtBackend make_backend<GlobalDhtBackend>(std::uint64_t seed) {
+  return GlobalDhtBackend({cfg(8, 1, seed), 1});
+}
+
+template <>
+ChBackend make_backend<ChBackend>(std::uint64_t seed) {
+  return ChBackend({seed, 16});
+}
+
+template <>
+HrwBackend make_backend<HrwBackend>(std::uint64_t seed) {
+  return HrwBackend({seed, 10});
+}
+
+template <>
+JumpBackend make_backend<JumpBackend>(std::uint64_t seed) {
+  return JumpBackend({seed, 10});
+}
+
+template <>
+MaglevBackend make_backend<MaglevBackend>(std::uint64_t seed) {
+  return MaglevBackend({seed, 10});
+}
+
+template <>
+BoundedChBackend make_backend<BoundedChBackend>(std::uint64_t seed) {
+  return BoundedChBackend({seed, 16, 0.25, 10});
+}
+
+/// A spread of probe points across R_h (deterministic).
+std::vector<HashIndex> probe_points(std::size_t count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<HashIndex> points;
+  points.reserve(count + 2);
+  points.push_back(0);
+  points.push_back(HashSpace::kMaxIndex);
+  for (std::size_t i = 0; i < count; ++i) points.push_back(rng.next());
+  return points;
+}
+
+bool all_distinct(const std::vector<NodeId>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[i] == nodes[j]) return false;
+    }
+  }
+  return true;
+}
+
+template <typename B>
+class ReplicaSetSuite : public ::testing::Test {};
+
+using AllBackends =
+    ::testing::Types<LocalDhtBackend, GlobalDhtBackend, ChBackend,
+                     HrwBackend, JumpBackend, MaglevBackend,
+                     BoundedChBackend>;
+TYPED_TEST_SUITE(ReplicaSetSuite, AllBackends);
+
+TYPED_TEST(ReplicaSetSuite, ReturnsKDistinctLiveNodesWithOwnerFirst) {
+  auto backend = make_backend<TypeParam>(301);
+  for (int n = 0; n < 12; ++n) backend.add_node();
+  for (const HashIndex point : probe_points(40, 17)) {
+    for (std::size_t k = 1; k <= 4; ++k) {
+      const auto replicas = backend.replica_set(point, k);
+      ASSERT_EQ(replicas.size(), k) << "point " << point << " k " << k;
+      ASSERT_TRUE(all_distinct(replicas));
+      for (const NodeId node : replicas) {
+        ASSERT_TRUE(backend.is_live(node));
+      }
+      ASSERT_EQ(replicas.front(), backend.owner_of(point))
+          << "rank 0 must be the primary";
+    }
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, SmallerKIsAPrefixOfLargerK) {
+  auto backend = make_backend<TypeParam>(302);
+  for (int n = 0; n < 10; ++n) backend.add_node();
+  for (const HashIndex point : probe_points(25, 23)) {
+    const auto four = backend.replica_set(point, 4);
+    ASSERT_EQ(four.size(), 4u);
+    for (std::size_t k = 1; k < 4; ++k) {
+      const auto fewer = backend.replica_set(point, k);
+      ASSERT_EQ(fewer.size(), k);
+      EXPECT_TRUE(std::equal(fewer.begin(), fewer.end(), four.begin()))
+          << "the ranking must not depend on k";
+    }
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, ClampsToTheLiveNodeCount) {
+  auto backend = make_backend<TypeParam>(303);
+  backend.add_node();
+  backend.add_node();
+  for (const HashIndex point : probe_points(10, 29)) {
+    const auto replicas = backend.replica_set(point, 5);
+    ASSERT_EQ(replicas.size(), 2u);  // min(k, node_count)
+    ASSERT_TRUE(all_distinct(replicas));
+    EXPECT_EQ(replicas.front(), backend.owner_of(point));
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, DepartedNodesLeaveEveryReplicaSet) {
+  auto backend = make_backend<TypeParam>(304);
+  std::vector<NodeId> nodes;
+  for (int n = 0; n < 10; ++n) nodes.push_back(backend.add_node());
+  // Remove up to 3 nodes; schemes may refuse (the local approach).
+  std::vector<NodeId> gone;
+  for (std::size_t i = 0; i < nodes.size() && gone.size() < 3; ++i) {
+    if (backend.remove_node(nodes[i])) gone.push_back(nodes[i]);
+  }
+  ASSERT_FALSE(gone.empty());
+  for (const HashIndex point : probe_points(30, 31)) {
+    const auto replicas = backend.replica_set(point, 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas.front(), backend.owner_of(point));
+    for (const NodeId dead : gone) {
+      EXPECT_EQ(std::find(replicas.begin(), replicas.end(), dead),
+                replicas.end())
+          << "departed node " << dead << " still ranked";
+    }
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, DeterministicForAFixedMembership) {
+  auto backend = make_backend<TypeParam>(305);
+  for (int n = 0; n < 8; ++n) backend.add_node();
+  for (const HashIndex point : probe_points(15, 37)) {
+    EXPECT_EQ(backend.replica_set(point, 3), backend.replica_set(point, 3));
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, SingleNodeOwnsTheOnlyReplica) {
+  auto backend = make_backend<TypeParam>(306);
+  const NodeId only = backend.add_node();
+  for (const HashIndex point : probe_points(10, 41)) {
+    const auto replicas = backend.replica_set(point, 3);
+    ASSERT_EQ(replicas.size(), 1u);
+    EXPECT_EQ(replicas.front(), only);
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, RejectsZeroK) {
+  auto backend = make_backend<TypeParam>(307);
+  backend.add_node();
+  EXPECT_THROW((void)backend.replica_set(0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt::placement

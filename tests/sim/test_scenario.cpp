@@ -1,11 +1,13 @@
 // Tests for the backend-generic scenario drivers (sim/scenario.hpp):
-// the churn driver's incrementally maintained live set and the
-// movement-growth boundary conditions.
+// the churn driver's incrementally maintained live set, the
+// movement-growth boundary conditions, and the replication scenarios
+// (correlated failure, rolling upgrade).
 
 #include "sim/scenario.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,94 @@ TEST(MovementGrowth, RejectsTargetsBelowTwo) {
   std::vector<std::string> keys{"a", "b"};
   EXPECT_THROW((void)run_movement_growth(store, keys, 1), InvalidArgument);
   EXPECT_THROW((void)run_movement_growth(store, keys, 0), InvalidArgument);
+}
+
+std::vector<std::string> scenario_keys(std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back("k" + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(CorrelatedFailure, UnreplicatedRackFailureLosesItsKeys) {
+  kv::HrwKvStore store({21, 10}, 1);
+  const auto keys = scenario_keys(1500);
+  const auto outcome = run_correlated_failure(store, 16, 3, keys, 77);
+  EXPECT_EQ(outcome.failed, 3u);  // HRW never refuses
+  EXPECT_EQ(outcome.refused, 0u);
+  // The rack owned ~3/16 of the keys; all of them are lost at k=1.
+  EXPECT_GT(outcome.keys_lost, 0u);
+  EXPECT_NEAR(static_cast<double>(outcome.keys_lost), 1500.0 * 3 / 16,
+              1500.0 * 0.1);
+  EXPECT_GT(outcome.keys_rereplicated, 0u);
+  EXPECT_TRUE(std::isfinite(outcome.sigma_after));
+  EXPECT_EQ(store.backend().node_count(), 13u);
+}
+
+TEST(CorrelatedFailure, ReplicationClosesTheLossWindow) {
+  // A single-node "rack" with k=2: no key can lose both copies.
+  kv::ChKvStore store({22, 16}, 2);
+  const auto keys = scenario_keys(1000);
+  const auto outcome = run_correlated_failure(store, 12, 1, keys, 78);
+  EXPECT_EQ(outcome.failed, 1u);
+  EXPECT_EQ(outcome.keys_lost, 0u);
+  EXPECT_GT(outcome.keys_rereplicated, 0u);
+}
+
+TEST(CorrelatedFailure, RackChoiceIsDeterministicPerSeed) {
+  const auto run_once = [] {
+    kv::HrwKvStore store({23, 10}, 2);
+    const auto keys = scenario_keys(800);
+    const auto outcome = run_correlated_failure(store, 12, 3, keys, 79);
+    return outcome.keys_rereplicated;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CorrelatedFailure, RejectsDegenerateRacks) {
+  kv::HrwKvStore store({24, 10}, 2);
+  const auto keys = scenario_keys(10);
+  EXPECT_THROW((void)run_correlated_failure(store, 8, 0, keys, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)run_correlated_failure(store, 8, 8, keys, 1),
+               InvalidArgument);
+}
+
+TEST(RollingUpgrade, SweepsTheFleetWithoutLosingKeys) {
+  kv::HrwKvStore store({25, 10}, 2);
+  const auto keys = scenario_keys(1200);
+  const auto outcome = run_rolling_upgrade(store, 10, keys);
+  EXPECT_EQ(outcome.upgraded, 10u);  // HRW never refuses a drain
+  EXPECT_EQ(outcome.refused, 0u);
+  EXPECT_EQ(outcome.keys_lost, 0u);
+  EXPECT_GT(outcome.keys_rereplicated, 0u);
+  ASSERT_EQ(outcome.sigma_series.size(), 10u);
+  // The population is back at full strength, all original nodes gone.
+  EXPECT_EQ(store.backend().node_count(), 10u);
+  for (placement::NodeId node = 0; node < 10; ++node) {
+    EXPECT_FALSE(store.backend().is_live(node));
+  }
+  EXPECT_EQ(store.size(), keys.size());
+}
+
+TEST(RollingUpgrade, RefusedDrainsAreCountedAndSkipped) {
+  // The local approach refuses some drains (no cross-group merge);
+  // refusals must leave the node serving and lose nothing.
+  kv::KvStore store = [] {
+    dht::Config c;
+    c.pmin = 8;
+    c.vmin = 8;
+    c.seed = 26;
+    return kv::KvStore({c, 1}, 2);
+  }();
+  const auto keys = scenario_keys(600);
+  const auto outcome = run_rolling_upgrade(store, 12, keys);
+  EXPECT_EQ(outcome.upgraded + outcome.refused, 12u);
+  EXPECT_EQ(outcome.keys_lost, 0u);
+  EXPECT_EQ(store.backend().node_count(), 12u);
+  EXPECT_EQ(store.size(), keys.size());
 }
 
 }  // namespace
