@@ -21,7 +21,9 @@
 // movement, maglev's table-wide repopulation and bounded CH's cap
 // reshuffling add overhead above the fair share.
 
+#include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,37 @@ int main(int argc, char** argv) {
   fig.print_banner();
 
   const std::uint64_t key_count = fig.args().get_uint("keys", 200000);
+  // --schemes=local,ch,... restricts the comparison to a subset (the
+  // CI smoke uses --schemes=local at 8192 joins to exercise the local
+  // approach's group-split pressure through the store hot path
+  // without paying for the table-driven schemes at that scale).
+  const std::string schemes_arg =
+      fig.args().get_string("schemes", "all");
+  const std::vector<std::string> known_schemes = {
+      "local", "global", "ch", "hrw", "jump", "maglev", "bounded-ch"};
+  if (schemes_arg != "all") {
+    // A typo must fail loudly: silently matching nothing would turn
+    // the CI smoke into a vacuous green (no store runs, every check
+    // passes by default).
+    std::stringstream list(schemes_arg);
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      if (std::find(known_schemes.begin(), known_schemes.end(), token) ==
+          known_schemes.end()) {
+        std::cerr << "unknown scheme in --schemes: '" << token << "'\n";
+        return 2;
+      }
+    }
+  }
+  const auto enabled = [&](const std::string& scheme) {
+    if (schemes_arg == "all") return true;
+    std::stringstream list(schemes_arg);
+    std::string token;
+    while (std::getline(list, token, ',')) {
+      if (token == scheme) return true;
+    }
+    return false;
+  };
   const std::size_t ch_k = fig.args().get_uint("ch-partitions", 32);
   const auto grid_bits =
       static_cast<unsigned>(fig.args().get_uint("grid-bits", 14));
@@ -68,19 +101,18 @@ int main(int argc, char** argv) {
   cobalt::kv::MaglevKvStore maglev({fig.seed(), grid_bits});
   cobalt::kv::BoundedChKvStore bounded(
       {fig.seed(), ch_k, epsilon, grid_bits});
-  const auto local_moved =
-      cobalt::sim::run_movement_growth(local, keys, fig.steps());
-  const auto global_moved =
-      cobalt::sim::run_movement_growth(global, keys, fig.steps());
-  const auto ch_moved = cobalt::sim::run_movement_growth(ch, keys, fig.steps());
-  const auto hrw_moved =
-      cobalt::sim::run_movement_growth(hrw, keys, fig.steps());
-  const auto jump_moved =
-      cobalt::sim::run_movement_growth(jump, keys, fig.steps());
-  const auto maglev_moved =
-      cobalt::sim::run_movement_growth(maglev, keys, fig.steps());
-  const auto bounded_moved =
-      cobalt::sim::run_movement_growth(bounded, keys, fig.steps());
+  const auto run_scheme = [&](const std::string& scheme, auto& store) {
+    return enabled(scheme)
+               ? cobalt::sim::run_movement_growth(store, keys, fig.steps())
+               : std::vector<double>{};
+  };
+  const auto local_moved = run_scheme("local", local);
+  const auto global_moved = run_scheme("global", global);
+  const auto ch_moved = run_scheme("ch", ch);
+  const auto hrw_moved = run_scheme("hrw", hrw);
+  const auto jump_moved = run_scheme("jump", jump);
+  const auto maglev_moved = run_scheme("maglev", maglev);
+  const auto bounded_moved = run_scheme("bounded-ch", bounded);
 
   std::vector<double> fair_share;
   std::vector<double> xs;
@@ -90,14 +122,17 @@ int main(int argc, char** argv) {
                          static_cast<double>(n));
   }
 
-  const std::vector<Series> series{Series{"local", local_moved},
-                                   Series{"global", global_moved},
-                                   Series{"CH", ch_moved},
-                                   Series{"HRW", hrw_moved},
-                                   Series{"jump", jump_moved},
-                                   Series{"maglev", maglev_moved},
-                                   Series{"bounded CH", bounded_moved},
-                                   Series{"fair share K/N", fair_share}};
+  std::vector<Series> series;
+  if (enabled("local")) series.push_back(Series{"local", local_moved});
+  if (enabled("global")) series.push_back(Series{"global", global_moved});
+  if (enabled("ch")) series.push_back(Series{"CH", ch_moved});
+  if (enabled("hrw")) series.push_back(Series{"HRW", hrw_moved});
+  if (enabled("jump")) series.push_back(Series{"jump", jump_moved});
+  if (enabled("maglev")) series.push_back(Series{"maglev", maglev_moved});
+  if (enabled("bounded-ch")) {
+    series.push_back(Series{"bounded CH", bounded_moved});
+  }
+  series.push_back(Series{"fair share K/N", fair_share});
   fig.print_table(xs, series, xs.size() / 16, /*percent=*/false, "nodes");
   fig.print_chart(xs, series, "nodes joined", "keys moved on join");
   fig.write_csv(xs, series, "nodes");
@@ -121,40 +156,59 @@ int main(int argc, char** argv) {
               label + " moves a fair share per join (ratio " +
                   cobalt::format_fixed(ratio, 2) + "x of K/N)");
   };
-  check_fair("local approach", local_moved, 0.3, 3.0);
-  check_fair("global approach", global_moved, 0.3, 3.0);
-  check_fair("CH", ch_moved, 0.3, 3.0);
-  check_fair("HRW", hrw_moved, 0.3, 3.0);
-  check_fair("jump", jump_moved, 0.3, 3.0);
+  if (enabled("local")) check_fair("local approach", local_moved, 0.3, 3.0);
+  if (enabled("global")) {
+    check_fair("global approach", global_moved, 0.3, 3.0);
+  }
+  if (enabled("ch")) check_fair("CH", ch_moved, 0.3, 3.0);
+  if (enabled("hrw")) check_fair("HRW", hrw_moved, 0.3, 3.0);
+  if (enabled("jump")) check_fair("jump", jump_moved, 0.3, 3.0);
   // Maglev repopulates its whole table per join and bounded CH
   // reshuffles overflow cells as the caps shrink: both may exceed the
   // fair share, but must stay within a small multiple of it.
-  check_fair("maglev", maglev_moved, 0.3, 8.0);
-  check_fair("bounded CH", bounded_moved, 0.3, 8.0);
+  if (enabled("maglev")) check_fair("maglev", maglev_moved, 0.3, 8.0);
+  if (enabled("bounded-ch")) {
+    check_fair("bounded CH", bounded_moved, 0.3, 8.0);
+  }
   // Minimal disruption: a jump join only steals what the new tail
   // bucket ends up owning, so it sits at (or below) the fair share.
-  fig.check(tail_ratio(jump_moved) < 1.5,
-            "jump stays near the minimal-disruption bound");
+  if (enabled("jump")) {
+    fig.check(tail_ratio(jump_moved) < 1.5,
+              "jump stays near the minimal-disruption bound");
+  }
   // One vnode per node: every DHT handover crosses nodes, so the two
   // movement counters must agree; CH never re-buckets.
-  fig.check(local.migration_stats().keys_moved_across_nodes ==
-                local.migration_stats().keys_moved_total,
-            "local: all movement crosses nodes at one vnode/node");
-  fig.check(ch.migration_stats().keys_rebucketed == 0,
-            "CH never re-buckets keys");
+  if (enabled("local")) {
+    fig.check(local.migration_stats().keys_moved_across_nodes ==
+                  local.migration_stats().keys_moved_total,
+              "local: all movement crosses nodes at one vnode/node");
+  }
+  if (enabled("ch")) {
+    fig.check(ch.migration_stats().keys_rebucketed == 0,
+              "CH never re-buckets keys");
+  }
   // The grid-backed schemes report plain relocations only.
-  fig.check(hrw.migration_stats().keys_rebucketed == 0 &&
-                jump.migration_stats().keys_rebucketed == 0 &&
-                maglev.migration_stats().keys_rebucketed == 0 &&
-                bounded.migration_stats().keys_rebucketed == 0,
-            "HRW, jump, maglev and bounded CH never re-bucket keys");
-  // Integrity: no keys lost by any store.
-  fig.check(local.size() == key_count && global.size() == key_count &&
-                ch.size() == key_count && hrw.size() == key_count &&
-                jump.size() == key_count && maglev.size() == key_count &&
-                bounded.size() == key_count,
-            "no keys lost through " + std::to_string(fig.steps()) +
-                " joins (all seven schemes)");
+  if (enabled("hrw") && enabled("jump") && enabled("maglev") &&
+      enabled("bounded-ch")) {
+    fig.check(hrw.migration_stats().keys_rebucketed == 0 &&
+                  jump.migration_stats().keys_rebucketed == 0 &&
+                  maglev.migration_stats().keys_rebucketed == 0 &&
+                  bounded.migration_stats().keys_rebucketed == 0,
+              "HRW, jump, maglev and bounded CH never re-bucket keys");
+  }
+  // Integrity: no keys lost by any enabled store.
+  bool none_lost = true;
+  if (enabled("local")) none_lost = none_lost && local.size() == key_count;
+  if (enabled("global")) none_lost = none_lost && global.size() == key_count;
+  if (enabled("ch")) none_lost = none_lost && ch.size() == key_count;
+  if (enabled("hrw")) none_lost = none_lost && hrw.size() == key_count;
+  if (enabled("jump")) none_lost = none_lost && jump.size() == key_count;
+  if (enabled("maglev")) none_lost = none_lost && maglev.size() == key_count;
+  if (enabled("bounded-ch")) {
+    none_lost = none_lost && bounded.size() == key_count;
+  }
+  fig.check(none_lost, "no keys lost through " +
+                           std::to_string(fig.steps()) + " joins");
 
   return fig.exit_code();
 }

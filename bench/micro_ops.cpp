@@ -1,10 +1,21 @@
 // Microbenchmarks (google-benchmark): costs of the core operations -
 // hashing, dyadic arithmetic, routing lookups, vnode creation in both
-// approaches, group splitting pressure, and CH joins.
+// approaches, group splitting pressure, CH joins, and the KV store's
+// hot path (put / get / membership events / repair passes) across all
+// seven placement schemes.
+//
+// `--json[=path]` additionally writes the results as google-benchmark
+// JSON (default path BENCH_store_hotpath.json); the checked-in
+// BENCH_store_hotpath.json tracks the store hot-path trajectory as
+// before/after snapshots of the store_* benches (see
+// docs/BENCHMARKS.md for the schema).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "ch/ring.hpp"
 #include "common/dyadic.hpp"
@@ -226,6 +237,179 @@ void BM_ChKvPut(benchmark::State& state) {
 }
 BENCHMARK(BM_ChKvPut);
 
+// --- store hot path, all seven schemes -------------------------------
+//
+// The perf trajectory of the KV store itself, one bench family per
+// operation class and one instance per placement scheme:
+//
+//   store_put/<scheme>       put throughput on a warm 16-node store
+//   store_get/<scheme>       point-lookup throughput over resident keys
+//   store_event_k1/<scheme>  membership events on a loaded k=1 store
+//                            (each join pays relocation accounting plus
+//                            the k=1 repair of the relocated ranges -
+//                            the growth repair path of run_growth /
+//                            run_movement_growth)
+//   store_repair_k3/<scheme> membership events on a loaded k=3 store
+//                            (each event runs the fallback-replica
+//                            repair pass - the abl8 hot path)
+
+constexpr std::size_t kStoreBenchKeys = 20000;
+
+/// Per-scheme store factory with a comparable footprint (mirrors the
+/// typed store tests: one vnode / one moderate point set per node).
+template <typename StoreT>
+StoreT make_bench_store(std::uint64_t seed, std::size_t k);
+
+template <>
+cobalt::kv::KvStore make_bench_store<cobalt::kv::KvStore>(
+    std::uint64_t /*seed*/, std::size_t k) {
+  return cobalt::kv::KvStore({config_for(32, 8), 1}, k);
+}
+
+template <>
+cobalt::kv::GlobalKvStore make_bench_store<cobalt::kv::GlobalKvStore>(
+    std::uint64_t /*seed*/, std::size_t k) {
+  return cobalt::kv::GlobalKvStore({config_for(32, 1), 1}, k);
+}
+
+template <>
+cobalt::kv::ChKvStore make_bench_store<cobalt::kv::ChKvStore>(
+    std::uint64_t seed, std::size_t k) {
+  return cobalt::kv::ChKvStore({seed, 32}, k);
+}
+
+template <>
+cobalt::kv::HrwKvStore make_bench_store<cobalt::kv::HrwKvStore>(
+    std::uint64_t seed, std::size_t k) {
+  return cobalt::kv::HrwKvStore({seed, 12}, k);
+}
+
+template <>
+cobalt::kv::JumpKvStore make_bench_store<cobalt::kv::JumpKvStore>(
+    std::uint64_t seed, std::size_t k) {
+  return cobalt::kv::JumpKvStore({seed, 12}, k);
+}
+
+template <>
+cobalt::kv::MaglevKvStore make_bench_store<cobalt::kv::MaglevKvStore>(
+    std::uint64_t seed, std::size_t k) {
+  return cobalt::kv::MaglevKvStore({seed, 12}, k);
+}
+
+template <>
+cobalt::kv::BoundedChKvStore make_bench_store<cobalt::kv::BoundedChKvStore>(
+    std::uint64_t seed, std::size_t k) {
+  return cobalt::kv::BoundedChKvStore({seed, 32, 0.25, 12}, k);
+}
+
+std::string bench_key(std::uint64_t i) {
+  return "bench/" + std::to_string(i);
+}
+
+template <typename StoreT>
+void BM_StorePut(benchmark::State& state) {
+  auto store = make_bench_store<StoreT>(42, 1);
+  for (int i = 0; i < 16; ++i) store.add_node();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.put(bench_key(i++), "v"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename StoreT>
+void BM_StoreGet(benchmark::State& state) {
+  auto store = make_bench_store<StoreT>(43, 1);
+  for (int i = 0; i < 16; ++i) store.add_node();
+  for (std::uint64_t i = 0; i < kStoreBenchKeys; ++i) {
+    store.put(bench_key(i), "v");
+  }
+  Xoshiro256 rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.get(bench_key(rng.next_below(kStoreBenchKeys))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+/// One iteration = 16 joins into a store preloaded with kStoreBenchKeys
+/// keys (preload untimed). At k = 1 every join pays the relocation
+/// accounting plus the ranged repair; at k = 3 it additionally pays the
+/// fallback-replica repair pass.
+template <typename StoreT, std::size_t kReplication>
+void BM_StoreMembershipEvents(benchmark::State& state) {
+  constexpr int kJoins = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = make_bench_store<StoreT>(44, kReplication);
+    for (std::size_t n = 0; n < 4; ++n) store.add_node();
+    for (std::uint64_t i = 0; i < kStoreBenchKeys; ++i) {
+      store.put(bench_key(i), "v");
+    }
+    state.ResumeTiming();
+    for (int n = 0; n < kJoins; ++n) store.add_node();
+    benchmark::DoNotOptimize(store.replication_stats().rereplication_passes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kJoins);
+}
+
+template <typename StoreT>
+void register_store_benches(const char* scheme) {
+  const std::string name(scheme);
+  benchmark::RegisterBenchmark(("store_put/" + name).c_str(),
+                               BM_StorePut<StoreT>);
+  benchmark::RegisterBenchmark(("store_get/" + name).c_str(),
+                               BM_StoreGet<StoreT>);
+  benchmark::RegisterBenchmark(("store_event_k1/" + name).c_str(),
+                               BM_StoreMembershipEvents<StoreT, 1>);
+  benchmark::RegisterBenchmark(("store_repair_k3/" + name).c_str(),
+                               BM_StoreMembershipEvents<StoreT, 3>);
+}
+
+void register_all_store_benches() {
+  register_store_benches<cobalt::kv::KvStore>("local");
+  register_store_benches<cobalt::kv::GlobalKvStore>("global");
+  register_store_benches<cobalt::kv::ChKvStore>("ch");
+  register_store_benches<cobalt::kv::HrwKvStore>("hrw");
+  register_store_benches<cobalt::kv::JumpKvStore>("jump");
+  register_store_benches<cobalt::kv::MaglevKvStore>("maglev");
+  register_store_benches<cobalt::kv::BoundedChKvStore>("bounded-ch");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json[=path]` is sugar for google-benchmark's JSON file output:
+  // it becomes --benchmark_out=<path> --benchmark_out_format=json with
+  // the path defaulting to BENCH_store_hotpath.json, so CI and the
+  // docs can speak one flag.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--json") == 0) {
+      out_flag = "--benchmark_out=BENCH_store_hotpath.json";
+      it = args.erase(it);
+    } else if (std::strncmp(*it, "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (*it + 7);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+
+  register_all_store_benches();
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

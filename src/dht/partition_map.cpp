@@ -68,6 +68,15 @@ PartitionMap::Hit PartitionMap::successor(const Partition& partition) const {
              it->second.owner};
 }
 
+PartitionMap::Hit PartitionMap::predecessor(const Partition& partition) const {
+  COBALT_INVARIANT(!entries_.empty(), "predecessor in an empty partition map");
+  auto it = entries_.lower_bound(partition.begin());
+  if (it == entries_.begin()) it = entries_.end();
+  --it;
+  return Hit{Partition::containing(it->first, it->second.level),
+             it->second.owner};
+}
+
 VNodeId PartitionMap::owner_of(const Partition& partition) const {
   const auto it = entries_.find(partition.begin());
   COBALT_REQUIRE(it != entries_.end() && it->second.level == partition.level(),

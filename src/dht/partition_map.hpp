@@ -60,6 +60,13 @@ class PartitionMap {
   /// layer (placement::DhtBackend::replica_set) is built on this.
   [[nodiscard]] Hit successor(const Partition& partition) const;
 
+  /// The live partition immediately before the one starting at
+  /// `partition.begin()`, wrapping past 0 back to the last partition.
+  /// With a single live partition this is that partition itself. The
+  /// backward expansion of the replication layer's dirty ranges
+  /// (placement::DhtBackend::replica_dirty_ranges) is built on this.
+  [[nodiscard]] Hit predecessor(const Partition& partition) const;
+
   /// Owner of an exact live partition.
   [[nodiscard]] VNodeId owner_of(const Partition& partition) const;
 

@@ -1,0 +1,152 @@
+#include "kv/shard_index.hpp"
+
+#include <algorithm>
+
+namespace cobalt::kv {
+
+namespace {
+
+/// Buckets are sorted by hash; both searches below are over at most
+/// kSplitBuckets contiguous elements.
+struct BucketLess {
+  bool operator()(const ShardIndex::Bucket& bucket, HashIndex hash) const {
+    return bucket.hash < hash;
+  }
+  bool operator()(HashIndex hash, const ShardIndex::Bucket& bucket) const {
+    return hash < bucket.hash;
+  }
+};
+
+}  // namespace
+
+std::size_t ShardIndex::shard_of(HashIndex index) const {
+  // The first shard whose start is > index, minus one; shards_[0]
+  // always starts at 0, so the subtraction is safe.
+  const auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), index,
+      [](HashIndex value, const Shard& s) { return value < s.first; });
+  return static_cast<std::size_t>(it - shards_.begin()) - 1;
+}
+
+ShardIndex::Bucket* ShardIndex::find_bucket(std::size_t shard_index,
+                                            HashIndex hash) {
+  Shard& s = shards_[shard_index];
+  const auto it =
+      std::lower_bound(s.buckets.begin(), s.buckets.end(), hash, BucketLess{});
+  if (it == s.buckets.end() || it->hash != hash) return nullptr;
+  return &*it;
+}
+
+const ShardIndex::Bucket* ShardIndex::find_bucket(std::size_t shard_index,
+                                                  HashIndex hash) const {
+  const Shard& s = shards_[shard_index];
+  const auto it =
+      std::lower_bound(s.buckets.begin(), s.buckets.end(), hash, BucketLess{});
+  if (it == s.buckets.end() || it->hash != hash) return nullptr;
+  return &*it;
+}
+
+ShardIndex::BucketSlot ShardIndex::insert_bucket(std::size_t shard_index,
+                                                 HashIndex hash) {
+  // Split an oversized shard at its median bucket before inserting,
+  // so the memmove below stays bounded by kSplitBuckets.
+  if (shards_[shard_index].buckets.size() >= kSplitBuckets) {
+    const Shard& s = shards_[shard_index];
+    const HashIndex median = s.buckets[s.buckets.size() / 2].hash;
+    if (median > s.first) {
+      split_shard(shard_index, median);
+      if (hash >= median) ++shard_index;
+    }
+  }
+  Shard& s = shards_[shard_index];
+  const auto it =
+      std::lower_bound(s.buckets.begin(), s.buckets.end(), hash, BucketLess{});
+  COBALT_INVARIANT(it == s.buckets.end() || it->hash != hash,
+                   "insert_bucket over an existing bucket");
+  Bucket bucket;
+  bucket.hash = hash;
+  const auto inserted = s.buckets.insert(it, std::move(bucket));
+  return {shard_index,
+          static_cast<std::size_t>(inserted - s.buckets.begin())};
+}
+
+void ShardIndex::erase_bucket(std::size_t shard_index, HashIndex hash) {
+  Shard& s = shards_[shard_index];
+  const auto it =
+      std::lower_bound(s.buckets.begin(), s.buckets.end(), hash, BucketLess{});
+  COBALT_INVARIANT(it != s.buckets.end() && it->hash == hash,
+                   "erase_bucket without a bucket");
+  if (!it->replicas.empty()) --s.override_count;
+  s.buckets.erase(it);
+  if (!s.buckets.empty() || shards_.size() == 1) return;
+  // A bucket-less shard constrains nothing: fold it into a neighbour
+  // (the neighbour's cached set simply covers the range; the store's
+  // write path re-verifies any future put there anyway).
+  if (shard_index > 0) {
+    merge_with_next(shard_index - 1);
+  } else {
+    // Keep the successor's buckets and replicas, extend it down to 0.
+    shards_[1].first = 0;
+    shards_.erase(shards_.begin());
+  }
+}
+
+void ShardIndex::split_shard(std::size_t i, HashIndex boundary) {
+  Shard& s = shards_[i];
+  COBALT_INVARIANT(boundary > s.first && boundary <= shard_last(i),
+                   "split boundary outside the shard");
+  Shard tail;
+  tail.first = boundary;
+  tail.replicas = s.replicas;
+  const auto cut = std::lower_bound(s.buckets.begin(), s.buckets.end(),
+                                    boundary, BucketLess{});
+  tail.buckets.assign(std::make_move_iterator(cut),
+                      std::make_move_iterator(s.buckets.end()));
+  s.buckets.erase(cut, s.buckets.end());
+  for (const Bucket& bucket : tail.buckets) {
+    tail.entry_count += bucket.entries.size();
+    if (!bucket.replicas.empty()) ++tail.override_count;
+  }
+  s.entry_count -= tail.entry_count;
+  s.override_count -= tail.override_count;
+  shards_.insert(shards_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                 std::move(tail));
+}
+
+void ShardIndex::merge_with_next(std::size_t i) {
+  COBALT_INVARIANT(i + 1 < shards_.size(), "merge_with_next at the tail");
+  Shard& s = shards_[i];
+  Shard& next = shards_[i + 1];
+  if (s.buckets.empty() && !next.buckets.empty()) {
+    // Adopt the populated side's set so its non-overriding buckets
+    // keep their meaning.
+    s.replicas = std::move(next.replicas);
+  }
+  s.buckets.insert(s.buckets.end(),
+                   std::make_move_iterator(next.buckets.begin()),
+                   std::make_move_iterator(next.buckets.end()));
+  s.entry_count += next.entry_count;
+  s.override_count += next.override_count;
+  shards_.erase(shards_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+}
+
+std::uint64_t ShardIndex::count_range(HashIndex first, HashIndex last) const {
+  if (first > last) return 0;
+  std::uint64_t count = 0;
+  std::size_t i = shard_of(first);
+  for (; i < shards_.size() && shards_[i].first <= last; ++i) {
+    const Shard& s = shards_[i];
+    if (s.first >= first && shard_last(i) <= last) {
+      count += s.entry_count;  // whole shard inside the range
+      continue;
+    }
+    auto it = std::lower_bound(s.buckets.begin(), s.buckets.end(), first,
+                               BucketLess{});
+    for (; it != s.buckets.end() && it->hash <= last; ++it) {
+      count += it->entries.size();
+    }
+  }
+  return count;
+}
+
+}  // namespace cobalt::kv

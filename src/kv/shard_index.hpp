@@ -1,0 +1,181 @@
+// cobalt/kv/shard_index.hpp
+//
+// The KV store's resident-key index: hash-range shards backed by
+// sorted bucket vectors, replacing the seed's node-based
+// std::map<HashIndex, Bucket>.
+//
+// A shard covers one contiguous, inclusive range of R_h; the shards
+// tile the whole range (shard i covers [shards[i].first,
+// shards[i+1].first - 1], the last one up to 2^64 - 1). Within a shard
+// the buckets are sorted by hash and binary-searched, so point
+// operations cost one shard binary search plus one bucket binary
+// search over at most kSplitBuckets contiguous elements - the cache
+// behaviour a red-black tree walk cannot offer - and range counts sum
+// cached per-shard entry totals instead of walking every bucket.
+//
+// The materialized replica set lives on the *shard*, not the bucket:
+// the store's repair passes split shards at replica-set arc boundaries
+// (when the arcs are at least kMinArcBuckets wide) so a shard lies
+// inside one arc, which collapses the seed's one heap-allocated
+// std::vector<NodeId> per resident hash to one per shard and lets
+// repair planning skip whole shards by range. Where that cannot hold
+// cheaply - a write into a range whose boundary no repair has seen
+// yet, or schemes whose arcs are finer than kMinArcBuckets (the
+// cell-grained grids) - the affected buckets keep a per-bucket
+// *override* instead: O(1) at write time and never worse than the
+// seed's per-bucket storage, dissolved whenever a repair finds the
+// range uniform again.
+//
+// The index is a pure container: it never talks to a placement
+// backend. The store decides replica sets and arc boundaries; the
+// index provides the structural primitives (size splits, merges, the
+// repair pass's wholesale adopt()) and keeps the tiling, ordering and
+// entry-count bookkeeping honest.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hashing/hash_space.hpp"
+#include "placement/types.hpp"
+
+namespace cobalt::kv {
+
+/// Hash-range shards over sorted bucket vectors.
+class ShardIndex {
+ public:
+  /// One resident key with its value.
+  using Entry = std::pair<std::string, std::string>;
+
+  /// One hash position's resident keys (collisions are possible but
+  /// vanishingly rare at Bh = 64, so almost always one entry; order
+  /// within a bucket is unspecified).
+  struct Bucket {
+    HashIndex hash = 0;
+    std::vector<Entry> entries;
+
+    /// Materialized replica-set override: empty means "the shard's
+    /// set applies" (the common case); non-empty when this bucket's
+    /// set differs from its shard's cached one (see the header).
+    std::vector<placement::NodeId> replicas;
+  };
+
+  /// One contiguous hash range with its resident buckets and the
+  /// materialized replica set shared by every non-overriding bucket.
+  struct Shard {
+    /// First hash index covered (the end is the next shard's first
+    /// minus one; the last shard ends at HashSpace::kMaxIndex).
+    HashIndex first = 0;
+
+    /// Cached sum of entries over the shard's buckets.
+    std::uint64_t entry_count = 0;
+
+    /// Buckets carrying a replica override (fast-path gate: 0 lets
+    /// per-node counts and repairs treat the shard as one arc).
+    std::uint32_t override_count = 0;
+
+    /// Resident buckets, sorted by hash.
+    std::vector<Bucket> buckets;
+
+    /// Materialized replica set of every non-overriding resident
+    /// bucket (rank order; empty only while the shard has never been
+    /// written).
+    std::vector<placement::NodeId> replicas;
+  };
+
+  /// Buckets per shard above which an insert splits the shard at its
+  /// median bucket. This bounds the per-insert memmove (the sorted
+  /// vector's cost) and the bucket binary search; 128 keeps the move
+  /// under ~4 KB while shard-level binary search stays shallow even
+  /// at millions of keys.
+  static constexpr std::size_t kSplitBuckets = 128;
+
+  /// Minimum average buckets per piece for a repair pass to split a
+  /// shard at replica-set arc boundaries: arcs finer than this (the
+  /// cell-grained grid schemes) stay as per-bucket overrides instead
+  /// of fragmenting the tiling into per-cell shards.
+  static constexpr std::size_t kMinArcBuckets = 16;
+
+  /// An index starts as one empty shard covering all of R_h.
+  ShardIndex() : shards_(1) {}
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const std::vector<Shard>& shards() const { return shards_; }
+  [[nodiscard]] Shard& shard(std::size_t i) { return shards_[i]; }
+  [[nodiscard]] const Shard& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Last hash index covered by shard `i` (inclusive).
+  [[nodiscard]] HashIndex shard_last(std::size_t i) const {
+    return i + 1 < shards_.size() ? shards_[i + 1].first - 1
+                                  : HashSpace::kMaxIndex;
+  }
+
+  /// Total resident entries across all shards.
+  [[nodiscard]] std::uint64_t total_entries() const { return total_entries_; }
+
+  /// Index of the shard whose range contains `index` (always exists:
+  /// the shards tile R_h).
+  [[nodiscard]] std::size_t shard_of(HashIndex index) const;
+
+  /// The bucket at exactly `hash` inside shard `shard_index`, or
+  /// nullptr.
+  [[nodiscard]] Bucket* find_bucket(std::size_t shard_index, HashIndex hash);
+  [[nodiscard]] const Bucket* find_bucket(std::size_t shard_index,
+                                          HashIndex hash) const;
+
+  /// Where insert_bucket put a bucket: the shard actually holding it
+  /// (an oversized shard is split at its median first, so this may be
+  /// the input shard + 1) and the bucket's position in that shard.
+  struct BucketSlot {
+    std::size_t shard;
+    std::size_t position;
+  };
+
+  /// Inserts an empty bucket at `hash` into the shard containing it
+  /// (which must be shard `shard_index` before any split). The bucket
+  /// must not already exist.
+  BucketSlot insert_bucket(std::size_t shard_index, HashIndex hash);
+
+  /// Removes the (empty) bucket at `hash`; a shard left without
+  /// buckets is merged into a neighbour (the tiling never fragments on
+  /// a pure-erase workload).
+  void erase_bucket(std::size_t shard_index, HashIndex hash);
+
+  /// Adjusts the entry-count caches after the store added (`delta` =
+  /// +1) or removed (-1) one entry in shard `shard_index`.
+  void add_entries(std::size_t shard_index, std::int64_t delta) {
+    shards_[shard_index].entry_count =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            shards_[shard_index].entry_count) + delta);
+    total_entries_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(total_entries_) + delta);
+  }
+
+  /// Splits shard `i` at `boundary` (which must lie strictly inside
+  /// its range): shard i keeps [first, boundary - 1], a new shard i+1
+  /// takes [boundary, old end] with the buckets at or above `boundary`
+  /// and a copy of the replica set.
+  void split_shard(std::size_t i, HashIndex boundary);
+
+  /// Merges shard `i + 1` into shard `i`. The caller must keep the
+  /// non-overriding buckets meaningful: merge only equal-set
+  /// neighbours, or pairs where one side has no buckets (the
+  /// bucket-less side's cached set is only a write-path hint).
+  void merge_with_next(std::size_t i);
+
+  /// Entries whose hash falls inside [first, last]: whole shards by
+  /// cached count, boundary shards by bucket scan.
+  [[nodiscard]] std::uint64_t count_range(HashIndex first,
+                                          HashIndex last) const;
+
+ private:
+  std::vector<Shard> shards_;
+  std::uint64_t total_entries_ = 0;
+};
+
+}  // namespace cobalt::kv

@@ -8,7 +8,8 @@
 // one at the store level: every backend drives the same shard core and
 // reports the same movement accounting.
 //
-// Keys are hashed into R_h and bucketed by hash in range order; the
+// Keys are hashed into R_h and held by the kv::ShardIndex (hash-range
+// shards over sorted bucket vectors - see shard_index.hpp); the
 // responsible node of a bucket is *derived* from the backend on read,
 // so membership changes move no bytes inside the store - only the
 // accounting moves, fed by the backend's RelocationObserver events
@@ -17,14 +18,18 @@
 // Replication (owner + k-1 successors). Constructed with a replication
 // factor k > 1, every write fans out to the backend's replica_set of
 // the key's hash: rank 0 is the primary (owner_of), ranks 1..k-1 the
-// fallback copies. The store *materializes* each bucket's replica set
-// at write time and re-derives it after every membership event, so the
+// fallback copies. The store *materializes* the replica set at write
+// time and re-derives it after every membership event, so the
 // difference between the materialized and the desired set is exactly
 // the re-replication traffic a deployment would pay - a channel
 // distinct from primary relocation (see the two stats surfaces below).
-// Reads can be served by any live materialized replica
-// (read_node_of()); a key whose whole materialized replica set dies in
-// one correlated failure is counted lost.
+// The materialized set is stored per *shard*: the store keeps every
+// shard inside one replica-set arc (splitting shards at the
+// boundaries its repair passes and write path discover), so the seed's
+// per-bucket replica vector collapses to one per shard. Reads can be
+// served by any live materialized replica (read_node_of()); a key
+// whose whole materialized replica set dies in one correlated failure
+// is counted lost.
 //
 // Movement accounting is split into two independently queryable
 // channels (they measure different protocols and must not be summed
@@ -32,6 +37,11 @@
 //   * relocation_stats()  - placement::MigrationStats fed by the
 //     backend's RelocationObserver events: keys whose *primary* owner
 //     changed. migration_stats() remains as the historical alias.
+//     Events are *batched*: the observer callbacks record only the
+//     event ranges, and the keys inside them are counted in one
+//     deferred pass (at the next repair, mutation or stats read -
+//     always before the resident keys can change, so the totals are
+//     exactly the seed's).
 //   * replication_stats() - ReplicationStats maintained by the store's
 //     re-replication passes: key copies created to repair replica
 //     sets, and keys lost to correlated failures. At k == 1 the
@@ -40,32 +50,37 @@
 //     and a primary handover to a node that already held a fallback
 //     copy costs relocation but no re-replication.
 //
+// Repair passes are *planned*, not scanned: at k == 1 only the ranges
+// the event relocated or rebucketed are visited (as in the seed); at
+// k > 1 the pass visits only the shards overlapping the backend's
+// replica_dirty_ranges() - the concept's guarantee of where fallback
+// replicas can have changed - instead of every bucket in the store.
+// ReplicationStats::repair_shards_visited counts the shards each pass
+// actually examined (against repair_shards_total as the denominator),
+// so "an event that relocated nothing repairs nothing" is observable.
+//
 // Membership must change through the store (add_node / remove_node /
 // fail_nodes) for the replication bookkeeping to stay aligned;
 // mutating membership through backend() directly bypasses the
-// re-replication pass (relocation accounting still works, as before).
-//
-// The old per-scheme stores (BasicKvStore<DhtT> keyed by partition,
-// ChKvStore keyed by arc) are collapsed into this one template; their
-// divergent shard keying is gone, and with it the lossy
-// (prefix << 7) | level packing (see dht::Partition::key() for the
-// collision-free identity that replaced it).
+// re-replication pass (relocation accounting still works, as before) -
+// the store then falls back from the per-shard fast paths of
+// keys_per_node()/for_each_on_node() to per-bucket owner derivation
+// until the next repair pass realigns the materialized sets.
 
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "hashing/hash.hpp"
+#include "kv/shard_index.hpp"
 #include "placement/backend.hpp"
 #include "placement/bounded_ch_backend.hpp"
 #include "placement/ch_backend.hpp"
@@ -79,7 +94,8 @@ namespace cobalt::kv {
 /// Cumulative replication accounting: the store's re-replication
 /// channel, distinct from the relocation channel
 /// (placement::MigrationStats). All counters are key copies / keys,
-/// never bytes.
+/// never bytes (except the repair_shards_* pair, which counts shard
+/// visits - the cost meter of the planned repair passes).
 struct ReplicationStats {
   /// Copies written by put() fan-out: each put writes one copy per
   /// materialized replica (k copies at full replication).
@@ -103,6 +119,17 @@ struct ReplicationStats {
   /// Re-replication passes run (one per membership event through the
   /// store, one per fail_nodes batch).
   std::uint64_t rereplication_passes = 0;
+
+  /// Shards examined across repair passes - the pass-visit counter.
+  /// With range-planned repair this tracks the event's dirty mass: an
+  /// event that relocated nothing (e.g. a refused drain) visits zero
+  /// shards even at k > 1.
+  std::uint64_t repair_shards_visited = 0;
+
+  /// Shards resident at the start of each pass, summed over passes
+  /// (the denominator of the visit ratio; a full scan would make
+  /// repair_shards_visited equal to this).
+  std::uint64_t repair_shards_total = 0;
 };
 
 /// A KV store over any placement backend.
@@ -142,14 +169,25 @@ class Store final : private placement::RelocationObserver {
   /// returns false when the scheme refuses the removal (the node
   /// stays; see placement/backend.hpp), and never loses keys.
   placement::NodeId add_node(double capacity = 1.0) {
-    const placement::NodeId id = backend_.add_node(capacity);
+    placement::NodeId id;
+    {
+      const MembershipScope scope(in_membership_);
+      id = backend_.add_node(capacity);
+    }
+    collect_dirty();
     rereplicate(/*crash=*/false);
     return id;
   }
   bool remove_node(placement::NodeId node) {
-    const bool removed = backend_.remove_node(node);
+    bool removed;
+    {
+      const MembershipScope scope(in_membership_);
+      removed = backend_.remove_node(node);
+    }
     // A refused drain may still have rebalanced internally (the local
-    // approach's aborted decommission), so the pass runs either way.
+    // approach's aborted decommission), so the dirty collection and
+    // the pass run either way.
+    collect_dirty();
     rereplicate(/*crash=*/false);
     return removed;
   }
@@ -167,7 +205,11 @@ class Store final : private placement::RelocationObserver {
     std::size_t failed = 0;
     for (const placement::NodeId node : nodes) {
       if (backend_.node_count() < 2 || !backend_.is_live(node)) continue;
-      if (backend_.remove_node(node)) ++failed;
+      {
+        const MembershipScope scope(in_membership_);
+        if (backend_.remove_node(node)) ++failed;
+      }
+      collect_dirty();
     }
     rereplicate(/*crash=*/true);
     return failed;
@@ -179,40 +221,81 @@ class Store final : private placement::RelocationObserver {
   bool put(const std::string& key, std::string value) {
     COBALT_REQUIRE(backend_.node_count() >= 1,
                    "the store needs at least one node before writes");
+    flush_relocations();  // pending events count pre-mutation keys
     const HashIndex h = hash_key(key);
-    Bucket& bucket = buckets_[h];
-    if (bucket.replicas.empty()) {
-      bucket.replicas = backend_.replica_set(h, replica_target());
+    std::size_t i = index_.shard_of(h);
+    ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+    if (bucket == nullptr) {
+      // A new hash materializes its replica set now, exactly like the
+      // seed's first-put materialization - but allocation-free in the
+      // common case: when the derived set matches the shard's cached
+      // one nothing is stored per bucket; otherwise the shard
+      // straddles an arc boundary a repair pass has not regrouped yet
+      // and the bucket keeps a per-bucket override (dissolved by the
+      // next repair of the range).
+      backend_.replica_set_into(h, replica_target(), scratch_);
+      if (index_.shard(i).replicas.empty()) {
+        index_.shard(i).replicas = scratch_;  // first write into the shard
+      }
+      replication_stats_.replica_writes += scratch_.size();
+      const ShardIndex::BucketSlot slot = index_.insert_bucket(i, h);
+      ShardIndex::Shard& s = index_.shard(slot.shard);
+      bucket = &s.buckets[slot.position];
+      bucket->entries.emplace_back(key, std::move(value));
+      if (s.replicas != scratch_) {
+        bucket->replicas = scratch_;
+        ++s.override_count;
+      }
+      index_.add_entries(slot.shard, +1);
+      return true;
     }
-    replication_stats_.replica_writes += bucket.replicas.size();
-    const auto [it, inserted] =
-        bucket.entries.insert_or_assign(key, std::move(value));
-    (void)it;
-    if (inserted) ++size_;
-    return inserted;
+    replication_stats_.replica_writes +=
+        effective_replicas(index_.shard(i), *bucket).size();
+    for (ShardIndex::Entry& entry : bucket->entries) {
+      if (entry.first == key) {
+        entry.second = std::move(value);
+        return false;
+      }
+    }
+    bucket->entries.emplace_back(key, std::move(value));
+    index_.add_entries(i, +1);
+    return true;
   }
 
   /// Point lookup.
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
-    const auto bucket = buckets_.find(hash_key(key));
-    if (bucket == buckets_.end()) return std::nullopt;
-    const auto it = bucket->second.entries.find(key);
-    if (it == bucket->second.entries.end()) return std::nullopt;
-    return it->second;
+    const HashIndex h = hash_key(key);
+    const ShardIndex::Bucket* bucket =
+        index_.find_bucket(index_.shard_of(h), h);
+    if (bucket == nullptr) return std::nullopt;
+    for (const ShardIndex::Entry& entry : bucket->entries) {
+      if (entry.first == key) return entry.second;
+    }
+    return std::nullopt;
   }
 
   /// Deletes; returns true when the key existed.
   bool erase(const std::string& key) {
-    const auto bucket = buckets_.find(hash_key(key));
-    if (bucket == buckets_.end()) return false;
-    if (bucket->second.entries.erase(key) == 0) return false;
-    if (bucket->second.entries.empty()) buckets_.erase(bucket);
-    --size_;
-    return true;
+    flush_relocations();  // pending events count pre-mutation keys
+    const HashIndex h = hash_key(key);
+    const std::size_t i = index_.shard_of(h);
+    ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+    if (bucket == nullptr) return false;
+    for (std::size_t e = 0; e < bucket->entries.size(); ++e) {
+      if (bucket->entries[e].first != key) continue;
+      bucket->entries[e] = std::move(bucket->entries.back());
+      bucket->entries.pop_back();
+      index_.add_entries(i, -1);
+      if (bucket->entries.empty()) index_.erase_bucket(i, h);
+      return true;
+    }
+    return false;
   }
 
   /// Total keys stored.
-  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(index_.total_entries());
+  }
 
   /// The node currently responsible for `key` (replica rank 0).
   [[nodiscard]] placement::NodeId owner_of(const std::string& key) const {
@@ -225,12 +308,11 @@ class Store final : private placement::RelocationObserver {
   /// Empty when the key is not stored.
   [[nodiscard]] std::vector<placement::NodeId> replicas_of(
       const std::string& key) const {
-    const auto bucket = buckets_.find(hash_key(key));
-    if (bucket == buckets_.end() ||
-        bucket->second.entries.find(key) == bucket->second.entries.end()) {
-      return {};
-    }
-    return bucket->second.replicas;
+    const HashIndex h = hash_key(key);
+    const std::size_t i = index_.shard_of(h);
+    const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+    if (bucket == nullptr || !bucket_holds(*bucket, key)) return {};
+    return effective_replicas(index_.shard(i), *bucket);
   }
 
   /// A node that can serve a read of `key`: the lowest-ranked live
@@ -239,12 +321,14 @@ class Store final : private placement::RelocationObserver {
   /// materialized replica is live (a data-loss window between a crash
   /// and its repair pass).
   [[nodiscard]] placement::NodeId read_node_of(const std::string& key) const {
-    const auto bucket = buckets_.find(hash_key(key));
-    if (bucket == buckets_.end() ||
-        bucket->second.entries.find(key) == bucket->second.entries.end()) {
+    const HashIndex h = hash_key(key);
+    const std::size_t i = index_.shard_of(h);
+    const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+    if (bucket == nullptr || !bucket_holds(*bucket, key)) {
       return placement::kInvalidNode;
     }
-    for (const placement::NodeId node : bucket->second.replicas) {
+    for (const placement::NodeId node :
+         effective_replicas(index_.shard(i), *bucket)) {
       if (backend_.is_live(node)) return node;
     }
     return placement::kInvalidNode;
@@ -252,23 +336,54 @@ class Store final : private placement::RelocationObserver {
 
   /// Keys currently resident per *primary* node (index = NodeId;
   /// departed nodes report 0). Replica copies are not counted; see
-  /// replica_copies_per_node() for the serving footprint.
+  /// replica_copies_per_node() for the serving footprint. While the
+  /// materialized sets are aligned (always, unless membership was
+  /// mutated through backend() directly) this is one cached count per
+  /// shard; the fallback re-derives the owner per bucket.
   [[nodiscard]] std::vector<std::size_t> keys_per_node() const {
     std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
-    for (const auto& [hash, bucket] : buckets_) {
-      counts.at(backend_.owner_of(hash)) += bucket.entries.size();
+    if (aligned_) {
+      for (const ShardIndex::Shard& s : index_.shards()) {
+        if (s.buckets.empty()) continue;
+        if (s.override_count == 0) {  // one arc, one bounds check
+          counts.at(s.replicas.front()) +=
+              static_cast<std::size_t>(s.entry_count);
+          continue;
+        }
+        for (const ShardIndex::Bucket& bucket : s.buckets) {
+          counts.at(effective_replicas(s, bucket).front()) +=
+              bucket.entries.size();
+        }
+      }
+      return counts;
+    }
+    for (const ShardIndex::Shard& s : index_.shards()) {
+      for (const ShardIndex::Bucket& bucket : s.buckets) {
+        counts.at(backend_.owner_of(bucket.hash)) += bucket.entries.size();
+      }
     }
     return counts;
   }
 
   /// Key *copies* resident per node under the materialized replica
   /// sets (a node holds a copy of every key whose replica set lists
-  /// it). Sums to size() x k at full replication.
+  /// it). Sums to size() x k at full replication. One bounds check per
+  /// (shard, rank) - the materialized sets are per shard by
+  /// construction.
   [[nodiscard]] std::vector<std::size_t> replica_copies_per_node() const {
     std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
-    for (const auto& [hash, bucket] : buckets_) {
-      for (const placement::NodeId node : bucket.replicas) {
-        counts.at(node) += bucket.entries.size();
+    for (const ShardIndex::Shard& s : index_.shards()) {
+      if (s.entry_count == 0) continue;
+      if (s.override_count == 0) {  // one arc, one check per rank
+        for (const placement::NodeId node : s.replicas) {
+          counts.at(node) += static_cast<std::size_t>(s.entry_count);
+        }
+        continue;
+      }
+      for (const ShardIndex::Bucket& bucket : s.buckets) {
+        for (const placement::NodeId node : effective_replicas(s, bucket)) {
+          counts.at(node) += bucket.entries.size();
+        }
       }
     }
     return counts;
@@ -279,20 +394,39 @@ class Store final : private placement::RelocationObserver {
   void for_each(const std::function<void(const std::string& key,
                                          const std::string& value)>& visit)
       const {
-    for (const auto& [hash, bucket] : buckets_) {
-      for (const auto& [key, value] : bucket.entries) visit(key, value);
+    for (const ShardIndex::Shard& s : index_.shards()) {
+      for (const ShardIndex::Bucket& bucket : s.buckets) {
+        for (const ShardIndex::Entry& entry : bucket.entries) {
+          visit(entry.first, entry.second);
+        }
+      }
     }
   }
 
-  /// Visits the pairs a single node is *primary* for.
+  /// Visits the pairs a single node is *primary* for. While the
+  /// materialized sets are aligned, shards whose range the backend
+  /// maps entirely to other nodes are skipped without touching their
+  /// buckets.
   void for_each_on_node(
       placement::NodeId node,
       const std::function<void(const std::string& key,
                                const std::string& value)>& visit) const {
     COBALT_REQUIRE(node < backend_.node_slot_count(), "unknown node id");
-    for (const auto& [hash, bucket] : buckets_) {
-      if (backend_.owner_of(hash) != node) continue;
-      for (const auto& [key, value] : bucket.entries) visit(key, value);
+    for (const ShardIndex::Shard& s : index_.shards()) {
+      if (s.buckets.empty()) continue;
+      const bool uniform = aligned_ && s.override_count == 0;
+      if (uniform && s.replicas.front() != node) continue;  // skip the shard
+      for (const ShardIndex::Bucket& bucket : s.buckets) {
+        if (!uniform) {
+          const placement::NodeId owner =
+              aligned_ ? effective_replicas(s, bucket).front()
+                       : backend_.owner_of(bucket.hash);
+          if (owner != node) continue;
+        }
+        for (const ShardIndex::Entry& entry : bucket.entries) {
+          visit(entry.first, entry.second);
+        }
+      }
     }
   }
 
@@ -300,19 +434,20 @@ class Store final : private placement::RelocationObserver {
   /// used by rebalancing tooling and tests).
   [[nodiscard]] std::size_t keys_in_range(HashIndex first,
                                           HashIndex last) const {
-    return static_cast<std::size_t>(count_range(first, last));
+    return static_cast<std::size_t>(index_.count_range(first, last));
   }
 
   /// Relocation channel: keys whose primary owner changed, fed by the
   /// backend's range-level relocation events. Same struct for every
   /// backend.
   [[nodiscard]] const placement::MigrationStats& relocation_stats() const {
+    flush_relocations();
     return relocation_stats_;
   }
 
   /// Historical alias of relocation_stats() (pre-replication callers).
   [[nodiscard]] const placement::MigrationStats& migration_stats() const {
-    return relocation_stats_;
+    return relocation_stats();
   }
 
   /// Re-replication channel: repair copies and correlated-failure
@@ -320,6 +455,10 @@ class Store final : private placement::RelocationObserver {
   [[nodiscard]] const ReplicationStats& replication_stats() const {
     return replication_stats_;
   }
+
+  /// The shard index (read-only structural introspection: shard
+  /// count, per-shard replica sets, split/merge behaviour).
+  [[nodiscard]] const ShardIndex& shard_index() const { return index_; }
 
   /// The placement backend (scheme-specific surface: the DHT adapters
   /// expose the balancer and vnode-level elasticity, the CH adapter
@@ -329,16 +468,48 @@ class Store final : private placement::RelocationObserver {
   [[nodiscard]] const Backend& backend() const { return backend_; }
 
  private:
-  /// One hash position's resident keys (collisions are possible but
-  /// vanishingly rare at Bh = 64) plus the materialized replica set
-  /// every key in the bucket is copied to.
-  struct Bucket {
-    std::unordered_map<std::string, std::string> entries;
-    std::vector<placement::NodeId> replicas;
+  /// RAII setter of in_membership_: exception-safe even when a
+  /// membership precondition throws mid-call (a stuck flag would make
+  /// later direct backend() mutations skip the full_dirty_ fallback).
+  class MembershipScope {
+   public:
+    explicit MembershipScope(bool& flag) : flag_(flag) { flag_ = true; }
+    ~MembershipScope() { flag_ = false; }
+    MembershipScope(const MembershipScope&) = delete;
+    MembershipScope& operator=(const MembershipScope&) = delete;
+
+   private:
+    bool& flag_;
+  };
+
+  /// One not-yet-counted relocation event (the batched accounting:
+  /// callbacks record, flush_relocations() counts).
+  struct PendingEvent {
+    HashIndex first;
+    HashIndex last;
+    placement::NodeId from;
+    placement::NodeId to;
+    bool rebucket;
   };
 
   [[nodiscard]] HashIndex hash_key(const std::string& key) const {
     return hashing::hash_bytes(algorithm_, key.data(), key.size());
+  }
+
+  [[nodiscard]] static bool bucket_holds(const ShardIndex::Bucket& bucket,
+                                         const std::string& key) {
+    for (const ShardIndex::Entry& entry : bucket.entries) {
+      if (entry.first == key) return true;
+    }
+    return false;
+  }
+
+  /// The materialized replica set of one bucket: its override when it
+  /// carries one, the shard's cached set otherwise.
+  [[nodiscard]] static const std::vector<placement::NodeId>&
+  effective_replicas(const ShardIndex::Shard& s,
+                     const ShardIndex::Bucket& bucket) {
+    return bucket.replicas.empty() ? s.replicas : bucket.replicas;
   }
 
   /// k clamped to the live node count (replica_set cannot return more
@@ -349,106 +520,333 @@ class Store final : private placement::RelocationObserver {
     return replication_ < live ? replication_ : live;
   }
 
-  /// The repair pass: re-derives the buckets' replica sets and counts
-  /// the copies a deployment would transfer to get from the
-  /// materialized sets to the desired ones. With `crash` set, a bucket
-  /// whose materialized set has no live survivor is counted lost.
-  ///
-  /// At k == 1 the desired set is exactly {owner_of(hash)}, which only
-  /// changes inside the hash ranges the membership event relocated -
-  /// so the pass visits just the buckets inside the ranges recorded by
-  /// on_relocate instead of scanning the whole store (the unreplicated
-  /// growth benches would otherwise pay O(buckets) per join). At
-  /// k > 1 a fallback replica can change outside every relocated range
-  /// (e.g. a CH join reshuffles rank-1 successors of untouched arcs),
-  /// so the full scan is the honest pass.
+  /// Counts the keys inside the pending relocation events, in event
+  /// order. Runs before any mutation of the resident keys and before
+  /// any stats read, so every event is counted against exactly the
+  /// key population it found when it fired - the seed's per-event
+  /// count_range, batched.
+  void flush_relocations() const {
+    for (const PendingEvent& event : pending_events_) {
+      const std::uint64_t keys = index_.count_range(event.first, event.last);
+      if (event.rebucket) {
+        relocation_stats_.keys_rebucketed += keys;
+      } else {
+        relocation_stats_.keys_moved_total += keys;
+        if (event.from != event.to) {
+          relocation_stats_.keys_moved_across_nodes += keys;
+        }
+      }
+    }
+    pending_events_.clear();
+  }
+
+  /// Folds the backend's dirty report for the membership operation
+  /// that just ran into the pending repair plan (k > 1 only; the
+  /// k == 1 plan is exactly the relocated/rebucketed ranges the
+  /// observer recorded). A change of the clamped replica target (the
+  /// cluster crossing size k) invalidates every materialized set size,
+  /// so the next pass falls back to a full scan.
+  void collect_dirty() {
+    if (replication_ == 1) return;
+    if (replica_target() != last_repair_target_) {
+      full_dirty_ = true;
+    }
+    if (full_dirty_) return;
+    const auto ranges = backend_.replica_dirty_ranges(replica_target());
+    pending_dirty_.insert(pending_dirty_.end(), ranges.begin(),
+                          ranges.end());
+  }
+
+  /// The repair pass: re-derives the materialized replica sets inside
+  /// the planned ranges and counts the copies a deployment would
+  /// transfer to get from the materialized sets to the desired ones.
+  /// With `crash` set, a bucket whose materialized set has no live
+  /// survivor is counted lost.
   void rereplicate(bool crash) {
+    flush_relocations();
     if (backend_.node_count() == 0) {
-      pending_relocations_.clear();
+      pending_repair_.clear();
+      pending_dirty_.clear();
       return;
     }
     ++replication_stats_.rereplication_passes;
+    replication_stats_.repair_shards_total += index_.shard_count();
+    const std::size_t target = replica_target();
+
+    bool full = false;
+    std::vector<placement::HashRange> plan;
     if (replication_ == 1) {
-      for (const auto& [first, last] : pending_relocations_) {
-        for (auto it = buckets_.lower_bound(first);
-             it != buckets_.end() && it->first <= last; ++it) {
-          repair_bucket(it->first, it->second, crash);
+      plan = std::move(pending_repair_);
+    } else if (full_dirty_ || target != last_repair_target_) {
+      full = true;
+    } else {
+      plan = std::move(pending_dirty_);
+    }
+    pending_repair_.clear();
+    pending_dirty_.clear();
+    full_dirty_ = false;
+    last_repair_target_ = target;
+
+    if (!full) {
+      placement::coalesce_ranges(plan);
+      if (plan.empty()) {
+        // Nothing can have changed: the pass costs nothing - the
+        // refused-drain / no-op-event fast exit of the shard design.
+        aligned_ = true;
+        return;
+      }
+      // Ranges are disjoint and ascending; a shard overlapping two
+      // ranges is visited once per range but only over each range's
+      // own span, so no bucket repairs twice.
+      for (const placement::HashRange& range : plan) {
+        std::size_t i = index_.shard_of(range.first);
+        while (i < index_.shard_count() &&
+               index_.shard(i).first <= range.last) {
+          ++replication_stats_.repair_shards_visited;
+          i += repair_shard(i, range.first, range.last, target, crash);
         }
       }
     } else {
-      for (auto& [hash, bucket] : buckets_) {
-        repair_bucket(hash, bucket, crash);
+      for (std::size_t i = 0; i < index_.shard_count();) {
+        ++replication_stats_.repair_shards_visited;
+        i += repair_shard(i, 0, HashSpace::kMaxIndex, target, crash);
       }
     }
-    pending_relocations_.clear();
+    aligned_ = true;
   }
 
-  void repair_bucket(HashIndex hash, Bucket& bucket, bool crash) {
-    std::vector<placement::NodeId> desired =
-        backend_.replica_set(hash, replica_target());
-    if (desired == bucket.replicas) return;
+  /// One run of consecutive buckets sharing a desired replica set
+  /// (computed by a repair visit before any structural change).
+  struct DesiredRun {
+    HashIndex first_hash;  // hash of the run's first bucket
+    std::size_t buckets;
+    std::uint64_t entries;
+    std::vector<placement::NodeId> replicas;
+  };
+
+  /// Per-bucket repair accounting (identical to the seed's
+  /// repair_bucket): counts lost keys at a crash and the repair
+  /// copies from the materialized set to `scratch_` (the desired one).
+  void account_repair(const ShardIndex::Bucket& bucket,
+                      const std::vector<placement::NodeId>& materialized,
+                      bool crash) {
     if (crash) {
       const bool survived = std::any_of(
-          bucket.replicas.begin(), bucket.replicas.end(),
+          materialized.begin(), materialized.end(),
           [&](placement::NodeId node) { return backend_.is_live(node); });
       if (!survived) {
         replication_stats_.keys_lost += bucket.entries.size();
       }
     }
     std::uint64_t joiners = 0;
-    for (const placement::NodeId node : desired) {
-      if (std::find(bucket.replicas.begin(), bucket.replicas.end(), node) ==
-          bucket.replicas.end()) {
+    for (const placement::NodeId node : scratch_) {
+      if (std::find(materialized.begin(), materialized.end(), node) ==
+          materialized.end()) {
         ++joiners;
       }
     }
     replication_stats_.keys_rereplicated += joiners * bucket.entries.size();
-    bucket.replicas = std::move(desired);
   }
 
-  [[nodiscard]] std::uint64_t count_range(HashIndex first,
-                                          HashIndex last) const {
-    std::uint64_t count = 0;
-    for (auto it = buckets_.lower_bound(first);
-         it != buckets_.end() && it->first <= last; ++it) {
-      count += it->second.entries.size();
+  /// Repairs one shard against plan range [lo, hi], in place.
+  ///
+  /// A shard only partially covered by the range is *patched*: only
+  /// the buckets inside [lo, hi] are visited (exactly the seed's
+  /// ranged k = 1 walk), with changed sets parked on per-bucket
+  /// overrides - no structural change. A fully covered shard is
+  /// *regrouped* by its desired-set run structure:
+  ///   * one run: the shard is one arc; adopt the set, drop overrides;
+  ///   * a few wide runs: split at the arc boundaries, one uniform
+  ///     shard per run (the per-shard replica design at work);
+  ///   * many narrow runs (cell-grained schemes): keep the shard, park
+  ///     the minority sets on per-bucket overrides - fragmenting the
+  ///     tiling per cell would cost more than it saves.
+  /// Returns the number of shards the original was replaced by.
+  std::size_t repair_shard(std::size_t i, HashIndex lo, HashIndex hi,
+                           std::size_t target, bool crash) {
+    runs_scratch_.clear();
+    {
+      ShardIndex::Shard& s = index_.shard(i);
+      if (s.buckets.empty()) {
+        // Nothing to account; refresh the cached set so future puts
+        // in this range usually match it (pure optimization - the
+        // write path verifies anyway).
+        backend_.replica_set_into(s.first, target, scratch_);
+        if (s.replicas != scratch_) s.replicas = scratch_;
+        return 1;
+      }
+      if (lo > s.first || hi < index_.shard_last(i)) {
+        // Partial coverage: patch the covered buckets only.
+        auto it = std::lower_bound(
+            s.buckets.begin(), s.buckets.end(), lo,
+            [](const ShardIndex::Bucket& bucket, HashIndex value) {
+              return bucket.hash < value;
+            });
+        for (; it != s.buckets.end() && it->hash <= hi; ++it) {
+          const std::vector<placement::NodeId>& materialized =
+              effective_replicas(s, *it);
+          backend_.replica_set_into(it->hash, target, scratch_);
+          if (scratch_ == materialized) continue;
+          account_repair(*it, materialized, crash);
+          if (scratch_ == s.replicas) {
+            if (!it->replicas.empty()) {
+              it->replicas.clear();
+              --s.override_count;
+            }
+          } else {
+            if (it->replicas.empty()) ++s.override_count;
+            it->replicas = scratch_;
+          }
+        }
+        return 1;
+      }
+      for (const ShardIndex::Bucket& bucket : s.buckets) {
+        const std::vector<placement::NodeId>& materialized =
+            effective_replicas(s, bucket);
+        backend_.replica_set_into(bucket.hash, target, scratch_);
+        if (scratch_ != materialized) {
+          account_repair(bucket, materialized, crash);
+        }
+        if (runs_scratch_.empty() ||
+            scratch_ != runs_scratch_.back().replicas) {
+          runs_scratch_.push_back({bucket.hash, 0, 0, scratch_});
+        }
+        runs_scratch_.back().buckets += 1;
+        runs_scratch_.back().entries += bucket.entries.size();
+      }
     }
-    return count;
+
+    // Application. Structural splits only when every piece is worth a
+    // shard (kMinArcBuckets average), bounding both the fragmentation
+    // and the splice cost.
+    ShardIndex::Shard& s = index_.shard(i);
+    if (runs_scratch_.size() == 1) {
+      if (s.override_count != 0) {
+        for (ShardIndex::Bucket& bucket : s.buckets) bucket.replicas.clear();
+        s.override_count = 0;
+      }
+      if (s.replicas != runs_scratch_.front().replicas) {
+        s.replicas = std::move(runs_scratch_.front().replicas);
+      }
+      return 1;
+    }
+    if (s.buckets.size() >=
+        runs_scratch_.size() * ShardIndex::kMinArcBuckets) {
+      // Split at each arc boundary, last first so earlier bucket
+      // positions stay valid; every piece comes out uniform.
+      for (std::size_t r = runs_scratch_.size(); r-- > 1;) {
+        index_.split_shard(i, runs_scratch_[r].first_hash);
+      }
+      for (std::size_t r = 0; r < runs_scratch_.size(); ++r) {
+        ShardIndex::Shard& piece = index_.shard(i + r);
+        for (ShardIndex::Bucket& bucket : piece.buckets) {
+          bucket.replicas.clear();
+        }
+        piece.override_count = 0;
+        piece.replicas = std::move(runs_scratch_[r].replicas);
+      }
+      return runs_scratch_.size();
+    }
+    // Narrow arcs: the widest run becomes the shard's set, the rest
+    // ride on overrides (exactly the seed's per-bucket footprint).
+    {
+      std::size_t widest = 0;
+      for (std::size_t r = 1; r < runs_scratch_.size(); ++r) {
+        if (runs_scratch_[r].entries > runs_scratch_[widest].entries) {
+          widest = r;
+        }
+      }
+      s.replicas = std::move(runs_scratch_[widest].replicas);
+      s.override_count = 0;
+      std::size_t run = 0;
+      std::size_t run_left = runs_scratch_[0].buckets;
+      for (ShardIndex::Bucket& bucket : s.buckets) {
+        while (run_left == 0) {
+          ++run;
+          run_left = runs_scratch_[run].buckets;
+        }
+        --run_left;
+        // The widest run's set was moved into s.replicas; a
+        // non-adjacent run can repeat it (arcs A,B,A), and storing an
+        // override equal to the shard set would only disable the
+        // uniform fast paths - compare against the shard set, not the
+        // run index.
+        if (run == widest || runs_scratch_[run].replicas == s.replicas) {
+          bucket.replicas.clear();
+        } else {
+          bucket.replicas = runs_scratch_[run].replicas;
+          ++s.override_count;
+        }
+      }
+    }
+    return 1;
   }
 
   // RelocationObserver: buckets are keyed by hash, so relocations are
-  // pure accounting - routing already derives the new owner.
+  // pure accounting - routing already derives the new owner. The
+  // callbacks only record; counting is deferred to flush_relocations()
+  // (one batched pass per membership event instead of a range walk per
+  // callback).
   void on_relocate(HashIndex first, HashIndex last, placement::NodeId from,
                    placement::NodeId to) override {
-    const std::uint64_t moved = count_range(first, last);
-    relocation_stats_.keys_moved_total += moved;
+    pending_events_.push_back({first, last, from, to, /*rebucket=*/false});
     if (from != to) {
-      relocation_stats_.keys_moved_across_nodes += moved;
+      aligned_ = false;
       // Remember where ownership changed so the k == 1 repair pass can
-      // visit only the affected buckets (see rereplicate()).
-      if (replication_ == 1) pending_relocations_.emplace_back(first, last);
+      // visit only the affected shards (see rereplicate()).
+      if (replication_ == 1) pending_repair_.push_back({first, last});
+      // A stray event (membership mutated through backend() directly)
+      // leaves no queryable dirty report behind; the next pass falls
+      // back to the full scan the seed always ran.
+      if (replication_ > 1 && !in_membership_) full_dirty_ = true;
     }
   }
 
   void on_rebucket(HashIndex first, HashIndex last) override {
-    relocation_stats_.keys_rebucketed += count_range(first, last);
+    pending_events_.push_back({first, last, placement::kInvalidNode,
+                               placement::kInvalidNode, /*rebucket=*/true});
     // A buddy merge may hand the odd half over *implicitly* (the DHT
     // adapters account that as rebucketing, not movement - see
     // dht_backend.hpp), so the k == 1 repair must check these ranges
-    // too; for pure splits the check is a no-op.
-    if (replication_ == 1) pending_relocations_.emplace_back(first, last);
+    // too (for pure splits the check is a no-op) and the per-shard
+    // owner fast paths cannot trust alignment until the next pass.
+    aligned_ = false;
+    if (replication_ == 1) pending_repair_.push_back({first, last});
+    if (replication_ > 1 && !in_membership_) full_dirty_ = true;
   }
 
   Backend backend_;
   hashing::Algorithm algorithm_;
   std::size_t replication_;
-  std::map<HashIndex, Bucket> buckets_;
-  std::size_t size_ = 0;
-  placement::MigrationStats relocation_stats_;
+  ShardIndex index_;
+  mutable placement::MigrationStats relocation_stats_;
   ReplicationStats replication_stats_;
-  /// Ownership-changing ranges of the in-flight membership event,
-  /// consumed by the next k == 1 repair pass (empty at k > 1).
-  std::vector<std::pair<HashIndex, HashIndex>> pending_relocations_;
+  /// Relocation events recorded but not yet counted (see
+  /// flush_relocations()).
+  mutable std::vector<PendingEvent> pending_events_;
+  /// k == 1 repair plan: ownership-changing ranges of the in-flight
+  /// membership event.
+  std::vector<placement::HashRange> pending_repair_;
+  /// k > 1 repair plan: the backends' replica_dirty_ranges, one
+  /// collection per membership operation.
+  std::vector<placement::HashRange> pending_dirty_;
+  /// Set when the clamped replica target changed since the last pass
+  /// (materialized set sizes are stale everywhere) or a stray event
+  /// arrived outside a store membership call: full-scan repair.
+  bool full_dirty_ = false;
+  /// True while a store membership call is driving the backend (events
+  /// arriving outside are direct backend() mutations).
+  bool in_membership_ = false;
+  std::size_t last_repair_target_ = 0;
+  /// True while every resident bucket's materialized rank 0 equals
+  /// backend().owner_of (maintained by the repair passes; cleared by
+  /// ownership-changing events until the next pass).
+  bool aligned_ = true;
+  /// Reusable replica_set_into buffer (no allocation per bucket on
+  /// the repair path).
+  std::vector<placement::NodeId> scratch_;
+  /// Reusable desired-run buffer of repair_shard.
+  std::vector<DesiredRun> runs_scratch_;
 };
 
 /// The store over the paper's local approach (the default deployment).

@@ -13,7 +13,17 @@
 //                      hash index;
 //   * replication    - replica_set(index, k): the ranked distinct
 //                      nodes that hold the k copies of a key hashed at
-//                      index (rank 0 is always owner_of(index));
+//                      index (rank 0 is always owner_of(index)), plus
+//                      the allocation-free replica_set_into(index, k,
+//                      out) variant the store's repair loop uses (same
+//                      contract, result written into a caller-owned
+//                      buffer);
+//   * repair planning - replica_dirty_ranges(k): the hash ranges
+//                      outside of which replica_set(., k) is
+//                      *guaranteed* unchanged by the backend's most
+//                      recent membership event, so a replicated store
+//                      can repair only the shards those ranges touch
+//                      instead of scanning everything;
 //   * quality        - quotas() and sigma(), the relative standard
 //                      deviation of per-node quotas (the metric of
 //                      figure 9, comparable across schemes);
@@ -34,6 +44,19 @@
 // walk over partitions (DHT backends), ring points (CH) or grid cells
 // (jump, maglev, bounded-load CH), and the score order for rendezvous
 // hashing.
+//
+// replica_dirty_ranges(k) contract (the repair-planning surface):
+//   * returns inclusive, never-wrapping hash ranges; any point whose
+//     replica_set(point, k) differs from before the backend's most
+//     recent membership event lies inside some returned range;
+//   * a conservative superset is allowed - up to the full range for
+//     schemes whose fallback ranking genuinely reshuffles everywhere
+//     (HRW's per-cell score order, maglev's table refill) - but an
+//     event that cannot have changed any replica set must report no
+//     covering range (ideally empty), so no-op events cost no repair;
+//   * the result describes only the most recent event; callers
+//     accumulate across events themselves (kv::Store queries after
+//     every membership call).
 //
 // remove_node returns false when the scheme cannot express the removal
 // (the local approach's missing cross-group merge, see DESIGN notes in
@@ -58,7 +81,7 @@ concept PlacementBackend =
     std::constructible_from<B, typename B::Options> &&
     requires(B backend, const B const_backend, double capacity, NodeId node,
              HashIndex index, std::size_t replicas,
-             RelocationObserver* observer) {
+             std::vector<NodeId>& out, RelocationObserver* observer) {
       typename B::Options;
 
       // Membership.
@@ -73,6 +96,20 @@ concept PlacementBackend =
       {
         const_backend.replica_set(index, replicas)
       } -> std::same_as<std::vector<NodeId>>;
+
+      // Allocation-free variant: same contract, the set is written
+      // into `out` (cleared first) so bulk repair loops reuse one
+      // buffer instead of allocating a vector per key.
+      {
+        const_backend.replica_set_into(index, replicas, out)
+      } -> std::same_as<void>;
+
+      // Repair planning: where replica_set(., replicas) may have
+      // changed in the most recent membership event (see the header
+      // contract above).
+      {
+        const_backend.replica_dirty_ranges(replicas)
+      } -> std::same_as<std::vector<HashRange>>;
 
       // Registry: live count, total slots ever allocated (node ids
       // index into [0, node_slot_count)), liveness probe.

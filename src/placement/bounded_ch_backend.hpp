@@ -83,6 +83,20 @@ class BoundedChBackend final {
     return grid_replica_walk(grid_, index, k);
   }
 
+  /// Allocation-free replica_set (the concept's bulk-repair variant).
+  void replica_set_into(HashIndex index, std::size_t k,
+                        std::vector<NodeId>& out) const {
+    grid_replica_walk_into(grid_, index, k, out);
+  }
+
+  /// Replica sets change only where a forward cell walk can reach a
+  /// cell the last rebuild reassigned: the bounded grid's changed
+  /// runs, expanded backward by k distinct owners.
+  [[nodiscard]] std::vector<HashRange> replica_dirty_ranges(
+      std::size_t k) const {
+    return grid_replica_dirty_ranges(grid_, k);
+  }
+
   [[nodiscard]] std::size_t node_count() const { return ring_.node_count(); }
   [[nodiscard]] std::size_t node_slot_count() const {
     return ring_.node_slot_count();

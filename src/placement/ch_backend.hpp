@@ -61,6 +61,17 @@ class ChBackend final {
   [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
                                                 std::size_t k) const;
 
+  /// Allocation-free replica_set (the concept's bulk-repair variant).
+  void replica_set_into(HashIndex index, std::size_t k,
+                        std::vector<NodeId>& out) const;
+
+  /// A key's replica set changes only when its successor walk crosses
+  /// a ring point the last membership event inserted or removed: each
+  /// transferred arc, expanded backward over the ring until k distinct
+  /// nodes separate a point from it.
+  [[nodiscard]] std::vector<HashRange> replica_dirty_ranges(
+      std::size_t k) const;
+
   [[nodiscard]] std::size_t node_count() const { return ring_.node_count(); }
   [[nodiscard]] std::size_t node_slot_count() const {
     return ring_.node_slot_count();
@@ -89,6 +100,9 @@ class ChBackend final {
   Options options_;
   ch::ConsistentHashRing ring_;
   RelocationObserver* observer_ = nullptr;
+  /// Arc transfers of the most recent membership event (kept observer
+  /// or not), the raw material of replica_dirty_ranges().
+  std::vector<ch::ArcTransfer> last_event_;
 };
 
 }  // namespace cobalt::placement

@@ -27,6 +27,7 @@ std::size_t DhtBackend<DhtT>::target_vnodes(double capacity) const {
 
 template <typename DhtT>
 NodeId DhtBackend<DhtT>::add_node(double capacity) {
+  last_event_ranges_.clear();
   const dht::SNodeId snode = dht_.add_snode(capacity);
   node_live_.push_back(true);
   ++live_nodes_;
@@ -39,6 +40,7 @@ template <typename DhtT>
 bool DhtBackend<DhtT>::remove_node(NodeId node) {
   COBALT_REQUIRE(is_live(node), "node is not live");
   COBALT_REQUIRE(live_nodes_ >= 2, "cannot remove the last live node");
+  last_event_ranges_.clear();
   const auto snode = static_cast<dht::SNodeId>(node);
 
   // Drain the node's vnodes; on a refusal partway, re-enroll what was
@@ -67,27 +69,77 @@ NodeId DhtBackend<DhtT>::owner_of(HashIndex index) const {
 template <typename DhtT>
 std::vector<NodeId> DhtBackend<DhtT>::replica_set(HashIndex index,
                                                   std::size_t k) const {
+  std::vector<NodeId> replicas;
+  replica_set_into(index, k, replicas);
+  return replicas;
+}
+
+template <typename DhtT>
+void DhtBackend<DhtT>::replica_set_into(HashIndex index, std::size_t k,
+                                        std::vector<NodeId>& out) const {
   COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
   COBALT_REQUIRE(live_nodes_ >= 1, "the backend has no nodes");
   const std::size_t want = k < live_nodes_ ? k : live_nodes_;
-  std::vector<NodeId> replicas;
-  replicas.reserve(want);
+  out.clear();
+  out.reserve(want);
   // Walk the partition tiling from the owning partition; every live
   // snode owns at least one partition (a vnode always holds Pmin >= 1
   // partitions), so the walk finds `want` distinct nodes within one
   // full circle.
   dht::PartitionMap::Hit hit = dht_.lookup(index);
   const std::size_t partitions = dht_.partition_map().size();
-  for (std::size_t step = 0; step < partitions && replicas.size() < want;
+  for (std::size_t step = 0; step < partitions && out.size() < want;
        ++step) {
     const auto node = static_cast<NodeId>(dht_.vnode(hit.owner).snode);
-    if (std::find(replicas.begin(), replicas.end(), node) ==
-        replicas.end()) {
-      replicas.push_back(node);
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
     }
     hit = dht_.partition_map().successor(hit.partition);
   }
-  return replicas;
+}
+
+template <typename DhtT>
+std::vector<HashRange> DhtBackend<DhtT>::replica_dirty_ranges(
+    std::size_t k) const {
+  COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
+  std::vector<HashRange> dirty;
+  if (last_event_ranges_.empty() || dht_.partition_map().size() == 0) {
+    return dirty;
+  }
+  const std::size_t partitions = dht_.partition_map().size();
+  for (const HashRange& range : last_event_ranges_) {
+    // Expand backward over the current tiling until k distinct snodes
+    // separate a partition from the changed range: a successor walk
+    // starting there finds its k owners before reaching the range.
+    // The partition containing range.first may have grown past the
+    // old boundary (a later merge of the same event); starting the
+    // dirty region at its begin keeps the expansion conservative.
+    std::vector<NodeId> seen;
+    dht::PartitionMap::Hit hit = dht_.lookup(range.first);
+    HashIndex dirty_first = hit.partition.begin();
+    bool bounded = false;
+    for (std::size_t step = 0; step + 1 < partitions; ++step) {
+      hit = dht_.partition_map().predecessor(hit.partition);
+      const auto node = static_cast<NodeId>(dht_.vnode(hit.owner).snode);
+      if (std::find(seen.begin(), seen.end(), node) == seen.end()) {
+        seen.push_back(node);
+      }
+      if (seen.size() >= k) {  // this partition's walk stops before the range
+        bounded = true;
+        break;
+      }
+      dirty_first = hit.partition.begin();
+    }
+    if (!bounded) return {{0, HashSpace::kMaxIndex}};
+    if (dirty_first <= range.last) {
+      dirty.push_back({dirty_first, range.last});
+    } else {  // the backward expansion wrapped past 0
+      dirty.push_back({dirty_first, HashSpace::kMaxIndex});
+      dirty.push_back({0, range.last});
+    }
+  }
+  coalesce_ranges(dirty);
+  return dirty;
 }
 
 template <typename DhtT>
@@ -131,17 +183,20 @@ std::string_view DhtBackend<dht::LocalDht>::scheme_name() {
 template <typename DhtT>
 dht::VNodeId DhtBackend<DhtT>::add_vnode(NodeId node) {
   COBALT_REQUIRE(is_live(node), "node is not live");
+  last_event_ranges_.clear();
   return dht_.create_vnode(static_cast<dht::SNodeId>(node));
 }
 
 template <typename DhtT>
 void DhtBackend<DhtT>::remove_vnode(dht::VNodeId id) {
+  last_event_ranges_.clear();
   dht_.remove_vnode(id);
 }
 
 template <typename DhtT>
 bool DhtBackend<DhtT>::resize_node(NodeId node, double capacity) {
   COBALT_REQUIRE(is_live(node), "node is not live");
+  last_event_ranges_.clear();
   const auto snode = static_cast<dht::SNodeId>(node);
   const std::size_t target = target_vnodes(capacity);
   while (dht_.snode(snode).vnodes.size() < target) dht_.create_vnode(snode);
@@ -164,6 +219,7 @@ std::size_t DhtBackend<DhtT>::vnodes_of(NodeId node) const {
 template <typename DhtT>
 void DhtBackend<DhtT>::on_transfer(const dht::Partition& partition,
                                    dht::VNodeId from, dht::VNodeId to) {
+  last_event_ranges_.push_back({partition.begin(), partition.last()});
   if (observer_ == nullptr) return;
   observer_->on_relocate(partition.begin(), partition.last(),
                          static_cast<NodeId>(dht_.vnode(from).snode),
@@ -173,6 +229,11 @@ void DhtBackend<DhtT>::on_transfer(const dht::Partition& partition,
 template <typename DhtT>
 void DhtBackend<DhtT>::on_split(const dht::Partition& partition,
                                 dht::VNodeId /*owner*/) {
+  // Splits keep every owner, but the successor walk's step structure
+  // still shifts with the tiling; recording them keeps the dirty
+  // contract conservative (merges genuinely matter: a buddy merge may
+  // hand the odd half over implicitly).
+  last_event_ranges_.push_back({partition.begin(), partition.last()});
   if (observer_ == nullptr) return;
   observer_->on_rebucket(partition.begin(), partition.last());
 }
@@ -180,6 +241,7 @@ void DhtBackend<DhtT>::on_split(const dht::Partition& partition,
 template <typename DhtT>
 void DhtBackend<DhtT>::on_merge(const dht::Partition& parent,
                                 dht::VNodeId /*owner*/) {
+  last_event_ranges_.push_back({parent.begin(), parent.last()});
   if (observer_ == nullptr) return;
   observer_->on_rebucket(parent.begin(), parent.last());
 }

@@ -78,6 +78,19 @@ class DhtBackend final : private dht::MutationObserver {
   [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
                                                 std::size_t k) const;
 
+  /// Allocation-free replica_set (the concept's bulk-repair variant).
+  void replica_set_into(HashIndex index, std::size_t k,
+                        std::vector<NodeId>& out) const;
+
+  /// A key's replica set changes only when its successor walk crosses
+  /// a partition the last membership event transferred, split or
+  /// merged: those partitions' ranges, expanded backward over the
+  /// partition map until k distinct snodes separate a partition from
+  /// the range. An event that touched nothing (a refused drain with no
+  /// internal rebalance) reports nothing.
+  [[nodiscard]] std::vector<HashRange> replica_dirty_ranges(
+      std::size_t k) const;
+
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] std::size_t node_slot_count() const {
     return node_live_.size();
@@ -135,6 +148,11 @@ class DhtBackend final : private dht::MutationObserver {
   std::vector<bool> node_live_;  // node id == snode id; never reused
   std::size_t live_nodes_ = 0;
   RelocationObserver* observer_ = nullptr;
+  /// Partition ranges the most recent membership operation transferred,
+  /// split or merged (accumulated observer or not; cleared at the start
+  /// of every membership call), the raw material of
+  /// replica_dirty_ranges().
+  std::vector<HashRange> last_event_ranges_;
 };
 
 /// The base model's one-record approach (section 2).

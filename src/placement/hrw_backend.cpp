@@ -77,10 +77,18 @@ bool HrwBackend::remove_node(NodeId node) {
 
 std::vector<NodeId> HrwBackend::replica_set(HashIndex index,
                                             std::size_t k) const {
+  std::vector<NodeId> replicas;
+  replica_set_into(index, k, replicas);
+  return replicas;
+}
+
+void HrwBackend::replica_set_into(HashIndex index, std::size_t k,
+                                  std::vector<NodeId>& out) const {
   COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
   COBALT_REQUIRE(live_nodes_ >= 1, "the backend has no nodes");
   const std::size_t cell = grid_.cell_of(index);
-  std::vector<std::pair<double, NodeId>> ranked;
+  auto& ranked = rank_scratch_;
+  ranked.clear();
   ranked.reserve(live_nodes_);
   for (NodeId node = 0; node < node_live_.size(); ++node) {
     if (node_live_[node]) ranked.emplace_back(score(cell, node), node);
@@ -92,24 +100,40 @@ std::vector<NodeId> HrwBackend::replica_set(HashIndex index,
                       if (a.first != b.first) return a.first > b.first;
                       return a.second < b.second;
                     });
-  std::vector<NodeId> replicas;
-  replicas.reserve(want);
+  out.clear();
+  out.reserve(want);
   for (std::size_t rank = 0; rank < want; ++rank) {
-    replicas.push_back(ranked[rank].second);
+    out.push_back(ranked[rank].second);
   }
   // The stored winner decides rank 0 even in the (measure-zero) event
   // of a score tie, keeping replica_set exactly consistent with
   // owner_of; moving it to the front keeps the remaining ranks in
   // score order, so the k-prefix invariant of the concept holds.
   const NodeId owner = grid_.owner(cell);
-  const auto it = std::find(replicas.begin(), replicas.end(), owner);
-  if (it == replicas.end()) {
-    replicas.pop_back();
-    replicas.insert(replicas.begin(), owner);
+  const auto it = std::find(out.begin(), out.end(), owner);
+  if (it == out.end()) {
+    out.pop_back();
+    out.insert(out.begin(), owner);
   } else {
-    std::rotate(replicas.begin(), it, it + 1);
+    std::rotate(out.begin(), it, it + 1);
   }
-  return replicas;
+}
+
+std::vector<HashRange> HrwBackend::replica_dirty_ranges(std::size_t k) const {
+  COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
+  if (k == 1) {
+    // Rank 0 is the stored grid winner: exactly the changed cells.
+    std::vector<HashRange> dirty;
+    for (const auto& [run_first, run_last] : grid_.last_changes()) {
+      dirty.push_back(
+          {grid_.cell_first(run_first), grid_.cell_last(run_last)});
+    }
+    return dirty;
+  }
+  // Deeper ranks are independent rendezvous draws; any event can
+  // reorder any cell's top k (see the header note).
+  if (node_slot_count() == 0) return {};
+  return {{0, HashSpace::kMaxIndex}};
 }
 
 double HrwBackend::sigma() const { return relative_stddev(quotas()); }

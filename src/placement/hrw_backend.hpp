@@ -69,6 +69,20 @@ class HrwBackend final {
   [[nodiscard]] std::vector<NodeId> replica_set(HashIndex index,
                                                 std::size_t k) const;
 
+  /// Allocation-free replica_set (the concept's bulk-repair variant);
+  /// the score ranking reuses a member scratch buffer.
+  void replica_set_into(HashIndex index, std::size_t k,
+                        std::vector<NodeId>& out) const;
+
+  /// Rank 0 changes exactly on the grid's changed cells, but every
+  /// deeper rank is an independent rendezvous: a join can score into
+  /// any cell's top k and a leave can vacate it, so for k > 1 every
+  /// membership event honestly dirties the full range (this is the
+  /// price of HRW's per-rank independence, and why its repair pass
+  /// stays table-wide in the abl8 comparison).
+  [[nodiscard]] std::vector<HashRange> replica_dirty_ranges(
+      std::size_t k) const;
+
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] std::size_t node_slot_count() const {
     return node_live_.size();
@@ -110,6 +124,9 @@ class HrwBackend final {
   std::size_t live_nodes_ = 0;
   Xoshiro256 rng_;
   RelocationObserver* observer_ = nullptr;
+  /// Scratch of replica_set_into's score ranking (no per-call
+  /// allocation on the repair path).
+  mutable std::vector<std::pair<double, NodeId>> rank_scratch_;
 };
 
 }  // namespace cobalt::placement

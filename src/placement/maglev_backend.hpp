@@ -75,6 +75,22 @@ class MaglevBackend final {
     return grid_replica_walk(table_, index, k);
   }
 
+  /// Allocation-free replica_set (the concept's bulk-repair variant).
+  void replica_set_into(HashIndex index, std::size_t k,
+                        std::vector<NodeId>& out) const {
+    grid_replica_walk_into(table_, index, k, out);
+  }
+
+  /// The table refill reshuffles slots table-wide, but the refill diff
+  /// is exact: only walks that can reach a reassigned slot change, so
+  /// the changed runs expanded backward by k distinct owners bound the
+  /// repair honestly (usually most of the table - the scheme's
+  /// documented trade-off - but nothing on a no-op event).
+  [[nodiscard]] std::vector<HashRange> replica_dirty_ranges(
+      std::size_t k) const {
+    return grid_replica_dirty_ranges(table_, k);
+  }
+
   [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
   [[nodiscard]] std::size_t node_slot_count() const {
     return node_live_.size();

@@ -69,6 +69,10 @@ class RangeGrid {
   /// to the same owner become one inclusive range. Cells previously
   /// unowned (bootstrap) are not reported, matching the other
   /// backends' "the first node reports nothing" convention.
+  ///
+  /// The changed cells are also remembered (observer or not) as the
+  /// coalesced runs of last_changes(), the raw material of the
+  /// grid-backed schemes' replica_dirty_ranges().
   void assign(std::vector<NodeId> next, RelocationObserver* observer);
 
   /// Cells owned per node over slots [0, slot_count); unowned cells
@@ -76,10 +80,19 @@ class RangeGrid {
   [[nodiscard]] std::vector<std::size_t> cell_counts(
       std::size_t slot_count) const;
 
+  /// Coalesced [first, last] cell runs whose owner changed in the most
+  /// recent assign() (bootstrap cells excluded, like the observer
+  /// convention). Empty when the last assign changed nothing.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+  last_changes() const {
+    return last_changes_;
+  }
+
  private:
   unsigned bits_;
   unsigned shift_;
   std::vector<NodeId> owners_;
+  std::vector<std::pair<std::size_t, std::size_t>> last_changes_;
 };
 
 /// Per-node quotas of a grid-backed scheme: cells owned / total cells,
@@ -97,5 +110,22 @@ std::vector<double> grid_quotas(const RangeGrid& grid,
 /// membership events reassign every cell of a departed owner.
 std::vector<NodeId> grid_replica_walk(const RangeGrid& grid, HashIndex index,
                                       std::size_t k);
+
+/// Allocation-free variant of grid_replica_walk: `out` is cleared and
+/// filled with the same ranked set (the replica_set_into contract of
+/// the PlacementBackend concept).
+void grid_replica_walk_into(const RangeGrid& grid, HashIndex index,
+                            std::size_t k, std::vector<NodeId>& out);
+
+/// The replica_dirty_ranges of a walk-replicated grid scheme: every
+/// changed cell run of the grid's most recent assign(), expanded
+/// backward (wrapping) until k distinct owners separate a cell from
+/// the run - a forward replica walk starting behind that boundary
+/// finds its k owners before reaching any changed cell, so its set
+/// cannot have changed. Falls back to the full range when no such
+/// boundary exists within one circle (k not smaller than the distinct
+/// owner count).
+std::vector<HashRange> grid_replica_dirty_ranges(const RangeGrid& grid,
+                                                 std::size_t k);
 
 }  // namespace cobalt::placement

@@ -13,9 +13,11 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/error.hpp"
 #include "hashing/hash_space.hpp"
@@ -38,6 +40,42 @@ inline std::size_t scaled_enrollment(std::size_t baseline, double capacity) {
   const auto scaled = static_cast<std::size_t>(
       std::llround(static_cast<double>(baseline) * capacity));
   return scaled < 1 ? 1 : scaled;
+}
+
+/// An inclusive, never-wrapping hash range [first, last]: the range
+/// vocabulary of the RelocationObserver contract and of
+/// replica_dirty_ranges() (a backend reports a wrapping arc as two
+/// ranges).
+struct HashRange {
+  HashIndex first = 0;
+  HashIndex last = 0;
+
+  friend bool operator==(const HashRange&, const HashRange&) = default;
+};
+
+/// Sorts `ranges` by first index and merges overlapping or adjacent
+/// entries in place, so consumers (the store's repair planner) visit
+/// every covered shard exactly once.
+inline void coalesce_ranges(std::vector<HashRange>& ranges) {
+  if (ranges.size() < 2) return;
+  std::sort(ranges.begin(), ranges.end(),
+            [](const HashRange& a, const HashRange& b) {
+              return a.first < b.first;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    HashRange& merged = ranges[out];
+    const HashRange& next = ranges[i];
+    // Adjacent counts as mergeable; guard the +1 against wrapping.
+    if (next.first <= merged.last ||
+        (merged.last != HashSpace::kMaxIndex &&
+         next.first == merged.last + 1)) {
+      merged.last = std::max(merged.last, next.last);
+    } else {
+      ranges[++out] = next;
+    }
+  }
+  ranges.resize(out + 1);
 }
 
 /// Cumulative data-movement accounting, identical for every backend.

@@ -197,5 +197,83 @@ TYPED_TEST(ReplicaSetSuite, RejectsZeroK) {
   EXPECT_THROW((void)backend.replica_set(0, 0), InvalidArgument);
 }
 
+// --- the bulk-repair surface (replica_set_into + dirty ranges) ------
+
+TYPED_TEST(ReplicaSetSuite, ReplicaSetIntoMatchesReplicaSet) {
+  auto backend = make_backend<TypeParam>(308);
+  for (int n = 0; n < 9; ++n) backend.add_node();
+  std::vector<NodeId> out;
+  for (const HashIndex point : probe_points(25, 43)) {
+    for (std::size_t k = 1; k <= 4; ++k) {
+      out.assign(7, kInvalidNode);  // stale content must be cleared
+      backend.replica_set_into(point, k, out);
+      EXPECT_EQ(out, backend.replica_set(point, k))
+          << "point " << point << " k " << k;
+    }
+  }
+}
+
+/// True when `point` lies inside one of the (inclusive, non-wrapping)
+/// ranges.
+bool covered(const std::vector<HashRange>& ranges, HashIndex point) {
+  for (const HashRange& range : ranges) {
+    if (point >= range.first && point <= range.last) return true;
+  }
+  return false;
+}
+
+TYPED_TEST(ReplicaSetSuite, DirtyRangesCoverEveryReplicaSetChange) {
+  // The replica_dirty_ranges contract: after a membership event, any
+  // point whose replica_set(., k) changed must lie inside a reported
+  // range (a conservative superset is fine; a missed change would let
+  // the store's planned repair silently skip real repair work).
+  auto backend = make_backend<TypeParam>(309);
+  for (int n = 0; n < 6; ++n) backend.add_node();
+  const auto points = probe_points(120, 47);
+  Xoshiro256 rng(53);
+
+  for (int event = 0; event < 10; ++event) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{2},
+                                std::size_t{3}}) {
+      // Snapshot, mutate, diff.
+      std::vector<std::vector<NodeId>> before;
+      before.reserve(points.size());
+      for (const HashIndex point : points) {
+        before.push_back(backend.replica_set(point, k));
+      }
+
+      if (rng.next_below(3) == 0 && backend.node_count() > 4) {
+        std::vector<NodeId> live;
+        for (NodeId node = 0; node < backend.node_slot_count(); ++node) {
+          if (backend.is_live(node)) live.push_back(node);
+        }
+        const NodeId victim = live[static_cast<std::size_t>(
+            rng.next_below(live.size()))];
+        if (!backend.remove_node(victim)) {
+          // A refused drain is its own event (an aborted decommission
+          // may still have rebalanced); re-snapshot before the join so
+          // the diff below spans only the most recent event - exactly
+          // what replica_dirty_ranges reports.
+          before.clear();
+          for (const HashIndex point : points) {
+            before.push_back(backend.replica_set(point, k));
+          }
+          backend.add_node();
+        }
+      } else {
+        backend.add_node();
+      }
+
+      const auto dirty = backend.replica_dirty_ranges(k);
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        if (backend.replica_set(points[p], k) == before[p]) continue;
+        EXPECT_TRUE(covered(dirty, points[p]))
+            << "k=" << k << " event " << event << ": replica set of point "
+            << points[p] << " changed outside every dirty range";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cobalt::placement
