@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
   const std::size_t vnodes = fig.steps();
 
   NetworkModel network;
-  cobalt::TextTable table({"snodes", "scheme", "makespan (ms)",
-                           "messages", "mean round size", "concurrency"});
+  cobalt::TextTable table({"snodes", "scheme", "makespan (ms)", "messages",
+                           "mean round size", "concurrency", "depth"});
 
   std::vector<double> xs;
   std::vector<double> speedups;
@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
                    cobalt::format_fixed(global_result.makespan_us / 1000.0, 2),
                    std::to_string(global_result.messages),
                    cobalt::format_fixed(global_result.mean_participants, 1),
-                   cobalt::format_fixed(global_result.concurrency, 2)});
+                   cobalt::format_fixed(global_result.concurrency, 2),
+                   std::to_string(global_result.serialized_round_depth)});
 
     ReplayResult local_at_32{};
     for (const std::uint64_t vmin : vmins) {
@@ -79,7 +80,8 @@ int main(int argc, char** argv) {
            cobalt::format_fixed(local_result.makespan_us / 1000.0, 2),
            std::to_string(local_result.messages),
            cobalt::format_fixed(local_result.mean_participants, 1),
-           cobalt::format_fixed(local_result.concurrency, 2)});
+           cobalt::format_fixed(local_result.concurrency, 2),
+           std::to_string(local_result.serialized_round_depth)});
 
       if (vmin == vmins.front()) {
         fig.check(local_result.makespan_us < global_result.makespan_us,

@@ -1,12 +1,18 @@
 // Ablation A6: the creation protocol executed message by message.
 //
 // Where A3 replays round *costs* recorded from the centralized
-// balancer, this harness runs the actual distributed protocol
-// (per-snode LPDR replicas, Prepare/Transfer/Ack/Commit on the DES) to
-// convergence, audits the converged state against the model invariants
-// and replica consistency, and reports makespan / messages /
-// concurrency across cluster sizes and Vmin - the paper's parallelism
-// claims measured on a real protocol execution rather than a model.
+// balancer (through the generic round scheduler) and A9 drives the
+// protocol DES from the store's placement events, this harness runs
+// the actual distributed protocol (per-snode LPDR replicas,
+// Prepare/Transfer/Ack/Commit on the DES) to convergence, audits the
+// converged state against the model invariants and replica
+// consistency, and reports makespan / messages / concurrency across
+// cluster sizes and Vmin - the paper's parallelism claims measured on
+// a real protocol execution rather than a model.
+//
+// Shares the harness conventions: --runs/--vnodes/--seed, --csv=DIR
+// (writes abl6.csv: makespan and messages per Vmin over the snodes
+// axis), --chart=off, --checks=off.
 
 #include <iostream>
 #include <string>
@@ -18,6 +24,7 @@
 
 int main(int argc, char** argv) {
   using cobalt::bench::FigureHarness;
+  using cobalt::bench::Series;
   using cobalt::cluster::DistributedDht;
   using cobalt::cluster::RunStats;
 
@@ -40,15 +47,30 @@ int main(int argc, char** argv) {
   double makespan_small_vmin = 0.0;
   double makespan_large_vmin = 0.0;
 
+  // CSV/chart series: one makespan and one message curve per Vmin over
+  // the snodes axis (the same flag conventions as every other harness;
+  // previously abl6 accepted --csv/--chart but silently ignored them).
+  std::vector<double> xs;
+  std::vector<Series> makespan_series;
+  std::vector<Series> message_series;
+  for (const std::uint64_t vmin : vmins) {
+    makespan_series.push_back(
+        Series{"Vmin=" + std::to_string(vmin) + " makespan (ms)", {}});
+    message_series.push_back(
+        Series{"Vmin=" + std::to_string(vmin) + " messages", {}});
+  }
+
   for (const std::uint64_t snodes : cluster_sizes) {
-    for (const std::uint64_t vmin : vmins) {
+    xs.push_back(static_cast<double>(snodes));
+    for (std::size_t v = 0; v < vmins.size(); ++v) {
+      const std::uint64_t vmin = vmins[v];
       cobalt::dht::Config config;
       config.pmin = pmin;
       config.vmin = vmin;
       config.seed = fig.seed();
       DistributedDht dht(config, snodes);
-      for (std::size_t v = 0; v < fig.steps(); ++v) {
-        dht.submit_create(static_cast<cobalt::dht::SNodeId>(v % snodes));
+      for (std::size_t c = 0; c < fig.steps(); ++c) {
+        dht.submit_create(static_cast<cobalt::dht::SNodeId>(c % snodes));
       }
       const RunStats stats = dht.run();
       dht.audit();  // throws on any inconsistency
@@ -63,6 +85,8 @@ int main(int argc, char** argv) {
            cobalt::format_fixed(stats.max_group_concurrency, 1),
            std::to_string(dht.group_count()),
            cobalt::format_fixed(dht.sigma_qv() * 100.0, 2)});
+      makespan_series[v].y.push_back(stats.makespan_us / 1000.0);
+      message_series[v].y.push_back(static_cast<double>(stats.messages));
 
       if (snodes == cluster_sizes.back()) {
         if (vmin == vmins.front()) makespan_small_vmin = stats.makespan_us;
@@ -72,6 +96,13 @@ int main(int argc, char** argv) {
   }
 
   std::cout << table.render();
+  fig.print_chart(xs, makespan_series, "cluster snodes", "makespan (ms)");
+  {
+    std::vector<Series> csv_series = makespan_series;
+    csv_series.insert(csv_series.end(), message_series.begin(),
+                      message_series.end());
+    fig.write_csv(xs, csv_series, "snodes");
+  }
   FigureHarness::note(
       "every converged state passed the audit: partitions tile R_h, all "
       "LPDR replicas agree, and L1-L2 / G1'-G4' hold");

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "cluster/event_queue.hpp"
 
@@ -26,6 +27,12 @@ struct NetworkModel {
   /// balancement protocol moves ownership; bulk data movement is the
   /// KV layer's business), per partition handed over.
   SimTime per_partition_transfer_us = 20.0;
+
+  /// Time to ship one resident key's bytes during a handover or a
+  /// re-replication copy (the KV-layer payload of a membership event;
+  /// the ProtocolDriver sizes its rounds from the store's batched
+  /// relocation ranges in keys).
+  SimTime per_key_transfer_us = 0.05;
 
   /// Local processing time to apply one distribution-record update.
   SimTime record_update_us = 2.0;
@@ -50,6 +57,29 @@ struct NetworkModel {
   [[nodiscard]] std::size_t round_messages(std::size_t participants,
                                            std::size_t transfers) const {
     return 2 * participants + transfers;
+  }
+
+  /// Duration of a data-plane handover/repair round among
+  /// `participants` nodes that ships `keys` resident keys: request
+  /// broadcast + acknowledgement, record updates per participant, and
+  /// the key payload serializing on the coordinator. A round with no
+  /// remote participant is pure local bookkeeping.
+  [[nodiscard]] SimTime handover_duration(std::size_t participants,
+                                          std::uint64_t keys) const {
+    if (participants == 0) return 0.0;
+    return 2.0 * one_hop_latency_us +
+           static_cast<SimTime>(participants) * record_update_us +
+           static_cast<SimTime>(keys) * per_key_transfer_us;
+  }
+
+  /// Messages of such a round: request + ack per participant plus one
+  /// bulk-transfer message per contiguous hash range shipped (keys
+  /// inside one range travel in one streamed message) - the
+  /// round_messages formula with ranges as the transfer unit, except
+  /// that a round with no remote participant exchanges nothing.
+  [[nodiscard]] std::size_t handover_messages(std::size_t participants,
+                                              std::size_t ranges) const {
+    return participants == 0 ? 0 : round_messages(participants, ranges);
   }
 };
 

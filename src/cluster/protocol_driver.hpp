@@ -1,0 +1,316 @@
+// cobalt/cluster/protocol_driver.hpp
+//
+// The protocol DES driven from placement events: one accounting source
+// for movement, repair traffic and protocol messages.
+//
+// cluster::ProtocolDriver<Backend> subscribes to the *same* counted
+// event stream the store's two stats channels are built from
+// (kv::StoreEventSink, fed by the batched flush_relocations() pass and
+// the planned repair pass) and turns each membership event into
+// synchronization rounds for the generic DES scheduler
+// (cluster::schedule_rounds):
+//
+//   * domain locking follows the scheme's serialization unit
+//     (placement::serialization_domain_of): the global approach's one
+//     GPDR, the local approach's per-group LPDRs, and the arc-lattice
+//     default for the ring/grid schemes - so a scheme's protocol
+//     concurrency is exactly its record-sharing structure;
+//   * handover payloads are the store's counted relocation batches
+//     (keys moved, pre-mutation population) - the driver's summed
+//     payloads equal MigrationStats bit for bit, asserted by ctest;
+//   * k > 1 re-replication rounds carry the planned repair pass's
+//     copies per plan range - the ReplicationStats mass, scheduled.
+//
+// One membership event contributes at most two rounds per domain it
+// touched: a handover round (the relocation batches that landed in the
+// domain, synchronized once - the per-creation round structure of
+// protocol_sim, generalized to any membership change) and a repair
+// round (the re-replication copies planned for the domain's ranges).
+// Rounds of one domain queue FIFO across events; rounds in different
+// domains overlap. Event arrival times are assigned at schedule time
+// (run(gap)), so the same recorded log can answer "what if the next
+// failure lands while repair is still queued" without re-running the
+// store - the failure-during-repair scenario of sim/protocol_cost.hpp.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/network.hpp"
+#include "cluster/protocol_sim.hpp"
+#include "kv/store.hpp"
+#include "kv/store_events.hpp"
+#include "placement/backend.hpp"
+
+namespace cobalt::cluster {
+
+/// Cumulative batch totals of the driver's event log. Each key counter
+/// mirrors one store accounting counter (same events, same counts), so
+/// equality with the store's channels is the "one accounting source"
+/// invariant a consumer can assert at any quiescent point.
+struct ProtocolTotals {
+  std::uint64_t events = 0;           ///< membership events recorded
+  std::uint64_t handover_rounds = 0;  ///< rounds carrying relocation batches
+  std::uint64_t repair_rounds = 0;    ///< rounds carrying repair copies
+
+  /// == MigrationStats::keys_moved_total (delta since attach/clear).
+  std::uint64_t handover_keys_total = 0;
+
+  /// == MigrationStats::keys_moved_across_nodes.
+  std::uint64_t handover_keys_cross = 0;
+
+  /// == MigrationStats::keys_rebucketed.
+  std::uint64_t rebucket_keys = 0;
+
+  /// == ReplicationStats::keys_rereplicated.
+  std::uint64_t repair_copies = 0;
+
+  /// == ReplicationStats::keys_lost.
+  std::uint64_t keys_lost = 0;
+};
+
+/// Per-(scheme, store) protocol DES recorder and scheduler.
+template <placement::PlacementBackend Backend>
+class ProtocolDriver final : public kv::StoreEventSink {
+ public:
+  struct Options {
+    /// Round cost model (latencies, payload rates).
+    NetworkModel network{};
+
+    /// Lattice width for schemes without a native serialization
+    /// domain (see placement::arc_serialization_domain).
+    std::uint32_t arc_domain_bits = 8;
+  };
+
+  /// One recorded round: a priced (event, domain) cell awaiting
+  /// scheduling (tests and benches inspect the log through recorded()).
+  struct RecordedRound {
+    std::uint32_t domain = 0;
+    std::uint64_t event = 0;
+    SimTime duration = 0.0;
+    std::uint64_t messages = 0;
+  };
+
+  /// Subscribes to `store`'s event stream. Attach before the first
+  /// membership change for totals that match the stats channels from
+  /// zero. The driver must be destroyed (or the sink cleared) before
+  /// the store.
+  explicit ProtocolDriver(kv::Store<Backend>& store, Options options = {})
+      : store_(store), options_(options) {
+    store_.set_event_sink(this);
+  }
+
+  ~ProtocolDriver() override { store_.set_event_sink(nullptr); }
+
+  ProtocolDriver(const ProtocolDriver&) = delete;
+  ProtocolDriver& operator=(const ProtocolDriver&) = delete;
+
+  // --- kv::StoreEventSink --------------------------------------------
+
+  void on_membership_begin(kv::MembershipEventKind kind) override {
+    (void)kind;
+    finalize_event();  // close an implicit (stray-flush) event first
+    in_event_ = true;
+  }
+
+  void on_relocation_batch(HashIndex first, HashIndex last,
+                           placement::NodeId from, placement::NodeId to,
+                           std::uint64_t keys, bool rebucket) override {
+    (void)last;
+    DomainWork& work = open_[domain_of(first)];
+    if (rebucket) {
+      totals_.rebucket_keys += keys;
+      work.local_keys += keys;
+      ++work.local_ranges;
+      return;
+    }
+    totals_.handover_keys_total += keys;
+    if (from == to) {
+      // Intra-node movement: record bookkeeping, no network payload.
+      work.local_keys += keys;
+      ++work.local_ranges;
+      return;
+    }
+    totals_.handover_keys_cross += keys;
+    work.cross_keys += keys;
+    ++work.cross_ranges;
+    insert_participant(work.participants, from);
+    insert_participant(work.participants, to);
+  }
+
+  void on_repair_batch(HashIndex first, HashIndex last, std::uint64_t copies,
+                       std::uint64_t lost, std::size_t replicas) override {
+    (void)last;
+    DomainWork& work = open_[domain_of(first)];
+    totals_.repair_copies += copies;
+    totals_.keys_lost += lost;
+    work.repair_copies += copies;
+    ++work.repair_ranges;
+    work.repair_replicas = std::max(work.repair_replicas, replicas);
+  }
+
+  void on_membership_end() override { finalize_event(); }
+
+  // --- recorded log --------------------------------------------------
+
+  /// Batch totals so far (always current, even mid-event).
+  [[nodiscard]] const ProtocolTotals& totals() const { return totals_; }
+
+  /// The recorded rounds in admission order (finalizes a pending
+  /// implicit event first).
+  [[nodiscard]] const std::vector<RecordedRound>& recorded() {
+    finalize_event();
+    return log_;
+  }
+
+  /// Forgets everything recorded so far (scenario drivers clear after
+  /// the preload phase so the schedule covers only the protocol under
+  /// study).
+  void clear() {
+    finalize_event();
+    log_.clear();
+    totals_ = {};
+  }
+
+  // --- scheduling ----------------------------------------------------
+
+  /// Schedules the recorded log through the DES. Event e's rounds
+  /// arrive at e * inter_event_gap_us: gap 0 injects everything at
+  /// once (maximal queueing - the trace-replay convention), a positive
+  /// gap spaces the membership events out so later events land while
+  /// earlier repair rounds may still be queued.
+  [[nodiscard]] ScheduleOutcome run(SimTime inter_event_gap_us = 0.0) {
+    finalize_event();
+    std::vector<Round> rounds;
+    rounds.reserve(log_.size());
+    for (const RecordedRound& recorded : log_) {
+      Round round;
+      round.domain = recorded.domain;
+      round.arrival =
+          static_cast<SimTime>(recorded.event) * inter_event_gap_us;
+      round.duration = recorded.duration;
+      round.messages = recorded.messages;
+      rounds.push_back(round);
+    }
+    return schedule_rounds(rounds);
+  }
+
+  /// The fully serialized reference: every membership event's rounds
+  /// run to quiescence before the next event's are admitted (as if
+  /// each change waited for repair to drain). Sum of the per-event
+  /// makespans; message totals are unchanged by scheduling.
+  [[nodiscard]] ScheduleOutcome run_serialized() {
+    finalize_event();
+    ScheduleOutcome total;
+    std::vector<Round> event_rounds;
+    std::size_t i = 0;
+    while (i < log_.size()) {
+      const std::uint64_t event = log_[i].event;
+      event_rounds.clear();
+      for (; i < log_.size() && log_[i].event == event; ++i) {
+        Round round;
+        round.domain = log_[i].domain;
+        round.duration = log_[i].duration;
+        round.messages = log_[i].messages;
+        event_rounds.push_back(round);
+      }
+      const ScheduleOutcome outcome = schedule_rounds(event_rounds);
+      total.makespan_us += outcome.makespan_us;
+      total.messages += outcome.messages;
+      total.rounds += outcome.rounds;
+    }
+    // Depth and domain coverage are properties of the whole log, not
+    // of any one event's schedule: a domain's serialized chain is its
+    // round count across every event (rounds of one domain still
+    // queue FIFO across the event boundaries).
+    std::map<std::uint32_t, std::size_t> domain_rounds;
+    SimTime busy = 0.0;
+    for (const RecordedRound& round : log_) {
+      total.serialized_round_depth = std::max(
+          total.serialized_round_depth, ++domain_rounds[round.domain]);
+      busy += round.duration;
+    }
+    total.domains_used = domain_rounds.size();
+    total.concurrency =
+        total.makespan_us > 0.0 ? busy / total.makespan_us : 0.0;
+    return total;
+  }
+
+ private:
+  /// Accumulated work of one (event, domain) cell.
+  struct DomainWork {
+    std::vector<placement::NodeId> participants;  // sorted distinct
+    std::uint64_t cross_keys = 0;
+    std::size_t cross_ranges = 0;
+    std::uint64_t local_keys = 0;
+    std::size_t local_ranges = 0;
+    std::uint64_t repair_copies = 0;
+    std::size_t repair_ranges = 0;
+    std::size_t repair_replicas = 0;
+  };
+
+  static void insert_participant(std::vector<placement::NodeId>& set,
+                                 placement::NodeId node) {
+    const auto it = std::lower_bound(set.begin(), set.end(), node);
+    if (it == set.end() || *it != node) set.insert(it, node);
+  }
+
+  [[nodiscard]] std::uint32_t domain_of(HashIndex index) const {
+    return placement::serialization_domain_of(store_.backend(), index,
+                                              options_.arc_domain_bits);
+  }
+
+  /// Closes the open event: one handover round and one repair round
+  /// per touched domain, priced through the network model. The
+  /// running totals_.events doubles as the event id of the rounds
+  /// being closed (events are numbered in finalization order).
+  void finalize_event() {
+    if (open_.empty() && !in_event_) return;
+    const NetworkModel& net = options_.network;
+    for (const auto& [domain, work] : open_) {
+      if (work.cross_ranges + work.local_ranges > 0) {
+        RecordedRound round;
+        round.domain = domain;
+        round.event = totals_.events;
+        // Remote handover synchronization plus local record updates
+        // (rebuckets and intra-node moves cost bookkeeping only).
+        round.duration =
+            net.handover_duration(work.participants.size(),
+                                  work.cross_keys) +
+            static_cast<SimTime>(work.local_ranges) * net.record_update_us;
+        round.messages = net.handover_messages(work.participants.size(),
+                                               work.cross_ranges);
+        log_.push_back(round);
+        ++totals_.handover_rounds;
+      }
+      if (work.repair_copies > 0) {
+        RecordedRound round;
+        round.domain = domain;
+        round.event = totals_.events;
+        round.duration =
+            net.handover_duration(work.repair_replicas, work.repair_copies);
+        round.messages = net.handover_messages(work.repair_replicas,
+                                               work.repair_ranges);
+        log_.push_back(round);
+        ++totals_.repair_rounds;
+      }
+    }
+    open_.clear();
+    in_event_ = false;
+    ++totals_.events;
+  }
+
+  kv::Store<Backend>& store_;
+  Options options_;
+  /// Open (in-flight) event's per-domain accumulation; ordered map so
+  /// round emission order is deterministic.
+  std::map<std::uint32_t, DomainWork> open_;
+  bool in_event_ = false;
+  std::vector<RecordedRound> log_;
+  ProtocolTotals totals_;
+};
+
+}  // namespace cobalt::cluster

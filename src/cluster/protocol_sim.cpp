@@ -102,49 +102,98 @@ CreationTrace record_global_trace(dht::Config config, std::size_t snodes,
   return trace;
 }
 
+ScheduleOutcome schedule_rounds(std::span<const Round> rounds) {
+  ScheduleOutcome outcome;
+  if (rounds.empty()) return outcome;
+
+  // Domain clocks and per-domain round counts, sized to the densest
+  // domain id actually used (domain ids are small: group slots or the
+  // arc lattice).
+  std::uint32_t max_domain = 0;
+  for (const Round& round : rounds) {
+    max_domain = std::max(max_domain, round.domain);
+    for (const std::uint32_t spawned : round.spawned_domains) {
+      max_domain = std::max(max_domain, spawned);
+    }
+  }
+  std::vector<SimTime> domain_free_at(max_domain + 1, 0.0);
+  std::vector<std::size_t> domain_rounds(max_domain + 1, 0);
+
+  double busy_time = 0.0;
+  SimTime makespan = 0.0;
+
+  // FIFO admission per domain (list scheduling): a round starts when
+  // its domain's record is quiescent and the round has arrived;
+  // domains evolve independently - the paper's parallelism argument
+  // in one line. The completion frontier is a running maximum, so no
+  // event queue is needed: with every completion known at admission
+  // time the "DES" collapses to this loop.
+  for (const Round& round : rounds) {
+    COBALT_REQUIRE(round.arrival >= 0.0 && round.duration >= 0.0,
+                   "rounds cannot arrive or run in negative time");
+    const SimTime start =
+        std::max(round.arrival, domain_free_at[round.domain]);
+    const SimTime end = start + round.duration;
+    domain_free_at[round.domain] = end;
+    ++domain_rounds[round.domain];
+    for (const std::uint32_t spawned : round.spawned_domains) {
+      domain_free_at[spawned] = std::max(domain_free_at[spawned], end);
+    }
+
+    makespan = std::max(makespan, end);
+    outcome.messages += round.messages;
+    busy_time += round.duration;
+  }
+
+  outcome.makespan_us = makespan;
+  outcome.rounds = rounds.size();
+  outcome.concurrency =
+      outcome.makespan_us > 0.0 ? busy_time / outcome.makespan_us : 0.0;
+  for (const std::size_t count : domain_rounds) {
+    outcome.serialized_round_depth =
+        std::max(outcome.serialized_round_depth, count);
+    if (count > 0) ++outcome.domains_used;
+  }
+  return outcome;
+}
+
 ReplayResult replay_trace(const CreationTrace& trace,
                           const NetworkModel& network) {
   COBALT_REQUIRE(trace.snodes >= 1, "trace has no snodes");
   COBALT_REQUIRE(trace.domains >= 1, "trace has no domains");
 
-  EventQueue queue;
-  std::vector<SimTime> domain_free_at(trace.domains, 0.0);
-
-  ReplayResult result;
-  double busy_time = 0.0;
+  // Price each creation through the network model, then hand the
+  // generic scheduler the resulting round log (all arrivals at 0: the
+  // trace-replay convention).
+  std::vector<Round> rounds;
+  rounds.reserve(trace.creations.size());
   double participant_sum = 0.0;
-
-  // FIFO admission per domain (list scheduling through the DES): a
-  // round starts when its domain's record is quiescent; domains evolve
-  // independently - the paper's parallelism argument in one line.
   for (const CreationRecord& creation : trace.creations) {
     COBALT_REQUIRE(creation.domain < trace.domains,
                    "trace references an unknown domain");
-    const SimTime start =
-        std::max(queue.now(), domain_free_at[creation.domain]);
-    const SimTime duration =
-        network.round_duration(creation.participants, creation.transfers);
-    const SimTime end = start + duration;
-    domain_free_at[creation.domain] = end;
     for (const std::uint32_t spawned : creation.spawned_domains) {
       COBALT_REQUIRE(spawned < trace.domains,
                      "trace spawns an unknown domain");
-      domain_free_at[spawned] = end;
     }
-
-    queue.schedule_at(end, [] {});  // completion marker
-
-    result.messages += network.round_messages(creation.participants,
-                                              creation.transfers);
-    busy_time += duration;
+    Round round;
+    round.domain = creation.domain;
+    round.duration =
+        network.round_duration(creation.participants, creation.transfers);
+    round.messages = network.round_messages(creation.participants,
+                                            creation.transfers);
+    round.spawned_domains = creation.spawned_domains;
+    rounds.push_back(std::move(round));
     participant_sum += static_cast<double>(creation.participants);
   }
 
-  result.makespan_us = queue.run();
+  const ScheduleOutcome outcome = schedule_rounds(rounds);
+  ReplayResult result;
+  result.makespan_us = outcome.makespan_us;
+  result.messages = outcome.messages;
+  result.concurrency = outcome.concurrency;
+  result.serialized_round_depth = outcome.serialized_round_depth;
   result.mean_participants =
       participant_sum / static_cast<double>(trace.creations.size());
-  result.concurrency =
-      result.makespan_us > 0.0 ? busy_time / result.makespan_us : 0.0;
   return result;
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/event_queue.hpp"
@@ -31,6 +32,51 @@
 #include "dht/config.hpp"
 
 namespace cobalt::cluster {
+
+/// One synchronization round for the generic scheduler: the common
+/// currency of the creation-trace replay (abl3) and the
+/// ProtocolDriver's membership rounds (abl9). The caller prices the
+/// round (duration, messages) through the NetworkModel; the scheduler
+/// only decides *when* it runs: rounds in one domain admit FIFO,
+/// rounds in different domains overlap, and a round never starts
+/// before its arrival time.
+struct Round {
+  /// Serialization domain (a distribution record, a group's LPDR, or
+  /// an arc of the hash space - see placement::serialization_domain_of).
+  std::uint32_t domain = 0;
+
+  /// Earliest admissible start (the membership event's injection time;
+  /// 0 everywhere reproduces the all-at-once trace replay).
+  SimTime arrival = 0.0;
+
+  /// Busy time the round locks its domain for.
+  SimTime duration = 0.0;
+
+  /// Protocol messages the round exchanges.
+  std::uint64_t messages = 0;
+
+  /// Domains created by a split inside this round; their clocks start
+  /// at this round's completion.
+  std::vector<std::uint32_t> spawned_domains;
+};
+
+/// Aggregate outcome of scheduling a round log through the DES.
+struct ScheduleOutcome {
+  SimTime makespan_us = 0.0;       ///< completion time of the last round
+  std::uint64_t rounds = 0;        ///< rounds scheduled
+  std::uint64_t messages = 0;      ///< total protocol messages
+  double concurrency = 0.0;        ///< sum of round durations / makespan
+  std::size_t serialized_round_depth = 0;  ///< longest one-domain chain
+  std::size_t domains_used = 0;    ///< distinct domains that saw a round
+};
+
+/// Schedules `rounds` on the DES: per-domain FIFO admission in log
+/// order, overlap across domains, arrival times respected. The
+/// serialized-round depth is the length of the longest per-domain
+/// queue - the protocol's critical path in rounds (equal to the total
+/// round count exactly when everything serializes through one domain,
+/// the global approach's GPDR).
+ScheduleOutcome schedule_rounds(std::span<const Round> rounds);
 
 /// One creation event of the recorded trace.
 struct CreationRecord {
@@ -74,6 +120,7 @@ struct ReplayResult {
   std::uint64_t messages = 0;      ///< total protocol messages
   double mean_participants = 0.0;  ///< average round size
   double concurrency = 0.0;        ///< sum of round durations / makespan
+  std::size_t serialized_round_depth = 0;  ///< longest one-domain chain
 };
 
 /// Replays `trace` on the DES: all creations arrive at time 0, are

@@ -50,6 +50,13 @@
 //     and a primary handover to a node that already held a fallback
 //     copy costs relocation but no re-replication.
 //
+// Both channels (and the protocol DES built on them) derive from one
+// event log: a StoreEventSink registered with set_event_sink() receives
+// every relocation batch as it is counted and every repair batch as it
+// is priced (see store_events.hpp), so movement accounting,
+// re-replication traffic and protocol-cost models agree by
+// construction - cluster::ProtocolDriver is the canonical consumer.
+//
 // Repair passes are *planned*, not scanned: at k == 1 only the ranges
 // the event relocated or rebucketed are visited (as in the seed); at
 // k > 1 the pass visits only the shards overlapping the backend's
@@ -81,6 +88,7 @@
 #include "common/error.hpp"
 #include "hashing/hash.hpp"
 #include "kv/shard_index.hpp"
+#include "kv/store_events.hpp"
 #include "placement/backend.hpp"
 #include "placement/bounded_ch_backend.hpp"
 #include "placement/ch_backend.hpp"
@@ -138,6 +146,11 @@ class Store final : private placement::RelocationObserver {
  public:
   using Options = typename Backend::Options;
 
+  /// The backend type this store is instantiated over (so generic
+  /// consumers - cluster::ProtocolDriver, the sim drivers - can name
+  /// it from the store type alone).
+  using BackendType = Backend;
+
   explicit Store(Options options,
                  hashing::Algorithm algorithm = hashing::Algorithm::kXxh64)
       : Store(std::move(options), 1, algorithm) {}
@@ -169,6 +182,14 @@ class Store final : private placement::RelocationObserver {
   /// returns false when the scheme refuses the removal (the node
   /// stays; see placement/backend.hpp), and never loses keys.
   placement::NodeId add_node(double capacity = 1.0) {
+    if (event_sink_ != nullptr) {
+      // Batches still pending from direct backend() mutation belong to
+      // an implicit event, not to this bracket: flush them to the sink
+      // before opening it (the counts are unchanged by flushing early;
+      // no resident key can have moved since, every mutation flushes).
+      flush_relocations();
+      event_sink_->on_membership_begin(MembershipEventKind::kJoin);
+    }
     placement::NodeId id;
     {
       const MembershipScope scope(in_membership_);
@@ -176,9 +197,14 @@ class Store final : private placement::RelocationObserver {
     }
     collect_dirty();
     rereplicate(/*crash=*/false);
+    if (event_sink_ != nullptr) event_sink_->on_membership_end();
     return id;
   }
   bool remove_node(placement::NodeId node) {
+    if (event_sink_ != nullptr) {
+      flush_relocations();  // stray batches are not this drain's (see add_node)
+      event_sink_->on_membership_begin(MembershipEventKind::kDrain);
+    }
     bool removed;
     {
       const MembershipScope scope(in_membership_);
@@ -189,6 +215,7 @@ class Store final : private placement::RelocationObserver {
     // the pass run either way.
     collect_dirty();
     rereplicate(/*crash=*/false);
+    if (event_sink_ != nullptr) event_sink_->on_membership_end();
     return removed;
   }
 
@@ -202,6 +229,10 @@ class Store final : private placement::RelocationObserver {
   /// cluster: the last live node always survives). Returns the number
   /// of removals that completed; the repair pass runs regardless.
   std::size_t fail_nodes(std::span<const placement::NodeId> nodes) {
+    if (event_sink_ != nullptr) {
+      flush_relocations();  // stray batches are not this crash's (see add_node)
+      event_sink_->on_membership_begin(MembershipEventKind::kCrash);
+    }
     std::size_t failed = 0;
     for (const placement::NodeId node : nodes) {
       if (backend_.node_count() < 2 || !backend_.is_live(node)) continue;
@@ -212,6 +243,7 @@ class Store final : private placement::RelocationObserver {
       collect_dirty();
     }
     rereplicate(/*crash=*/true);
+    if (event_sink_ != nullptr) event_sink_->on_membership_end();
     return failed;
   }
 
@@ -456,6 +488,14 @@ class Store final : private placement::RelocationObserver {
     return replication_stats_;
   }
 
+  /// Registers (or clears, with nullptr) the store event sink: the
+  /// counted relocation/repair batch stream the protocol DES consumes
+  /// (see store_events.hpp). The sink must outlive the store or be
+  /// cleared first. A sink attached after membership changes only sees
+  /// the events from its attachment on; attach before the first node
+  /// for totals that match the stats channels bit for bit.
+  void set_event_sink(StoreEventSink* sink) { event_sink_ = sink; }
+
   /// The shard index (read-only structural introspection: shard
   /// count, per-shard replica sets, split/merge behaviour).
   [[nodiscard]] const ShardIndex& shard_index() const { return index_; }
@@ -536,6 +576,13 @@ class Store final : private placement::RelocationObserver {
           relocation_stats_.keys_moved_across_nodes += keys;
         }
       }
+      // The sink sees exactly what the stats channel counted - same
+      // ranges, same pre-mutation key population - so a protocol model
+      // summing these batches reproduces MigrationStats bit for bit.
+      if (event_sink_ != nullptr) {
+        event_sink_->on_relocation_batch(event.first, event.last, event.from,
+                                         event.to, keys, event.rebucket);
+      }
     }
     pending_events_.clear();
   }
@@ -599,20 +646,45 @@ class Store final : private placement::RelocationObserver {
       // ranges is visited once per range but only over each range's
       // own span, so no bucket repairs twice.
       for (const placement::HashRange& range : plan) {
+        const std::uint64_t copies_before =
+            replication_stats_.keys_rereplicated;
+        const std::uint64_t lost_before = replication_stats_.keys_lost;
         std::size_t i = index_.shard_of(range.first);
         while (i < index_.shard_count() &&
                index_.shard(i).first <= range.last) {
           ++replication_stats_.repair_shards_visited;
           i += repair_shard(i, range.first, range.last, target, crash);
         }
+        emit_repair_batch(range.first, range.last, copies_before,
+                          lost_before, target);
       }
     } else {
+      const std::uint64_t copies_before =
+          replication_stats_.keys_rereplicated;
+      const std::uint64_t lost_before = replication_stats_.keys_lost;
       for (std::size_t i = 0; i < index_.shard_count();) {
         ++replication_stats_.repair_shards_visited;
         i += repair_shard(i, 0, HashSpace::kMaxIndex, target, crash);
       }
+      emit_repair_batch(0, HashSpace::kMaxIndex, copies_before, lost_before,
+                        target);
     }
     aligned_ = true;
+  }
+
+  /// Reports one repaired plan range to the event sink: the copies and
+  /// losses its shard walk just added to ReplicationStats (deltas
+  /// against the pre-walk snapshots). Ranges that repaired nothing are
+  /// silent, so a no-op event produces no protocol round.
+  void emit_repair_batch(HashIndex first, HashIndex last,
+                         std::uint64_t copies_before,
+                         std::uint64_t lost_before, std::size_t target) {
+    if (event_sink_ == nullptr) return;
+    const std::uint64_t copies =
+        replication_stats_.keys_rereplicated - copies_before;
+    const std::uint64_t lost = replication_stats_.keys_lost - lost_before;
+    if (copies == 0 && lost == 0) return;
+    event_sink_->on_repair_batch(first, last, copies, lost, target);
   }
 
   /// One run of consecutive buckets sharing a desired replica set
@@ -819,6 +891,8 @@ class Store final : private placement::RelocationObserver {
   hashing::Algorithm algorithm_;
   std::size_t replication_;
   ShardIndex index_;
+  /// Counted-batch consumer (protocol DES); see set_event_sink().
+  StoreEventSink* event_sink_ = nullptr;
   mutable placement::MigrationStats relocation_stats_;
   ReplicationStats replication_stats_;
   /// Relocation events recorded but not yet counted (see

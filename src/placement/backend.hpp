@@ -24,6 +24,11 @@
 //                      recent membership event, so a replicated store
 //                      can repair only the shards those ranges touch
 //                      instead of scanning everything;
+//   * serialization  - an OPTIONAL serialization_domain(index) hook
+//                      (see serialization_domain_of below): the unit
+//                      the scheme's update protocol serializes on.
+//                      Schemes without a native unit fall back to the
+//                      arc-lattice default;
 //   * quality        - quotas() and sigma(), the relative standard
 //                      deviation of per-node quotas (the metric of
 //                      figure 9, comparable across schemes);
@@ -127,5 +132,46 @@ concept PlacementBackend =
       // Scheme identity for tables, CSV columns and logs.
       { B::scheme_name() } -> std::convertible_to<std::string_view>;
     };
+
+/// Detection concept for the optional serialization-domain hook: the
+/// scheme's protocol serialization unit, i.e. which shared record a
+/// membership round touching hash `index` must lock. The paper's
+/// global approach has a single domain (the replicated GPDR), the
+/// local approach one per group (its LPDR); schemes with no shared
+/// record beyond the arc itself (the ring/grid family) do not define
+/// the hook and get the arc-lattice default below.
+template <typename B>
+concept HasSerializationDomain = requires(const B backend, HashIndex index) {
+  { backend.serialization_domain(index) } -> std::same_as<std::uint32_t>;
+};
+
+/// The default serialization domain for schemes without a native unit:
+/// a fixed lattice of 2^bits equal arcs of R_h keyed by the top bits
+/// of the index. Rounds touching different arcs overlap (per-arc
+/// handovers are pairwise node traffic, not record synchronization);
+/// rounds landing in one arc queue - a stable, conservative stand-in
+/// for per-arc ownership records.
+inline std::uint32_t arc_serialization_domain(HashIndex index,
+                                              std::uint32_t bits) {
+  COBALT_REQUIRE(bits >= 1 && bits <= 31,
+                 "the arc lattice needs between 1 and 31 bits");
+  return static_cast<std::uint32_t>(index >> (HashSpace::kBits - bits));
+}
+
+/// The serialization domain of `index` under `backend`: the scheme's
+/// own hook when it defines one, the `default_bits`-bit arc lattice
+/// otherwise. This is the dispatch surface the protocol DES
+/// (cluster::ProtocolDriver) maps event ranges through.
+template <PlacementBackend B>
+std::uint32_t serialization_domain_of(const B& backend, HashIndex index,
+                                      std::uint32_t default_bits = 8) {
+  if constexpr (HasSerializationDomain<B>) {
+    (void)default_bits;
+    return backend.serialization_domain(index);
+  } else {
+    (void)backend;
+    return arc_serialization_domain(index, default_bits);
+  }
+}
 
 }  // namespace cobalt::placement

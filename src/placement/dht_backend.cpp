@@ -180,6 +180,22 @@ std::string_view DhtBackend<dht::LocalDht>::scheme_name() {
   return "local";
 }
 
+template <>
+std::uint32_t DhtBackend<dht::GlobalDht>::serialization_domain(
+    HashIndex /*index*/) const {
+  // "Every snode is, necessarily, involved in the creation of every
+  // vnode": one replicated GPDR, one domain.
+  return 0;
+}
+
+template <>
+std::uint32_t DhtBackend<dht::LocalDht>::serialization_domain(
+    HashIndex index) const {
+  // Only the victim group's LPDR copies must synchronize: the domain
+  // is the group slot holding the partition that covers `index`.
+  return dht_.group_of(dht_.lookup(index).owner);
+}
+
 template <typename DhtT>
 dht::VNodeId DhtBackend<DhtT>::add_vnode(NodeId node) {
   COBALT_REQUIRE(is_live(node), "node is not live");

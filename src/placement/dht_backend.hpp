@@ -108,6 +108,16 @@ class DhtBackend final : private dht::MutationObserver {
 
   void set_observer(RelocationObserver* observer) { observer_ = observer; }
 
+  /// The scheme's protocol serialization unit for hash `index` (the
+  /// optional concept hook; see placement::serialization_domain_of).
+  /// The global approach synchronizes every creation on the one
+  /// replicated GPDR - a single domain - while the local approach
+  /// synchronizes only the victim group's LPDR: the domain is the
+  /// group slot of the partition holding `index` (slots are never
+  /// reused, so domain identity is stable across splits). Requires at
+  /// least one vnode (the tiling must cover `index`).
+  [[nodiscard]] std::uint32_t serialization_domain(HashIndex index) const;
+
   static std::string_view scheme_name();
 
   // --- backend-specific surface (not part of the concept) -----------

@@ -1,0 +1,177 @@
+// cobalt/sim/protocol_cost.hpp
+//
+// Protocol-instrumented scenario drivers: the store-level scenarios of
+// scenario.hpp with a cluster::ProtocolDriver attached, so every
+// outcome carries the DES protocol costs (messages, serialized-round
+// depth, makespan) next to the movement/replication accounting - three
+// views of the same event log by construction.
+//
+// The store executes membership changes synchronously (accounting is
+// sequential and exact); the DES then schedules the recorded rounds
+// under a chosen arrival policy. That split is what lets one recorded
+// run answer both "what does the protocol cost when every event waits
+// for repair to drain" (run_serialized) and "what happens when the
+// next failure lands while re-replication rounds are still queued"
+// (run with a small inter-event gap) - the failure-during-repair
+// scenario below.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/protocol_driver.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "placement/backend.hpp"
+
+namespace cobalt::sim {
+
+/// Outcome of a protocol-instrumented churn run (growth + preload +
+/// churn, all recorded).
+struct ProtocolChurnOutcome {
+  /// Removals that completed (each followed by a replacement join).
+  std::size_t completed_removals = 0;
+
+  /// Removals the scheme refused (only the local approach ever does).
+  std::size_t refused_removals = 0;
+
+  /// The driver's batch totals - bit-identical to the store's
+  /// relocation/replication channels (the lockstep ctest invariant).
+  cluster::ProtocolTotals totals;
+
+  /// All rounds injected at once (maximal cross-event queueing).
+  cluster::ScheduleOutcome schedule;
+
+  /// Every event drained before the next (the serial reference).
+  cluster::ScheduleOutcome serialized;
+};
+
+/// Store-level churn with protocol capture: grow `store` to
+/// `population` nodes, preload `keys`, then run `cycles` cycles of
+/// {remove one uniformly chosen live node, join a replacement},
+/// recording every membership event as DES rounds. Victim choice
+/// derives from `seed` alone (same victim positions across schemes).
+/// The store must be fresh (no nodes, no other event sink).
+template <typename StoreT>
+ProtocolChurnOutcome run_protocol_churn(
+    StoreT& store, std::size_t population, std::size_t cycles,
+    std::span<const std::string> keys, std::uint64_t seed,
+    typename cluster::ProtocolDriver<typename StoreT::BackendType>::Options
+        options = {}) {
+  COBALT_REQUIRE(population >= 2, "churn needs at least two nodes");
+  cluster::ProtocolDriver<typename StoreT::BackendType> driver(store,
+                                                               options);
+
+  for (std::size_t n = 0; n < population; ++n) store.add_node();
+  for (const std::string& key : keys) store.put(key, "v");
+
+  std::vector<placement::NodeId> live;
+  live.reserve(store.backend().node_count());
+  for (placement::NodeId node = 0;
+       node < store.backend().node_slot_count(); ++node) {
+    if (store.backend().is_live(node)) live.push_back(node);
+  }
+
+  Xoshiro256 churn_rng(derive_seed(seed, 0xC4u, 1));
+  ProtocolChurnOutcome out;
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    const auto pick =
+        static_cast<std::size_t>(churn_rng.next_below(live.size()));
+    if (store.remove_node(live[pick])) {
+      ++out.completed_removals;
+      live[pick] = store.add_node();
+    } else {
+      ++out.refused_removals;
+    }
+  }
+
+  out.schedule = driver.run();
+  out.serialized = driver.run_serialized();
+  out.totals = driver.totals();
+  return out;
+}
+
+/// Outcome of the failure-during-repair scenario (the ROADMAP item):
+/// a second rack crashes while the first crash's re-replication
+/// rounds are still queued on the DES.
+struct FailureDuringRepairOutcome {
+  /// Nodes each crash actually removed (refusals survive).
+  std::size_t failed_first = 0;
+  std::size_t failed_second = 0;
+  std::size_t refused = 0;
+
+  /// Data-loss and repair mass across both crashes (store accounting;
+  /// the store repairs each crash synchronously, so losses reflect
+  /// replica sets co-located within one rack, as in
+  /// run_correlated_failure).
+  std::uint64_t keys_lost = 0;
+  std::uint64_t keys_rereplicated = 0;
+
+  /// Crash-phase batch totals (the driver is cleared after preload).
+  cluster::ProtocolTotals totals;
+
+  /// The second crash admitted while the first's repair rounds are
+  /// still queued: rounds in disjoint serialization domains overlap.
+  cluster::ScheduleOutcome overlapped;
+
+  /// The quiescent reference: the first crash's repair drains fully
+  /// before the second crash's rounds are admitted. Same messages;
+  /// makespan is never shorter than the overlapped schedule.
+  cluster::ScheduleOutcome serialized;
+};
+
+/// Failure during repair: grow `store` to `population` nodes, preload
+/// `keys`, then crash two disjoint racks of `rack_size` nodes in
+/// sequence. Rack choice derives from `seed` alone. The protocol log
+/// covers only the crash phase; both crashes inject at time 0
+/// (overlapped) and serialized event-by-event (serialized reference).
+template <typename StoreT>
+FailureDuringRepairOutcome run_failure_during_repair(
+    StoreT& store, std::size_t population, std::size_t rack_size,
+    std::span<const std::string> keys, std::uint64_t seed,
+    typename cluster::ProtocolDriver<typename StoreT::BackendType>::Options
+        options = {}) {
+  COBALT_REQUIRE(population >= 3, "two crashes need survivors");
+  COBALT_REQUIRE(rack_size >= 1 && 2 * rack_size < population,
+                 "two disjoint racks must leave at least one survivor");
+  cluster::ProtocolDriver<typename StoreT::BackendType> driver(store,
+                                                               options);
+
+  for (std::size_t n = 0; n < population; ++n) store.add_node();
+  for (const std::string& key : keys) store.put(key, "v");
+  driver.clear();  // the protocol under study is the crash phase
+
+  // Two disjoint racks out of the live set.
+  std::vector<placement::NodeId> live;
+  for (placement::NodeId node = 0;
+       node < store.backend().node_slot_count(); ++node) {
+    if (store.backend().is_live(node)) live.push_back(node);
+  }
+  Xoshiro256 rack_rng(derive_seed(seed, 0xFBu, 0));
+  const std::vector<std::size_t> picks =
+      sample_without_replacement(live.size(), 2 * rack_size, rack_rng);
+  std::vector<placement::NodeId> first_rack;
+  std::vector<placement::NodeId> second_rack;
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    (i < rack_size ? first_rack : second_rack).push_back(live[picks[i]]);
+  }
+
+  const auto before = store.replication_stats();
+  FailureDuringRepairOutcome out;
+  out.failed_first = store.fail_nodes(first_rack);
+  out.failed_second = store.fail_nodes(second_rack);
+  out.refused = 2 * rack_size - out.failed_first - out.failed_second;
+  out.keys_lost = store.replication_stats().keys_lost - before.keys_lost;
+  out.keys_rereplicated =
+      store.replication_stats().keys_rereplicated - before.keys_rereplicated;
+  out.overlapped = driver.run();
+  out.serialized = driver.run_serialized();
+  out.totals = driver.totals();
+  return out;
+}
+
+}  // namespace cobalt::sim

@@ -134,5 +134,63 @@ TEST(ProtocolReplay, RejectsCorruptTraces) {
   EXPECT_THROW((void)replay_trace(trace, NetworkModel{}), InvalidArgument);
 }
 
+TEST(ProtocolReplay, ReportsTheSerializedRoundDepth) {
+  // 6 rounds in one domain, 2 in another: the longest chain is 6.
+  CreationTrace trace;
+  trace.snodes = 4;
+  trace.domains = 2;
+  for (int i = 0; i < 6; ++i) {
+    trace.creations.push_back(CreationRecord{0, 2, 1, {}});
+  }
+  for (int i = 0; i < 2; ++i) {
+    trace.creations.push_back(CreationRecord{1, 2, 1, {}});
+  }
+  const auto result = replay_trace(trace, NetworkModel{});
+  EXPECT_EQ(result.serialized_round_depth, 6u);
+}
+
+TEST(ScheduleRounds, EmptyLogIsZero) {
+  const ScheduleOutcome outcome = schedule_rounds({});
+  EXPECT_DOUBLE_EQ(outcome.makespan_us, 0.0);
+  EXPECT_EQ(outcome.rounds, 0u);
+  EXPECT_EQ(outcome.messages, 0u);
+  EXPECT_EQ(outcome.domains_used, 0u);
+}
+
+TEST(ScheduleRounds, ArrivalTimesGateAdmission) {
+  // A round arriving at t=1000 cannot start earlier even though its
+  // domain is free; an already-queued domain ignores a past arrival.
+  std::vector<Round> rounds;
+  rounds.push_back(Round{0, 0.0, 100.0, 1, {}});
+  rounds.push_back(Round{0, 1000.0, 100.0, 1, {}});
+  rounds.push_back(Round{1, 50.0, 25.0, 1, {}});
+  const ScheduleOutcome outcome = schedule_rounds(rounds);
+  EXPECT_DOUBLE_EQ(outcome.makespan_us, 1100.0);
+  EXPECT_EQ(outcome.rounds, 3u);
+  EXPECT_EQ(outcome.messages, 3u);
+  EXPECT_EQ(outcome.serialized_round_depth, 2u);
+  EXPECT_EQ(outcome.domains_used, 2u);
+}
+
+TEST(ScheduleRounds, SpawnedDomainsNeverRewindTheirClock) {
+  // A spawn completing at t=100 must not pull a busier spawned domain
+  // backward (max, not overwrite).
+  std::vector<Round> rounds;
+  rounds.push_back(Round{1, 0.0, 500.0, 1, {}});   // domain 1 busy to 500
+  rounds.push_back(Round{0, 0.0, 100.0, 1, {1}});  // spawns 1 at t=100
+  rounds.push_back(Round{1, 0.0, 10.0, 1, {}});    // queues behind 500
+  const ScheduleOutcome outcome = schedule_rounds(rounds);
+  EXPECT_DOUBLE_EQ(outcome.makespan_us, 510.0);
+}
+
+TEST(ScheduleRounds, RejectsNegativeTimes) {
+  std::vector<Round> rounds;
+  rounds.push_back(Round{0, -1.0, 10.0, 1, {}});
+  EXPECT_THROW((void)schedule_rounds(rounds), InvalidArgument);
+  rounds.clear();
+  rounds.push_back(Round{0, 0.0, -5.0, 1, {}});
+  EXPECT_THROW((void)schedule_rounds(rounds), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace cobalt::cluster
