@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "ch/ring.hpp"
 #include "common/dyadic.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "dht/global_dht.hpp"
 #include "dht/local_dht.hpp"
 #include "cluster/distributed.hpp"
@@ -244,14 +246,29 @@ BENCHMARK(BM_ChKvPut);
 //
 //   store_put/<scheme>       put throughput on a warm 16-node store
 //   store_get/<scheme>       point-lookup throughput over resident keys
-//   store_event_k1/<scheme>  membership events on a loaded k=1 store
+//   store_event_k1/<scheme>/threads:T
+//                            membership events on a loaded k=1 store
 //                            (each join pays relocation accounting plus
 //                            the k=1 repair of the relocated ranges -
 //                            the growth repair path of run_growth /
 //                            run_movement_growth)
-//   store_repair_k3/<scheme> membership events on a loaded k=3 store
+//   store_repair_k3/<scheme>/threads:T
+//                            membership events on a loaded k=3 store
 //                            (each event runs the fallback-replica
 //                            repair pass - the abl8 hot path)
+//   store_contended_mix/<scheme>/threads:T
+//                            a 7:1 get:put mix driven by T bench
+//                            threads against one shard-concurrent
+//                            store (the read-scaling surface)
+//
+// The threads axis: for the membership benches T is the size of the
+// cobalt::ThreadPool the store runs its shard-parallel repair and
+// relocation-flush passes on (T = 1 is the serial engine - no pool
+// attached, no locks taken - so that cell tracks the historical
+// single-threaded trajectory). For the contended mix T is the number
+// of google-benchmark driver threads hammering the store's locked
+// read/write paths. Cells are only comparable at equal T; see
+// scripts/check_bench_regression.py.
 
 constexpr std::size_t kStoreBenchKeys = 20000;
 
@@ -335,13 +352,18 @@ void BM_StoreGet(benchmark::State& state) {
 /// One iteration = 16 joins into a store preloaded with kStoreBenchKeys
 /// keys (preload untimed). At k = 1 every join pays the relocation
 /// accounting plus the ranged repair; at k = 3 it additionally pays the
-/// fallback-replica repair pass.
+/// fallback-replica repair pass. range(0) is the repair pool size
+/// (1 = the serial engine, no pool attached).
 template <typename StoreT, std::size_t kReplication>
 void BM_StoreMembershipEvents(benchmark::State& state) {
   constexpr int kJoins = 16;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::optional<cobalt::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
   for (auto _ : state) {
     state.PauseTiming();
     auto store = make_bench_store<StoreT>(44, kReplication);
+    if (pool) store.set_thread_pool(&*pool);
     for (std::size_t n = 0; n < 4; ++n) store.add_node();
     for (std::uint64_t i = 0; i < kStoreBenchKeys; ++i) {
       store.put(bench_key(i), "v");
@@ -354,6 +376,41 @@ void BM_StoreMembershipEvents(benchmark::State& state) {
                           kJoins);
 }
 
+/// A 7:1 get:put mix from T google-benchmark driver threads against
+/// one shared shard-concurrent store: gets hit the preloaded keys
+/// (structure + one stripe, both shared), puts cycle each thread's
+/// private bounded lane (stripe exclusive). The shared store is built
+/// once per instantiation (thread-safe local static) so every
+/// thread-count cell measures the same resident population.
+template <typename StoreT>
+void BM_StoreContendedMix(benchmark::State& state) {
+  struct Shared {
+    StoreT store;
+    cobalt::ThreadPool pool;
+    Shared() : store(make_bench_store<StoreT>(45, 3)), pool(2) {
+      for (int n = 0; n < 8; ++n) store.add_node();
+      for (std::uint64_t i = 0; i < kStoreBenchKeys; ++i) {
+        store.put(bench_key(i), "v");
+      }
+      store.set_thread_pool(&pool);
+    }
+  };
+  static Shared shared;
+  const int t = state.thread_index();
+  Xoshiro256 rng(static_cast<std::uint64_t>(100 + t));
+  const std::string lane = "lane" + std::to_string(t) + "/";
+  std::uint64_t w = 0;
+  for (auto _ : state) {
+    if ((++w & 7u) == 0) {
+      shared.store.put(lane + std::to_string(w & 1023u), "v");
+    } else {
+      benchmark::DoNotOptimize(
+          shared.store.get(bench_key(rng.next_below(kStoreBenchKeys))));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 template <typename StoreT>
 void register_store_benches(const char* scheme) {
   const std::string name(scheme);
@@ -362,9 +419,22 @@ void register_store_benches(const char* scheme) {
   benchmark::RegisterBenchmark(("store_get/" + name).c_str(),
                                BM_StoreGet<StoreT>);
   benchmark::RegisterBenchmark(("store_event_k1/" + name).c_str(),
-                               BM_StoreMembershipEvents<StoreT, 1>);
+                               BM_StoreMembershipEvents<StoreT, 1>)
+      ->ArgName("threads")
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4);
   benchmark::RegisterBenchmark(("store_repair_k3/" + name).c_str(),
-                               BM_StoreMembershipEvents<StoreT, 3>);
+                               BM_StoreMembershipEvents<StoreT, 3>)
+      ->ArgName("threads")
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4);
+  benchmark::RegisterBenchmark(("store_contended_mix/" + name).c_str(),
+                               BM_StoreContendedMix<StoreT>)
+      ->Threads(1)
+      ->Threads(2)
+      ->Threads(4);
 }
 
 void register_all_store_benches() {

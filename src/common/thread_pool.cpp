@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 
 #include "common/error.hpp"
 
@@ -62,40 +63,66 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Shared state of one parallel_for call. Helpers own it through a
+/// shared_ptr: a helper scheduled only after the caller has already
+/// returned (the pool was saturated and the caller drained every
+/// iteration itself) must still find the state alive - the iteration
+/// counter tells it there is nothing left and it exits immediately.
+struct ParallelForState {
+  explicit ParallelForState(std::size_t n,
+                            std::function<void(std::size_t)> fn)
+      : count(n), body(std::move(fn)) {}
+
+  const std::size_t count;
+  const std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;                  // guards completed + first_error
+  std::condition_variable all_done;
+  std::size_t completed = 0;
+  std::exception_ptr first_error;
+
+  /// Claims and runs iterations until the index space is exhausted.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      std::exception_ptr error;
+      try {
+        body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      bool last;
+      {
+        std::lock_guard lock(mutex);
+        if (error && !first_error) first_error = std::move(error);
+        last = ++completed == count;
+      }
+      if (last) all_done.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const std::size_t workers =
-      std::min(count, pool.thread_count() == 0 ? std::size_t{1}
-                                               : pool.thread_count());
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= count) break;
-        try {
-          body(i);
-        } catch (...) {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      }
-      {
-        std::lock_guard lock(done_mutex);
-        ++done;
-      }
-      done_cv.notify_all();
-    });
+  if (count == 0) return;
+  auto state = std::make_shared<ParallelForState>(count, body);
+  // Helpers beyond the iteration count (or beyond the pool) would only
+  // contend on the claim counter; the caller is always one lane.
+  const std::size_t helpers =
+      std::min(count > 1 ? count - 1 : 0, pool.thread_count());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state] { state->drain(); });
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == workers; });
-  if (first_error) std::rethrow_exception(first_error);
+  state->drain();
+  std::unique_lock lock(state->mutex);
+  state->all_done.wait(lock,
+                       [&] { return state->completed == state->count; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace cobalt

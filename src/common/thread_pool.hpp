@@ -1,9 +1,11 @@
 // cobalt/common/thread_pool.hpp
 //
 // A fixed-size worker pool with a parallel-for helper. The experiment
-// harness runs the paper's 100-run averages across hardware threads;
-// each run owns an independent RNG stream, so runs are embarrassingly
-// parallel and deterministic regardless of scheduling.
+// harness runs the paper's 100-run averages across hardware threads,
+// and the KV store runs its shard-parallel repair and relocation-flush
+// passes on the same pool; each unit of work owns independent state
+// (an RNG stream, a shard), so tasks are embarrassingly parallel and
+// deterministic regardless of scheduling.
 
 #pragma once
 
@@ -50,8 +52,15 @@ class ThreadPool {
 };
 
 /// Runs body(i) for i in [0, count) on `pool`, blocking until all
-/// iterations complete. Exceptions from iterations propagate (the first
-/// one captured is rethrown after the barrier).
+/// iterations complete. Exceptions from iterations propagate (the
+/// first one captured is rethrown after the barrier).
+///
+/// The calling thread participates in the iteration loop, so the call
+/// makes progress even when every pool worker is busy - in particular
+/// parallel_for may be called from inside a pool task (nested
+/// parallelism) without deadlocking: the helpers it submits are pure
+/// accelerators, never required for completion, and any helper that
+/// only gets scheduled after the loop has drained exits immediately.
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 

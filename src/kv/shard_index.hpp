@@ -31,11 +31,35 @@
 // index provides the structural primitives (size splits, merges, the
 // repair pass's wholesale adopt()) and keeps the tiling, ordering and
 // entry-count bookkeeping honest.
+//
+// Synchronization story (used only when the store runs in concurrent
+// mode - see kv/store.hpp "Threading model"; single-threaded callers
+// never touch a lock). Two levels:
+//   * structure_mutex() - a reader/writer lock over the *tiling*: the
+//     shards_ vector layout (shard count, boundaries, the bucket
+//     vectors' identities). Point readers and in-shard writers hold
+//     it shared; split/merge (put overflow, erase of a shard's last
+//     bucket, the repair pass's regrouping) hold it exclusive.
+//   * stripe locks - kLockStripes reader/writer locks tiling R_h by
+//     its top bits. A reader of one bucket holds the single stripe of
+//     its hash shared; a writer mutating anything inside shard i
+//     (bucket entries, replica overrides, entry counts) holds the
+//     shard's whole stripe span exclusive, ascending. Because a
+//     bucket's stripe always lies inside its shard's span, one
+//     in-shard writer excludes exactly the readers of that shard -
+//     which is what lets gets proceed against shards not under
+//     repair while pool workers repair other shards.
+// Lock order: structure before stripes, stripes ascending. The
+// cross-shard total_entries_ counter is atomic so disjoint in-shard
+// writers need no shared lock for it.
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -101,6 +125,15 @@ class ShardIndex {
   /// of fragmenting the tiling into per-cell shards.
   static constexpr std::size_t kMinArcBuckets = 16;
 
+  /// Stripe-lock table size (a power of two; 32 stripes keep sibling
+  /// cache lines apart while a full-span writer pays at most 32 lock
+  /// acquisitions even for a shard covering all of R_h). Capped well
+  /// below 64 on purpose: full-span holders also stack the store's
+  /// outer mutexes, and ThreadSanitizer's deadlock detector aborts at
+  /// 64 locks held by one thread.
+  static constexpr std::size_t kLockStripes = 32;
+  static constexpr unsigned kLockStripeBits = 5;  // log2(kLockStripes)
+
   /// An index starts as one empty shard covering all of R_h.
   ShardIndex() : shards_(1) {}
 
@@ -115,8 +148,11 @@ class ShardIndex {
                                   : HashSpace::kMaxIndex;
   }
 
-  /// Total resident entries across all shards.
-  [[nodiscard]] std::uint64_t total_entries() const { return total_entries_; }
+  /// Total resident entries across all shards (atomic: disjoint
+  /// in-shard writers update it without a shared lock).
+  [[nodiscard]] std::uint64_t total_entries() const {
+    return total_entries_.load(std::memory_order_relaxed);
+  }
 
   /// Index of the shard whose range contains `index` (always exists:
   /// the shards tile R_h).
@@ -152,8 +188,8 @@ class ShardIndex {
     shards_[shard_index].entry_count =
         static_cast<std::uint64_t>(static_cast<std::int64_t>(
             shards_[shard_index].entry_count) + delta);
-    total_entries_ = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(total_entries_) + delta);
+    total_entries_.fetch_add(static_cast<std::uint64_t>(delta),
+                             std::memory_order_relaxed);
   }
 
   /// Splits shard `i` at `boundary` (which must lie strictly inside
@@ -173,9 +209,108 @@ class ShardIndex {
   [[nodiscard]] std::uint64_t count_range(HashIndex first,
                                           HashIndex last) const;
 
+  // --- the synchronization surface (see the header comment) ---------
+
+  /// The stripe index of a hash (its top kLockStripeBits bits).
+  [[nodiscard]] static std::size_t stripe_of(HashIndex index) {
+    return static_cast<std::size_t>(index >>
+                                    (HashSpace::kBits - kLockStripeBits));
+  }
+
+  /// The tiling lock (see the header's synchronization story).
+  [[nodiscard]] std::shared_mutex& structure_mutex() const {
+    return structure_mutex_;
+  }
+
+  /// One stripe's reader/writer lock.
+  [[nodiscard]] std::shared_mutex& stripe_mutex(std::size_t stripe) const {
+    return stripes_[stripe];
+  }
+
+  /// RAII hold of every stripe in [first_stripe, last_stripe],
+  /// acquired ascending (the deadlock-free order shared by all span
+  /// holders), exclusively or shared. Movable so callers can return
+  /// it; default-constructed it holds nothing (the serial-mode no-op).
+  class StripeSpanLock {
+   public:
+    StripeSpanLock() = default;
+    StripeSpanLock(const ShardIndex& index, std::size_t first_stripe,
+                   std::size_t last_stripe, bool shared)
+        : index_(&index),
+          first_(first_stripe),
+          last_(last_stripe),
+          shared_(shared) {
+      for (std::size_t s = first_; s <= last_; ++s) {
+        if (shared_) {
+          index_->stripes_[s].lock_shared();
+        } else {
+          index_->stripes_[s].lock();
+        }
+      }
+    }
+    ~StripeSpanLock() { release(); }
+    StripeSpanLock(StripeSpanLock&& other) noexcept
+        : index_(other.index_),
+          first_(other.first_),
+          last_(other.last_),
+          shared_(other.shared_) {
+      other.index_ = nullptr;
+    }
+    StripeSpanLock& operator=(StripeSpanLock&& other) noexcept {
+      if (this != &other) {
+        release();
+        index_ = other.index_;
+        first_ = other.first_;
+        last_ = other.last_;
+        shared_ = other.shared_;
+        other.index_ = nullptr;
+      }
+      return *this;
+    }
+    StripeSpanLock(const StripeSpanLock&) = delete;
+    StripeSpanLock& operator=(const StripeSpanLock&) = delete;
+
+   private:
+    void release() {
+      if (index_ == nullptr) return;
+      for (std::size_t s = last_ + 1; s-- > first_;) {
+        if (shared_) {
+          index_->stripes_[s].unlock_shared();
+        } else {
+          index_->stripes_[s].unlock();
+        }
+      }
+      index_ = nullptr;
+    }
+
+    const ShardIndex* index_ = nullptr;
+    std::size_t first_ = 0;
+    std::size_t last_ = 0;
+    bool shared_ = false;
+  };
+
+  /// Hold of the stripes covering shard `i` - exclusive for in-shard
+  /// writers, shared for per-shard readers. Callers must hold
+  /// structure_mutex() at least shared so the span is stable.
+  [[nodiscard]] StripeSpanLock lock_shard_span(std::size_t i,
+                                               bool shared = false) const {
+    return StripeSpanLock(*this, stripe_of(shards_[i].first),
+                          stripe_of(shard_last(i)), shared);
+  }
+
+  /// Shared hold of every stripe: a consistent read of the whole
+  /// index (bulk accounting surfaces, relocation-flush counting).
+  [[nodiscard]] StripeSpanLock lock_all_stripes_shared() const {
+    return StripeSpanLock(*this, 0, kLockStripes - 1, /*shared=*/true);
+  }
+
  private:
   std::vector<Shard> shards_;
-  std::uint64_t total_entries_ = 0;
+  std::atomic<std::uint64_t> total_entries_{0};
+  /// See the synchronization story in the header comment. Mutable:
+  /// locking is not mutation, and read paths are const.
+  mutable std::shared_mutex structure_mutex_;
+  mutable std::array<std::shared_mutex, kLockStripes> stripes_;
 };
 
 }  // namespace cobalt::kv

@@ -73,19 +73,62 @@
 // the store then falls back from the per-shard fast paths of
 // keys_per_node()/for_each_on_node() to per-bucket owner derivation
 // until the next repair pass realigns the materialized sets.
+//
+// Threading model (opt-in). By default the store is the serial data
+// structure above: no locks, no atomics on any hot path. Attaching a
+// worker pool (set_thread_pool()) switches it into concurrent mode:
+//   * backend_mutex_ (a shared_mutex): membership events hold it
+//     exclusively end to end (mutation, dirty collection, repair,
+//     sink brackets); every call that reads the backend or flushes
+//     pending accounting holds it shared (put, erase, owner_of,
+//     read_node_of, the per-node accounting surfaces, stats
+//     snapshots). Point gets and scans never touch it.
+//   * ShardIndex locks: one structure lock over the shard tiling plus
+//     64 hash-striped content locks (see shard_index.hpp). Point
+//     reads take the structure lock shared and one stripe shared;
+//     in-shard writers take the shard's stripe span exclusively;
+//     structural changes (shard split/merge) take the structure lock
+//     exclusively. A get therefore proceeds concurrently against any
+//     shard not under repair or mutation.
+//   * accounting_mutex_ orders the stats channels between holders of
+//     the shared backend lock (concurrent puts, snapshot readers); a
+//     membership event needs no extra ordering - its exclusive
+//     backend hold already excludes every other accountant.
+// Lock order: backend -> accounting -> structure -> stripes
+// (ascending). The heavy passes fan out per shard on the attached
+// pool: the k > 1 planned-repair pass repairs its planned shards in
+// parallel (phase A: per-shard patches and desired-run computation
+// under stripe spans, accounting accumulated per worker task; then a
+// deterministic merge adds the per-range sums and emits repair
+// batches in plan order; phase B applies structural regroups serially
+// under the exclusive structure lock), the relocation flush counts
+// its event ranges in parallel and emits them serially in event
+// order, and a full-scan fallback is just the plan [0, kMaxIndex]
+// through the same machinery. Totals are therefore exact - not
+// approximately merged - under any interleaving, and a store driven
+// by one thread produces bit-identical results with and without a
+// pool. Detaching (set_thread_pool(nullptr)) restores the serial
+// mode; both switches require the store to be externally quiescent.
+// In concurrent mode membership must go through the store (direct
+// backend() mutation is unsupported there), and the serial const-ref
+// stats accessors should be read quiescently - use the *_snapshot()
+// surfaces from racing threads.
 
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "hashing/hash.hpp"
 #include "kv/shard_index.hpp"
 #include "kv/store_events.hpp"
@@ -140,6 +183,85 @@ struct ReplicationStats {
   std::uint64_t repair_shards_total = 0;
 };
 
+/// How read_node_of(key, policy) picks among the live materialized
+/// replicas of a key (always in materialized-rank order; rank 0 was
+/// the primary at the last repair).
+enum class ReadPolicy {
+  /// The lowest-ranked live replica - identical to the plain
+  /// read_node_of(): reads prefer the primary, falling over to
+  /// successors only when it is down.
+  kPrimary,
+  /// Rotate across the key's live replicas, one step per read (a
+  /// store-wide cursor, so interleaved keys still spread).
+  kRoundRobin,
+  /// The live replica that has served the fewest policy reads so far,
+  /// ties broken by replica rank - spreads load away from hot
+  /// primaries without a shared cursor.
+  kLeastLoaded,
+};
+
+namespace detail {
+
+/// shared_lock-if-engaged: the store's serial mode passes engage =
+/// false everywhere, keeping the single-threaded paths lock-free.
+class MaybeSharedLock {
+ public:
+  MaybeSharedLock(std::shared_mutex& mutex, bool engage) {
+    if (engage) {
+      mutex.lock_shared();
+      mutex_ = &mutex;
+    }
+  }
+  ~MaybeSharedLock() {
+    if (mutex_ != nullptr) mutex_->unlock_shared();
+  }
+  MaybeSharedLock(const MaybeSharedLock&) = delete;
+  MaybeSharedLock& operator=(const MaybeSharedLock&) = delete;
+
+ private:
+  std::shared_mutex* mutex_ = nullptr;
+};
+
+/// unique_lock-if-engaged over a shared_mutex (membership events).
+class MaybeUniqueLock {
+ public:
+  MaybeUniqueLock(std::shared_mutex& mutex, bool engage) {
+    if (engage) {
+      mutex.lock();
+      mutex_ = &mutex;
+    }
+  }
+  ~MaybeUniqueLock() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+  MaybeUniqueLock(const MaybeUniqueLock&) = delete;
+  MaybeUniqueLock& operator=(const MaybeUniqueLock&) = delete;
+
+ private:
+  std::shared_mutex* mutex_ = nullptr;
+};
+
+/// lock_guard-if-engaged over a plain mutex (accounting, policy state).
+class MaybeLockGuard {
+ public:
+  MaybeLockGuard(std::mutex& mutex, bool engage) {
+    if (engage) {
+      mutex.lock();
+      mutex_ = &mutex;
+    }
+  }
+  ~MaybeLockGuard() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+  MaybeLockGuard(const MaybeLockGuard&) = delete;
+  MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
+
+ private:
+  std::mutex* mutex_ = nullptr;
+};
+
+}  // namespace detail
+
 /// A KV store over any placement backend.
 template <placement::PlacementBackend Backend>
 class Store final : private placement::RelocationObserver {
@@ -176,12 +298,27 @@ class Store final : private placement::RelocationObserver {
   /// The configured replication factor k.
   [[nodiscard]] std::size_t replication() const { return replication_; }
 
+  /// Attaches a worker pool and switches the store into concurrent
+  /// mode (see the threading-model section of the header comment), or
+  /// detaches it (nullptr) and returns to the serial, lock-free mode.
+  /// Either switch requires external quiescence: no other thread may
+  /// be inside a store call. The pool must outlive the store or be
+  /// detached first; it may be shared with other stores.
+  void set_thread_pool(ThreadPool* pool) {
+    pool_ = pool;
+    concurrent_ = (pool != nullptr);
+  }
+
+  /// True while a pool is attached (the concurrent mode is engaged).
+  [[nodiscard]] bool concurrent() const { return concurrent_; }
+
   /// Cluster membership. Every completed change is followed by one
   /// re-replication pass that repairs the materialized replica sets
   /// (see replication_stats()). remove_node is a *graceful drain*: it
   /// returns false when the scheme refuses the removal (the node
   /// stays; see placement/backend.hpp), and never loses keys.
   placement::NodeId add_node(double capacity = 1.0) {
+    const detail::MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
     if (event_sink_ != nullptr) {
       // Batches still pending from direct backend() mutation belong to
       // an implicit event, not to this bracket: flush them to the sink
@@ -201,6 +338,7 @@ class Store final : private placement::RelocationObserver {
     return id;
   }
   bool remove_node(placement::NodeId node) {
+    const detail::MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
     if (event_sink_ != nullptr) {
       flush_relocations();  // stray batches are not this drain's (see add_node)
       event_sink_->on_membership_begin(MembershipEventKind::kDrain);
@@ -229,6 +367,7 @@ class Store final : private placement::RelocationObserver {
   /// cluster: the last live node always survives). Returns the number
   /// of removals that completed; the repair pass runs regardless.
   std::size_t fail_nodes(std::span<const placement::NodeId> nodes) {
+    const detail::MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
     if (event_sink_ != nullptr) {
       flush_relocations();  // stray batches are not this crash's (see add_node)
       event_sink_->on_membership_begin(MembershipEventKind::kCrash);
@@ -251,54 +390,61 @@ class Store final : private placement::RelocationObserver {
   /// fans out to every node of the key's replica set (replica_writes).
   /// Requires at least one node.
   bool put(const std::string& key, std::string value) {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     COBALT_REQUIRE(backend_.node_count() >= 1,
                    "the store needs at least one node before writes");
     flush_relocations();  // pending events count pre-mutation keys
     const HashIndex h = hash_key(key);
-    std::size_t i = index_.shard_of(h);
-    ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
-    if (bucket == nullptr) {
-      // A new hash materializes its replica set now, exactly like the
-      // seed's first-put materialization - but allocation-free in the
-      // common case: when the derived set matches the shard's cached
-      // one nothing is stored per bucket; otherwise the shard
-      // straddles an arc boundary a repair pass has not regrouped yet
-      // and the bucket keeps a per-bucket override (dissolved by the
-      // next repair of the range).
-      backend_.replica_set_into(h, replica_target(), scratch_);
-      if (index_.shard(i).replicas.empty()) {
-        index_.shard(i).replicas = scratch_;  // first write into the shard
-      }
-      replication_stats_.replica_writes += scratch_.size();
-      const ShardIndex::BucketSlot slot = index_.insert_bucket(i, h);
-      ShardIndex::Shard& s = index_.shard(slot.shard);
-      bucket = &s.buckets[slot.position];
-      bucket->entries.emplace_back(key, std::move(value));
-      if (s.replicas != scratch_) {
-        bucket->replicas = scratch_;
-        ++s.override_count;
-      }
-      index_.add_entries(slot.shard, +1);
-      return true;
+    if (!concurrent_) {
+      std::uint64_t writes = 0;
+      const bool inserted =
+          put_body(index_.shard_of(h), h, key, std::move(value), scratch_,
+                   writes);
+      replication_stats_.replica_writes += writes;
+      return inserted;
     }
-    replication_stats_.replica_writes +=
-        effective_replicas(index_.shard(i), *bucket).size();
-    for (ShardIndex::Entry& entry : bucket->entries) {
-      if (entry.first == key) {
-        entry.second = std::move(value);
-        return false;
+    static thread_local std::vector<placement::NodeId> scratch;
+    std::uint64_t writes = 0;
+    bool inserted = false;
+    bool done = false;
+    {
+      const std::shared_lock structure(index_.structure_mutex());
+      const std::size_t i = index_.shard_of(h);
+      const ShardIndex::StripeSpanLock span = index_.lock_shard_span(i);
+      // A brand-new bucket landing in a full shard makes insert_bucket
+      // split the shard - a structural change the shared tiling hold
+      // cannot cover; everything else stays inside this shard.
+      if (index_.find_bucket(i, h) != nullptr ||
+          index_.shard(i).buckets.size() < ShardIndex::kSplitBuckets) {
+        inserted = put_body(i, h, key, std::move(value), scratch, writes);
+        done = true;
       }
     }
-    bucket->entries.emplace_back(key, std::move(value));
-    index_.add_entries(i, +1);
-    return true;
+    if (!done) {
+      // Structural retry: the tiling may have changed between the two
+      // holds (another writer split first), so everything re-derives.
+      const std::unique_lock structure(index_.structure_mutex());
+      inserted =
+          put_body(index_.shard_of(h), h, key, std::move(value), scratch,
+                   writes);
+    }
+    {
+      const std::lock_guard acc(accounting_mutex_);
+      replication_stats_.replica_writes += writes;
+    }
+    return inserted;
   }
 
-  /// Point lookup.
+  /// Point lookup. In concurrent mode this locks one stripe shared:
+  /// reads proceed against every shard not under repair or mutation.
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const HashIndex h = hash_key(key);
-    const ShardIndex::Bucket* bucket =
-        index_.find_bucket(index_.shard_of(h), h);
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
+    const std::size_t i = index_.shard_of(h);
+    const detail::MaybeSharedLock stripe(
+        index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
+    const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr) return std::nullopt;
     for (const ShardIndex::Entry& entry : bucket->entries) {
       if (entry.first == key) return entry.second;
@@ -308,20 +454,34 @@ class Store final : private placement::RelocationObserver {
 
   /// Deletes; returns true when the key existed.
   bool erase(const std::string& key) {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     flush_relocations();  // pending events count pre-mutation keys
     const HashIndex h = hash_key(key);
-    const std::size_t i = index_.shard_of(h);
-    ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
-    if (bucket == nullptr) return false;
-    for (std::size_t e = 0; e < bucket->entries.size(); ++e) {
-      if (bucket->entries[e].first != key) continue;
-      bucket->entries[e] = std::move(bucket->entries.back());
-      bucket->entries.pop_back();
-      index_.add_entries(i, -1);
-      if (bucket->entries.empty()) index_.erase_bucket(i, h);
-      return true;
+    if (!concurrent_) return erase_body(index_.shard_of(h), h, key);
+    bool structural = false;
+    {
+      const std::shared_lock structure(index_.structure_mutex());
+      const std::size_t i = index_.shard_of(h);
+      const ShardIndex::StripeSpanLock span = index_.lock_shard_span(i);
+      ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+      if (bucket == nullptr) return false;
+      for (std::size_t e = 0; e < bucket->entries.size(); ++e) {
+        if (bucket->entries[e].first != key) continue;
+        // Removing the bucket's last entry erases the bucket, which
+        // can merge shards - structural; retry below.
+        if (bucket->entries.size() == 1) {
+          structural = true;
+          break;
+        }
+        bucket->entries[e] = std::move(bucket->entries.back());
+        bucket->entries.pop_back();
+        index_.add_entries(i, -1);
+        return true;
+      }
+      if (!structural) return false;
     }
-    return false;
+    const std::unique_lock structure(index_.structure_mutex());
+    return erase_body(index_.shard_of(h), h, key);
   }
 
   /// Total keys stored.
@@ -331,6 +491,7 @@ class Store final : private placement::RelocationObserver {
 
   /// The node currently responsible for `key` (replica rank 0).
   [[nodiscard]] placement::NodeId owner_of(const std::string& key) const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     COBALT_REQUIRE(backend_.node_count() >= 1, "the store has no nodes");
     return backend_.owner_of(hash_key(key));
   }
@@ -341,7 +502,11 @@ class Store final : private placement::RelocationObserver {
   [[nodiscard]] std::vector<placement::NodeId> replicas_of(
       const std::string& key) const {
     const HashIndex h = hash_key(key);
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
     const std::size_t i = index_.shard_of(h);
+    const detail::MaybeSharedLock stripe(
+        index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
     const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr || !bucket_holds(*bucket, key)) return {};
     return effective_replicas(index_.shard(i), *bucket);
@@ -353,8 +518,13 @@ class Store final : private placement::RelocationObserver {
   /// materialized replica is live (a data-loss window between a crash
   /// and its repair pass).
   [[nodiscard]] placement::NodeId read_node_of(const std::string& key) const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     const HashIndex h = hash_key(key);
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
     const std::size_t i = index_.shard_of(h);
+    const detail::MaybeSharedLock stripe(
+        index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
     const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr || !bucket_holds(*bucket, key)) {
       return placement::kInvalidNode;
@@ -366,6 +536,50 @@ class Store final : private placement::RelocationObserver {
     return placement::kInvalidNode;
   }
 
+  /// A node that can serve a read of `key` under a balancing `policy`
+  /// (see ReadPolicy): the candidates are the key's live materialized
+  /// replicas in rank order, exactly as the plain overload sees them.
+  /// The round-robin cursor and per-node served-read loads are
+  /// maintained only by this overload, so the plain read path stays
+  /// state-free.
+  [[nodiscard]] placement::NodeId read_node_of(const std::string& key,
+                                               ReadPolicy policy) const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const HashIndex h = hash_key(key);
+    static thread_local std::vector<placement::NodeId> live;
+    live.clear();
+    {
+      const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                              concurrent_);
+      const std::size_t i = index_.shard_of(h);
+      const detail::MaybeSharedLock stripe(
+          index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
+      const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+      if (bucket == nullptr || !bucket_holds(*bucket, key)) {
+        return placement::kInvalidNode;
+      }
+      for (const placement::NodeId node :
+           effective_replicas(index_.shard(i), *bucket)) {
+        if (backend_.is_live(node)) live.push_back(node);
+      }
+    }
+    if (live.empty()) return placement::kInvalidNode;
+    if (policy == ReadPolicy::kPrimary) return live.front();
+    const detail::MaybeLockGuard guard(read_policy_mutex_, concurrent_);
+    placement::NodeId chosen = live.front();
+    if (policy == ReadPolicy::kRoundRobin) {
+      chosen = live[static_cast<std::size_t>(read_rr_cursor_++) %
+                    live.size()];
+    } else {
+      for (const placement::NodeId node : live) {
+        if (read_load(node) < read_load(chosen)) chosen = node;
+      }
+    }
+    if (reads_served_.size() <= chosen) reads_served_.resize(chosen + 1, 0);
+    ++reads_served_[chosen];
+    return chosen;
+  }
+
   /// Keys currently resident per *primary* node (index = NodeId;
   /// departed nodes report 0). Replica copies are not counted; see
   /// replica_copies_per_node() for the serving footprint. While the
@@ -373,6 +587,10 @@ class Store final : private placement::RelocationObserver {
   /// mutated through backend() directly) this is one cached count per
   /// shard; the fallback re-derives the owner per bucket.
   [[nodiscard]] std::vector<std::size_t> keys_per_node() const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
+    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
     std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
     if (aligned_) {
       for (const ShardIndex::Shard& s : index_.shards()) {
@@ -403,6 +621,10 @@ class Store final : private placement::RelocationObserver {
   /// (shard, rank) - the materialized sets are per shard by
   /// construction.
   [[nodiscard]] std::vector<std::size_t> replica_copies_per_node() const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
+    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
     std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
     for (const ShardIndex::Shard& s : index_.shards()) {
       if (s.entry_count == 0) continue;
@@ -426,6 +648,9 @@ class Store final : private placement::RelocationObserver {
   void for_each(const std::function<void(const std::string& key,
                                          const std::string& value)>& visit)
       const {
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
+    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
     for (const ShardIndex::Shard& s : index_.shards()) {
       for (const ShardIndex::Bucket& bucket : s.buckets) {
         for (const ShardIndex::Entry& entry : bucket.entries) {
@@ -443,7 +668,11 @@ class Store final : private placement::RelocationObserver {
       placement::NodeId node,
       const std::function<void(const std::string& key,
                                const std::string& value)>& visit) const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     COBALT_REQUIRE(node < backend_.node_slot_count(), "unknown node id");
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
+    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
     for (const ShardIndex::Shard& s : index_.shards()) {
       if (s.buckets.empty()) continue;
       const bool uniform = aligned_ && s.override_count == 0;
@@ -462,17 +691,56 @@ class Store final : private placement::RelocationObserver {
     }
   }
 
+  /// Visits every resident (key, value) whose hash falls inside
+  /// [first, last], in ascending hash order (order within one bucket
+  /// is unspecified) - the range scan riding the sorted bucket
+  /// vectors. In concurrent mode each shard is read under its stripe
+  /// span held shared, so the scan never blocks point reads and is
+  /// consistent per shard (a concurrent writer may land between
+  /// shards; quiesce for a full snapshot).
+  void scan(HashIndex first, HashIndex last,
+            const std::function<void(const std::string& key,
+                                     const std::string& value)>& visit)
+      const {
+    if (first > last) return;
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
+    for (std::size_t i = index_.shard_of(first);
+         i < index_.shard_count() && index_.shard(i).first <= last; ++i) {
+      const ShardIndex::StripeSpanLock span =
+          concurrent_ ? index_.lock_shard_span(i, /*shared=*/true)
+                      : ShardIndex::StripeSpanLock();
+      const ShardIndex::Shard& s = index_.shard(i);
+      auto it = std::lower_bound(
+          s.buckets.begin(), s.buckets.end(), first,
+          [](const ShardIndex::Bucket& bucket, HashIndex value) {
+            return bucket.hash < value;
+          });
+      for (; it != s.buckets.end() && it->hash <= last; ++it) {
+        for (const ShardIndex::Entry& entry : it->entries) {
+          visit(entry.first, entry.second);
+        }
+      }
+    }
+  }
+
   /// Keys whose hash falls inside [first, last] (a placement probe;
   /// used by rebalancing tooling and tests).
   [[nodiscard]] std::size_t keys_in_range(HashIndex first,
                                           HashIndex last) const {
+    const detail::MaybeSharedLock structure(index_.structure_mutex(),
+                                            concurrent_);
+    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
     return static_cast<std::size_t>(index_.count_range(first, last));
   }
 
   /// Relocation channel: keys whose primary owner changed, fed by the
   /// backend's range-level relocation events. Same struct for every
-  /// backend.
+  /// backend. The returned reference is the live struct - in
+  /// concurrent mode read it quiescently, or take
+  /// relocation_stats_snapshot() from racing threads.
   [[nodiscard]] const placement::MigrationStats& relocation_stats() const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     flush_relocations();
     return relocation_stats_;
   }
@@ -483,8 +751,27 @@ class Store final : private placement::RelocationObserver {
   }
 
   /// Re-replication channel: repair copies and correlated-failure
-  /// losses (see the header comment for how the channels relate).
+  /// losses (see the header comment for how the channels relate). Live
+  /// reference; same concurrency caveat as relocation_stats().
   [[nodiscard]] const ReplicationStats& replication_stats() const {
+    return replication_stats_;
+  }
+
+  /// A coherent copy of the relocation channel, safe to take from any
+  /// thread in concurrent mode (flushes pending events first, like the
+  /// reference accessor).
+  [[nodiscard]] placement::MigrationStats relocation_stats_snapshot() const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    flush_relocations();
+    const detail::MaybeLockGuard acc(accounting_mutex_, concurrent_);
+    return relocation_stats_;
+  }
+
+  /// A coherent copy of the re-replication channel, safe to take from
+  /// any thread in concurrent mode.
+  [[nodiscard]] ReplicationStats replication_stats_snapshot() const {
+    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const detail::MaybeLockGuard acc(accounting_mutex_, concurrent_);
     return replication_stats_;
   }
 
@@ -493,17 +780,22 @@ class Store final : private placement::RelocationObserver {
   /// (see store_events.hpp). The sink must outlive the store or be
   /// cleared first. A sink attached after membership changes only sees
   /// the events from its attachment on; attach before the first node
-  /// for totals that match the stats channels bit for bit.
+  /// for totals that match the stats channels bit for bit. In
+  /// concurrent mode, attach while quiescent (like set_thread_pool);
+  /// batches are always emitted serially and in order.
   void set_event_sink(StoreEventSink* sink) { event_sink_ = sink; }
 
   /// The shard index (read-only structural introspection: shard
-  /// count, per-shard replica sets, split/merge behaviour).
+  /// count, per-shard replica sets, split/merge behaviour). Not
+  /// synchronized - introspect quiescently in concurrent mode.
   [[nodiscard]] const ShardIndex& shard_index() const { return index_; }
 
   /// The placement backend (scheme-specific surface: the DHT adapters
   /// expose the balancer and vnode-level elasticity, the CH adapter
   /// the ring). Changing membership through it bypasses the
-  /// re-replication bookkeeping - prefer the store's membership calls.
+  /// re-replication bookkeeping - prefer the store's membership calls
+  /// (and in concurrent mode direct mutation is unsupported: the
+  /// fallback accounting paths assume the serial mode).
   [[nodiscard]] Backend& backend() { return backend_; }
   [[nodiscard]] const Backend& backend() const { return backend_; }
 
@@ -530,6 +822,15 @@ class Store final : private placement::RelocationObserver {
     placement::NodeId from;
     placement::NodeId to;
     bool rebucket;
+  };
+
+  /// Per-worker repair accounting: the two per-range counters a repair
+  /// walk accumulates. Workers fill their own instance; the merge adds
+  /// them into ReplicationStats in plan order, so the totals are
+  /// identical to the serial pass under any scheduling.
+  struct RepairAcc {
+    std::uint64_t copies = 0;
+    std::uint64_t lost = 0;
   };
 
   [[nodiscard]] HashIndex hash_key(const std::string& key) const {
@@ -560,31 +861,146 @@ class Store final : private placement::RelocationObserver {
     return replication_ < live ? replication_ : live;
   }
 
+  /// Shared hold of every stripe in concurrent mode (the bulk read
+  /// surfaces), nothing in serial mode.
+  [[nodiscard]] ShardIndex::StripeSpanLock all_stripes_shared() const {
+    return concurrent_ ? index_.lock_all_stripes_shared()
+                       : ShardIndex::StripeSpanLock();
+  }
+
+  /// Served-read count of `node` under the balancing policies (zero
+  /// until the node's first policy read). Requires read_policy_mutex_
+  /// in concurrent mode.
+  [[nodiscard]] std::uint64_t read_load(placement::NodeId node) const {
+    return node < reads_served_.size() ? reads_served_[node] : 0;
+  }
+
+  /// The write path proper: everything after the hash, against shard
+  /// `i`. Requires adequate cover: nothing in serial mode; in
+  /// concurrent mode either the shard's stripe span with no split
+  /// possible, or the exclusive structure lock. `writes` receives the
+  /// replica fan-out (the caller adds it to the stats under its own
+  /// accounting rules).
+  bool put_body(std::size_t i, HashIndex h, const std::string& key,
+                std::string&& value, std::vector<placement::NodeId>& scratch,
+                std::uint64_t& writes) {
+    ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+    if (bucket == nullptr) {
+      // A new hash materializes its replica set now, exactly like the
+      // seed's first-put materialization - but allocation-free in the
+      // common case: when the derived set matches the shard's cached
+      // one nothing is stored per bucket; otherwise the shard
+      // straddles an arc boundary a repair pass has not regrouped yet
+      // and the bucket keeps a per-bucket override (dissolved by the
+      // next repair of the range).
+      backend_.replica_set_into(h, replica_target(), scratch);
+      if (index_.shard(i).replicas.empty()) {
+        index_.shard(i).replicas = scratch;  // first write into the shard
+      }
+      writes += scratch.size();
+      const ShardIndex::BucketSlot slot = index_.insert_bucket(i, h);
+      ShardIndex::Shard& s = index_.shard(slot.shard);
+      bucket = &s.buckets[slot.position];
+      bucket->entries.emplace_back(key, std::move(value));
+      if (s.replicas != scratch) {
+        bucket->replicas = scratch;
+        ++s.override_count;
+      }
+      index_.add_entries(slot.shard, +1);
+      return true;
+    }
+    writes += effective_replicas(index_.shard(i), *bucket).size();
+    for (ShardIndex::Entry& entry : bucket->entries) {
+      if (entry.first == key) {
+        entry.second = std::move(value);
+        return false;
+      }
+    }
+    bucket->entries.emplace_back(key, std::move(value));
+    index_.add_entries(i, +1);
+    return true;
+  }
+
+  /// The delete path proper. Requires nothing in serial mode, the
+  /// exclusive structure lock in concurrent mode (erasing a bucket can
+  /// merge shards).
+  bool erase_body(std::size_t i, HashIndex h, const std::string& key) {
+    ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
+    if (bucket == nullptr) return false;
+    for (std::size_t e = 0; e < bucket->entries.size(); ++e) {
+      if (bucket->entries[e].first != key) continue;
+      bucket->entries[e] = std::move(bucket->entries.back());
+      bucket->entries.pop_back();
+      index_.add_entries(i, -1);
+      if (bucket->entries.empty()) index_.erase_bucket(i, h);
+      return true;
+    }
+    return false;
+  }
+
   /// Counts the keys inside the pending relocation events, in event
   /// order. Runs before any mutation of the resident keys and before
   /// any stats read, so every event is counted against exactly the
   /// key population it found when it fired - the seed's per-event
-  /// count_range, batched.
+  /// count_range, batched. Concurrent mode counts the event ranges in
+  /// parallel on the pool (counting mutates nothing, and the shared
+  /// stripe hold keeps writers out), then applies and emits serially
+  /// in event order - same totals, same sink stream. Callers hold
+  /// backend_mutex_ in some mode.
   void flush_relocations() const {
-    for (const PendingEvent& event : pending_events_) {
-      const std::uint64_t keys = index_.count_range(event.first, event.last);
-      if (event.rebucket) {
-        relocation_stats_.keys_rebucketed += keys;
-      } else {
-        relocation_stats_.keys_moved_total += keys;
-        if (event.from != event.to) {
-          relocation_stats_.keys_moved_across_nodes += keys;
-        }
+    if (pending_events_.empty()) return;
+    if (!concurrent_) {
+      for (const PendingEvent& event : pending_events_) {
+        const std::uint64_t keys =
+            index_.count_range(event.first, event.last);
+        count_relocation(event, keys);
       }
-      // The sink sees exactly what the stats channel counted - same
-      // ranges, same pre-mutation key population - so a protocol model
-      // summing these batches reproduces MigrationStats bit for bit.
-      if (event_sink_ != nullptr) {
-        event_sink_->on_relocation_batch(event.first, event.last, event.from,
-                                         event.to, keys, event.rebucket);
+      pending_events_.clear();
+      return;
+    }
+    const std::lock_guard acc(accounting_mutex_);
+    if (pending_events_.empty()) return;
+    const std::size_t n = pending_events_.size();
+    std::vector<std::uint64_t> keys(n);
+    {
+      const std::shared_lock structure(index_.structure_mutex());
+      const ShardIndex::StripeSpanLock stripes =
+          index_.lock_all_stripes_shared();
+      if (n > 1) {
+        parallel_for(*pool_, n, [&](std::size_t e) {
+          keys[e] =
+              index_.count_range(pending_events_[e].first,
+                                 pending_events_[e].last);
+        });
+      } else {
+        keys[0] = index_.count_range(pending_events_[0].first,
+                                     pending_events_[0].last);
       }
     }
+    for (std::size_t e = 0; e < n; ++e) {
+      count_relocation(pending_events_[e], keys[e]);
+    }
     pending_events_.clear();
+  }
+
+  /// Applies one counted relocation event to the stats channel and the
+  /// sink (the shared tail of both flush modes).
+  void count_relocation(const PendingEvent& event, std::uint64_t keys) const {
+    if (event.rebucket) {
+      relocation_stats_.keys_rebucketed += keys;
+    } else {
+      relocation_stats_.keys_moved_total += keys;
+      if (event.from != event.to) {
+        relocation_stats_.keys_moved_across_nodes += keys;
+      }
+    }
+    // The sink sees exactly what the stats channel counted - same
+    // ranges, same pre-mutation key population - so a protocol model
+    // summing these batches reproduces MigrationStats bit for bit.
+    if (event_sink_ != nullptr) {
+      event_sink_->on_relocation_batch(event.first, event.last, event.from,
+                                       event.to, keys, event.rebucket);
+    }
   }
 
   /// Folds the backend's dirty report for the membership operation
@@ -608,7 +1024,9 @@ class Store final : private placement::RelocationObserver {
   /// the planned ranges and counts the copies a deployment would
   /// transfer to get from the materialized sets to the desired ones.
   /// With `crash` set, a bucket whose materialized set has no live
-  /// survivor is counted lost.
+  /// survivor is counted lost. A full-scan fallback is the plan
+  /// [0, kMaxIndex] through the same walk. Concurrent mode hands the
+  /// plan to the shard-parallel pass (see repair_plan_parallel).
   void rereplicate(bool crash) {
     flush_relocations();
     if (backend_.node_count() == 0) {
@@ -634,7 +1052,9 @@ class Store final : private placement::RelocationObserver {
     full_dirty_ = false;
     last_repair_target_ = target;
 
-    if (!full) {
+    if (full) {
+      plan.assign(1, {0, HashSpace::kMaxIndex});
+    } else {
       placement::coalesce_ranges(plan);
       if (plan.empty()) {
         // Nothing can have changed: the pass costs nothing - the
@@ -642,47 +1062,134 @@ class Store final : private placement::RelocationObserver {
         aligned_ = true;
         return;
       }
-      // Ranges are disjoint and ascending; a shard overlapping two
-      // ranges is visited once per range but only over each range's
-      // own span, so no bucket repairs twice.
+    }
+    // Ranges are disjoint and ascending; a shard overlapping two
+    // ranges is visited once per range but only over each range's
+    // own span, so no bucket repairs twice.
+    if (concurrent_) {
+      repair_plan_parallel(plan, target, crash);
+    } else {
       for (const placement::HashRange& range : plan) {
-        const std::uint64_t copies_before =
-            replication_stats_.keys_rereplicated;
-        const std::uint64_t lost_before = replication_stats_.keys_lost;
+        RepairAcc acc;
         std::size_t i = index_.shard_of(range.first);
         while (i < index_.shard_count() &&
                index_.shard(i).first <= range.last) {
           ++replication_stats_.repair_shards_visited;
-          i += repair_shard(i, range.first, range.last, target, crash);
+          i += repair_shard(i, range.first, range.last, target, crash, acc);
         }
-        emit_repair_batch(range.first, range.last, copies_before,
-                          lost_before, target);
+        replication_stats_.keys_rereplicated += acc.copies;
+        replication_stats_.keys_lost += acc.lost;
+        emit_repair_batch(range.first, range.last, acc.copies, acc.lost,
+                          target);
       }
-    } else {
-      const std::uint64_t copies_before =
-          replication_stats_.keys_rereplicated;
-      const std::uint64_t lost_before = replication_stats_.keys_lost;
-      for (std::size_t i = 0; i < index_.shard_count();) {
-        ++replication_stats_.repair_shards_visited;
-        i += repair_shard(i, 0, HashSpace::kMaxIndex, target, crash);
-      }
-      emit_repair_batch(0, HashSpace::kMaxIndex, copies_before, lost_before,
-                        target);
     }
     aligned_ = true;
   }
 
+  /// The shard-parallel repair pass (concurrent mode; the surrounding
+  /// membership call holds backend_mutex_ exclusively, so no writer
+  /// can race the plan). Phase A repairs every planned shard in
+  /// parallel on the pool - per-shard patches, empty-shard refreshes
+  /// and desired-run computation under the shard's stripe span, with
+  /// accounting accumulated on the worker's own task - while point
+  /// reads keep flowing through every other shard. The merge then adds
+  /// the per-range sums into ReplicationStats and emits the repair
+  /// batches in plan order (deterministic and equal to the serial
+  /// pass: integer sums over disjoint shards commute). Phase B applies
+  /// the structural regroups serially, ascending, under the exclusive
+  /// structure lock - splits are contained inside their own shard, so
+  /// a running index offset is the only cross-shard effect.
+  void repair_plan_parallel(const std::vector<placement::HashRange>& plan,
+                            std::size_t target, bool crash) {
+    struct SpanWork {
+      std::size_t range_id;
+      HashIndex lo;
+      HashIndex hi;
+      RepairAcc acc;
+    };
+    struct ShardWork {
+      std::size_t shard;
+      std::vector<SpanWork> spans;
+      std::vector<DesiredRun> runs;
+      bool regroup = false;
+    };
+    // Plan the walk up front against the pre-pass tiling: the serial
+    // pass visits exactly these (shard, range) pairs - its splits are
+    // always inside the range that caused them and are skipped by its
+    // own walk. A shard straddling two plan ranges appears once, with
+    // both spans, processed in range order.
+    std::vector<ShardWork> work;
+    for (std::size_t r = 0; r < plan.size(); ++r) {
+      for (std::size_t i = index_.shard_of(plan[r].first);
+           i < index_.shard_count() && index_.shard(i).first <= plan[r].last;
+           ++i) {
+        if (work.empty() || work.back().shard != i) {
+          work.push_back({i, {}, {}, false});
+        }
+        work.back().spans.push_back({r, plan[r].first, plan[r].last, {}});
+        ++replication_stats_.repair_shards_visited;
+      }
+    }
+    parallel_for(*pool_, work.size(), [&](std::size_t t) {
+      ShardWork& task = work[t];
+      static thread_local std::vector<placement::NodeId> scratch;
+      const std::shared_lock structure(index_.structure_mutex());
+      const ShardIndex::StripeSpanLock span =
+          index_.lock_shard_span(task.shard);
+      ShardIndex::Shard& s = index_.shard(task.shard);
+      for (SpanWork& sp : task.spans) {
+        if (s.buckets.empty()) {
+          // Nothing to account; refresh the cached set so future puts
+          // in this range usually match it.
+          backend_.replica_set_into(s.first, target, scratch);
+          if (s.replicas != scratch) s.replicas = scratch;
+          continue;
+        }
+        if (sp.lo > s.first || sp.hi < index_.shard_last(task.shard)) {
+          patch_shard(s, sp.lo, sp.hi, target, crash, scratch, sp.acc);
+          continue;
+        }
+        // Full coverage: compute the desired runs now (read-only);
+        // the structural application waits for phase B. A fully
+        // covered shard lies inside its range, so this is always the
+        // task's only span.
+        compute_runs(s, target, crash, scratch, task.runs, sp.acc);
+        task.regroup = true;
+      }
+    });
+    // Deterministic merge: per-range integer sums in task order, then
+    // stats and sink emission in plan order - the same values, in the
+    // same order, as the serial pass.
+    std::vector<RepairAcc> per_range(plan.size());
+    for (const ShardWork& task : work) {
+      for (const SpanWork& sp : task.spans) {
+        per_range[sp.range_id].copies += sp.acc.copies;
+        per_range[sp.range_id].lost += sp.acc.lost;
+      }
+    }
+    for (std::size_t r = 0; r < plan.size(); ++r) {
+      replication_stats_.keys_rereplicated += per_range[r].copies;
+      replication_stats_.keys_lost += per_range[r].lost;
+      emit_repair_batch(plan[r].first, plan[r].last, per_range[r].copies,
+                        per_range[r].lost, target);
+    }
+    {
+      const std::unique_lock structure(index_.structure_mutex());
+      std::size_t offset = 0;
+      for (ShardWork& task : work) {
+        if (!task.regroup) continue;
+        offset += apply_runs(task.shard + offset, task.runs) - 1;
+      }
+    }
+  }
+
   /// Reports one repaired plan range to the event sink: the copies and
-  /// losses its shard walk just added to ReplicationStats (deltas
-  /// against the pre-walk snapshots). Ranges that repaired nothing are
-  /// silent, so a no-op event produces no protocol round.
+  /// losses its shard walk just accumulated. Ranges that repaired
+  /// nothing are silent, so a no-op event produces no protocol round.
   void emit_repair_batch(HashIndex first, HashIndex last,
-                         std::uint64_t copies_before,
-                         std::uint64_t lost_before, std::size_t target) {
+                         std::uint64_t copies, std::uint64_t lost,
+                         std::size_t target) {
     if (event_sink_ == nullptr) return;
-    const std::uint64_t copies =
-        replication_stats_.keys_rereplicated - copies_before;
-    const std::uint64_t lost = replication_stats_.keys_lost - lost_before;
     if (copies == 0 && lost == 0) return;
     event_sink_->on_repair_batch(first, last, copies, lost, target);
   }
@@ -697,145 +1204,140 @@ class Store final : private placement::RelocationObserver {
   };
 
   /// Per-bucket repair accounting (identical to the seed's
-  /// repair_bucket): counts lost keys at a crash and the repair
-  /// copies from the materialized set to `scratch_` (the desired one).
+  /// repair_bucket): counts lost keys at a crash and the repair copies
+  /// from the materialized set to `desired` into the caller's
+  /// accumulator.
   void account_repair(const ShardIndex::Bucket& bucket,
                       const std::vector<placement::NodeId>& materialized,
-                      bool crash) {
+                      const std::vector<placement::NodeId>& desired,
+                      bool crash, RepairAcc& acc) const {
     if (crash) {
       const bool survived = std::any_of(
           materialized.begin(), materialized.end(),
           [&](placement::NodeId node) { return backend_.is_live(node); });
       if (!survived) {
-        replication_stats_.keys_lost += bucket.entries.size();
+        acc.lost += bucket.entries.size();
       }
     }
     std::uint64_t joiners = 0;
-    for (const placement::NodeId node : scratch_) {
+    for (const placement::NodeId node : desired) {
       if (std::find(materialized.begin(), materialized.end(), node) ==
           materialized.end()) {
         ++joiners;
       }
     }
-    replication_stats_.keys_rereplicated += joiners * bucket.entries.size();
+    acc.copies += joiners * bucket.entries.size();
   }
 
-  /// Repairs one shard against plan range [lo, hi], in place.
-  ///
-  /// A shard only partially covered by the range is *patched*: only
-  /// the buckets inside [lo, hi] are visited (exactly the seed's
-  /// ranged k = 1 walk), with changed sets parked on per-bucket
-  /// overrides - no structural change. A fully covered shard is
-  /// *regrouped* by its desired-set run structure:
+  /// Partial-coverage repair: patches only the buckets of `s` inside
+  /// [lo, hi] (exactly the seed's ranged k = 1 walk), parking changed
+  /// sets on per-bucket overrides - no structural change. Requires the
+  /// shard's stripe span exclusively in concurrent mode.
+  void patch_shard(ShardIndex::Shard& s, HashIndex lo, HashIndex hi,
+                   std::size_t target, bool crash,
+                   std::vector<placement::NodeId>& scratch, RepairAcc& acc) {
+    auto it = std::lower_bound(
+        s.buckets.begin(), s.buckets.end(), lo,
+        [](const ShardIndex::Bucket& bucket, HashIndex value) {
+          return bucket.hash < value;
+        });
+    for (; it != s.buckets.end() && it->hash <= hi; ++it) {
+      const std::vector<placement::NodeId>& materialized =
+          effective_replicas(s, *it);
+      backend_.replica_set_into(it->hash, target, scratch);
+      if (scratch == materialized) continue;
+      account_repair(*it, materialized, scratch, crash, acc);
+      if (scratch == s.replicas) {
+        if (!it->replicas.empty()) {
+          it->replicas.clear();
+          --s.override_count;
+        }
+      } else {
+        if (it->replicas.empty()) ++s.override_count;
+        it->replicas = scratch;
+      }
+    }
+  }
+
+  /// Full-coverage repair, computation half: accounts every bucket of
+  /// `s` and appends its desired-run structure to `runs` (read-only on
+  /// the shard; apply_runs() is the mutation half).
+  void compute_runs(const ShardIndex::Shard& s, std::size_t target,
+                    bool crash, std::vector<placement::NodeId>& scratch,
+                    std::vector<DesiredRun>& runs, RepairAcc& acc) const {
+    for (const ShardIndex::Bucket& bucket : s.buckets) {
+      const std::vector<placement::NodeId>& materialized =
+          effective_replicas(s, bucket);
+      backend_.replica_set_into(bucket.hash, target, scratch);
+      if (scratch != materialized) {
+        account_repair(bucket, materialized, scratch, crash, acc);
+      }
+      if (runs.empty() || scratch != runs.back().replicas) {
+        runs.push_back({bucket.hash, 0, 0, scratch});
+      }
+      runs.back().buckets += 1;
+      runs.back().entries += bucket.entries.size();
+    }
+  }
+
+  /// Full-coverage repair, application half: regroups shard `i` by its
+  /// desired-set `runs`:
   ///   * one run: the shard is one arc; adopt the set, drop overrides;
   ///   * a few wide runs: split at the arc boundaries, one uniform
   ///     shard per run (the per-shard replica design at work);
   ///   * many narrow runs (cell-grained schemes): keep the shard, park
   ///     the minority sets on per-bucket overrides - fragmenting the
   ///     tiling per cell would cost more than it saves.
-  /// Returns the number of shards the original was replaced by.
-  std::size_t repair_shard(std::size_t i, HashIndex lo, HashIndex hi,
-                           std::size_t target, bool crash) {
-    runs_scratch_.clear();
-    {
-      ShardIndex::Shard& s = index_.shard(i);
-      if (s.buckets.empty()) {
-        // Nothing to account; refresh the cached set so future puts
-        // in this range usually match it (pure optimization - the
-        // write path verifies anyway).
-        backend_.replica_set_into(s.first, target, scratch_);
-        if (s.replicas != scratch_) s.replicas = scratch_;
-        return 1;
-      }
-      if (lo > s.first || hi < index_.shard_last(i)) {
-        // Partial coverage: patch the covered buckets only.
-        auto it = std::lower_bound(
-            s.buckets.begin(), s.buckets.end(), lo,
-            [](const ShardIndex::Bucket& bucket, HashIndex value) {
-              return bucket.hash < value;
-            });
-        for (; it != s.buckets.end() && it->hash <= hi; ++it) {
-          const std::vector<placement::NodeId>& materialized =
-              effective_replicas(s, *it);
-          backend_.replica_set_into(it->hash, target, scratch_);
-          if (scratch_ == materialized) continue;
-          account_repair(*it, materialized, crash);
-          if (scratch_ == s.replicas) {
-            if (!it->replicas.empty()) {
-              it->replicas.clear();
-              --s.override_count;
-            }
-          } else {
-            if (it->replicas.empty()) ++s.override_count;
-            it->replicas = scratch_;
-          }
-        }
-        return 1;
-      }
-      for (const ShardIndex::Bucket& bucket : s.buckets) {
-        const std::vector<placement::NodeId>& materialized =
-            effective_replicas(s, bucket);
-        backend_.replica_set_into(bucket.hash, target, scratch_);
-        if (scratch_ != materialized) {
-          account_repair(bucket, materialized, crash);
-        }
-        if (runs_scratch_.empty() ||
-            scratch_ != runs_scratch_.back().replicas) {
-          runs_scratch_.push_back({bucket.hash, 0, 0, scratch_});
-        }
-        runs_scratch_.back().buckets += 1;
-        runs_scratch_.back().entries += bucket.entries.size();
-      }
-    }
-
-    // Application. Structural splits only when every piece is worth a
-    // shard (kMinArcBuckets average), bounding both the fragmentation
-    // and the splice cost.
+  /// Structural splits only when every piece is worth a shard
+  /// (kMinArcBuckets average), bounding both the fragmentation and the
+  /// splice cost. Consumes `runs` (moves the replica vectors out).
+  /// Requires the exclusive structure lock in concurrent mode. Returns
+  /// the number of shards the original was replaced by.
+  std::size_t apply_runs(std::size_t i, std::vector<DesiredRun>& runs) {
     ShardIndex::Shard& s = index_.shard(i);
-    if (runs_scratch_.size() == 1) {
+    if (runs.size() == 1) {
       if (s.override_count != 0) {
         for (ShardIndex::Bucket& bucket : s.buckets) bucket.replicas.clear();
         s.override_count = 0;
       }
-      if (s.replicas != runs_scratch_.front().replicas) {
-        s.replicas = std::move(runs_scratch_.front().replicas);
+      if (s.replicas != runs.front().replicas) {
+        s.replicas = std::move(runs.front().replicas);
       }
       return 1;
     }
-    if (s.buckets.size() >=
-        runs_scratch_.size() * ShardIndex::kMinArcBuckets) {
+    if (s.buckets.size() >= runs.size() * ShardIndex::kMinArcBuckets) {
       // Split at each arc boundary, last first so earlier bucket
       // positions stay valid; every piece comes out uniform.
-      for (std::size_t r = runs_scratch_.size(); r-- > 1;) {
-        index_.split_shard(i, runs_scratch_[r].first_hash);
+      for (std::size_t r = runs.size(); r-- > 1;) {
+        index_.split_shard(i, runs[r].first_hash);
       }
-      for (std::size_t r = 0; r < runs_scratch_.size(); ++r) {
+      for (std::size_t r = 0; r < runs.size(); ++r) {
         ShardIndex::Shard& piece = index_.shard(i + r);
         for (ShardIndex::Bucket& bucket : piece.buckets) {
           bucket.replicas.clear();
         }
         piece.override_count = 0;
-        piece.replicas = std::move(runs_scratch_[r].replicas);
+        piece.replicas = std::move(runs[r].replicas);
       }
-      return runs_scratch_.size();
+      return runs.size();
     }
     // Narrow arcs: the widest run becomes the shard's set, the rest
     // ride on overrides (exactly the seed's per-bucket footprint).
     {
       std::size_t widest = 0;
-      for (std::size_t r = 1; r < runs_scratch_.size(); ++r) {
-        if (runs_scratch_[r].entries > runs_scratch_[widest].entries) {
+      for (std::size_t r = 1; r < runs.size(); ++r) {
+        if (runs[r].entries > runs[widest].entries) {
           widest = r;
         }
       }
-      s.replicas = std::move(runs_scratch_[widest].replicas);
+      s.replicas = std::move(runs[widest].replicas);
       s.override_count = 0;
       std::size_t run = 0;
-      std::size_t run_left = runs_scratch_[0].buckets;
+      std::size_t run_left = runs[0].buckets;
       for (ShardIndex::Bucket& bucket : s.buckets) {
         while (run_left == 0) {
           ++run;
-          run_left = runs_scratch_[run].buckets;
+          run_left = runs[run].buckets;
         }
         --run_left;
         // The widest run's set was moved into s.replicas; a
@@ -843,10 +1345,10 @@ class Store final : private placement::RelocationObserver {
         // override equal to the shard set would only disable the
         // uniform fast paths - compare against the shard set, not the
         // run index.
-        if (run == widest || runs_scratch_[run].replicas == s.replicas) {
+        if (run == widest || runs[run].replicas == s.replicas) {
           bucket.replicas.clear();
         } else {
-          bucket.replicas = runs_scratch_[run].replicas;
+          bucket.replicas = runs[run].replicas;
           ++s.override_count;
         }
       }
@@ -854,11 +1356,37 @@ class Store final : private placement::RelocationObserver {
     return 1;
   }
 
+  /// Repairs one shard against plan range [lo, hi], in place (the
+  /// serial walk: a partially covered shard is patched, a fully
+  /// covered one regrouped - see patch_shard / compute_runs /
+  /// apply_runs). Returns the number of shards the original was
+  /// replaced by.
+  std::size_t repair_shard(std::size_t i, HashIndex lo, HashIndex hi,
+                           std::size_t target, bool crash, RepairAcc& acc) {
+    ShardIndex::Shard& s = index_.shard(i);
+    if (s.buckets.empty()) {
+      // Nothing to account; refresh the cached set so future puts
+      // in this range usually match it (pure optimization - the
+      // write path verifies anyway).
+      backend_.replica_set_into(s.first, target, scratch_);
+      if (s.replicas != scratch_) s.replicas = scratch_;
+      return 1;
+    }
+    if (lo > s.first || hi < index_.shard_last(i)) {
+      patch_shard(s, lo, hi, target, crash, scratch_, acc);
+      return 1;
+    }
+    runs_scratch_.clear();
+    compute_runs(s, target, crash, scratch_, runs_scratch_, acc);
+    return apply_runs(i, runs_scratch_);
+  }
+
   // RelocationObserver: buckets are keyed by hash, so relocations are
   // pure accounting - routing already derives the new owner. The
   // callbacks only record; counting is deferred to flush_relocations()
   // (one batched pass per membership event instead of a range walk per
-  // callback).
+  // callback). In concurrent mode the callbacks only ever fire on the
+  // membership thread, under its exclusive backend hold.
   void on_relocate(HashIndex first, HashIndex last, placement::NodeId from,
                    placement::NodeId to) override {
     pending_events_.push_back({first, last, from, to, /*rebucket=*/false});
@@ -914,13 +1442,35 @@ class Store final : private placement::RelocationObserver {
   std::size_t last_repair_target_ = 0;
   /// True while every resident bucket's materialized rank 0 equals
   /// backend().owner_of (maintained by the repair passes; cleared by
-  /// ownership-changing events until the next pass).
+  /// ownership-changing events until the next pass). Written only
+  /// under the exclusive backend hold in concurrent mode; every reader
+  /// holds it shared.
   bool aligned_ = true;
-  /// Reusable replica_set_into buffer (no allocation per bucket on
-  /// the repair path).
+  /// Reusable replica_set_into buffer of the serial paths (no
+  /// allocation per bucket; the concurrent paths use thread-locals).
   std::vector<placement::NodeId> scratch_;
-  /// Reusable desired-run buffer of repair_shard.
+  /// Reusable desired-run buffer of the serial repair walk.
   std::vector<DesiredRun> runs_scratch_;
+  /// Worker pool of the concurrent mode (nullptr = serial mode; see
+  /// set_thread_pool()).
+  ThreadPool* pool_ = nullptr;
+  /// True while a pool is attached: every public call engages the
+  /// threading-model locks. Serial mode skips them entirely - the
+  /// single-threaded paths stay the seed's, bit for bit.
+  bool concurrent_ = false;
+  /// Membership/read lock of the concurrent mode: membership events
+  /// hold it exclusively end to end; backend readers and accounting
+  /// flushers hold it shared. Point gets never touch it.
+  mutable std::shared_mutex backend_mutex_;
+  /// Orders the stats channels between holders of the shared backend
+  /// lock (concurrent puts, snapshot readers); a membership event's
+  /// exclusive backend hold already excludes every other accountant.
+  mutable std::mutex accounting_mutex_;
+  /// read_node_of(key, policy) state: the round-robin cursor and the
+  /// per-node served-read loads (grown lazily).
+  mutable std::mutex read_policy_mutex_;
+  mutable std::uint64_t read_rr_cursor_ = 0;
+  mutable std::vector<std::uint64_t> reads_served_;
 };
 
 /// The store over the paper's local approach (the default deployment).

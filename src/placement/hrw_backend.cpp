@@ -87,7 +87,10 @@ void HrwBackend::replica_set_into(HashIndex index, std::size_t k,
   COBALT_REQUIRE(k >= 1, "a replica set needs at least one member");
   COBALT_REQUIRE(live_nodes_ >= 1, "the backend has no nodes");
   const std::size_t cell = grid_.cell_of(index);
-  auto& ranked = rank_scratch_;
+  // Thread-local, not a member: the store's repair pass calls this
+  // concurrently from pool workers, and each worker keeps its own
+  // allocation-free ranking buffer.
+  static thread_local std::vector<std::pair<double, NodeId>> ranked;
   ranked.clear();
   ranked.reserve(live_nodes_);
   for (NodeId node = 0; node < node_live_.size(); ++node) {

@@ -70,7 +70,9 @@ class HrwBackend final {
                                                 std::size_t k) const;
 
   /// Allocation-free replica_set (the concept's bulk-repair variant);
-  /// the score ranking reuses a member scratch buffer.
+  /// the score ranking reuses a thread-local scratch buffer, so
+  /// concurrent const calls (the store's shard-parallel repair) are
+  /// safe.
   void replica_set_into(HashIndex index, std::size_t k,
                         std::vector<NodeId>& out) const;
 
@@ -124,9 +126,6 @@ class HrwBackend final {
   std::size_t live_nodes_ = 0;
   Xoshiro256 rng_;
   RelocationObserver* observer_ = nullptr;
-  /// Scratch of replica_set_into's score ranking (no per-call
-  /// allocation on the repair path).
-  mutable std::vector<std::pair<double, NodeId>> rank_scratch_;
 };
 
 }  // namespace cobalt::placement

@@ -99,5 +99,74 @@ TEST(ParallelFor, MoreIterationsThanThreads) {
   EXPECT_EQ(sum.load(), 10000ull * 9999ull / 2ull);
 }
 
+TEST(ParallelFor, ExceptionAfterBarrierLeavesOtherIterationsComplete) {
+  // The rethrow happens only after every iteration has finished: the
+  // non-throwing iterations must all have run (the barrier is not cut
+  // short by the failure).
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 300;
+  std::vector<std::atomic<int>> hits(kCount);
+  EXPECT_THROW(parallel_for(pool, kCount,
+                            [&](std::size_t i) {
+                              hits[i].fetch_add(1);
+                              if (i % 97 == 0) throw InvalidArgument("boom");
+                            }),
+               InvalidArgument);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NestedCallFromAWorkerDoesNotDeadlock) {
+  // A pool task that itself calls parallel_for on the same pool: with
+  // every worker occupied by outer iterations, the inner calls can
+  // only progress because the calling thread participates in its own
+  // iteration loop. The seed implementation waited for its submitted
+  // helpers and deadlocked here.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  parallel_for(pool, 4, [&](std::size_t) {
+    parallel_for(pool, 50,
+                 [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 50);
+}
+
+TEST(ParallelFor, NestedCallPropagatesInnerExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_failures{0};
+  parallel_for(pool, 3, [&](std::size_t) {
+    try {
+      parallel_for(pool, 20, [&](std::size_t i) {
+        if (i == 7) throw InvalidArgument("inner");
+      });
+    } catch (const InvalidArgument&) {
+      outer_failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(outer_failures.load(), 3);
+}
+
+TEST(ThreadPool, WaitIdleRacingSubmitSeesAConsistentQueue) {
+  // wait_idle must never hang or miss a wakeup while another thread is
+  // still submitting: after the submitter joins, one final wait_idle
+  // observes a fully drained pool and every task has run exactly once.
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 400;
+  std::thread submitter([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&] { executed.fetch_add(1); });
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  });
+  // Racing waits: each returns whenever the queue happens to be empty;
+  // none may deadlock against the concurrent submits.
+  for (int round = 0; round < 50; ++round) pool.wait_idle();
+  submitter.join();
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
 }  // namespace
 }  // namespace cobalt

@@ -324,5 +324,89 @@ TYPED_TEST(ReplicatedStoreSuite,
   expect_fully_replicated(store, keys);  // replicas_of == {owner_of}
 }
 
+// --- read balancing (ReadPolicy) ------------------------------------
+
+TYPED_TEST(ReplicatedStoreSuite, PrimaryPolicyMatchesThePlainReadPath) {
+  auto store = make_store<TypeParam>(913, 3);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  for (int i = 0; i < 200; ++i) store.put("p" + std::to_string(i), "v");
+  for (int i = 0; i < 200; i += 7) {
+    const std::string key = "p" + std::to_string(i);
+    EXPECT_EQ(store.read_node_of(key, ReadPolicy::kPrimary),
+              store.read_node_of(key))
+        << key;
+  }
+  // A key the store does not hold reads as invalid under every policy.
+  for (const ReadPolicy policy :
+       {ReadPolicy::kPrimary, ReadPolicy::kRoundRobin,
+        ReadPolicy::kLeastLoaded}) {
+    EXPECT_EQ(store.read_node_of("missing", policy),
+              placement::kInvalidNode);
+  }
+}
+
+TYPED_TEST(ReplicatedStoreSuite, RoundRobinCyclesThroughTheReplicaSet) {
+  auto store = make_store<TypeParam>(914, 3);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  store.put("hot", "v");
+  const std::vector<placement::NodeId> replicas = store.replicas_of("hot");
+  ASSERT_EQ(replicas.size(), 3u);
+  // The cursor starts at zero and advances once per balanced read, so
+  // two full turns visit the ranks in order twice.
+  for (int turn = 0; turn < 2; ++turn) {
+    for (std::size_t rank = 0; rank < replicas.size(); ++rank) {
+      EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kRoundRobin),
+                replicas[rank])
+          << "turn " << turn << " rank " << rank;
+    }
+  }
+}
+
+TYPED_TEST(ReplicatedStoreSuite, LeastLoadedSpreadsAHotKeyEvenly) {
+  auto store = make_store<TypeParam>(915, 3);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  store.put("hot", "v");
+  const std::vector<placement::NodeId> replicas = store.replicas_of("hot");
+  ASSERT_EQ(replicas.size(), 3u);
+  std::vector<std::size_t> served(replicas.size(), 0);
+  constexpr int kReads = 9;
+  for (int i = 0; i < kReads; ++i) {
+    const placement::NodeId node =
+        store.read_node_of("hot", ReadPolicy::kLeastLoaded);
+    const auto it = std::find(replicas.begin(), replicas.end(), node);
+    ASSERT_NE(it, replicas.end()) << "read outside the replica set";
+    ++served[static_cast<std::size_t>(it - replicas.begin())];
+  }
+  // Every replica absorbed exactly its fair share of the hot key.
+  for (std::size_t rank = 0; rank < served.size(); ++rank) {
+    EXPECT_EQ(served[rank], kReads / replicas.size()) << "rank " << rank;
+  }
+}
+
+TYPED_TEST(ReplicatedStoreSuite, BalancedReadsStayInsideTheLiveReplicaSet) {
+  auto store = make_store<TypeParam>(916, 2);
+  std::vector<placement::NodeId> nodes;
+  for (int n = 0; n < 8; ++n) nodes.push_back(store.add_node());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 150; ++i) {
+    keys.push_back("b" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  const std::vector<placement::NodeId> rack = {nodes[3]};
+  store.fail_nodes(rack);
+  for (const std::string& key : keys) {
+    const auto replicas = store.replicas_of(key);
+    for (const ReadPolicy policy :
+         {ReadPolicy::kPrimary, ReadPolicy::kRoundRobin,
+          ReadPolicy::kLeastLoaded}) {
+      const placement::NodeId node = store.read_node_of(key, policy);
+      EXPECT_TRUE(store.backend().is_live(node)) << key;
+      EXPECT_NE(std::find(replicas.begin(), replicas.end(), node),
+                replicas.end())
+          << key << ": balanced read outside the replica set";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cobalt::kv

@@ -214,6 +214,74 @@ TYPED_TEST(StoreSuite, KeysInRangeCountsByHashContainment) {
               80.0);
 }
 
+TYPED_TEST(StoreSuite, ScanVisitsEveryPairOnceAndAgreesWithForEach) {
+  auto store = make_store<TypeParam>(9);
+  for (int n = 0; n < 3; ++n) store.add_node();
+  for (int i = 0; i < 400; ++i) {
+    store.put("r" + std::to_string(i), std::to_string(i));
+  }
+  std::map<std::string, std::string> scanned;
+  store.scan(0, HashSpace::kMaxIndex,
+             [&](const std::string& k, const std::string& v) {
+               EXPECT_TRUE(scanned.emplace(k, v).second) << "duplicate " << k;
+             });
+  std::map<std::string, std::string> iterated;
+  store.for_each([&](const std::string& k, const std::string& v) {
+    iterated.emplace(k, v);
+  });
+  EXPECT_EQ(scanned, iterated);
+  EXPECT_EQ(scanned.size(), store.size());
+}
+
+TYPED_TEST(StoreSuite, ScanSubrangesPartitionTheFullScanInOrder) {
+  auto store = make_store<TypeParam>(9);
+  for (int n = 0; n < 2; ++n) store.add_node();
+  for (int i = 0; i < 600; ++i) store.put("q" + std::to_string(i), "v");
+
+  std::vector<std::string> full;
+  store.scan(0, HashSpace::kMaxIndex,
+             [&](const std::string& k, const std::string&) {
+               full.push_back(k);
+             });
+
+  // Quarter scans concatenate to exactly the full scan: same keys,
+  // same (ascending-hash) order, nothing dropped or duplicated at the
+  // range seams - and every sub-count matches the counting surface.
+  std::vector<std::string> stitched;
+  constexpr HashIndex kQuarter = HashIndex{1} << 62;
+  for (int q = 0; q < 4; ++q) {
+    const HashIndex lo = static_cast<HashIndex>(q) * kQuarter;
+    const HashIndex hi =
+        q == 3 ? HashSpace::kMaxIndex : (lo + kQuarter - 1);
+    std::size_t count = 0;
+    store.scan(lo, hi, [&](const std::string& k, const std::string&) {
+      stitched.push_back(k);
+      ++count;
+    });
+    EXPECT_EQ(count, store.keys_in_range(lo, hi)) << "quarter " << q;
+  }
+  EXPECT_EQ(stitched, full);
+}
+
+TYPED_TEST(StoreSuite, ScanSeesCurrentValuesAndSkipsErased) {
+  auto store = make_store<TypeParam>(9);
+  store.add_node();
+  store.put("a", "1");
+  store.put("b", "2");
+  store.put("a", "updated");
+  store.erase("b");
+  std::map<std::string, std::string> seen;
+  store.scan(0, HashSpace::kMaxIndex,
+             [&](const std::string& k, const std::string& v) {
+               seen.emplace(k, v);
+             });
+  const std::map<std::string, std::string> expected{{"a", "updated"}};
+  EXPECT_EQ(seen, expected);
+  // An inverted range is empty, not an error.
+  store.scan(HashSpace::kMaxIndex, 0,
+             [](const std::string&, const std::string&) { FAIL(); });
+}
+
 TYPED_TEST(StoreSuite, MovementAccountingMatchesOwnershipDiffOnJoin) {
   // The strongest property of the unified accounting: the keys the
   // relocation events charge for a join are exactly the keys whose
