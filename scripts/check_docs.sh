@@ -7,6 +7,10 @@
 #      documented in docs/BENCHMARKS.md.
 #   3. Every fig*/abl* bench name mentioned in README.md or docs/*.md
 #      must exist as bench/<name>.cpp (no docs for deleted benches).
+#   4. No raw std concurrency primitive outside
+#      src/common/thread_annotations.hpp: everything else must use the
+#      annotated wrappers, or clang's thread safety analysis (and the
+#      lock-order linter) cannot see the acquisition.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +48,16 @@ while IFS= read -r name; do
   fi
 done < <(grep -ohE '\b(fig|abl)[0-9]+_[a-z0-9_]+' README.md docs/*.md \
            | sort -u)
+
+# --- 4. raw std primitives stay behind the annotated wrappers -------
+while IFS= read -r hit; do
+  echo "RAW STD PRIMITIVE: $hit"
+  echo "  (use the annotated wrappers in common/thread_annotations.hpp)"
+  fail=1
+done < <(grep -rnE \
+           'std::(mutex|shared_mutex|condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)\b' \
+           src --include='*.hpp' --include='*.cpp' \
+           | grep -v '^src/common/thread_annotations.hpp:' || true)
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Lock-order linter for the cobalt concurrency layer.
+
+Clang's -Wthread-safety proves *which* lock covers each access; it does
+not prove locks are *acquired* in a consistent global order. This
+linter enforces the two ordering rules the analysis cannot express:
+
+1. The acquisition-order DAG (docs/ARCHITECTURE.md, "Lock order"):
+
+       backend -> accounting -> structure -> stripes
+       backend -> read_policy                 (leaf)
+
+   Within any scope, a RAII acquisition of lock X while a lock H is
+   still held is legal only when the DAG orders H before X. Holds are
+   tracked lexically per brace scope (the repo acquires exclusively
+   through scoped RAII types, so lexical scope equals hold duration),
+   and COBALT_REQUIRES / COBALT_REQUIRES_SHARED attributes seed the
+   holds a function's callers guarantee.
+
+2. The ascending-stripe-span rule: multi-stripe holds are taken only
+   by ShardIndex's StripeSpanLock, whose constructor must walk the
+   stripe table in ascending order (the shared deadlock-free order),
+   and no file outside shard_index.hpp may construct a StripeSpanLock
+   directly - the store goes through the scoped shard-span types.
+
+It also pins the raw-locking surface: calls to .lock() / .unlock() /
+.lock_shared() etc. and the std locking vocabulary (std::mutex,
+std::lock_guard, ...) may appear only in the annotated wrapper header
+(common/thread_annotations.hpp) and in the stripe-span runtime core
+(kv/shard_index.hpp); everywhere else the wrappers are mandatory, so
+every acquisition stays visible to this linter and to the analysis.
+
+Finally, the DAG above is cross-checked against the "Lock order" line
+of docs/ARCHITECTURE.md, so this file and the documentation cannot
+drift apart silently.
+
+Usage:
+    scripts/check_lock_order.py              # lint src/ + the doc line
+    scripts/check_lock_order.py --fixture F  # lint one file (tests)
+
+Exit status 0 when clean, 1 with findings on stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# --- the acquisition-order DAG --------------------------------------
+
+# allowed_after[H] = locks that may be acquired while H is held.
+ALLOWED_AFTER = {
+    "backend": {"accounting", "structure", "stripes", "read_policy"},
+    "accounting": {"structure", "stripes"},
+    "structure": {"stripes"},
+    "stripes": set(),
+    "read_policy": set(),
+}
+
+# Mutex-expression tokens -> DAG node (REQUIRES attributes and Maybe*
+# constructor arguments).
+TOKEN_LEVEL = {
+    "backend_mutex_": "backend",
+    "accounting_mutex_": "accounting",
+    "structure_mutex_": "structure",
+    "stripes_cap_": "stripes",
+    "read_policy_mutex_": "read_policy",
+}
+
+# Scoped RAII types whose *type name* names the lock it acquires.
+TYPE_LEVEL = {
+    "StructureSharedLock": "structure",
+    "StructureExclusiveLock": "structure",
+    "ShardSpanLock": "stripes",
+    "ShardSpanSharedLock": "stripes",
+    "StripeSharedLock": "stripes",
+    "AllStripesSharedLock": "stripes",
+    "StripeSpanLock": "stripes",
+}
+
+# Scoped RAII types whose first constructor argument names the mutex.
+ARG_TYPES = ("MaybeLockGuard", "MaybeUniqueLock", "MaybeSharedLock",
+             "MutexLock", "UniqueLock", "SharedLock")
+
+ACQ_TYPE_RE = re.compile(
+    r"\b(?:ShardIndex::)?(" + "|".join(TYPE_LEVEL) + r")\s+\w+\s*[({]")
+ACQ_ARG_RE = re.compile(
+    r"\b(" + "|".join(ARG_TYPES) + r")\s+\w+\s*[({]\s*([A-Za-z_][\w.>-]*)")
+REQUIRES_RE = re.compile(
+    r"\bCOBALT_REQUIRES(?:_SHARED)?\s*\(([^()]*)\)")
+
+RAW_CALL_RE = re.compile(
+    r"\.\s*(?:try_)?(?:lock|unlock)(?:_shared)?\s*\(")
+STD_LOCK_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|scoped_lock|unique_lock|"
+    r"shared_lock)\b")
+
+# Files allowed to touch raw locking primitives: the wrapper header
+# defines them, the shard index implements the stripe-span core.
+RAW_LOCK_FILES = {"src/common/thread_annotations.hpp",
+                  "src/kv/shard_index.hpp"}
+
+
+def strip_comments(text: str) -> str:
+    """Blanks comments and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def statement_acquisitions(stmt: str):
+    """Locks a statement acquires, in textual order: [(node, what)]."""
+    found = []
+    for m in ACQ_TYPE_RE.finditer(stmt):
+        found.append((m.start(), TYPE_LEVEL[m.group(1)], m.group(1)))
+    for m in ACQ_ARG_RE.finditer(stmt):
+        arg = m.group(2).split(".")[-1].split(">")[-1]
+        node = TOKEN_LEVEL.get(arg)
+        if node is not None:
+            found.append((m.start(), node, f"{m.group(1)}({arg})"))
+    found.sort()
+    return [(node, what) for _, node, what in found]
+
+
+def statement_requires(stmt: str):
+    """DAG nodes named by REQUIRES attributes in a signature."""
+    nodes = []
+    for m in REQUIRES_RE.finditer(stmt):
+        for piece in m.group(1).split(","):
+            token = piece.strip().split(".")[-1].split(">")[-1]
+            node = TOKEN_LEVEL.get(token)
+            if node is not None and node not in nodes:
+                nodes.append(node)
+    return nodes
+
+
+def check_order(path: pathlib.Path, text: str, findings: list) -> None:
+    """Walks brace scopes tracking RAII holds against the DAG."""
+    code = strip_comments(text)
+    holds = []  # [(depth, node, what, line)]
+    depth = 0
+    stmt_start = 0
+    line = 1
+
+    def fail_on(new_node: str, what: str, at_line: int) -> None:
+        for _, held, held_what, held_line in holds:
+            if held == new_node and held_what == what:
+                continue
+            if new_node not in ALLOWED_AFTER.get(held, set()):
+                findings.append(
+                    f"{path}:{at_line}: acquires {what} [{new_node}] while "
+                    f"holding {held_what} [{held}] (taken at line "
+                    f"{held_line}) - order must follow the DAG "
+                    "backend -> accounting -> structure -> stripes "
+                    "(backend -> read_policy leaf)")
+
+    i, n = 0, len(code)
+    while i < n:
+        c = code[i]
+        if c == "\n":
+            line += 1
+        elif c == "{":
+            stmt = code[stmt_start:i]
+            stmt_line = line - stmt.count("\n")
+            depth += 1
+            # A signature's REQUIRES claims become holds of the body.
+            for node in statement_requires(stmt):
+                holds.append((depth, node, f"REQUIRES({node})", stmt_line))
+            for node, what in statement_acquisitions(stmt):
+                fail_on(node, what, stmt_line)
+                holds.append((depth, node, what, stmt_line))
+            stmt_start = i + 1
+        elif c == "}":
+            stmt = code[stmt_start:i]
+            stmt_line = line - stmt.count("\n")
+            for node, what in statement_acquisitions(stmt):
+                fail_on(node, what, stmt_line)
+            holds = [h for h in holds if h[0] < depth]
+            depth = max(0, depth - 1)
+            stmt_start = i + 1
+        elif c == ";":
+            stmt = code[stmt_start:i]
+            stmt_line = line - stmt.count("\n")
+            for node, what in statement_acquisitions(stmt):
+                fail_on(node, what, stmt_line)
+                holds.append((depth, node, what, stmt_line))
+            stmt_start = i + 1
+        i += 1
+
+
+def check_raw_surface(rel: str, path: pathlib.Path, text: str,
+                      findings: list) -> None:
+    if rel in RAW_LOCK_FILES:
+        return
+    code = strip_comments(text)
+    for lineno, line_text in enumerate(code.splitlines(), start=1):
+        if RAW_CALL_RE.search(line_text):
+            findings.append(
+                f"{path}:{lineno}: raw .lock()/.unlock() call outside "
+                "the wrapper header / stripe-span core - use the "
+                "annotated RAII types from common/thread_annotations.hpp")
+        if STD_LOCK_RE.search(line_text):
+            findings.append(
+                f"{path}:{lineno}: raw std locking primitive outside "
+                "common/thread_annotations.hpp - use the annotated "
+                "wrappers so the analysis and this linter see it")
+        if re.search(r"\bStripeSpanLock\s+\w+\s*[({]", line_text):
+            findings.append(
+                f"{path}:{lineno}: StripeSpanLock constructed outside "
+                "kv/shard_index.hpp - use the scoped shard-span types "
+                "(ShardSpanLock / ShardSpanSharedLock / "
+                "AllStripesSharedLock)")
+
+
+def check_ascending_span(findings: list) -> None:
+    path = REPO / "src/kv/shard_index.hpp"
+    code = strip_comments(path.read_text(encoding="utf-8"))
+    if not re.search(
+            r"for\s*\(\s*std::size_t\s+s\s*=\s*first_\s*;"
+            r"\s*s\s*<=\s*last_\s*;\s*\+\+s\s*\)", code):
+        findings.append(
+            f"{path}: StripeSpanLock's constructor no longer walks the "
+            "stripes ascending (for (std::size_t s = first_; "
+            "s <= last_; ++s)) "
+            "- the shared ascending order is the deadlock-freedom "
+            "argument for multi-stripe holds; restore it or update "
+            "this linter *and* docs/ARCHITECTURE.md together")
+
+
+def check_doc_order(findings: list) -> None:
+    path = REPO / "docs/ARCHITECTURE.md"
+    text = re.sub(r"\s+", " ", path.read_text(encoding="utf-8"))
+    documented = "backend → accounting → structure → stripes"
+    if documented not in text:
+        findings.append(
+            f"{path}: the documented lock order line "
+            f"('{documented}') is missing - it must match the DAG "
+            "this linter enforces (see ALLOWED_AFTER)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fixture", type=pathlib.Path, default=None,
+                        help="lint one file's acquisition order only "
+                             "(test fixtures)")
+    args = parser.parse_args()
+
+    findings: list = []
+    if args.fixture is not None:
+        text = args.fixture.read_text(encoding="utf-8")
+        check_order(args.fixture, text, findings)
+    else:
+        for path in sorted((REPO / "src").rglob("*.[ch]pp")):
+            rel = path.relative_to(REPO).as_posix()
+            text = path.read_text(encoding="utf-8")
+            check_order(path, text, findings)
+            check_raw_surface(rel, path, text, findings)
+        check_ascending_span(findings)
+        check_doc_order(findings)
+
+    if findings:
+        for f in findings:
+            print(f, file=sys.stderr)
+        print(f"check_lock_order: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    scope = args.fixture if args.fixture is not None else "src/"
+    print(f"check_lock_order: OK ({scope})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+// cobalt/common/thread_annotations.hpp
+//
+// Clang Thread Safety Analysis surface: the attribute macro set plus
+// annotated mutex / condition-variable / RAII-lock wrappers that every
+// concurrency-bearing file uses instead of the raw <mutex> and
+// <shared_mutex> types (scripts/check_docs.sh enforces that). Under
+// clang the wrappers carry capability attributes, so lock discipline -
+// which lock guards which field, which helper assumes which hold - is
+// checked on every build by `-Wthread-safety -Werror` (the CI gate);
+// under gcc (and any compiler without the attributes) every macro
+// expands to nothing and the wrappers are zero-cost inline forwarders
+// to the std types, so release benchmarks are unaffected.
+//
+// What the analysis cannot express - the global acquisition-order DAG
+// (backend -> accounting -> structure -> stripes) and the
+// ascending-stripe-span rule - is enforced by scripts/check_lock_order.py
+// instead (run as a ctest and a CI step).
+//
+// Two deliberate limits of the compile-time model:
+//   * Conditional acquisition (the Maybe* wrappers, engaged only in the
+//     store's concurrent mode) claims its capability unconditionally.
+//     That is sound: disengaged means the store is in serial mode,
+//     where it is single-threaded by contract, so "holds the lock" and
+//     "no other thread exists" protect the same accesses.
+//   * Constructors and destructors are not analyzed by TSA, so the
+//     wrapper internals that loop over stripe locks or lock
+//     conditionally live in ctor/dtor bodies or carry
+//     COBALT_NO_THREAD_SAFETY_ANALYSIS with a reason.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// The attribute spellings (see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Prefixed
+// COBALT_ to stay clear of other headers; note COBALT_REQUIRES (a
+// compile-time capability precondition) is unrelated to COBALT_REQUIRE
+// (the runtime precondition check in common/error.hpp).
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define COBALT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef COBALT_THREAD_ANNOTATION
+#define COBALT_THREAD_ANNOTATION(x)  // not clang: annotations vanish
+#endif
+
+#define COBALT_CAPABILITY(x) COBALT_THREAD_ANNOTATION(capability(x))
+#define COBALT_SCOPED_CAPABILITY COBALT_THREAD_ANNOTATION(scoped_lockable)
+#define COBALT_GUARDED_BY(x) COBALT_THREAD_ANNOTATION(guarded_by(x))
+#define COBALT_PT_GUARDED_BY(x) COBALT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define COBALT_ACQUIRED_BEFORE(...) \
+  COBALT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define COBALT_ACQUIRED_AFTER(...) \
+  COBALT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define COBALT_REQUIRES(...) \
+  COBALT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define COBALT_REQUIRES_SHARED(...) \
+  COBALT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define COBALT_ACQUIRE(...) \
+  COBALT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define COBALT_ACQUIRE_SHARED(...) \
+  COBALT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define COBALT_RELEASE(...) \
+  COBALT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define COBALT_RELEASE_SHARED(...) \
+  COBALT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define COBALT_RELEASE_GENERIC(...) \
+  COBALT_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define COBALT_TRY_ACQUIRE(...) \
+  COBALT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define COBALT_TRY_ACQUIRE_SHARED(...) \
+  COBALT_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define COBALT_EXCLUDES(...) COBALT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define COBALT_ASSERT_CAPABILITY(x) \
+  COBALT_THREAD_ANNOTATION(assert_capability(x))
+#define COBALT_ASSERT_SHARED_CAPABILITY(x) \
+  COBALT_THREAD_ANNOTATION(assert_shared_capability(x))
+#define COBALT_RETURN_CAPABILITY(x) COBALT_THREAD_ANNOTATION(lock_returned(x))
+#define COBALT_NO_THREAD_SAFETY_ANALYSIS \
+  COBALT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cobalt {
+
+/// std::mutex carrying the "mutex" capability.
+class COBALT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() COBALT_ACQUIRE() { mutex_.lock(); }
+  void unlock() COBALT_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() COBALT_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  /// The underlying std::mutex, for CondVar's adopt/release dance
+  /// only - never lock through it directly (the linter flags raw lock
+  /// calls outside this header).
+  [[nodiscard]] std::mutex& native() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// std::shared_mutex carrying the "shared_mutex" capability.
+class COBALT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() COBALT_ACQUIRE() { mutex_.lock(); }
+  void unlock() COBALT_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() COBALT_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+  void lock_shared() COBALT_ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() COBALT_RELEASE_SHARED() { mutex_.unlock_shared(); }
+  [[nodiscard]] bool try_lock_shared() COBALT_TRY_ACQUIRE_SHARED(true) {
+    return mutex_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// A purely compile-time capability: no runtime state, no runtime
+/// locking. Used where the analysis needs one name for a protection
+/// regime that is really enforced by other locks - the canonical user
+/// is ShardIndex::stripes_cap_, which stands for "some cover over the
+/// shard contents" (a stripe span, or the exclusive structure lock)
+/// because TSA cannot track a loop over an array of stripe locks.
+/// The acquire/release methods exist so fixture tests can claim it;
+/// real code claims it through SCOPED_CAPABILITY wrappers.
+class COBALT_CAPABILITY("role") Capability {
+ public:
+  Capability() = default;
+  Capability(const Capability&) = delete;
+  Capability& operator=(const Capability&) = delete;
+
+  void acquire() COBALT_ACQUIRE() {}
+  void acquire_shared() COBALT_ACQUIRE_SHARED() {}
+  void release() COBALT_RELEASE() {}
+  void release_shared() COBALT_RELEASE_SHARED() {}
+};
+
+/// Condition variable over Mutex. wait() requires the mutex held and
+/// holds it again on return, which is exactly what TSA assumes - the
+/// transient unlock inside std::condition_variable::wait is invisible
+/// to the caller's critical section. No predicate overload: callers
+/// write the while-loop, keeping every guarded read of the predicate
+/// inside the analyzed function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) COBALT_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::lock_guard<Mutex>, annotated.
+class COBALT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) COBALT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() COBALT_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Exclusive scoped hold of a SharedMutex.
+class COBALT_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(SharedMutex& mutex) COBALT_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~UniqueLock() COBALT_RELEASE() { mutex_.unlock(); }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Shared scoped hold of a SharedMutex.
+class COBALT_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mutex) COBALT_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~SharedLock() COBALT_RELEASE() { mutex_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+// The conditional wrappers of the store's opt-in concurrent mode:
+// engage = false (serial mode) locks nothing at runtime but still
+// claims the capability for the analysis - see the header comment for
+// why that is sound. Constructor bodies are conditional, which TSA
+// cannot model; ctors/dtors are outside the analysis anyway.
+
+/// lock_guard-if-engaged over a Mutex (accounting, policy state).
+class COBALT_SCOPED_CAPABILITY MaybeLockGuard {
+ public:
+  MaybeLockGuard(Mutex& mutex, bool engage) COBALT_ACQUIRE(mutex) {
+    if (engage) {
+      mutex.lock();
+      mutex_ = &mutex;
+    }
+  }
+  ~MaybeLockGuard() COBALT_RELEASE() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+  MaybeLockGuard(const MaybeLockGuard&) = delete;
+  MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
+
+ private:
+  Mutex* mutex_ = nullptr;
+};
+
+/// unique_lock-if-engaged over a SharedMutex (membership events).
+class COBALT_SCOPED_CAPABILITY MaybeUniqueLock {
+ public:
+  MaybeUniqueLock(SharedMutex& mutex, bool engage) COBALT_ACQUIRE(mutex) {
+    if (engage) {
+      mutex.lock();
+      mutex_ = &mutex;
+    }
+  }
+  ~MaybeUniqueLock() COBALT_RELEASE() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+  MaybeUniqueLock(const MaybeUniqueLock&) = delete;
+  MaybeUniqueLock& operator=(const MaybeUniqueLock&) = delete;
+
+ private:
+  SharedMutex* mutex_ = nullptr;
+};
+
+/// shared_lock-if-engaged over a SharedMutex (backend readers).
+class COBALT_SCOPED_CAPABILITY MaybeSharedLock {
+ public:
+  MaybeSharedLock(SharedMutex& mutex, bool engage)
+      COBALT_ACQUIRE_SHARED(mutex) {
+    if (engage) {
+      mutex.lock_shared();
+      mutex_ = &mutex;
+    }
+  }
+  ~MaybeSharedLock() COBALT_RELEASE() {
+    if (mutex_ != nullptr) mutex_->unlock_shared();
+  }
+  MaybeSharedLock(const MaybeSharedLock&) = delete;
+  MaybeSharedLock& operator=(const MaybeSharedLock&) = delete;
+
+ private:
+  SharedMutex* mutex_ = nullptr;
+};
+
+}  // namespace cobalt

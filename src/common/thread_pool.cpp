@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   task_available_.notify_all();
@@ -30,7 +30,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   COBALT_REQUIRE(task != nullptr, "cannot submit an empty task");
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     COBALT_REQUIRE(!stopping_, "cannot submit to a stopping pool");
     tasks_.push(std::move(task));
   }
@@ -38,17 +38,16 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  const MutexLock lock(mutex_);
+  while (!tasks_.empty() || in_flight_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return stopping_ || !tasks_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) task_available_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -56,7 +55,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
     }
     idle_.notify_all();
@@ -78,10 +77,10 @@ struct ParallelForState {
   const std::size_t count;
   const std::function<void(std::size_t)> body;
   std::atomic<std::size_t> next{0};
-  std::mutex mutex;                  // guards completed + first_error
-  std::condition_variable all_done;
-  std::size_t completed = 0;
-  std::exception_ptr first_error;
+  Mutex mutex;
+  CondVar all_done;
+  std::size_t completed COBALT_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error COBALT_GUARDED_BY(mutex);
 
   /// Claims and runs iterations until the index space is exhausted.
   void drain() {
@@ -96,7 +95,7 @@ struct ParallelForState {
       }
       bool last;
       {
-        std::lock_guard lock(mutex);
+        const MutexLock lock(mutex);
         if (error && !first_error) first_error = std::move(error);
         last = ++completed == count;
       }
@@ -119,9 +118,8 @@ void parallel_for(ThreadPool& pool, std::size_t count,
     pool.submit([state] { state->drain(); });
   }
   state->drain();
-  std::unique_lock lock(state->mutex);
-  state->all_done.wait(lock,
-                       [&] { return state->completed == state->count; });
+  const MutexLock lock(state->mutex);
+  while (state->completed != state->count) state->all_done.wait(state->mutex);
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 

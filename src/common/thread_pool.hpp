@@ -9,13 +9,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace cobalt {
 
@@ -43,12 +43,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar idle_;
+  std::queue<std::function<void()>> tasks_ COBALT_GUARDED_BY(mutex_);
+  std::size_t in_flight_ COBALT_GUARDED_BY(mutex_) = 0;
+  bool stopping_ COBALT_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [0, count) on `pool`, blocking until all

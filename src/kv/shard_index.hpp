@@ -35,7 +35,7 @@
 // Synchronization story (used only when the store runs in concurrent
 // mode - see kv/store.hpp "Threading model"; single-threaded callers
 // never touch a lock). Two levels:
-//   * structure_mutex() - a reader/writer lock over the *tiling*: the
+//   * structure_mutex_ - a reader/writer lock over the *tiling*: the
 //     shards_ vector layout (shard count, boundaries, the bucket
 //     vectors' identities). Point readers and in-shard writers hold
 //     it shared; split/merge (put overflow, erase of a shard's last
@@ -52,6 +52,19 @@
 // Lock order: structure before stripes, stripes ascending. The
 // cross-shard total_entries_ counter is atomic so disjoint in-shard
 // writers need no shared lock for it.
+//
+// Compile-time model (see common/thread_annotations.hpp). The tiling
+// is literal: shards_ is GUARDED_BY(structure_mutex_) and structural
+// mutators REQUIRE it exclusive. The stripe table is not - Thread
+// Safety Analysis cannot track a loop over an array of locks - so one
+// logical capability, stripes_cap_, stands for "adequate cover over
+// shard contents": the span/stripe RAII types below claim it on
+// behalf of the stripe locks they really take, the exclusive
+// structure hold claims it too (an exclusive tiling hold excludes
+// every content reader by the discipline above), and every method
+// touching shard contents REQUIRES it. The ascending-acquisition rule
+// within the table is checked by scripts/check_lock_order.py, which
+// also pins all stripe locking to this file.
 
 #pragma once
 
@@ -59,12 +72,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "hashing/hash_space.hpp"
 #include "placement/types.hpp"
 
@@ -137,13 +150,36 @@ class ShardIndex {
   /// An index starts as one empty shard covering all of R_h.
   ShardIndex() : shards_(1) {}
 
-  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
-  [[nodiscard]] const std::vector<Shard>& shards() const { return shards_; }
-  [[nodiscard]] Shard& shard(std::size_t i) { return shards_[i]; }
-  [[nodiscard]] const Shard& shard(std::size_t i) const { return shards_[i]; }
+  [[nodiscard]] std::size_t shard_count() const
+      COBALT_REQUIRES_SHARED(structure_mutex_) {
+    return shards_.size();
+  }
+  [[nodiscard]] const std::vector<Shard>& shards() const
+      COBALT_REQUIRES_SHARED(structure_mutex_, stripes_cap_) {
+    return shards_;
+  }
+  [[nodiscard]] Shard& shard(std::size_t i)
+      COBALT_REQUIRES_SHARED(structure_mutex_)
+          COBALT_REQUIRES(stripes_cap_) {
+    return shards_[i];
+  }
+  [[nodiscard]] const Shard& shard(std::size_t i) const
+      COBALT_REQUIRES_SHARED(structure_mutex_, stripes_cap_) {
+    return shards_[i];
+  }
+
+  /// First hash index covered by shard `i`. Tiling metadata like
+  /// shard_last: readable under the structure lock alone, without the
+  /// stripe capability the full shard() accessors demand (the walk
+  /// loops test shard boundaries before taking any stripe).
+  [[nodiscard]] HashIndex shard_first(std::size_t i) const
+      COBALT_REQUIRES_SHARED(structure_mutex_) {
+    return shards_[i].first;
+  }
 
   /// Last hash index covered by shard `i` (inclusive).
-  [[nodiscard]] HashIndex shard_last(std::size_t i) const {
+  [[nodiscard]] HashIndex shard_last(std::size_t i) const
+      COBALT_REQUIRES_SHARED(structure_mutex_) {
     return i + 1 < shards_.size() ? shards_[i + 1].first - 1
                                   : HashSpace::kMaxIndex;
   }
@@ -156,13 +192,17 @@ class ShardIndex {
 
   /// Index of the shard whose range contains `index` (always exists:
   /// the shards tile R_h).
-  [[nodiscard]] std::size_t shard_of(HashIndex index) const;
+  [[nodiscard]] std::size_t shard_of(HashIndex index) const
+      COBALT_REQUIRES_SHARED(structure_mutex_);
 
   /// The bucket at exactly `hash` inside shard `shard_index`, or
-  /// nullptr.
-  [[nodiscard]] Bucket* find_bucket(std::size_t shard_index, HashIndex hash);
+  /// nullptr. The mutable overload hands out a writable reference into
+  /// shard contents, so it demands the content capability exclusively.
+  [[nodiscard]] Bucket* find_bucket(std::size_t shard_index, HashIndex hash)
+      COBALT_REQUIRES_SHARED(structure_mutex_) COBALT_REQUIRES(stripes_cap_);
   [[nodiscard]] const Bucket* find_bucket(std::size_t shard_index,
-                                          HashIndex hash) const;
+                                          HashIndex hash) const
+      COBALT_REQUIRES_SHARED(structure_mutex_, stripes_cap_);
 
   /// Where insert_bucket put a bucket: the shard actually holding it
   /// (an oversized shard is split at its median first, so this may be
@@ -174,17 +214,25 @@ class ShardIndex {
 
   /// Inserts an empty bucket at `hash` into the shard containing it
   /// (which must be shard `shard_index` before any split). The bucket
-  /// must not already exist.
-  BucketSlot insert_bucket(std::size_t shard_index, HashIndex hash);
+  /// must not already exist. May split an oversized shard, so the
+  /// caller needs the structure lock *exclusive* unless it verified no
+  /// split is possible (buckets.size() < kSplitBuckets) under its
+  /// span - the store's optimistic put path.
+  BucketSlot insert_bucket(std::size_t shard_index, HashIndex hash)
+      COBALT_REQUIRES_SHARED(structure_mutex_) COBALT_REQUIRES(stripes_cap_);
 
   /// Removes the (empty) bucket at `hash`; a shard left without
   /// buckets is merged into a neighbour (the tiling never fragments on
-  /// a pure-erase workload).
-  void erase_bucket(std::size_t shard_index, HashIndex hash);
+  /// a pure-erase workload) - always structural, hence the exclusive
+  /// structure requirement.
+  void erase_bucket(std::size_t shard_index, HashIndex hash)
+      COBALT_REQUIRES(structure_mutex_, stripes_cap_);
 
   /// Adjusts the entry-count caches after the store added (`delta` =
   /// +1) or removed (-1) one entry in shard `shard_index`.
-  void add_entries(std::size_t shard_index, std::int64_t delta) {
+  void add_entries(std::size_t shard_index, std::int64_t delta)
+      COBALT_REQUIRES_SHARED(structure_mutex_)
+          COBALT_REQUIRES(stripes_cap_) {
     shards_[shard_index].entry_count =
         static_cast<std::uint64_t>(static_cast<std::int64_t>(
             shards_[shard_index].entry_count) + delta);
@@ -196,18 +244,21 @@ class ShardIndex {
   /// its range): shard i keeps [first, boundary - 1], a new shard i+1
   /// takes [boundary, old end] with the buckets at or above `boundary`
   /// and a copy of the replica set.
-  void split_shard(std::size_t i, HashIndex boundary);
+  void split_shard(std::size_t i, HashIndex boundary)
+      COBALT_REQUIRES(structure_mutex_, stripes_cap_);
 
   /// Merges shard `i + 1` into shard `i`. The caller must keep the
   /// non-overriding buckets meaningful: merge only equal-set
   /// neighbours, or pairs where one side has no buckets (the
   /// bucket-less side's cached set is only a write-path hint).
-  void merge_with_next(std::size_t i);
+  void merge_with_next(std::size_t i)
+      COBALT_REQUIRES(structure_mutex_, stripes_cap_);
 
   /// Entries whose hash falls inside [first, last]: whole shards by
   /// cached count, boundary shards by bucket scan.
   [[nodiscard]] std::uint64_t count_range(HashIndex first,
-                                          HashIndex last) const;
+                                          HashIndex last) const
+      COBALT_REQUIRES_SHARED(structure_mutex_, stripes_cap_);
 
   // --- the synchronization surface (see the header comment) ---------
 
@@ -217,20 +268,21 @@ class ShardIndex {
                                     (HashSpace::kBits - kLockStripeBits));
   }
 
-  /// The tiling lock (see the header's synchronization story).
-  [[nodiscard]] std::shared_mutex& structure_mutex() const {
-    return structure_mutex_;
-  }
-
-  /// One stripe's reader/writer lock.
-  [[nodiscard]] std::shared_mutex& stripe_mutex(std::size_t stripe) const {
+  /// One stripe's reader/writer lock. Probe surface for tests (the
+  /// wrapper unit tests try_lock from a second thread to observe
+  /// exclusion); real code acquires stripes only through the scoped
+  /// types below, which check_lock_order.py enforces.
+  [[nodiscard]] SharedMutex& stripe_mutex(std::size_t stripe) const {
     return stripes_[stripe];
   }
 
   /// RAII hold of every stripe in [first_stripe, last_stripe],
   /// acquired ascending (the deadlock-free order shared by all span
-  /// holders), exclusively or shared. Movable so callers can return
-  /// it; default-constructed it holds nothing (the serial-mode no-op).
+  /// holders), exclusively or shared. Movable so wrappers can build it
+  /// conditionally; default-constructed it holds nothing (the
+  /// serial-mode no-op). This is the runtime mechanism only - it
+  /// carries no capability attributes (TSA cannot track the loop);
+  /// the SCOPED_CAPABILITY types below wrap it and claim stripes_cap_.
   class StripeSpanLock {
    public:
     StripeSpanLock() = default;
@@ -271,7 +323,9 @@ class ShardIndex {
     StripeSpanLock& operator=(const StripeSpanLock&) = delete;
 
    private:
-    void release() {
+    /// Unlocks a set the analysis never saw acquired (the ctor loop);
+    /// suppressed, and only ever called on what the ctor took.
+    void release() COBALT_NO_THREAD_SAFETY_ANALYSIS {
       if (index_ == nullptr) return;
       for (std::size_t s = last_ + 1; s-- > first_;) {
         if (shared_) {
@@ -289,28 +343,159 @@ class ShardIndex {
     bool shared_ = false;
   };
 
-  /// Hold of the stripes covering shard `i` - exclusive for in-shard
-  /// writers, shared for per-shard readers. Callers must hold
-  /// structure_mutex() at least shared so the span is stable.
-  [[nodiscard]] StripeSpanLock lock_shard_span(std::size_t i,
-                                               bool shared = false) const {
-    return StripeSpanLock(*this, stripe_of(shards_[i].first),
-                          stripe_of(shard_last(i)), shared);
-  }
+  // The scoped lock surface. Every type takes `engage` (default true):
+  // disengaged (the store's serial mode) it locks nothing but still
+  // claims its capabilities - see thread_annotations.hpp for why that
+  // is sound. Lock order among these and the store's outer mutexes is
+  // the linter's DAG: structure before stripes, nothing after stripes.
+
+  /// Shared hold of the tiling: point readers, in-shard writers,
+  /// scans, repair phase A.
+  class COBALT_SCOPED_CAPABILITY StructureSharedLock {
+   public:
+    explicit StructureSharedLock(const ShardIndex& index, bool engage = true)
+        COBALT_ACQUIRE_SHARED(index.structure_mutex_) {
+      if (engage) {
+        index.structure_mutex_.lock_shared();
+        mutex_ = &index.structure_mutex_;
+      }
+    }
+    ~StructureSharedLock() COBALT_RELEASE() {
+      if (mutex_ != nullptr) mutex_->unlock_shared();
+    }
+    StructureSharedLock(const StructureSharedLock&) = delete;
+    StructureSharedLock& operator=(const StructureSharedLock&) = delete;
+
+   private:
+    SharedMutex* mutex_ = nullptr;
+  };
+
+  /// Exclusive hold of the tiling (split/merge, structural retries,
+  /// repair phase B). Claims the content capability too: by the
+  /// discipline above, every content reader or writer holds the
+  /// structure lock at least shared, so an exclusive tiling hold
+  /// excludes all content access without touching a stripe.
+  class COBALT_SCOPED_CAPABILITY StructureExclusiveLock {
+   public:
+    explicit StructureExclusiveLock(const ShardIndex& index,
+                                    bool engage = true)
+        COBALT_ACQUIRE(index.structure_mutex_, index.stripes_cap_) {
+      if (engage) {
+        index.structure_mutex_.lock();
+        mutex_ = &index.structure_mutex_;
+      }
+    }
+    ~StructureExclusiveLock() COBALT_RELEASE() {
+      if (mutex_ != nullptr) mutex_->unlock();
+    }
+    StructureExclusiveLock(const StructureExclusiveLock&) = delete;
+    StructureExclusiveLock& operator=(const StructureExclusiveLock&) = delete;
+
+   private:
+    SharedMutex* mutex_ = nullptr;
+  };
+
+  /// Exclusive hold of the stripes covering shard `shard` (in-shard
+  /// writers, repair phase A). The span derives from the tiling, hence
+  /// the shared structure requirement - the checked form of the old
+  /// "caller must hold structure_mutex() at least shared" comment.
+  class COBALT_SCOPED_CAPABILITY ShardSpanLock {
+   public:
+    ShardSpanLock(const ShardIndex& index, std::size_t shard,
+                  bool engage = true)
+        COBALT_REQUIRES_SHARED(index.structure_mutex_)
+            COBALT_ACQUIRE(index.stripes_cap_)
+        : span_(engage ? StripeSpanLock(
+                             index, stripe_of(index.shards_[shard].first),
+                             stripe_of(index.shard_last(shard)),
+                             /*shared=*/false)
+                       : StripeSpanLock()) {}
+    ~ShardSpanLock() COBALT_RELEASE() {}
+    ShardSpanLock(const ShardSpanLock&) = delete;
+    ShardSpanLock& operator=(const ShardSpanLock&) = delete;
+
+   private:
+    StripeSpanLock span_;
+  };
+
+  /// Shared hold of the stripes covering shard `shard` (per-shard
+  /// consistent reads: the scan path).
+  class COBALT_SCOPED_CAPABILITY ShardSpanSharedLock {
+   public:
+    ShardSpanSharedLock(const ShardIndex& index, std::size_t shard,
+                        bool engage = true)
+        COBALT_REQUIRES_SHARED(index.structure_mutex_)
+            COBALT_ACQUIRE_SHARED(index.stripes_cap_)
+        : span_(engage ? StripeSpanLock(
+                             index, stripe_of(index.shards_[shard].first),
+                             stripe_of(index.shard_last(shard)),
+                             /*shared=*/true)
+                       : StripeSpanLock()) {}
+    ~ShardSpanSharedLock() COBALT_RELEASE() {}
+    ShardSpanSharedLock(const ShardSpanSharedLock&) = delete;
+    ShardSpanSharedLock& operator=(const ShardSpanSharedLock&) = delete;
+
+   private:
+    StripeSpanLock span_;
+  };
+
+  /// Shared hold of one hash's stripe (point reads; the span of the
+  /// shard containing the hash always covers this stripe, so one
+  /// reader excludes exactly that shard's writer).
+  class COBALT_SCOPED_CAPABILITY StripeSharedLock {
+   public:
+    StripeSharedLock(const ShardIndex& index, HashIndex hash,
+                     bool engage = true)
+        COBALT_ACQUIRE_SHARED(index.stripes_cap_) {
+      if (engage) {
+        mutex_ = &index.stripes_[stripe_of(hash)];
+        mutex_->lock_shared();
+      }
+    }
+    ~StripeSharedLock() COBALT_RELEASE() {
+      if (mutex_ != nullptr) mutex_->unlock_shared();
+    }
+    StripeSharedLock(const StripeSharedLock&) = delete;
+    StripeSharedLock& operator=(const StripeSharedLock&) = delete;
+
+   private:
+    SharedMutex* mutex_ = nullptr;
+  };
 
   /// Shared hold of every stripe: a consistent read of the whole
   /// index (bulk accounting surfaces, relocation-flush counting).
-  [[nodiscard]] StripeSpanLock lock_all_stripes_shared() const {
-    return StripeSpanLock(*this, 0, kLockStripes - 1, /*shared=*/true);
-  }
+  class COBALT_SCOPED_CAPABILITY AllStripesSharedLock {
+   public:
+    explicit AllStripesSharedLock(const ShardIndex& index, bool engage = true)
+        COBALT_REQUIRES_SHARED(index.structure_mutex_)
+            COBALT_ACQUIRE_SHARED(index.stripes_cap_)
+        : span_(engage ? StripeSpanLock(index, 0, kLockStripes - 1,
+                                        /*shared=*/true)
+                       : StripeSpanLock()) {}
+    ~AllStripesSharedLock() COBALT_RELEASE() {}
+    AllStripesSharedLock(const AllStripesSharedLock&) = delete;
+    AllStripesSharedLock& operator=(const AllStripesSharedLock&) = delete;
+
+   private:
+    StripeSpanLock span_;
+  };
+
+  /// The tiling lock and the logical content capability. Public
+  /// because the store's thread-safety attributes name them directly
+  /// (REQUIRES(index_.structure_mutex_) and friends); acquire them
+  /// only through the scoped types above - check_lock_order.py flags
+  /// raw lock calls outside this header and thread_annotations.hpp.
+  /// Mutable: locking is not mutation, and read paths are const.
+  mutable SharedMutex structure_mutex_;
+  /// Never locked at runtime (zero bytes of state): the compile-time
+  /// stand-in for the stripe table, claimed by the span/stripe types
+  /// and by StructureExclusiveLock. See the header comment.
+  mutable Capability stripes_cap_;
 
  private:
-  std::vector<Shard> shards_;
+  std::vector<Shard> shards_ COBALT_GUARDED_BY(structure_mutex_);
   std::atomic<std::uint64_t> total_entries_{0};
-  /// See the synchronization story in the header comment. Mutable:
-  /// locking is not mutation, and read paths are const.
-  mutable std::shared_mutex structure_mutex_;
-  mutable std::array<std::shared_mutex, kLockStripes> stripes_;
+  mutable std::array<SharedMutex, kLockStripes> stripes_;
 };
 
 }  // namespace cobalt::kv

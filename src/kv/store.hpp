@@ -84,7 +84,7 @@
 //     read_node_of, the per-node accounting surfaces, stats
 //     snapshots). Point gets and scans never touch it.
 //   * ShardIndex locks: one structure lock over the shard tiling plus
-//     64 hash-striped content locks (see shard_index.hpp). Point
+//     32 hash-striped content locks (see shard_index.hpp). Point
 //     reads take the structure lock shared and one stripe shared;
 //     in-shard writers take the shard's stripe span exclusively;
 //     structural changes (shard split/merge) take the structure lock
@@ -95,7 +95,17 @@
 //     membership event needs no extra ordering - its exclusive
 //     backend hold already excludes every other accountant.
 // Lock order: backend -> accounting -> structure -> stripes
-// (ascending). The heavy passes fan out per shard on the attached
+// (ascending). The discipline is compile-checked: every mutex here is
+// an annotated wrapper (common/thread_annotations.hpp), every guarded
+// field carries GUARDED_BY, and every helper that assumes a held lock
+// carries REQUIRES/REQUIRES_SHARED, so clang's -Wthread-safety CI gate
+// proves the claims on every build; the acquisition-order DAG itself
+// and the ascending-stripe rule - the two things the analysis cannot
+// express - are enforced by scripts/check_lock_order.py. Serial mode
+// claims the same capabilities through disengaged wrappers (sound:
+// serial mode is single-threaded by contract), so both modes are
+// analyzed as one body of code.
+// The heavy passes fan out per shard on the attached
 // pool: the k > 1 planned-repair pass repairs its planned shards in
 // parallel (phase A: per-shard patches and desired-run computation
 // under stripe spans, accounting accumulated per worker task; then a
@@ -117,17 +127,17 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "hashing/hash.hpp"
 #include "kv/shard_index.hpp"
@@ -200,68 +210,6 @@ enum class ReadPolicy {
   kLeastLoaded,
 };
 
-namespace detail {
-
-/// shared_lock-if-engaged: the store's serial mode passes engage =
-/// false everywhere, keeping the single-threaded paths lock-free.
-class MaybeSharedLock {
- public:
-  MaybeSharedLock(std::shared_mutex& mutex, bool engage) {
-    if (engage) {
-      mutex.lock_shared();
-      mutex_ = &mutex;
-    }
-  }
-  ~MaybeSharedLock() {
-    if (mutex_ != nullptr) mutex_->unlock_shared();
-  }
-  MaybeSharedLock(const MaybeSharedLock&) = delete;
-  MaybeSharedLock& operator=(const MaybeSharedLock&) = delete;
-
- private:
-  std::shared_mutex* mutex_ = nullptr;
-};
-
-/// unique_lock-if-engaged over a shared_mutex (membership events).
-class MaybeUniqueLock {
- public:
-  MaybeUniqueLock(std::shared_mutex& mutex, bool engage) {
-    if (engage) {
-      mutex.lock();
-      mutex_ = &mutex;
-    }
-  }
-  ~MaybeUniqueLock() {
-    if (mutex_ != nullptr) mutex_->unlock();
-  }
-  MaybeUniqueLock(const MaybeUniqueLock&) = delete;
-  MaybeUniqueLock& operator=(const MaybeUniqueLock&) = delete;
-
- private:
-  std::shared_mutex* mutex_ = nullptr;
-};
-
-/// lock_guard-if-engaged over a plain mutex (accounting, policy state).
-class MaybeLockGuard {
- public:
-  MaybeLockGuard(std::mutex& mutex, bool engage) {
-    if (engage) {
-      mutex.lock();
-      mutex_ = &mutex;
-    }
-  }
-  ~MaybeLockGuard() {
-    if (mutex_ != nullptr) mutex_->unlock();
-  }
-  MaybeLockGuard(const MaybeLockGuard&) = delete;
-  MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
-
- private:
-  std::mutex* mutex_ = nullptr;
-};
-
-}  // namespace detail
-
 /// A KV store over any placement backend.
 template <placement::PlacementBackend Backend>
 class Store final : private placement::RelocationObserver {
@@ -318,7 +266,7 @@ class Store final : private placement::RelocationObserver {
   /// returns false when the scheme refuses the removal (the node
   /// stays; see placement/backend.hpp), and never loses keys.
   placement::NodeId add_node(double capacity = 1.0) {
-    const detail::MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
     if (event_sink_ != nullptr) {
       // Batches still pending from direct backend() mutation belong to
       // an implicit event, not to this bracket: flush them to the sink
@@ -338,7 +286,7 @@ class Store final : private placement::RelocationObserver {
     return id;
   }
   bool remove_node(placement::NodeId node) {
-    const detail::MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
     if (event_sink_ != nullptr) {
       flush_relocations();  // stray batches are not this drain's (see add_node)
       event_sink_->on_membership_begin(MembershipEventKind::kDrain);
@@ -367,7 +315,7 @@ class Store final : private placement::RelocationObserver {
   /// cluster: the last live node always survives). Returns the number
   /// of removals that completed; the repair pass runs regardless.
   std::size_t fail_nodes(std::span<const placement::NodeId> nodes) {
-    const detail::MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
     if (event_sink_ != nullptr) {
       flush_relocations();  // stray batches are not this crash's (see add_node)
       event_sink_->on_membership_begin(MembershipEventKind::kCrash);
@@ -390,46 +338,43 @@ class Store final : private placement::RelocationObserver {
   /// fans out to every node of the key's replica set (replica_writes).
   /// Requires at least one node.
   bool put(const std::string& key, std::string value) {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     COBALT_REQUIRE(backend_.node_count() >= 1,
                    "the store needs at least one node before writes");
     flush_relocations();  // pending events count pre-mutation keys
     const HashIndex h = hash_key(key);
-    if (!concurrent_) {
-      std::uint64_t writes = 0;
-      const bool inserted =
-          put_body(index_.shard_of(h), h, key, std::move(value), scratch_,
-                   writes);
-      replication_stats_.replica_writes += writes;
-      return inserted;
-    }
-    static thread_local std::vector<placement::NodeId> scratch;
     std::uint64_t writes = 0;
     bool inserted = false;
-    bool done = false;
-    {
-      const std::shared_lock structure(index_.structure_mutex());
-      const std::size_t i = index_.shard_of(h);
-      const ShardIndex::StripeSpanLock span = index_.lock_shard_span(i);
-      // A brand-new bucket landing in a full shard makes insert_bucket
-      // split the shard - a structural change the shared tiling hold
-      // cannot cover; everything else stays inside this shard.
-      if (index_.find_bucket(i, h) != nullptr ||
-          index_.shard(i).buckets.size() < ShardIndex::kSplitBuckets) {
-        inserted = put_body(i, h, key, std::move(value), scratch, writes);
-        done = true;
+    if (!concurrent_) {
+      const ShardIndex::StructureExclusiveLock structure(index_,
+                                                         /*engage=*/false);
+      inserted = put_body(index_.shard_of(h), h, key, std::move(value),
+                          writes);
+    } else {
+      bool done = false;
+      {
+        const ShardIndex::StructureSharedLock structure(index_);
+        const std::size_t i = index_.shard_of(h);
+        const ShardIndex::ShardSpanLock span(index_, i);
+        // A brand-new bucket landing in a full shard makes insert_bucket
+        // split the shard - a structural change the shared tiling hold
+        // cannot cover; everything else stays inside this shard.
+        if (index_.find_bucket(i, h) != nullptr ||
+            index_.shard(i).buckets.size() < ShardIndex::kSplitBuckets) {
+          inserted = put_body(i, h, key, std::move(value), writes);
+          done = true;
+        }
+      }
+      if (!done) {
+        // Structural retry: the tiling may have changed between the two
+        // holds (another writer split first), so everything re-derives.
+        const ShardIndex::StructureExclusiveLock structure(index_);
+        inserted = put_body(index_.shard_of(h), h, key, std::move(value),
+                            writes);
       }
     }
-    if (!done) {
-      // Structural retry: the tiling may have changed between the two
-      // holds (another writer split first), so everything re-derives.
-      const std::unique_lock structure(index_.structure_mutex());
-      inserted =
-          put_body(index_.shard_of(h), h, key, std::move(value), scratch,
-                   writes);
-    }
     {
-      const std::lock_guard acc(accounting_mutex_);
+      const MaybeLockGuard acc(accounting_mutex_, concurrent_);
       replication_stats_.replica_writes += writes;
     }
     return inserted;
@@ -439,11 +384,9 @@ class Store final : private placement::RelocationObserver {
   /// reads proceed against every shard not under repair or mutation.
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const HashIndex h = hash_key(key);
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
     const std::size_t i = index_.shard_of(h);
-    const detail::MaybeSharedLock stripe(
-        index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
+    const ShardIndex::StripeSharedLock stripe(index_, h, concurrent_);
     const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr) return std::nullopt;
     for (const ShardIndex::Entry& entry : bucket->entries) {
@@ -454,15 +397,19 @@ class Store final : private placement::RelocationObserver {
 
   /// Deletes; returns true when the key existed.
   bool erase(const std::string& key) {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     flush_relocations();  // pending events count pre-mutation keys
     const HashIndex h = hash_key(key);
-    if (!concurrent_) return erase_body(index_.shard_of(h), h, key);
+    if (!concurrent_) {
+      const ShardIndex::StructureExclusiveLock structure(index_,
+                                                         /*engage=*/false);
+      return erase_body(index_.shard_of(h), h, key);
+    }
     bool structural = false;
     {
-      const std::shared_lock structure(index_.structure_mutex());
+      const ShardIndex::StructureSharedLock structure(index_);
       const std::size_t i = index_.shard_of(h);
-      const ShardIndex::StripeSpanLock span = index_.lock_shard_span(i);
+      const ShardIndex::ShardSpanLock span(index_, i);
       ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
       if (bucket == nullptr) return false;
       for (std::size_t e = 0; e < bucket->entries.size(); ++e) {
@@ -480,7 +427,7 @@ class Store final : private placement::RelocationObserver {
       }
       if (!structural) return false;
     }
-    const std::unique_lock structure(index_.structure_mutex());
+    const ShardIndex::StructureExclusiveLock structure(index_);
     return erase_body(index_.shard_of(h), h, key);
   }
 
@@ -491,7 +438,7 @@ class Store final : private placement::RelocationObserver {
 
   /// The node currently responsible for `key` (replica rank 0).
   [[nodiscard]] placement::NodeId owner_of(const std::string& key) const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     COBALT_REQUIRE(backend_.node_count() >= 1, "the store has no nodes");
     return backend_.owner_of(hash_key(key));
   }
@@ -502,11 +449,9 @@ class Store final : private placement::RelocationObserver {
   [[nodiscard]] std::vector<placement::NodeId> replicas_of(
       const std::string& key) const {
     const HashIndex h = hash_key(key);
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
     const std::size_t i = index_.shard_of(h);
-    const detail::MaybeSharedLock stripe(
-        index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
+    const ShardIndex::StripeSharedLock stripe(index_, h, concurrent_);
     const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr || !bucket_holds(*bucket, key)) return {};
     return effective_replicas(index_.shard(i), *bucket);
@@ -518,13 +463,11 @@ class Store final : private placement::RelocationObserver {
   /// materialized replica is live (a data-loss window between a crash
   /// and its repair pass).
   [[nodiscard]] placement::NodeId read_node_of(const std::string& key) const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     const HashIndex h = hash_key(key);
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
     const std::size_t i = index_.shard_of(h);
-    const detail::MaybeSharedLock stripe(
-        index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
+    const ShardIndex::StripeSharedLock stripe(index_, h, concurrent_);
     const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr || !bucket_holds(*bucket, key)) {
       return placement::kInvalidNode;
@@ -544,16 +487,14 @@ class Store final : private placement::RelocationObserver {
   /// state-free.
   [[nodiscard]] placement::NodeId read_node_of(const std::string& key,
                                                ReadPolicy policy) const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     const HashIndex h = hash_key(key);
     static thread_local std::vector<placement::NodeId> live;
     live.clear();
     {
-      const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                              concurrent_);
+      const ShardIndex::StructureSharedLock structure(index_, concurrent_);
       const std::size_t i = index_.shard_of(h);
-      const detail::MaybeSharedLock stripe(
-          index_.stripe_mutex(ShardIndex::stripe_of(h)), concurrent_);
+      const ShardIndex::StripeSharedLock stripe(index_, h, concurrent_);
       const ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
       if (bucket == nullptr || !bucket_holds(*bucket, key)) {
         return placement::kInvalidNode;
@@ -565,7 +506,7 @@ class Store final : private placement::RelocationObserver {
     }
     if (live.empty()) return placement::kInvalidNode;
     if (policy == ReadPolicy::kPrimary) return live.front();
-    const detail::MaybeLockGuard guard(read_policy_mutex_, concurrent_);
+    const MaybeLockGuard guard(read_policy_mutex_, concurrent_);
     placement::NodeId chosen = live.front();
     if (policy == ReadPolicy::kRoundRobin) {
       chosen = live[static_cast<std::size_t>(read_rr_cursor_++) %
@@ -587,10 +528,9 @@ class Store final : private placement::RelocationObserver {
   /// mutated through backend() directly) this is one cached count per
   /// shard; the fallback re-derives the owner per bucket.
   [[nodiscard]] std::vector<std::size_t> keys_per_node() const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
-    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
+    const ShardIndex::AllStripesSharedLock stripes(index_, concurrent_);
     std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
     if (aligned_) {
       for (const ShardIndex::Shard& s : index_.shards()) {
@@ -621,10 +561,9 @@ class Store final : private placement::RelocationObserver {
   /// (shard, rank) - the materialized sets are per shard by
   /// construction.
   [[nodiscard]] std::vector<std::size_t> replica_copies_per_node() const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
-    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
+    const ShardIndex::AllStripesSharedLock stripes(index_, concurrent_);
     std::vector<std::size_t> counts(backend_.node_slot_count(), 0);
     for (const ShardIndex::Shard& s : index_.shards()) {
       if (s.entry_count == 0) continue;
@@ -648,9 +587,8 @@ class Store final : private placement::RelocationObserver {
   void for_each(const std::function<void(const std::string& key,
                                          const std::string& value)>& visit)
       const {
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
-    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
+    const ShardIndex::AllStripesSharedLock stripes(index_, concurrent_);
     for (const ShardIndex::Shard& s : index_.shards()) {
       for (const ShardIndex::Bucket& bucket : s.buckets) {
         for (const ShardIndex::Entry& entry : bucket.entries) {
@@ -668,11 +606,10 @@ class Store final : private placement::RelocationObserver {
       placement::NodeId node,
       const std::function<void(const std::string& key,
                                const std::string& value)>& visit) const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     COBALT_REQUIRE(node < backend_.node_slot_count(), "unknown node id");
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
-    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
+    const ShardIndex::AllStripesSharedLock stripes(index_, concurrent_);
     for (const ShardIndex::Shard& s : index_.shards()) {
       if (s.buckets.empty()) continue;
       const bool uniform = aligned_ && s.override_count == 0;
@@ -703,13 +640,10 @@ class Store final : private placement::RelocationObserver {
                                      const std::string& value)>& visit)
       const {
     if (first > last) return;
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
     for (std::size_t i = index_.shard_of(first);
-         i < index_.shard_count() && index_.shard(i).first <= last; ++i) {
-      const ShardIndex::StripeSpanLock span =
-          concurrent_ ? index_.lock_shard_span(i, /*shared=*/true)
-                      : ShardIndex::StripeSpanLock();
+         i < index_.shard_count() && index_.shard_first(i) <= last; ++i) {
+      const ShardIndex::ShardSpanSharedLock span(index_, i, concurrent_);
       const ShardIndex::Shard& s = index_.shard(i);
       auto it = std::lower_bound(
           s.buckets.begin(), s.buckets.end(), first,
@@ -728,51 +662,52 @@ class Store final : private placement::RelocationObserver {
   /// used by rebalancing tooling and tests).
   [[nodiscard]] std::size_t keys_in_range(HashIndex first,
                                           HashIndex last) const {
-    const detail::MaybeSharedLock structure(index_.structure_mutex(),
-                                            concurrent_);
-    const ShardIndex::StripeSpanLock stripes = all_stripes_shared();
+    const ShardIndex::StructureSharedLock structure(index_, concurrent_);
+    const ShardIndex::AllStripesSharedLock stripes(index_, concurrent_);
     return static_cast<std::size_t>(index_.count_range(first, last));
   }
 
   /// Relocation channel: keys whose primary owner changed, fed by the
   /// backend's range-level relocation events. Same struct for every
-  /// backend. The returned reference is the live struct - in
-  /// concurrent mode read it quiescently, or take
-  /// relocation_stats_snapshot() from racing threads.
-  [[nodiscard]] const placement::MigrationStats& relocation_stats() const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+  /// backend. Returns a coherent copy taken under the accounting lock
+  /// (after flushing pending events), so it is safe to call from any
+  /// thread in concurrent mode. It used to return a reference to the
+  /// live struct, which no lock inside the accessor can make safe -
+  /// the caller's field reads happen after the accessor returns.
+  [[nodiscard]] placement::MigrationStats relocation_stats() const {
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     flush_relocations();
+    const MaybeLockGuard acc(accounting_mutex_, concurrent_);
     return relocation_stats_;
   }
 
   /// Historical alias of relocation_stats() (pre-replication callers).
-  [[nodiscard]] const placement::MigrationStats& migration_stats() const {
+  [[nodiscard]] placement::MigrationStats migration_stats() const {
     return relocation_stats();
   }
 
   /// Re-replication channel: repair copies and correlated-failure
-  /// losses (see the header comment for how the channels relate). Live
-  /// reference; same concurrency caveat as relocation_stats().
-  [[nodiscard]] const ReplicationStats& replication_stats() const {
+  /// losses (see the header comment for how the channels relate).
+  /// Returns a coherent copy taken under the accounting lock, safe to
+  /// call from any thread in concurrent mode. The unsynchronized
+  /// live-reference version of this accessor was a data race against
+  /// put()'s fan-out accounting and the repair passes.
+  [[nodiscard]] ReplicationStats replication_stats() const {
+    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
+    const MaybeLockGuard acc(accounting_mutex_, concurrent_);
     return replication_stats_;
   }
 
-  /// A coherent copy of the relocation channel, safe to take from any
-  /// thread in concurrent mode (flushes pending events first, like the
-  /// reference accessor).
+  /// Alias of relocation_stats(), kept from when the reference
+  /// accessor was unsafe to call from racing threads and this was the
+  /// synchronized spelling.
   [[nodiscard]] placement::MigrationStats relocation_stats_snapshot() const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
-    flush_relocations();
-    const detail::MaybeLockGuard acc(accounting_mutex_, concurrent_);
-    return relocation_stats_;
+    return relocation_stats();
   }
 
-  /// A coherent copy of the re-replication channel, safe to take from
-  /// any thread in concurrent mode.
+  /// Alias of replication_stats() (see relocation_stats_snapshot()).
   [[nodiscard]] ReplicationStats replication_stats_snapshot() const {
-    const detail::MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
-    const detail::MaybeLockGuard acc(accounting_mutex_, concurrent_);
-    return replication_stats_;
+    return replication_stats();
   }
 
   /// Registers (or clears, with nullptr) the store event sink: the
@@ -833,6 +768,32 @@ class Store final : private placement::RelocationObserver {
     std::uint64_t lost = 0;
   };
 
+  /// One run of consecutive buckets sharing a desired replica set
+  /// (computed by a repair visit before any structural change).
+  struct DesiredRun {
+    HashIndex first_hash;  // hash of the run's first bucket
+    std::size_t buckets;
+    std::uint64_t entries;
+    std::vector<placement::NodeId> replicas;
+  };
+
+  /// One plan range's slice of a repair task (see repair_plan_parallel).
+  struct SpanWork {
+    std::size_t range_id;
+    HashIndex lo;
+    HashIndex hi;
+    RepairAcc acc;
+  };
+
+  /// One shard's worth of parallel repair work: the spans to walk and
+  /// the phase-B regroup payload the walk computed.
+  struct ShardWork {
+    std::size_t shard;
+    std::vector<SpanWork> spans;
+    std::vector<DesiredRun> runs;
+    bool regroup = false;
+  };
+
   [[nodiscard]] HashIndex hash_key(const std::string& key) const {
     return hashing::hash_bytes(algorithm_, key.data(), key.size());
   }
@@ -861,29 +822,24 @@ class Store final : private placement::RelocationObserver {
     return replication_ < live ? replication_ : live;
   }
 
-  /// Shared hold of every stripe in concurrent mode (the bulk read
-  /// surfaces), nothing in serial mode.
-  [[nodiscard]] ShardIndex::StripeSpanLock all_stripes_shared() const {
-    return concurrent_ ? index_.lock_all_stripes_shared()
-                       : ShardIndex::StripeSpanLock();
-  }
-
   /// Served-read count of `node` under the balancing policies (zero
-  /// until the node's first policy read). Requires read_policy_mutex_
-  /// in concurrent mode.
-  [[nodiscard]] std::uint64_t read_load(placement::NodeId node) const {
+  /// until the node's first policy read).
+  [[nodiscard]] std::uint64_t read_load(placement::NodeId node) const
+      COBALT_REQUIRES(read_policy_mutex_) {
     return node < reads_served_.size() ? reads_served_[node] : 0;
   }
 
   /// The write path proper: everything after the hash, against shard
-  /// `i`. Requires adequate cover: nothing in serial mode; in
-  /// concurrent mode either the shard's stripe span with no split
-  /// possible, or the exclusive structure lock. `writes` receives the
-  /// replica fan-out (the caller adds it to the stats under its own
-  /// accounting rules).
+  /// `i`. The claims encode the adequate cover: in concurrent mode
+  /// either the shard's stripe span with no split possible, or the
+  /// exclusive structure lock (which carries the stripe capability).
+  /// `writes` receives the replica fan-out (the caller adds it to the
+  /// stats under its own accounting rules).
   bool put_body(std::size_t i, HashIndex h, const std::string& key,
-                std::string&& value, std::vector<placement::NodeId>& scratch,
-                std::uint64_t& writes) {
+                std::string&& value, std::uint64_t& writes)
+      COBALT_REQUIRES_SHARED(backend_mutex_, index_.structure_mutex_)
+          COBALT_REQUIRES(index_.stripes_cap_) {
+    static thread_local std::vector<placement::NodeId> scratch;
     ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr) {
       // A new hash materializes its replica set now, exactly like the
@@ -921,10 +877,10 @@ class Store final : private placement::RelocationObserver {
     return true;
   }
 
-  /// The delete path proper. Requires nothing in serial mode, the
-  /// exclusive structure lock in concurrent mode (erasing a bucket can
-  /// merge shards).
-  bool erase_body(std::size_t i, HashIndex h, const std::string& key) {
+  /// The delete path proper. Claims the exclusive structure hold
+  /// (erasing a bucket can merge shards).
+  bool erase_body(std::size_t i, HashIndex h, const std::string& key)
+      COBALT_REQUIRES(index_.structure_mutex_, index_.stripes_cap_) {
     ShardIndex::Bucket* bucket = index_.find_bucket(i, h);
     if (bucket == nullptr) return false;
     for (std::size_t e = 0; e < bucket->entries.size(); ++e) {
@@ -945,47 +901,66 @@ class Store final : private placement::RelocationObserver {
   /// count_range, batched. Concurrent mode counts the event ranges in
   /// parallel on the pool (counting mutates nothing, and the shared
   /// stripe hold keeps writers out), then applies and emits serially
-  /// in event order - same totals, same sink stream. Callers hold
-  /// backend_mutex_ in some mode.
-  void flush_relocations() const {
-    if (pending_events_.empty()) return;
+  /// in event order - same totals, same sink stream.
+  ///
+  /// The nothing-pending fast path reads an atomic flag, not the event
+  /// vector: the vector is accounting-guarded, and racing flushers
+  /// (all under the shared backend hold) clear it under that lock - an
+  /// unlocked .empty() probe against it was a data race. The flag is
+  /// only raised under the exclusive backend hold (the observer
+  /// callbacks), so a shared-holding reader seeing it down is ordered
+  /// after the raise it might have missed.
+  void flush_relocations() const COBALT_REQUIRES_SHARED(backend_mutex_) {
+    if (!relocations_pending_.load(std::memory_order_acquire)) return;
+    const MaybeLockGuard acc(accounting_mutex_, concurrent_);
+    if (pending_events_.empty()) return;  // another flusher won the race
     if (!concurrent_) {
+      const ShardIndex::StructureSharedLock structure(index_,
+                                                      /*engage=*/false);
+      const ShardIndex::AllStripesSharedLock stripes(index_,
+                                                     /*engage=*/false);
       for (const PendingEvent& event : pending_events_) {
-        const std::uint64_t keys =
-            index_.count_range(event.first, event.last);
-        count_relocation(event, keys);
+        count_relocation(event, index_.count_range(event.first, event.last));
       }
-      pending_events_.clear();
-      return;
-    }
-    const std::lock_guard acc(accounting_mutex_);
-    if (pending_events_.empty()) return;
-    const std::size_t n = pending_events_.size();
-    std::vector<std::uint64_t> keys(n);
-    {
-      const std::shared_lock structure(index_.structure_mutex());
-      const ShardIndex::StripeSpanLock stripes =
-          index_.lock_all_stripes_shared();
-      if (n > 1) {
-        parallel_for(*pool_, n, [&](std::size_t e) {
-          keys[e] =
-              index_.count_range(pending_events_[e].first,
-                                 pending_events_[e].last);
-        });
-      } else {
-        keys[0] = index_.count_range(pending_events_[0].first,
-                                     pending_events_[0].last);
+    } else {
+      const std::size_t n = pending_events_.size();
+      std::vector<std::uint64_t> keys(n);
+      {
+        const ShardIndex::StructureSharedLock structure(index_);
+        const ShardIndex::AllStripesSharedLock stripes(index_);
+        if (n > 1) {
+          parallel_for(*pool_, n, [this, &keys](std::size_t e) {
+            count_pending_range(e, keys);
+          });
+        } else {
+          keys[0] = index_.count_range(pending_events_[0].first,
+                                       pending_events_[0].last);
+        }
       }
-    }
-    for (std::size_t e = 0; e < n; ++e) {
-      count_relocation(pending_events_[e], keys[e]);
+      for (std::size_t e = 0; e < n; ++e) {
+        count_relocation(pending_events_[e], keys[e]);
+      }
     }
     pending_events_.clear();
+    relocations_pending_.store(false, std::memory_order_release);
+  }
+
+  /// Counts one pending event's range, on a pool worker. The worker
+  /// runs under the flushing caller's shared structure and all-stripes
+  /// holds (parallel_for keeps the caller blocked until the barrier) -
+  /// a cross-thread cover outside the analysis' thread-local model,
+  /// hence the suppression. The walk takes no locks and mutates
+  /// nothing.
+  void count_pending_range(std::size_t e, std::vector<std::uint64_t>& keys)
+      const COBALT_NO_THREAD_SAFETY_ANALYSIS {
+    keys[e] = index_.count_range(pending_events_[e].first,
+                                 pending_events_[e].last);
   }
 
   /// Applies one counted relocation event to the stats channel and the
   /// sink (the shared tail of both flush modes).
-  void count_relocation(const PendingEvent& event, std::uint64_t keys) const {
+  void count_relocation(const PendingEvent& event, std::uint64_t keys) const
+      COBALT_REQUIRES(accounting_mutex_) {
     if (event.rebucket) {
       relocation_stats_.keys_rebucketed += keys;
     } else {
@@ -1009,7 +984,7 @@ class Store final : private placement::RelocationObserver {
   /// observer recorded). A change of the clamped replica target (the
   /// cluster crossing size k) invalidates every materialized set size,
   /// so the next pass falls back to a full scan.
-  void collect_dirty() {
+  void collect_dirty() COBALT_REQUIRES(backend_mutex_) {
     if (replication_ == 1) return;
     if (replica_target() != last_repair_target_) {
       full_dirty_ = true;
@@ -1027,15 +1002,24 @@ class Store final : private placement::RelocationObserver {
   /// survivor is counted lost. A full-scan fallback is the plan
   /// [0, kMaxIndex] through the same walk. Concurrent mode hands the
   /// plan to the shard-parallel pass (see repair_plan_parallel).
-  void rereplicate(bool crash) {
+  ///
+  /// The whole pass runs under the accounting lock in concurrent mode
+  /// (uncontended: the exclusive backend hold already excludes every
+  /// other accountant - the lock is for the analysis and for the
+  /// live-reference stats readers, which hold no backend cover).
+  void rereplicate(bool crash) COBALT_REQUIRES(backend_mutex_) {
     flush_relocations();
     if (backend_.node_count() == 0) {
       pending_repair_.clear();
       pending_dirty_.clear();
       return;
     }
+    const MaybeLockGuard acc_lock(accounting_mutex_, concurrent_);
     ++replication_stats_.rereplication_passes;
-    replication_stats_.repair_shards_total += index_.shard_count();
+    {
+      const ShardIndex::StructureSharedLock structure(index_, concurrent_);
+      replication_stats_.repair_shards_total += index_.shard_count();
+    }
     const std::size_t target = replica_target();
 
     bool full = false;
@@ -1069,11 +1053,13 @@ class Store final : private placement::RelocationObserver {
     if (concurrent_) {
       repair_plan_parallel(plan, target, crash);
     } else {
+      const ShardIndex::StructureExclusiveLock structure(index_,
+                                                         /*engage=*/false);
       for (const placement::HashRange& range : plan) {
         RepairAcc acc;
         std::size_t i = index_.shard_of(range.first);
         while (i < index_.shard_count() &&
-               index_.shard(i).first <= range.last) {
+               index_.shard_first(i) <= range.last) {
           ++replication_stats_.repair_shards_visited;
           i += repair_shard(i, range.first, range.last, target, crash, acc);
         }
@@ -1100,62 +1086,32 @@ class Store final : private placement::RelocationObserver {
   /// structure lock - splits are contained inside their own shard, so
   /// a running index offset is the only cross-shard effect.
   void repair_plan_parallel(const std::vector<placement::HashRange>& plan,
-                            std::size_t target, bool crash) {
-    struct SpanWork {
-      std::size_t range_id;
-      HashIndex lo;
-      HashIndex hi;
-      RepairAcc acc;
-    };
-    struct ShardWork {
-      std::size_t shard;
-      std::vector<SpanWork> spans;
-      std::vector<DesiredRun> runs;
-      bool regroup = false;
-    };
+                            std::size_t target, bool crash)
+      COBALT_REQUIRES(backend_mutex_, accounting_mutex_) {
     // Plan the walk up front against the pre-pass tiling: the serial
     // pass visits exactly these (shard, range) pairs - its splits are
     // always inside the range that caused them and are skipped by its
     // own walk. A shard straddling two plan ranges appears once, with
     // both spans, processed in range order.
     std::vector<ShardWork> work;
-    for (std::size_t r = 0; r < plan.size(); ++r) {
-      for (std::size_t i = index_.shard_of(plan[r].first);
-           i < index_.shard_count() && index_.shard(i).first <= plan[r].last;
-           ++i) {
-        if (work.empty() || work.back().shard != i) {
-          work.push_back({i, {}, {}, false});
+    {
+      const ShardIndex::StructureSharedLock structure(index_);
+      for (std::size_t r = 0; r < plan.size(); ++r) {
+        for (std::size_t i = index_.shard_of(plan[r].first);
+             i < index_.shard_count() &&
+             index_.shard_first(i) <= plan[r].last;
+             ++i) {
+          if (work.empty() || work.back().shard != i) {
+            work.push_back({i, {}, {}, false});
+          }
+          work.back().spans.push_back({r, plan[r].first, plan[r].last, {}});
+          ++replication_stats_.repair_shards_visited;
         }
-        work.back().spans.push_back({r, plan[r].first, plan[r].last, {}});
-        ++replication_stats_.repair_shards_visited;
       }
     }
-    parallel_for(*pool_, work.size(), [&](std::size_t t) {
-      ShardWork& task = work[t];
-      static thread_local std::vector<placement::NodeId> scratch;
-      const std::shared_lock structure(index_.structure_mutex());
-      const ShardIndex::StripeSpanLock span =
-          index_.lock_shard_span(task.shard);
-      ShardIndex::Shard& s = index_.shard(task.shard);
-      for (SpanWork& sp : task.spans) {
-        if (s.buckets.empty()) {
-          // Nothing to account; refresh the cached set so future puts
-          // in this range usually match it.
-          backend_.replica_set_into(s.first, target, scratch);
-          if (s.replicas != scratch) s.replicas = scratch;
-          continue;
-        }
-        if (sp.lo > s.first || sp.hi < index_.shard_last(task.shard)) {
-          patch_shard(s, sp.lo, sp.hi, target, crash, scratch, sp.acc);
-          continue;
-        }
-        // Full coverage: compute the desired runs now (read-only);
-        // the structural application waits for phase B. A fully
-        // covered shard lies inside its range, so this is always the
-        // task's only span.
-        compute_runs(s, target, crash, scratch, task.runs, sp.acc);
-        task.regroup = true;
-      }
+    parallel_for(*pool_, work.size(), [this, &work, target, crash](
+                                          std::size_t t) {
+      repair_shard_task(work[t], target, crash);
     });
     // Deterministic merge: per-range integer sums in task order, then
     // stats and sink emission in plan order - the same values, in the
@@ -1174,12 +1130,44 @@ class Store final : private placement::RelocationObserver {
                         per_range[r].lost, target);
     }
     {
-      const std::unique_lock structure(index_.structure_mutex());
+      const ShardIndex::StructureExclusiveLock structure(index_);
       std::size_t offset = 0;
       for (ShardWork& task : work) {
         if (!task.regroup) continue;
         offset += apply_runs(task.shard + offset, task.runs) - 1;
       }
+    }
+  }
+
+  /// One shard's phase-A repair work, on a pool worker: takes its own
+  /// shared structure hold and the shard's stripe span, walks the
+  /// task's spans, and leaves the accounting on the task (the merge
+  /// reads it after the barrier). The workers read the backend without
+  /// a claim: the coordinating membership thread holds backend_mutex_
+  /// exclusively for the whole pass, so the backend is frozen.
+  void repair_shard_task(ShardWork& task, std::size_t target, bool crash) {
+    static thread_local std::vector<placement::NodeId> scratch;
+    const ShardIndex::StructureSharedLock structure(index_);
+    const ShardIndex::ShardSpanLock span(index_, task.shard);
+    ShardIndex::Shard& s = index_.shard(task.shard);
+    for (SpanWork& sp : task.spans) {
+      if (s.buckets.empty()) {
+        // Nothing to account; refresh the cached set so future puts
+        // in this range usually match it.
+        backend_.replica_set_into(s.first, target, scratch);
+        if (s.replicas != scratch) s.replicas = scratch;
+        continue;
+      }
+      if (sp.lo > s.first || sp.hi < index_.shard_last(task.shard)) {
+        patch_shard(s, sp.lo, sp.hi, target, crash, scratch, sp.acc);
+        continue;
+      }
+      // Full coverage: compute the desired runs now (read-only);
+      // the structural application waits for phase B. A fully
+      // covered shard lies inside its range, so this is always the
+      // task's only span.
+      compute_runs(s, target, crash, scratch, task.runs, sp.acc);
+      task.regroup = true;
     }
   }
 
@@ -1193,15 +1181,6 @@ class Store final : private placement::RelocationObserver {
     if (copies == 0 && lost == 0) return;
     event_sink_->on_repair_batch(first, last, copies, lost, target);
   }
-
-  /// One run of consecutive buckets sharing a desired replica set
-  /// (computed by a repair visit before any structural change).
-  struct DesiredRun {
-    HashIndex first_hash;  // hash of the run's first bucket
-    std::size_t buckets;
-    std::uint64_t entries;
-    std::vector<placement::NodeId> replicas;
-  };
 
   /// Per-bucket repair accounting (identical to the seed's
   /// repair_bucket): counts lost keys at a crash and the repair copies
@@ -1231,11 +1210,13 @@ class Store final : private placement::RelocationObserver {
 
   /// Partial-coverage repair: patches only the buckets of `s` inside
   /// [lo, hi] (exactly the seed's ranged k = 1 walk), parking changed
-  /// sets on per-bucket overrides - no structural change. Requires the
-  /// shard's stripe span exclusively in concurrent mode.
+  /// sets on per-bucket overrides - no structural change. Claims the
+  /// shard's stripe span exclusively (via the stripe capability).
   void patch_shard(ShardIndex::Shard& s, HashIndex lo, HashIndex hi,
                    std::size_t target, bool crash,
-                   std::vector<placement::NodeId>& scratch, RepairAcc& acc) {
+                   std::vector<placement::NodeId>& scratch, RepairAcc& acc)
+      COBALT_REQUIRES_SHARED(index_.structure_mutex_)
+          COBALT_REQUIRES(index_.stripes_cap_) {
     auto it = std::lower_bound(
         s.buckets.begin(), s.buckets.end(), lo,
         [](const ShardIndex::Bucket& bucket, HashIndex value) {
@@ -1264,7 +1245,8 @@ class Store final : private placement::RelocationObserver {
   /// the shard; apply_runs() is the mutation half).
   void compute_runs(const ShardIndex::Shard& s, std::size_t target,
                     bool crash, std::vector<placement::NodeId>& scratch,
-                    std::vector<DesiredRun>& runs, RepairAcc& acc) const {
+                    std::vector<DesiredRun>& runs, RepairAcc& acc) const
+      COBALT_REQUIRES_SHARED(index_.structure_mutex_, index_.stripes_cap_) {
     for (const ShardIndex::Bucket& bucket : s.buckets) {
       const std::vector<placement::NodeId>& materialized =
           effective_replicas(s, bucket);
@@ -1291,9 +1273,10 @@ class Store final : private placement::RelocationObserver {
   /// Structural splits only when every piece is worth a shard
   /// (kMinArcBuckets average), bounding both the fragmentation and the
   /// splice cost. Consumes `runs` (moves the replica vectors out).
-  /// Requires the exclusive structure lock in concurrent mode. Returns
-  /// the number of shards the original was replaced by.
-  std::size_t apply_runs(std::size_t i, std::vector<DesiredRun>& runs) {
+  /// Claims the exclusive structure hold. Returns the number of shards
+  /// the original was replaced by.
+  std::size_t apply_runs(std::size_t i, std::vector<DesiredRun>& runs)
+      COBALT_REQUIRES(index_.structure_mutex_, index_.stripes_cap_) {
     ShardIndex::Shard& s = index_.shard(i);
     if (runs.size() == 1) {
       if (s.override_count != 0) {
@@ -1362,22 +1345,25 @@ class Store final : private placement::RelocationObserver {
   /// apply_runs). Returns the number of shards the original was
   /// replaced by.
   std::size_t repair_shard(std::size_t i, HashIndex lo, HashIndex hi,
-                           std::size_t target, bool crash, RepairAcc& acc) {
+                           std::size_t target, bool crash, RepairAcc& acc)
+      COBALT_REQUIRES(backend_mutex_, index_.structure_mutex_,
+                      index_.stripes_cap_) {
+    static thread_local std::vector<placement::NodeId> scratch;
     ShardIndex::Shard& s = index_.shard(i);
     if (s.buckets.empty()) {
       // Nothing to account; refresh the cached set so future puts
       // in this range usually match it (pure optimization - the
       // write path verifies anyway).
-      backend_.replica_set_into(s.first, target, scratch_);
-      if (s.replicas != scratch_) s.replicas = scratch_;
+      backend_.replica_set_into(s.first, target, scratch);
+      if (s.replicas != scratch) s.replicas = scratch;
       return 1;
     }
     if (lo > s.first || hi < index_.shard_last(i)) {
-      patch_shard(s, lo, hi, target, crash, scratch_, acc);
+      patch_shard(s, lo, hi, target, crash, scratch, acc);
       return 1;
     }
     runs_scratch_.clear();
-    compute_runs(s, target, crash, scratch_, runs_scratch_, acc);
+    compute_runs(s, target, crash, scratch, runs_scratch_, acc);
     return apply_runs(i, runs_scratch_);
   }
 
@@ -1386,10 +1372,20 @@ class Store final : private placement::RelocationObserver {
   // callbacks only record; counting is deferred to flush_relocations()
   // (one batched pass per membership event instead of a range walk per
   // callback). In concurrent mode the callbacks only ever fire on the
-  // membership thread, under its exclusive backend hold.
+  // membership thread, under its exclusive backend hold - the claim
+  // below. The base interface is unannotated (virtual dispatch is
+  // outside the analysis), so the claim checks these bodies, not the
+  // backend's call sites; the pending-event queue additionally takes
+  // the accounting lock, because flushers mutate it under only the
+  // *shared* backend hold.
   void on_relocate(HashIndex first, HashIndex last, placement::NodeId from,
-                   placement::NodeId to) override {
-    pending_events_.push_back({first, last, from, to, /*rebucket=*/false});
+                   placement::NodeId to) override
+      COBALT_REQUIRES(backend_mutex_) {
+    {
+      const MaybeLockGuard acc(accounting_mutex_, concurrent_);
+      pending_events_.push_back({first, last, from, to, /*rebucket=*/false});
+    }
+    relocations_pending_.store(true, std::memory_order_release);
     if (from != to) {
       aligned_ = false;
       // Remember where ownership changed so the k == 1 repair pass can
@@ -1402,9 +1398,14 @@ class Store final : private placement::RelocationObserver {
     }
   }
 
-  void on_rebucket(HashIndex first, HashIndex last) override {
-    pending_events_.push_back({first, last, placement::kInvalidNode,
-                               placement::kInvalidNode, /*rebucket=*/true});
+  void on_rebucket(HashIndex first, HashIndex last) override
+      COBALT_REQUIRES(backend_mutex_) {
+    {
+      const MaybeLockGuard acc(accounting_mutex_, concurrent_);
+      pending_events_.push_back({first, last, placement::kInvalidNode,
+                                 placement::kInvalidNode, /*rebucket=*/true});
+    }
+    relocations_pending_.store(true, std::memory_order_release);
     // A buddy merge may hand the odd half over *implicitly* (the DHT
     // adapters account that as rebucketing, not movement - see
     // dht_backend.hpp), so the k == 1 repair must check these ranges
@@ -1415,62 +1416,76 @@ class Store final : private placement::RelocationObserver {
     if (replication_ > 1 && !in_membership_) full_dirty_ = true;
   }
 
+  /// Unguarded by design: mutated only under the exclusive backend
+  /// hold (membership) and read by everyone - but through calls the
+  /// analysis cannot attribute to a capability (the backend is a
+  /// separate object). The linter's raw-lock rule plus the membership
+  /// claims in this header are the cover.
   Backend backend_;
   hashing::Algorithm algorithm_;
   std::size_t replication_;
   ShardIndex index_;
   /// Counted-batch consumer (protocol DES); see set_event_sink().
+  /// Unguarded: set while quiescent, read-only afterwards.
   StoreEventSink* event_sink_ = nullptr;
-  mutable placement::MigrationStats relocation_stats_;
-  ReplicationStats replication_stats_;
+  mutable placement::MigrationStats relocation_stats_
+      COBALT_GUARDED_BY(accounting_mutex_);
+  ReplicationStats replication_stats_ COBALT_GUARDED_BY(accounting_mutex_);
   /// Relocation events recorded but not yet counted (see
   /// flush_relocations()).
-  mutable std::vector<PendingEvent> pending_events_;
+  mutable std::vector<PendingEvent> pending_events_
+      COBALT_GUARDED_BY(accounting_mutex_);
+  /// Raised when an observer callback records a pending event, lowered
+  /// by the flush that counts them: the lock-free nothing-pending
+  /// probe of flush_relocations().
+  mutable std::atomic<bool> relocations_pending_{false};
   /// k == 1 repair plan: ownership-changing ranges of the in-flight
   /// membership event.
-  std::vector<placement::HashRange> pending_repair_;
+  std::vector<placement::HashRange> pending_repair_
+      COBALT_GUARDED_BY(backend_mutex_);
   /// k > 1 repair plan: the backends' replica_dirty_ranges, one
   /// collection per membership operation.
-  std::vector<placement::HashRange> pending_dirty_;
+  std::vector<placement::HashRange> pending_dirty_
+      COBALT_GUARDED_BY(backend_mutex_);
   /// Set when the clamped replica target changed since the last pass
   /// (materialized set sizes are stale everywhere) or a stray event
   /// arrived outside a store membership call: full-scan repair.
-  bool full_dirty_ = false;
+  bool full_dirty_ COBALT_GUARDED_BY(backend_mutex_) = false;
   /// True while a store membership call is driving the backend (events
   /// arriving outside are direct backend() mutations).
-  bool in_membership_ = false;
-  std::size_t last_repair_target_ = 0;
+  bool in_membership_ COBALT_GUARDED_BY(backend_mutex_) = false;
+  std::size_t last_repair_target_ COBALT_GUARDED_BY(backend_mutex_) = 0;
   /// True while every resident bucket's materialized rank 0 equals
   /// backend().owner_of (maintained by the repair passes; cleared by
   /// ownership-changing events until the next pass). Written only
   /// under the exclusive backend hold in concurrent mode; every reader
   /// holds it shared.
-  bool aligned_ = true;
-  /// Reusable replica_set_into buffer of the serial paths (no
-  /// allocation per bucket; the concurrent paths use thread-locals).
-  std::vector<placement::NodeId> scratch_;
+  bool aligned_ COBALT_GUARDED_BY(backend_mutex_) = true;
   /// Reusable desired-run buffer of the serial repair walk.
-  std::vector<DesiredRun> runs_scratch_;
+  std::vector<DesiredRun> runs_scratch_ COBALT_GUARDED_BY(backend_mutex_);
   /// Worker pool of the concurrent mode (nullptr = serial mode; see
-  /// set_thread_pool()).
+  /// set_thread_pool()). Unguarded: set while quiescent.
   ThreadPool* pool_ = nullptr;
   /// True while a pool is attached: every public call engages the
   /// threading-model locks. Serial mode skips them entirely - the
-  /// single-threaded paths stay the seed's, bit for bit.
+  /// single-threaded paths stay the seed's, bit for bit. Unguarded:
+  /// set while quiescent.
   bool concurrent_ = false;
   /// Membership/read lock of the concurrent mode: membership events
   /// hold it exclusively end to end; backend readers and accounting
   /// flushers hold it shared. Point gets never touch it.
-  mutable std::shared_mutex backend_mutex_;
+  mutable SharedMutex backend_mutex_;
   /// Orders the stats channels between holders of the shared backend
   /// lock (concurrent puts, snapshot readers); a membership event's
   /// exclusive backend hold already excludes every other accountant.
-  mutable std::mutex accounting_mutex_;
+  mutable Mutex accounting_mutex_;
   /// read_node_of(key, policy) state: the round-robin cursor and the
   /// per-node served-read loads (grown lazily).
-  mutable std::mutex read_policy_mutex_;
-  mutable std::uint64_t read_rr_cursor_ = 0;
-  mutable std::vector<std::uint64_t> reads_served_;
+  mutable Mutex read_policy_mutex_;
+  mutable std::uint64_t read_rr_cursor_
+      COBALT_GUARDED_BY(read_policy_mutex_) = 0;
+  mutable std::vector<std::uint64_t> reads_served_
+      COBALT_GUARDED_BY(read_policy_mutex_);
 };
 
 /// The store over the paper's local approach (the default deployment).

@@ -1,0 +1,173 @@
+// Runtime behaviour of the annotated lock wrappers
+// (common/thread_annotations.hpp) and the ShardIndex scoped capability
+// types: engaged wrappers must actually exclude a second thread, and
+// disengaged wrappers (serial mode) must be runtime no-ops. The
+// compile-time side of the same contract is covered by the
+// negative-compile fixtures in tests/static/.
+//
+// All probes run on a second thread: try_lock succeeding on the
+// owning thread says nothing for std::mutex (undefined) and is
+// guaranteed-false for std::shared_mutex writers, so cross-thread
+// observation is the only portable way to see the exclusion.
+
+#include <cstddef>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.hpp"
+#include "kv/shard_index.hpp"
+
+namespace {
+
+using cobalt::kv::ShardIndex;
+
+// Each probe joins before returning, so a `true` means the second
+// thread both acquired and released - no lock leaks across asserts.
+
+bool other_thread_can_lock(cobalt::Mutex& mutex) {
+  bool acquired = false;
+  std::thread probe([&] {
+    acquired = mutex.try_lock();
+    if (acquired) mutex.unlock();
+  });
+  probe.join();
+  return acquired;
+}
+
+bool other_thread_can_lock(cobalt::SharedMutex& mutex) {
+  bool acquired = false;
+  std::thread probe([&] {
+    acquired = mutex.try_lock();
+    if (acquired) mutex.unlock();
+  });
+  probe.join();
+  return acquired;
+}
+
+bool other_thread_can_lock_shared(cobalt::SharedMutex& mutex) {
+  bool acquired = false;
+  std::thread probe([&] {
+    acquired = mutex.try_lock_shared();
+    if (acquired) mutex.unlock_shared();
+  });
+  probe.join();
+  return acquired;
+}
+
+TEST(ThreadAnnotations, MaybeLockGuardEngagedExcludes) {
+  cobalt::Mutex mutex;
+  {
+    const cobalt::MaybeLockGuard guard(mutex, /*engage=*/true);
+    EXPECT_FALSE(other_thread_can_lock(mutex));
+  }
+  EXPECT_TRUE(other_thread_can_lock(mutex));  // released on scope exit
+}
+
+TEST(ThreadAnnotations, MaybeLockGuardDisengagedIsNoOp) {
+  cobalt::Mutex mutex;
+  const cobalt::MaybeLockGuard guard(mutex, /*engage=*/false);
+  EXPECT_TRUE(other_thread_can_lock(mutex));
+}
+
+TEST(ThreadAnnotations, MaybeUniqueLockEngagedExcludesReadersAndWriters) {
+  cobalt::SharedMutex mutex;
+  {
+    const cobalt::MaybeUniqueLock lock(mutex, /*engage=*/true);
+    EXPECT_FALSE(other_thread_can_lock(mutex));
+    EXPECT_FALSE(other_thread_can_lock_shared(mutex));
+  }
+  EXPECT_TRUE(other_thread_can_lock(mutex));
+}
+
+TEST(ThreadAnnotations, MaybeUniqueLockDisengagedIsNoOp) {
+  cobalt::SharedMutex mutex;
+  const cobalt::MaybeUniqueLock lock(mutex, /*engage=*/false);
+  EXPECT_TRUE(other_thread_can_lock(mutex));
+}
+
+TEST(ThreadAnnotations, MaybeSharedLockEngagedAdmitsReadersExcludesWriters) {
+  cobalt::SharedMutex mutex;
+  {
+    const cobalt::MaybeSharedLock lock(mutex, /*engage=*/true);
+    EXPECT_TRUE(other_thread_can_lock_shared(mutex));
+    EXPECT_FALSE(other_thread_can_lock(mutex));
+  }
+  EXPECT_TRUE(other_thread_can_lock(mutex));
+}
+
+TEST(ThreadAnnotations, MaybeSharedLockDisengagedIsNoOp) {
+  cobalt::SharedMutex mutex;
+  const cobalt::MaybeSharedLock lock(mutex, /*engage=*/false);
+  EXPECT_TRUE(other_thread_can_lock(mutex));
+}
+
+TEST(ThreadAnnotations, StructureLocksEngageGated) {
+  ShardIndex index;
+  {
+    const ShardIndex::StructureExclusiveLock structure(index,
+                                                       /*engage=*/true);
+    EXPECT_FALSE(other_thread_can_lock_shared(index.structure_mutex_));
+  }
+  {
+    const ShardIndex::StructureExclusiveLock structure(index,
+                                                       /*engage=*/false);
+    EXPECT_TRUE(other_thread_can_lock(index.structure_mutex_));
+  }
+  {
+    const ShardIndex::StructureSharedLock structure(index, /*engage=*/true);
+    EXPECT_TRUE(other_thread_can_lock_shared(index.structure_mutex_));
+    EXPECT_FALSE(other_thread_can_lock(index.structure_mutex_));
+  }
+  EXPECT_TRUE(other_thread_can_lock(index.structure_mutex_));
+}
+
+TEST(ThreadAnnotations, StripeSharedLockHoldsExactlyItsStripe) {
+  ShardIndex index;
+  // Hash 0 lives in stripe 0; stripe 1 must remain untouched.
+  {
+    const ShardIndex::StripeSharedLock stripe(index, /*hash=*/0,
+                                              /*engage=*/true);
+    EXPECT_FALSE(other_thread_can_lock(index.stripe_mutex(0)));
+    EXPECT_TRUE(other_thread_can_lock(index.stripe_mutex(1)));
+  }
+  {
+    const ShardIndex::StripeSharedLock stripe(index, /*hash=*/0,
+                                              /*engage=*/false);
+    EXPECT_TRUE(other_thread_can_lock(index.stripe_mutex(0)));
+  }
+  EXPECT_TRUE(other_thread_can_lock(index.stripe_mutex(0)));
+}
+
+TEST(ThreadAnnotations, ShardSpanLockCoversWholeSpanExclusively) {
+  ShardIndex index;  // one shard covering all of R_h -> all stripes
+  const ShardIndex::StructureSharedLock structure(index);
+  {
+    const ShardIndex::ShardSpanLock span(index, /*shard=*/0,
+                                         /*engage=*/true);
+    EXPECT_FALSE(other_thread_can_lock_shared(index.stripe_mutex(0)));
+    EXPECT_FALSE(other_thread_can_lock_shared(
+        index.stripe_mutex(ShardIndex::kLockStripes - 1)));
+  }
+  {
+    const ShardIndex::ShardSpanLock span(index, /*shard=*/0,
+                                         /*engage=*/false);
+    EXPECT_TRUE(other_thread_can_lock(index.stripe_mutex(0)));
+  }
+  EXPECT_TRUE(other_thread_can_lock(index.stripe_mutex(0)));
+}
+
+TEST(ThreadAnnotations, AllStripesSharedLockAdmitsReadersExcludesWriters) {
+  ShardIndex index;
+  const ShardIndex::StructureSharedLock structure(index);
+  {
+    const ShardIndex::AllStripesSharedLock stripes(index, /*engage=*/true);
+    for (std::size_t s = 0; s < ShardIndex::kLockStripes; ++s) {
+      EXPECT_TRUE(other_thread_can_lock_shared(index.stripe_mutex(s)));
+      EXPECT_FALSE(other_thread_can_lock(index.stripe_mutex(s)));
+    }
+  }
+  EXPECT_TRUE(other_thread_can_lock(index.stripe_mutex(0)));
+}
+
+}  // namespace

@@ -403,6 +403,111 @@ TYPED_TEST(StoreConcurrencySuite, PooledScanSeesAConsistentPerShardView) {
   EXPECT_EQ(low, store.keys_in_range(0, mid));
 }
 
+// Regression: flush_relocations() used to probe pending_events_.empty()
+// without the accounting lock as its fast path. Two concurrent
+// flushers - any mix of stats readers and writers, since every put
+// flushes - then raced the probe against the other's clear(). The fast
+// path is now an atomic pending flag and the container probe sits
+// behind the accounting lock, so this mix must be TSan-clean, and the
+// relocation totals must still come out exact (every flusher counts
+// each pending event exactly once or not at all).
+TEST(StoreRaceRegression, ConcurrentFlushersDoNotRaceThePendingProbe) {
+  auto store = make_store<KvStore>(1234, 2);
+  for (int n = 0; n < 5; ++n) store.add_node();
+  for (int i = 0; i < 300; ++i) {
+    store.put("flush" + std::to_string(i), "v");
+  }
+  ThreadPool pool(2);
+  store.set_thread_pool(&pool);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> flushers;
+  for (int f = 0; f < 2; ++f) {
+    flushers.emplace_back([&store, &stop, f] {
+      // Alternate the two flushing surfaces: the stats read and a
+      // mutation in a private key lane.
+      std::uint64_t last_total = 0;
+      int round = 0;
+      while (!stop.load(std::memory_order_relaxed) && round < 3000) {
+        const auto stats = store.relocation_stats();
+        ASSERT_GE(stats.keys_moved_total, last_total);  // totals only grow
+        last_total = stats.keys_moved_total;
+        store.put("f" + std::to_string(f) + "-" + std::to_string(round % 50),
+                  "v");
+        ++round;
+      }
+    });
+  }
+  // Churn keeps the observers enqueueing fresh pending events for the
+  // flushers to race over.
+  for (int event = 0; event < 8; ++event) {
+    if (event % 2 == 0) {
+      store.add_node();
+    } else {
+      store.remove_node(store.add_node());
+    }
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& t : flushers) t.join();
+
+  // Quiescent again: both spellings agree and the churn was counted.
+  const auto final_stats = store.relocation_stats();
+  EXPECT_GT(final_stats.keys_moved_total, 0u);
+  EXPECT_EQ(final_stats.keys_moved_total,
+            store.relocation_stats_snapshot().keys_moved_total);
+}
+
+// Regression: replication_stats() used to hand back a reference to the
+// live accounting struct with no lock anywhere, so polling it during a
+// membership pass read the counters while rereplicate() was writing
+// them. It now returns a copy taken under the accounting lock; a
+// poller must see TSan-clean, monotonically growing counters while
+// churn and writers run.
+TEST(StoreRaceRegression, ReplicationStatsPolledDuringChurnIsCoherent) {
+  auto store = make_store<KvStore>(4321, 3);
+  for (int n = 0; n < 5; ++n) store.add_node();
+  for (int i = 0; i < 300; ++i) {
+    store.put("repl" + std::to_string(i), "v");
+  }
+  ThreadPool pool(2);
+  store.set_thread_pool(&pool);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&store, &stop] {
+    int round = 0;
+    while (!stop.load(std::memory_order_relaxed) && round < 3000) {
+      store.put("w-" + std::to_string(round % 80), "v");
+      ++round;
+    }
+  });
+  std::thread poller([&store, &stop] {
+    ReplicationStats prev;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ReplicationStats now = store.replication_stats();
+      ASSERT_GE(now.replica_writes, prev.replica_writes);
+      ASSERT_GE(now.keys_rereplicated, prev.keys_rereplicated);
+      ASSERT_GE(now.rereplication_passes, prev.rereplication_passes);
+      prev = now;
+    }
+  });
+  for (int event = 0; event < 8; ++event) {
+    if (event % 2 == 0) {
+      store.add_node();
+    } else {
+      store.remove_node(store.add_node());
+    }
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  writer.join();
+  poller.join();
+
+  EXPECT_GT(store.replication_stats().rereplication_passes, 0u);
+  EXPECT_EQ(store.replication_stats().replica_writes,
+            store.replication_stats_snapshot().replica_writes);
+}
+
 TYPED_TEST(StoreConcurrencySuite, DetachReturnsToSerialMode) {
   auto store = make_store<TypeParam>(55, 2);
   store.add_node();

@@ -1,0 +1,35 @@
+// Linter fixture: the same RAII vocabulary as lock_order_inversion.cpp
+// but acquired in the documented order, plus a REQUIRES-seeded body -
+// scripts/check_lock_order.py --fixture must ACCEPT this file. Never
+// compiled; it keeps the linter honest in both directions (a linter
+// that rejects everything would also "catch" the inversion fixture).
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Ordered {
+ public:
+  void membership_then_stats() {
+    const cobalt::MaybeUniqueLock backend_lock(backend_mutex_, true);
+    const cobalt::MaybeLockGuard acc(accounting_mutex_, true);
+  }
+
+  // Sequential (non-nested) holds in a caller-claimed scope: the
+  // stripe hold ends before the read-policy hold begins.
+  void claimed_body() COBALT_REQUIRES_SHARED(backend_mutex_) {
+    {
+      const cobalt::MaybeLockGuard acc(accounting_mutex_, true);
+    }
+    {
+      const cobalt::MaybeLockGuard policy(read_policy_mutex_, true);
+    }
+  }
+
+ private:
+  mutable cobalt::SharedMutex backend_mutex_;
+  mutable cobalt::Mutex accounting_mutex_;
+  mutable cobalt::Mutex read_policy_mutex_;
+};
+
+}  // namespace

@@ -1,0 +1,27 @@
+// Linter fixture: a seeded acquisition-order inversion.
+//
+// Never compiled - scripts/check_lock_order.py --fixture must REJECT
+// this file (the ctest entry is marked WILL_FAIL). It acquires the
+// accounting lock first and the backend lock second, the inverse of
+// the documented DAG (backend -> accounting -> structure -> stripes),
+// using the store's own RAII vocabulary so the linter exercises the
+// same patterns it scans in src/.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Inverted {
+ public:
+  void stats_then_membership() {
+    const cobalt::MaybeLockGuard acc(accounting_mutex_, true);
+    // Inversion: backend must be outermost.
+    const cobalt::MaybeSharedLock backend_lock(backend_mutex_, true);
+  }
+
+ private:
+  mutable cobalt::SharedMutex backend_mutex_;
+  mutable cobalt::Mutex accounting_mutex_;
+};
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Positive control for the negative-compile harness: disciplined use
+// of the annotated wrappers and the ShardIndex scoped-capability
+// surface must compile cleanly under clang -Wthread-safety -Werror.
+//
+// If this target fails to build, the WILL_FAIL fixtures prove nothing
+// (any breakage would make them "fail" too), so the harness asserts
+// this one builds before trusting the others.
+
+#include <cstdint>
+
+#include "common/thread_annotations.hpp"
+#include "kv/shard_index.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const cobalt::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int read() {
+    const cobalt::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  cobalt::Mutex mutex_;
+  int value_ COBALT_GUARDED_BY(mutex_) = 0;
+};
+
+// The repo's own scoped types: a bulk read under structure-shared +
+// all-stripes-shared, exactly like the store's bulk accessors.
+std::uint64_t count_all(const cobalt::kv::ShardIndex& index) {
+  const cobalt::kv::ShardIndex::StructureSharedLock structure(index);
+  const cobalt::kv::ShardIndex::AllStripesSharedLock stripes(index);
+  return index.count_range(0, cobalt::HashSpace::kMaxIndex);
+}
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  const cobalt::kv::ShardIndex index;
+  return counter.read() + static_cast<int>(count_all(index));
+}

@@ -1,0 +1,37 @@
+// Negative-compile fixture: calling a REQUIRES-annotated helper
+// without holding the capability it names.
+//
+// This file must FAIL to compile under clang with -Wthread-safety
+// -Werror (the ctest entry building it is marked WILL_FAIL). It pins
+// the other half of the contract tsa_unguarded_field.cpp covers: not
+// just guarded fields, but lock-assuming helpers must be unreachable
+// without their claimed hold.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  // Missing hold: calling total_locked() here must trip the analysis.
+  long total_unlocked() { return total_locked(); }
+
+  long total_locked() COBALT_REQUIRES(mutex_) { return total_; }
+
+  void add(long amount) {
+    const cobalt::MutexLock lock(mutex_);
+    total_ += amount;
+  }
+
+ private:
+  cobalt::Mutex mutex_;
+  long total_ COBALT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.add(1);
+  return static_cast<int>(ledger.total_unlocked());
+}

@@ -1,0 +1,34 @@
+// Negative-compile fixture: mutating a GUARDED_BY field with no hold.
+//
+// This file must FAIL to compile under clang with -Wthread-safety
+// -Werror (the ctest entry building it is marked WILL_FAIL). If it
+// ever compiles, the annotation plumbing in
+// common/thread_annotations.hpp has silently stopped analyzing -
+// exactly the regression this harness exists to catch.
+
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // No lock taken: writing value_ here must trip the analysis.
+  void bump_unlocked() { ++value_; }
+
+  int read_locked() {
+    const cobalt::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  cobalt::Mutex mutex_;
+  int value_ COBALT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_unlocked();
+  return counter.read_locked();
+}
