@@ -210,6 +210,13 @@ enum class ReadPolicy {
   kLeastLoaded,
 };
 
+/// External per-node load signal for read_node_of(key, kLeastLoaded,
+/// probe): returns the instantaneous load of a node (e.g. its serving
+/// queue depth in a simulation, or an in-flight request gauge in a
+/// deployment). The probe runs under the store's shared backend hold
+/// and must not call back into the store.
+using NodeLoadProbe = std::function<std::uint64_t(placement::NodeId)>;
+
 /// A KV store over any placement backend.
 template <placement::PlacementBackend Backend>
 class Store final : private placement::RelocationObserver {
@@ -487,6 +494,18 @@ class Store final : private placement::RelocationObserver {
   /// state-free.
   [[nodiscard]] placement::NodeId read_node_of(const std::string& key,
                                                ReadPolicy policy) const {
+    return read_node_of(key, policy, NodeLoadProbe{});
+  }
+
+  /// Same as above with an external load `probe`: when set,
+  /// kLeastLoaded ranks the live replicas by the probe's instantaneous
+  /// load (e.g. serving queue depth) instead of the store's cumulative
+  /// served-read counters, ties broken by replica rank as before. The
+  /// other policies ignore the probe. Every policy read still counts
+  /// into the per-node served-read loads.
+  [[nodiscard]] placement::NodeId read_node_of(
+      const std::string& key, ReadPolicy policy,
+      const NodeLoadProbe& probe) const {
     const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     const HashIndex h = hash_key(key);
     static thread_local std::vector<placement::NodeId> live;
@@ -506,8 +525,23 @@ class Store final : private placement::RelocationObserver {
     }
     if (live.empty()) return placement::kInvalidNode;
     if (policy == ReadPolicy::kPrimary) return live.front();
-    const MaybeLockGuard guard(read_policy_mutex_, concurrent_);
     placement::NodeId chosen = live.front();
+    if (policy == ReadPolicy::kLeastLoaded && probe) {
+      // Probe outside the policy mutex: the callback is user code.
+      std::uint64_t best = probe(chosen);
+      for (std::size_t rank = 1; rank < live.size(); ++rank) {
+        const std::uint64_t load = probe(live[rank]);
+        if (load < best) {
+          best = load;
+          chosen = live[rank];
+        }
+      }
+      const MaybeLockGuard guard(read_policy_mutex_, concurrent_);
+      if (reads_served_.size() <= chosen) reads_served_.resize(chosen + 1, 0);
+      ++reads_served_[chosen];
+      return chosen;
+    }
+    const MaybeLockGuard guard(read_policy_mutex_, concurrent_);
     if (policy == ReadPolicy::kRoundRobin) {
       chosen = live[static_cast<std::size_t>(read_rr_cursor_++) %
                     live.size()];

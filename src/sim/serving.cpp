@@ -1,0 +1,276 @@
+// cobalt/sim/serving.cpp
+
+#include "sim/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace cobalt::sim {
+
+namespace {
+
+// Independent RNG streams derived from the run seed. The workload tag
+// is shared with workload_generator() so conservation tests can replay
+// the exact index sequence the sim consumed.
+constexpr std::uint64_t kWorkloadStream = 1;
+constexpr std::uint64_t kArrivalStream = 2;
+constexpr std::uint64_t kMixStream = 3;
+
+}  // namespace
+
+ServingSim::ServingSim(ServingSpec spec, std::uint64_t seed)
+    : spec_(spec),
+      workload_(spec.workload, derive_seed(seed, kWorkloadStream, 0)),
+      arrival_rng_(derive_seed(seed, kArrivalStream, 0)),
+      mix_rng_(derive_seed(seed, kMixStream, 0)),
+      outcome_(spec) {
+  COBALT_REQUIRE(spec_.requests > 0, "a serving run needs requests");
+  COBALT_REQUIRE(spec_.service_time_us > 0.0,
+                 "the per-request service time must be positive");
+  COBALT_REQUIRE(
+      spec_.write_fraction >= 0.0 && spec_.write_fraction <= 1.0,
+      "the write fraction must be in [0, 1]");
+  if (spec_.arrivals == ArrivalProcess::kOpenPoisson) {
+    COBALT_REQUIRE(spec_.arrival_rate_rps > 0.0,
+                   "open-loop arrivals need a positive rate");
+  } else {
+    COBALT_REQUIRE(spec_.clients > 0, "closed-loop arrivals need clients");
+  }
+}
+
+WorkloadGenerator ServingSim::workload_generator(const ServingSpec& spec,
+                                                 std::uint64_t seed) {
+  return WorkloadGenerator(spec.workload,
+                           derive_seed(seed, kWorkloadStream, 0));
+}
+
+cluster::SimTime ServingSim::expected_duration_us() const {
+  const auto requests = static_cast<double>(spec_.requests);
+  if (spec_.arrivals == ArrivalProcess::kOpenPoisson) {
+    return requests * 1e6 / spec_.arrival_rate_rps;
+  }
+  return requests * (spec_.service_time_us + spec_.think_time_us) /
+         static_cast<double>(spec_.clients);
+}
+
+void ServingSim::set_node_slowdown(placement::NodeId node, double factor) {
+  COBALT_REQUIRE(factor > 0.0, "a node slowdown factor must be positive");
+  ensure_node(node);
+  nodes_[node].slowdown = factor;
+}
+
+void ServingSim::add_repair_work(placement::NodeId node,
+                                 cluster::SimTime work_us) {
+  if (work_us <= 0.0) return;
+  enqueue_job(node, Job{nullptr, work_us});
+}
+
+void ServingSim::schedule(cluster::SimTime at, std::function<void()> action) {
+  queue_.schedule_at(at, std::move(action));
+}
+
+ServingOutcome ServingSim::run() {
+  COBALT_REQUIRE(!ran_, "a ServingSim runs once");
+  ran_ = true;
+  COBALT_REQUIRE(spec_.write_fraction >= 1.0 || read_router_,
+                 "serving reads needs a read router");
+  COBALT_REQUIRE(spec_.write_fraction <= 0.0 || write_router_,
+                 "serving writes needs a write router");
+  if (spec_.arrivals == ArrivalProcess::kOpenPoisson) {
+    schedule_next_open_arrival();
+  } else {
+    const std::size_t clients = std::min(spec_.clients, spec_.requests);
+    for (std::size_t c = 0; c < clients; ++c) {
+      queue_.schedule_at(0.0, [this] { issue_request(/*closed_loop=*/true); });
+    }
+  }
+  outcome_.makespan_us = queue_.run();
+  outcome_.nodes.clear();
+  outcome_.nodes.reserve(nodes_.size());
+  for (const NodeState& node : nodes_) outcome_.nodes.push_back(node.stats);
+  return outcome_;
+}
+
+void ServingSim::schedule_next_open_arrival() {
+  if (outcome_.issued >= spec_.requests) return;
+  // Exponential interarrival gap at the configured mean rate.
+  const double mean_gap_us = 1e6 / spec_.arrival_rate_rps;
+  const double gap = -std::log(1.0 - arrival_rng_.next_double()) * mean_gap_us;
+  queue_.schedule_after(gap, [this] {
+    issue_request(/*closed_loop=*/false);
+    schedule_next_open_arrival();
+  });
+}
+
+void ServingSim::schedule_closed_rearrival() {
+  queue_.schedule_after(spec_.think_time_us,
+                        [this] { issue_request(/*closed_loop=*/true); });
+}
+
+void ServingSim::issue_request(bool closed_loop) {
+  if (outcome_.issued >= spec_.requests) return;
+  ++outcome_.issued;
+  std::size_t index = workload_.next_index();
+  if (index_offset_ != 0) {
+    index = (index + index_offset_) % spec_.workload.key_count;
+  }
+  const std::string key = workload_.key_at(index);
+  // Skip the mix draw for pure streams so a read-only run consumes
+  // exactly one RNG draw per request from exactly one stream.
+  const bool is_write =
+      spec_.write_fraction > 0.0 &&
+      (spec_.write_fraction >= 1.0 ||
+       mix_rng_.next_double() < spec_.write_fraction);
+
+  auto pending = std::make_shared<PendingRequest>();
+  pending->arrival = queue_.now();
+  pending->closed_loop = closed_loop;
+
+  if (is_write) {
+    write_targets_.clear();
+    write_router_(key, write_targets_);
+    if (write_targets_.empty()) {
+      ++outcome_.failed;
+      if (closed_loop) schedule_closed_rearrival();
+      return;
+    }
+    pending->remaining = write_targets_.size();
+    for (const placement::NodeId node : write_targets_) {
+      enqueue_job(node, Job{pending, spec_.service_time_us});
+    }
+    return;
+  }
+
+  const placement::NodeId node = read_router_(key);
+  if (node == placement::kInvalidNode) {
+    ++outcome_.failed;
+    if (closed_loop) schedule_closed_rearrival();
+    return;
+  }
+  pending->remaining = 1;
+  enqueue_job(node, Job{std::move(pending), spec_.service_time_us});
+}
+
+void ServingSim::ensure_node(placement::NodeId node) {
+  COBALT_REQUIRE(node != placement::kInvalidNode,
+                 "serving jobs need a real node");
+  if (node >= nodes_.size()) nodes_.resize(node + 1);
+}
+
+void ServingSim::enqueue_job(placement::NodeId node, Job job) {
+  ensure_node(node);
+  NodeState& state = nodes_[node];
+  state.queue.push_back(std::move(job));
+  state.stats.max_queue_depth =
+      std::max(state.stats.max_queue_depth, state.queue.size());
+  if (!state.busy) begin_service(node);
+}
+
+void ServingSim::begin_service(placement::NodeId node) {
+  NodeState& state = nodes_[node];
+  state.busy = true;
+  const cluster::SimTime duration =
+      state.queue.front().work * state.slowdown;
+  queue_.schedule_after(
+      duration, [this, node, duration] { complete_service(node, duration); });
+}
+
+void ServingSim::complete_service(placement::NodeId node,
+                                  cluster::SimTime duration) {
+  NodeState& state = nodes_[node];
+  Job job = std::move(state.queue.front());
+  state.queue.pop_front();
+  state.stats.busy_us += duration;
+  if (job.request == nullptr) {
+    ++state.stats.repair_jobs;
+  } else {
+    ++state.stats.requests;
+    if (--job.request->remaining == 0) finish_request(*job.request);
+  }
+  if (!state.queue.empty()) {
+    begin_service(node);
+  } else {
+    state.busy = false;
+  }
+}
+
+void ServingSim::finish_request(const PendingRequest& request) {
+  ++outcome_.completed;
+  const cluster::SimTime latency = queue_.now() - request.arrival;
+  outcome_.latency.add(latency);
+  if (request.arrival < phase_mark_) {
+    outcome_.latency_before.add(latency);
+  } else {
+    outcome_.latency_after.add(latency);
+  }
+  if (request.closed_loop) schedule_closed_rearrival();
+}
+
+void RepairTrafficSink::on_relocation_batch(HashIndex first, HashIndex last,
+                                            placement::NodeId from,
+                                            placement::NodeId to,
+                                            std::uint64_t keys,
+                                            bool rebucket) {
+  (void)first;
+  (void)last;
+  if (rebucket || keys == 0) return;  // in-place re-indexing: no traffic
+  const cluster::SimTime work =
+      static_cast<cluster::SimTime>(keys) * per_key_us_;
+  // The sender streams the keys out, the receiver ingests them; an
+  // intra-node handover (from == to) charges its one node once.
+  charge(from, work);
+  if (to != from) charge(to, work);
+}
+
+void RepairTrafficSink::on_repair_batch(HashIndex first, HashIndex last,
+                                        std::uint64_t copies,
+                                        std::uint64_t lost,
+                                        std::size_t replicas) {
+  (void)last;
+  (void)lost;
+  (void)replicas;
+  if (copies == 0) return;
+  charge(source_of_(first),
+         static_cast<cluster::SimTime>(copies) * per_key_us_);
+}
+
+void RepairTrafficSink::charge(placement::NodeId node,
+                               cluster::SimTime work_us) {
+  if (node == placement::kInvalidNode || work_us <= 0.0) return;
+  total_work_us_ += work_us;
+  sim_.add_repair_work(node, work_us);
+}
+
+void write_latency_csv(const ServingOutcome& outcome,
+                       const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_header({"latency_floor_us", "count"});
+  const std::vector<std::uint64_t>& counts = outcome.latency.buckets();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    csv.write_numeric_row({outcome.latency.bucket_floor(i),
+                           static_cast<double>(counts[i])});
+  }
+  csv.write_row({"underflow",
+                 std::to_string(outcome.latency.underflow())});
+  csv.write_row({"overflow", std::to_string(outcome.latency.overflow())});
+}
+
+void write_node_csv(const ServingOutcome& outcome, const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_header(
+      {"node", "requests", "repair_jobs", "busy_us", "max_queue_depth"});
+  for (std::size_t n = 0; n < outcome.nodes.size(); ++n) {
+    const NodeServingStats& stats = outcome.nodes[n];
+    csv.write_numeric_row({static_cast<double>(n),
+                           static_cast<double>(stats.requests),
+                           static_cast<double>(stats.repair_jobs),
+                           stats.busy_us,
+                           static_cast<double>(stats.max_queue_depth)});
+  }
+}
+
+}  // namespace cobalt::sim

@@ -1,0 +1,400 @@
+// cobalt/sim/serving.hpp
+//
+// Request-level serving simulation: the missing half of the paper's
+// evaluation. The paper scores placement schemes by data movement and
+// protocol cost under "uniform data distributions ... and no hotspots
+// in the access to data" (section 5) and defers non-uniform access to
+// future work; this layer adds the request stream. A ServingSim drives
+// read/write traffic from a WorkloadGenerator through per-node FIFO
+// queues on the deterministic EventQueue and records per-request
+// latency, so "which scheme wins" becomes a p99 question instead of a
+// movement-count question.
+//
+// The queue model is deliberately minimal: one FIFO server per node,
+// constant service demand per request (scaled by a per-node slowdown
+// factor for gray-failure scenarios), open-loop Poisson or closed-loop
+// arrivals. Reads occupy one replica (chosen by the store's
+// ReadPolicy, optionally probing live queue depths); writes occupy
+// every replica and complete when the slowest copy finishes. Repair
+// traffic from membership events enters the same queues as priced
+// service jobs (RepairTrafficSink), so rebalancing visibly competes
+// with foreground requests for node capacity.
+//
+// Everything is deterministic from (spec, seed): the workload stream,
+// the arrival process and the read/write mix draw from independent
+// derived RNG streams, and the EventQueue breaks time ties by
+// scheduling order.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/event_queue.hpp"
+#include "cluster/network.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "kv/store.hpp"
+#include "kv/store_events.hpp"
+#include "placement/types.hpp"
+#include "sim/workload.hpp"
+
+namespace cobalt::sim {
+
+/// How requests enter the system.
+enum class ArrivalProcess {
+  /// Poisson arrivals at a fixed rate, independent of completions (an
+  /// internet-facing front end; queues grow without bound past
+  /// saturation).
+  kOpenPoisson,
+  /// A fixed population of clients, each issuing its next request
+  /// `think_time_us` after the previous one completes (a benchmark
+  /// driver; load self-limits at saturation).
+  kClosedLoop,
+};
+
+/// Parameters of one serving run.
+struct ServingSpec {
+  /// Key-access distribution of the request stream.
+  WorkloadSpec workload;
+
+  /// Total requests to issue.
+  std::size_t requests = 20000;
+
+  ArrivalProcess arrivals = ArrivalProcess::kOpenPoisson;
+
+  /// kOpenPoisson: mean arrival rate, requests per second.
+  double arrival_rate_rps = 100000.0;
+
+  /// kClosedLoop: concurrent clients and per-client think time.
+  std::size_t clients = 32;
+  cluster::SimTime think_time_us = 0.0;
+
+  /// Service demand of one request leg at a speed-1 node.
+  cluster::SimTime service_time_us = 50.0;
+
+  /// Fraction of requests that are writes (a write occupies every
+  /// replica of its key; latency is the slowest copy).
+  double write_fraction = 0.0;
+
+  /// Latency histogram range/resolution (microseconds; samples past
+  /// the max clamp into the last bucket).
+  cluster::SimTime histogram_max_us = 20000.0;
+  std::size_t histogram_buckets = 2000;
+};
+
+/// Per-node serving totals of one run.
+struct NodeServingStats {
+  std::uint64_t requests = 0;     ///< request legs served
+  std::uint64_t repair_jobs = 0;  ///< repair/relocation jobs served
+  cluster::SimTime busy_us = 0.0;
+  std::size_t max_queue_depth = 0;  ///< waiting + in service, peak
+};
+
+/// Result of one serving run.
+struct ServingOutcome {
+  explicit ServingOutcome(const ServingSpec& spec)
+      : latency(0.0, spec.histogram_max_us, spec.histogram_buckets),
+        latency_before(0.0, spec.histogram_max_us, spec.histogram_buckets),
+        latency_after(0.0, spec.histogram_max_us, spec.histogram_buckets) {}
+
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  /// Requests that found no servable node (key missing, or no live
+  /// materialized replica); they take no service time.
+  std::uint64_t failed = 0;
+  cluster::SimTime makespan_us = 0.0;
+
+  /// End-to-end request latency (arrival to last-leg completion).
+  Histogram latency;
+  /// The same samples split at the run's phase mark by *arrival* time
+  /// (identical to `latency` when no mark was set: everything lands in
+  /// `latency_before`).
+  Histogram latency_before;
+  Histogram latency_after;
+
+  std::vector<NodeServingStats> nodes;
+
+  [[nodiscard]] double p50() const { return latency.percentile(0.50); }
+  [[nodiscard]] double p99() const { return latency.percentile(0.99); }
+  [[nodiscard]] double p999() const { return latency.percentile(0.999); }
+};
+
+/// The request-level DES. Single-threaded and single-use: configure,
+/// attach routers, run() once.
+class ServingSim {
+ public:
+  /// Picks the node serving a read of `key`; kInvalidNode fails the
+  /// request (counted, no service time).
+  using ReadRouter = std::function<placement::NodeId(const std::string&)>;
+
+  /// Performs the write of `key` against the backing store and fills
+  /// `replicas` with the nodes holding a copy; an empty set fails the
+  /// request.
+  using WriteRouter =
+      std::function<void(const std::string&, std::vector<placement::NodeId>&)>;
+
+  ServingSim(ServingSpec spec, std::uint64_t seed);
+
+  void set_read_router(ReadRouter router) { read_router_ = std::move(router); }
+  void set_write_router(WriteRouter router) {
+    write_router_ = std::move(router);
+  }
+
+  /// Jobs at `node` right now (waiting + in service): the load signal
+  /// a queue-depth-aware read policy probes.
+  [[nodiscard]] std::uint64_t queue_depth(placement::NodeId node) const {
+    return node < nodes_.size() ? nodes_[node].queue.size() : 0;
+  }
+
+  /// Multiplies `node`'s service time by `factor` (> 1 is slower): the
+  /// gray-failure knob. Applies to jobs whose service starts after the
+  /// call.
+  void set_node_slowdown(placement::NodeId node, double factor);
+
+  /// Enqueues `work_us` of repair/relocation work at `node`, competing
+  /// FIFO with foreground requests (see RepairTrafficSink).
+  void add_repair_work(placement::NodeId node, cluster::SimTime work_us);
+
+  /// Schedules `action` at absolute sim time `at` (mid-run membership
+  /// events, hotspot shifts, ...).
+  void schedule(cluster::SimTime at, std::function<void()> action);
+
+  /// Splits the latency histograms at `at`: requests *arriving* before
+  /// the mark record into latency_before, the rest into latency_after.
+  void set_phase_mark(cluster::SimTime at) { phase_mark_ = at; }
+
+  /// Rotates the workload's key indexes by `offset` (mod key_count)
+  /// for requests issued from now on: a hotspot-shift storm moves the
+  /// hot set onto different keys without touching the generator state.
+  void set_index_offset(std::size_t offset) { index_offset_ = offset; }
+
+  [[nodiscard]] cluster::SimTime now() const { return queue_.now(); }
+
+  /// A load-independent estimate of the run's span (arrival horizon):
+  /// where to place mid-run events like joins or hotspot shifts.
+  [[nodiscard]] cluster::SimTime expected_duration_us() const;
+
+  /// Runs to completion (all arrivals issued, all queues drained).
+  ServingOutcome run();
+
+  /// The exact workload stream a ServingSim(spec, seed) consumes, for
+  /// replaying it in conservation tests.
+  [[nodiscard]] static WorkloadGenerator workload_generator(
+      const ServingSpec& spec, std::uint64_t seed);
+
+ private:
+  /// One request in flight: a read has one leg, a write one per
+  /// replica; latency is measured when the last leg completes.
+  struct PendingRequest {
+    cluster::SimTime arrival = 0.0;
+    std::size_t remaining = 0;
+    bool closed_loop = false;
+  };
+
+  /// One unit of node work; `request == nullptr` marks repair work.
+  struct Job {
+    std::shared_ptr<PendingRequest> request;
+    cluster::SimTime work = 0.0;
+  };
+
+  struct NodeState {
+    std::deque<Job> queue;  ///< front is in service while `busy`
+    bool busy = false;
+    double slowdown = 1.0;
+    NodeServingStats stats;
+  };
+
+  void ensure_node(placement::NodeId node);
+  void enqueue_job(placement::NodeId node, Job job);
+  void begin_service(placement::NodeId node);
+  void complete_service(placement::NodeId node, cluster::SimTime duration);
+  void finish_request(const PendingRequest& request);
+  void issue_request(bool closed_loop);
+  void schedule_next_open_arrival();
+  void schedule_closed_rearrival();
+
+  ServingSpec spec_;
+  cluster::EventQueue queue_;
+  WorkloadGenerator workload_;
+  Xoshiro256 arrival_rng_;
+  Xoshiro256 mix_rng_;
+  ReadRouter read_router_;
+  WriteRouter write_router_;
+  std::vector<NodeState> nodes_;
+  std::vector<placement::NodeId> write_targets_;
+  ServingOutcome outcome_;
+  cluster::SimTime phase_mark_ = std::numeric_limits<double>::infinity();
+  std::size_t index_offset_ = 0;
+  bool ran_ = false;
+};
+
+/// Prices a store's counted membership batches (relocations + repair
+/// copies) into serving-queue work, so rebalancing competes with
+/// foreground traffic for node capacity. Relocation batches charge
+/// `keys x per_key_us` to both endpoints (sender streams, receiver
+/// ingests); repair batches carry no node in the event stream, so the
+/// batch's source node is resolved through a caller-supplied callback
+/// (typically the backend's owner_of at the range start). For
+/// serial-mode stores only: the callbacks run inside the store's
+/// membership calls.
+class RepairTrafficSink final : public kv::StoreEventSink {
+ public:
+  using SourceResolver = std::function<placement::NodeId(HashIndex)>;
+
+  RepairTrafficSink(ServingSim& sim, SourceResolver source_of,
+                    cluster::SimTime per_key_us =
+                        cluster::NetworkModel{}.per_key_transfer_us)
+      : sim_(sim), source_of_(std::move(source_of)), per_key_us_(per_key_us) {}
+
+  void on_relocation_batch(HashIndex first, HashIndex last,
+                           placement::NodeId from, placement::NodeId to,
+                           std::uint64_t keys, bool rebucket) override;
+  void on_repair_batch(HashIndex first, HashIndex last, std::uint64_t copies,
+                       std::uint64_t lost, std::size_t replicas) override;
+
+  /// Total repair work enqueued so far, microseconds.
+  [[nodiscard]] cluster::SimTime total_work_us() const {
+    return total_work_us_;
+  }
+
+ private:
+  void charge(placement::NodeId node, cluster::SimTime work_us);
+
+  ServingSim& sim_;
+  SourceResolver source_of_;
+  cluster::SimTime per_key_us_;
+  cluster::SimTime total_work_us_ = 0.0;
+};
+
+/// Writes the full latency histogram as "latency_floor_us,count" rows
+/// (plus underflow/overflow tail rows), byte-deterministic per run.
+void write_latency_csv(const ServingOutcome& outcome, const std::string& path);
+
+/// Writes per-node serving totals:
+/// "node,requests,repair_jobs,busy_us,max_queue_depth".
+void write_node_csv(const ServingOutcome& outcome, const std::string& path);
+
+// --- store front-ends ------------------------------------------------
+//
+// The drivers below connect a kv::Store<Backend> to the sim: reads
+// route through the store's replica-aware read path with the sim's
+// queue depths as the load probe, writes go through the store and fan
+// out to the materialized replica set.
+
+/// Wires `store` as the sim's routing plane under `policy`.
+/// kLeastLoaded probes the sim's live queue depths.
+template <typename StoreT>
+void attach_store_routers(ServingSim& sim, StoreT& store,
+                          kv::ReadPolicy policy) {
+  sim.set_read_router([&sim, &store, policy](const std::string& key) {
+    return store.read_node_of(key, policy,
+                              [&sim](placement::NodeId node) {
+                                return sim.queue_depth(node);
+                              });
+  });
+  sim.set_write_router([&store](const std::string& key,
+                                std::vector<placement::NodeId>& replicas) {
+    store.put(key, "v");
+    replicas = store.replicas_of(key);
+  });
+}
+
+/// Inserts the workload's whole key population into `store`.
+template <typename StoreT>
+void preload_keys(StoreT& store, const WorkloadSpec& workload) {
+  const WorkloadGenerator gen(workload, /*seed=*/1);  // key_at only
+  for (std::size_t i = 0; i < workload.key_count; ++i) {
+    store.put(gen.key_at(i), "v");
+  }
+}
+
+/// Steady state: preload, serve the whole stream, no mid-run events.
+template <typename StoreT>
+ServingOutcome run_steady_serving(StoreT& store, const ServingSpec& spec,
+                                  kv::ReadPolicy policy, std::uint64_t seed) {
+  preload_keys(store, spec.workload);
+  ServingSim sim(spec, seed);
+  attach_store_routers(sim, store, policy);
+  return sim.run();
+}
+
+struct FlashCrowdOutcome {
+  ServingOutcome serving;
+  cluster::SimTime repair_work_us = 0.0;  ///< rebalancing work enqueued
+};
+
+/// Flash-crowd join: `joins` nodes join mid-stream while the
+/// relocation/repair batches they trigger are priced into the serving
+/// queues. latency_before/latency_after split the run at the join.
+template <typename StoreT>
+FlashCrowdOutcome run_flash_crowd(StoreT& store, const ServingSpec& spec,
+                                  kv::ReadPolicy policy, std::uint64_t seed,
+                                  std::size_t joins) {
+  preload_keys(store, spec.workload);
+  ServingSim sim(spec, seed);
+  attach_store_routers(sim, store, policy);
+  RepairTrafficSink sink(sim, [&store](HashIndex index) {
+    return store.backend().owner_of(index);
+  });
+  store.set_event_sink(&sink);
+  const cluster::SimTime mid = 0.5 * sim.expected_duration_us();
+  sim.set_phase_mark(mid);
+  sim.schedule(mid, [&store, joins] {
+    for (std::size_t j = 0; j < joins; ++j) store.add_node(1.0);
+  });
+  FlashCrowdOutcome out{sim.run(), sink.total_work_us()};
+  store.set_event_sink(nullptr);
+  return out;
+}
+
+/// Hotspot-shift storm: mid-stream, the workload's key indexes rotate
+/// by half the key space, so the hot set lands on different nodes.
+/// latency_before/latency_after split the run at the shift.
+template <typename StoreT>
+ServingOutcome run_hotspot_shift(StoreT& store, const ServingSpec& spec,
+                                 kv::ReadPolicy policy, std::uint64_t seed) {
+  preload_keys(store, spec.workload);
+  ServingSim sim(spec, seed);
+  attach_store_routers(sim, store, policy);
+  const cluster::SimTime mid = 0.5 * sim.expected_duration_us();
+  sim.set_phase_mark(mid);
+  sim.schedule(mid, [&sim, &spec] {
+    sim.set_index_offset(spec.workload.key_count / 2);
+  });
+  return sim.run();
+}
+
+struct SlowNodeOutcome {
+  ServingOutcome serving;
+  placement::NodeId slow_node = placement::kInvalidNode;
+};
+
+/// Gray failure: the most-loaded primary serves `slowdown` times
+/// slower (it answers, so it is never *failed* over). kLeastLoaded can
+/// route reads around its growing queue; kPrimary cannot.
+template <typename StoreT>
+SlowNodeOutcome run_slow_node(StoreT& store, const ServingSpec& spec,
+                              kv::ReadPolicy policy, std::uint64_t seed,
+                              double slowdown) {
+  preload_keys(store, spec.workload);
+  const std::vector<std::size_t> per_node = store.keys_per_node();
+  placement::NodeId victim = 0;
+  for (std::size_t n = 1; n < per_node.size(); ++n) {
+    if (per_node[n] > per_node[victim]) {
+      victim = static_cast<placement::NodeId>(n);
+    }
+  }
+  ServingSim sim(spec, seed);
+  attach_store_routers(sim, store, policy);
+  sim.set_node_slowdown(victim, slowdown);
+  return {sim.run(), victim};
+}
+
+}  // namespace cobalt::sim

@@ -389,6 +389,92 @@ TYPED_TEST(ReplicatedStoreSuite, LeastLoadedSpreadsAHotKeyEvenly) {
   }
 }
 
+TYPED_TEST(ReplicatedStoreSuite, LeastLoadedBreaksTiesByReplicaRank) {
+  auto store = make_store<TypeParam>(917, 3);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  store.put("hot", "v");
+  const std::vector<placement::NodeId> replicas = store.replicas_of("hot");
+  ASSERT_EQ(replicas.size(), 3u);
+  // All served-read loads start equal (zero), so ties decide every
+  // pick: the policy must fall back to replica-rank order, giving the
+  // exact sequence r0, r1, r2, r0, r1, r2 - not an arbitrary stable
+  // ordering.
+  for (int turn = 0; turn < 2; ++turn) {
+    for (std::size_t rank = 0; rank < replicas.size(); ++rank) {
+      EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kLeastLoaded),
+                replicas[rank])
+          << "turn " << turn << " rank " << rank;
+    }
+  }
+}
+
+TYPED_TEST(ReplicatedStoreSuite, RoundRobinCursorPersistsAcrossChurn) {
+  // The cursor is store-wide state: a membership event that changes
+  // the replica set must neither reset it nor leave it pointing at
+  // stale ranks - the next read indexes the *current* live set at
+  // cursor mod size. Three nodes at k=3 make the whole cluster the
+  // replica set, so a crash genuinely shrinks it (repair clamps to
+  // min(k, node_count) = 2) and a re-join grows it back.
+  auto store = make_store<TypeParam>(918, 3);
+  for (int n = 0; n < 3; ++n) store.add_node();
+  store.put("hot", "v");
+  const std::vector<placement::NodeId> replicas = store.replicas_of("hot");
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kRoundRobin), replicas[0]);
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kRoundRobin), replicas[1]);
+  // Crash one replica: the set shrinks to the two survivors.
+  const std::vector<placement::NodeId> rack = {replicas[2]};
+  ASSERT_EQ(store.fail_nodes(rack), 1u);
+  const std::vector<placement::NodeId> shrunk = store.replicas_of("hot");
+  ASSERT_EQ(shrunk.size(), 2u);
+  // Cursor continues from 2: picks land at 2 % 2 = 0, then 3 % 2 = 1.
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kRoundRobin), shrunk[0]);
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kRoundRobin), shrunk[1]);
+  // A join grows the set back to three; cursor continues from 4.
+  store.add_node();
+  const std::vector<placement::NodeId> grown = store.replicas_of("hot");
+  ASSERT_EQ(grown.size(), 3u);
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kRoundRobin),
+            grown[4 % 3]);
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kRoundRobin),
+            grown[5 % 3]);
+}
+
+TYPED_TEST(ReplicatedStoreSuite, LeastLoadedHonorsAnExternalLoadProbe) {
+  auto store = make_store<TypeParam>(919, 3);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  store.put("hot", "v");
+  const std::vector<placement::NodeId> replicas = store.replicas_of("hot");
+  ASSERT_EQ(replicas.size(), 3u);
+  // The probe's instantaneous loads override the store's cumulative
+  // served-read counters: rank 1 reports the shortest queue and must
+  // win every time, regardless of how often it already served.
+  std::vector<std::uint64_t> depth(store.backend().node_slot_count(), 7);
+  depth[replicas[0]] = 5;
+  depth[replicas[1]] = 2;
+  depth[replicas[2]] = 9;
+  const NodeLoadProbe probe = [&depth](placement::NodeId node) {
+    return depth[node];
+  };
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kLeastLoaded, probe),
+              replicas[1]);
+  }
+  // Equal probe loads tie-break by replica rank, like the unprobed
+  // policy.
+  depth.assign(depth.size(), 4);
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kLeastLoaded, probe),
+            replicas[0]);
+  // The other policies ignore the probe entirely.
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kPrimary, probe),
+            replicas[0]);
+  // Probed reads still counted into the served-read loads (three for
+  // rank 1, one each for ranks 0 picked above), so the unprobed
+  // policy sees rank 2 as least loaded next.
+  EXPECT_EQ(store.read_node_of("hot", ReadPolicy::kLeastLoaded),
+            replicas[2]);
+}
+
 TYPED_TEST(ReplicatedStoreSuite, BalancedReadsStayInsideTheLiveReplicaSet) {
   auto store = make_store<TypeParam>(916, 2);
   std::vector<placement::NodeId> nodes;

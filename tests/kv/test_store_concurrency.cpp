@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <optional>
@@ -376,6 +377,107 @@ TYPED_TEST(StoreConcurrencySuite, ContendedGetsPutsScansAndChurnStayExact) {
   EXPECT_EQ(snap.replica_writes, ref.replica_writes);
   EXPECT_EQ(snap.keys_rereplicated, ref.keys_rereplicated);
   EXPECT_EQ(snap.rereplication_passes, ref.rereplication_passes);
+}
+
+// Reader-heavy regime: a 31:1 get:put mix (the inverse of the
+// writer-heavy mixes above) across three threads, with each thread
+// periodically running a full scan and asserting *exact* per-key
+// consistency - every stable key visited exactly once per pass, never
+// duplicated into the visit stream and never hidden - while crash
+// repair and join relocation run on the pool underneath.
+TYPED_TEST(StoreConcurrencySuite, ReaderHeavyMixKeepsScansExactDuringRepair) {
+  auto store = make_store<TypeParam>(913, 3);
+  for (int n = 0; n < 5; ++n) store.add_node();
+  constexpr int kStable = 256;
+  for (int i = 0; i < kStable; ++i) {
+    store.put("stable" + std::to_string(i), "s" + std::to_string(i));
+  }
+  ThreadPool pool(2);
+  store.set_thread_pool(&pool);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rounds{0};
+  std::atomic<std::uint64_t> gets_ok{0};
+  std::atomic<std::uint64_t> scans_ok{0};
+  constexpr int kMaxRounds = 4096;
+
+  std::vector<std::thread> mixers;
+  for (int r = 0; r < 3; ++r) {
+    mixers.emplace_back([&store, &stop, &rounds, &gets_ok, &scans_ok, r] {
+      std::uint64_t ok = 0;
+      int round = 0;
+      while (!stop.load(std::memory_order_relaxed) && round < kMaxRounds) {
+        rounds.fetch_add(1, std::memory_order_relaxed);
+        if (round % 32 == 31) {
+          // The 1 in 31:1 - a put into this thread's private lane.
+          store.put(
+              "mix" + std::to_string(r) + "-" + std::to_string(round % 64),
+              "m");
+        } else {
+          const std::string key =
+              "stable" + std::to_string((round * 31 + r * 11) % kStable);
+          const auto value = store.get(key);
+          ASSERT_TRUE(value.has_value()) << key;
+          ASSERT_EQ(*value, "s" + key.substr(6)) << key;
+          ++ok;
+        }
+        if (round % 64 == 0) {
+          // Repair and relocation move stable keys between nodes, but
+          // a key's hash position never changes: a range scan must
+          // report each stable key exactly once per pass.
+          std::array<std::uint8_t, kStable> seen{};
+          store.scan(0, HashSpace::kMaxIndex,
+                     [&seen](const std::string& key, const std::string&) {
+                       if (key.rfind("stable", 0) == 0) {
+                         ++seen[std::stoul(key.substr(6))];
+                       }
+                     });
+          for (int i = 0; i < kStable; ++i) {
+            ASSERT_EQ(seen[static_cast<std::size_t>(i)], 1) << "stable" << i;
+          }
+          scans_ok.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++round;
+      }
+      gets_ok.fetch_add(ok);
+    });
+  }
+
+  const auto wait_for_mix_traffic = [&rounds, &stop] {
+    const std::uint64_t start = rounds.load(std::memory_order_relaxed);
+    for (int spin = 0; spin < 20000; ++spin) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      if (rounds.load(std::memory_order_relaxed) >= start + 100) return;
+      std::this_thread::yield();
+    }
+  };
+
+  // Repair drivers: alternating crashes and joins, each running the
+  // shard-parallel repair pass on the pool under the reader mix.
+  for (int event = 0; event < 4; ++event) {
+    wait_for_mix_traffic();
+    if (event % 2 == 0) {
+      const placement::NodeId victim =
+          static_cast<placement::NodeId>(event + 1);
+      if (store.backend().is_live(victim) &&
+          store.backend().node_count() > 3) {
+        const std::vector<placement::NodeId> dead{victim};
+        store.fail_nodes(dead);
+      }
+    } else {
+      store.add_node();
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : mixers) t.join();
+
+  EXPECT_GT(gets_ok.load(), 0u);
+  EXPECT_GT(scans_ok.load(), 0u);
+  for (int i = 0; i < kStable; i += 19) {
+    const std::string key = "stable" + std::to_string(i);
+    EXPECT_EQ(store.get(key),
+              std::optional<std::string>("s" + std::to_string(i)));
+  }
 }
 
 TYPED_TEST(StoreConcurrencySuite, PooledScanSeesAConsistentPerShardView) {

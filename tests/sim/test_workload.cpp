@@ -101,6 +101,71 @@ TEST(Workload, ValidatesSpec) {
   EXPECT_THROW(WorkloadGenerator(bad_hot, 1), InvalidArgument);
 }
 
+TEST(Workload, SingleKeyAlwaysReturnsIndexZero) {
+  for (const auto d : {KeyDistribution::kUniform, KeyDistribution::kZipf,
+                       KeyDistribution::kHotspot,
+                       KeyDistribution::kSequential}) {
+    WorkloadGenerator gen(spec_of(d, 1), 11);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(gen.next_index(), 0u) << "distribution "
+                                      << static_cast<int>(d);
+    }
+    EXPECT_EQ(gen.key_at(0), "key/0");
+  }
+}
+
+TEST(Workload, HotspotWithAllKeysHotDegeneratesToUniform) {
+  // hot_key_fraction = 1 makes the hot set the whole key space: both
+  // branches of the draw collapse to a uniform pick.
+  WorkloadSpec spec = spec_of(KeyDistribution::kHotspot, 1000);
+  spec.hot_key_fraction = 1.0;
+  spec.hot_access_fraction = 0.90;
+  WorkloadGenerator gen(spec, 12);
+  const double skew = measure_skew(gen, 50000, 0.10);
+  EXPECT_NEAR(skew, 0.12, 0.04);
+}
+
+TEST(Workload, HotspotAccessFractionPinsTheBoundaries) {
+  // hot_access_fraction = 1: every draw lands in the hot set;
+  // hot_access_fraction = 0: every draw lands in the cold set.
+  WorkloadSpec spec = spec_of(KeyDistribution::kHotspot, 100);
+  spec.hot_key_fraction = 0.10;
+  spec.hot_access_fraction = 1.0;
+  WorkloadGenerator hot(spec, 13);
+  for (int i = 0; i < 2000; ++i) ASSERT_LT(hot.next_index(), 10u);
+  spec.hot_access_fraction = 0.0;
+  WorkloadGenerator cold(spec, 14);
+  for (int i = 0; i < 2000; ++i) ASSERT_GE(cold.next_index(), 10u);
+}
+
+TEST(Workload, ZipfRankFrequencyDecaysMonotonically) {
+  // Zipf(s=1): rank r draws ~ 1/r of the mass, so the *average*
+  // per-rank frequency halves from each octave band [2^j, 2^(j+1)) to
+  // the next. Asserting a >= 1.4x drop between consecutive band
+  // averages pins the 1/rank shape while staying robust to per-rank
+  // sampling noise in the tail.
+  WorkloadGenerator gen(spec_of(KeyDistribution::kZipf, 64), 15);
+  std::vector<std::size_t> counts(64, 0);
+  constexpr std::size_t kDraws = 200000;
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[gen.next_index()];
+  // Rank 1 (index 0) carries 1/H_64 of the mass.
+  double h64 = 0.0;
+  for (std::size_t r = 1; r <= 64; ++r) h64 += 1.0 / static_cast<double>(r);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 1.0 / h64, 0.01);
+  std::vector<double> band_avg;
+  for (std::size_t lo = 1; lo < 64; lo *= 2) {
+    // Octave of 1-based ranks [lo, 2*lo) = indices [lo-1, 2*lo-1).
+    double sum = 0.0;
+    for (std::size_t rank = lo; rank < 2 * lo; ++rank) {
+      sum += static_cast<double>(counts[rank - 1]);
+    }
+    band_avg.push_back(sum / static_cast<double>(lo));
+  }
+  for (std::size_t band = 1; band < band_avg.size(); ++band) {
+    EXPECT_GT(band_avg[band - 1], 1.4 * band_avg[band]) << "band " << band;
+  }
+}
+
 TEST(Workload, MeasureSkewValidation) {
   WorkloadGenerator gen(spec_of(KeyDistribution::kUniform), 9);
   EXPECT_THROW((void)measure_skew(gen, 0, 0.1), InvalidArgument);
