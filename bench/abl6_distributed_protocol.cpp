@@ -13,13 +13,22 @@
 // Shares the harness conventions: --runs/--vnodes/--seed, --csv=DIR
 // (writes abl6.csv: makespan and messages per Vmin over the snodes
 // axis), --chart=off, --checks=off.
+//
+// The closing section widens message-level coverage from the DHT
+// pair to all seven schemes: each scheme's recorded churn log is
+// executed message by message through a clean cluster::FaultPlan and
+// must reproduce its own priced schedule exactly (messages and
+// makespan) - the same executor abl11 then runs under faults.
 
+#include <cmath>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cluster/distributed.hpp"
 #include "common/table.hpp"
+#include "kv/store.hpp"
+#include "sim/protocol_cost.hpp"
 #include "support/figure.hpp"
 
 int main(int argc, char** argv) {
@@ -112,6 +121,83 @@ int main(int argc, char** argv) {
                 cobalt::format_fixed(makespan_small_vmin / 1000.0, 1) +
                 "ms < " +
                 cobalt::format_fixed(makespan_large_vmin / 1000.0, 1) + "ms");
+
+  // --- message-level execution across all seven schemes --------------
+  // The sections above execute the creation protocol of the DHT pair;
+  // here every scheme's store-level churn log goes through the
+  // message-level executor on a clean fault plan, which must
+  // reproduce the priced DES schedule bit for bit (messages) and to
+  // float tolerance (makespan).
+  {
+    const std::size_t population = 16;
+    const std::size_t cycles = 8;
+    std::vector<std::string> churn_keys;
+    churn_keys.reserve(1500);
+    for (std::size_t i = 0; i < 1500; ++i) {
+      churn_keys.push_back("key-" + std::to_string(i));
+    }
+    cobalt::TextTable exec_table({"scheme", "rounds", "messages",
+                                  "makespan (ms)", "exact"});
+    const cobalt::cluster::FaultPlan clean_plan(fig.seed());
+
+    const auto exec_scheme = [&](const std::string& name, std::uint64_t tag,
+                                 const auto& factory) {
+      auto store = factory(cobalt::derive_seed(fig.seed(), tag, 0));
+      const auto out = cobalt::sim::run_faulty_protocol_churn(
+          store, population, cycles, churn_keys,
+          cobalt::derive_seed(fig.seed(), tag, 0), clean_plan);
+      const bool exact =
+          out.exec.retries == 0 && out.exec.aborted_rounds == 0 &&
+          out.exec.messages_sent == out.clean_messages &&
+          out.exec.messages_sent == out.clean_schedule.messages &&
+          std::fabs(out.exec.makespan_us - out.clean_schedule.makespan_us) <=
+              1e-6 * std::max(1.0, out.clean_schedule.makespan_us);
+      exec_table.add_row(
+          {name, std::to_string(out.exec.rounds),
+           std::to_string(out.exec.messages_sent),
+           cobalt::format_fixed(out.exec.makespan_us / 1000.0, 2),
+           exact ? "yes" : "NO"});
+      fig.check(exact, name +
+                           ": message-level execution reproduces the "
+                           "priced schedule exactly (" +
+                           std::to_string(out.exec.messages_sent) +
+                           " messages)");
+    };
+
+    const std::uint64_t scheme_pmin = pmin;
+    exec_scheme("local", 60, [&](std::uint64_t seed) {
+      cobalt::dht::Config config;
+      config.pmin = scheme_pmin;
+      config.vmin = vmins.front();
+      config.seed = seed;
+      return cobalt::kv::KvStore({config, 1}, 2);
+    });
+    exec_scheme("global", 61, [&](std::uint64_t seed) {
+      cobalt::dht::Config config;
+      config.pmin = scheme_pmin;
+      config.vmin = 1;
+      config.seed = seed;
+      return cobalt::kv::GlobalKvStore({config, 1}, 2);
+    });
+    exec_scheme("ch", 62, [&](std::uint64_t seed) {
+      return cobalt::kv::ChKvStore(
+          {seed, static_cast<std::size_t>(scheme_pmin)}, 2);
+    });
+    exec_scheme("hrw", 63, [&](std::uint64_t seed) {
+      return cobalt::kv::HrwKvStore({seed, 14u}, 2);
+    });
+    exec_scheme("jump", 64, [&](std::uint64_t seed) {
+      return cobalt::kv::JumpKvStore({seed, 14u}, 2);
+    });
+    exec_scheme("maglev", 65, [&](std::uint64_t seed) {
+      return cobalt::kv::MaglevKvStore({seed, 14u}, 2);
+    });
+    exec_scheme("bounded-ch", 66, [&](std::uint64_t seed) {
+      return cobalt::kv::BoundedChKvStore(
+          {seed, static_cast<std::size_t>(scheme_pmin), 0.1, 14u}, 2);
+    });
+    std::cout << exec_table.render();
+  }
 
   return fig.exit_code();
 }

@@ -1,0 +1,522 @@
+#include "cluster/fault_injection.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cobalt::cluster {
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+
+void FaultPlan::set_default_link(LinkFaults faults) { default_link_ = faults; }
+
+void FaultPlan::set_link(placement::NodeId from, placement::NodeId to,
+                         LinkFaults faults) {
+  for (auto& entry : overrides_) {
+    if (entry.from == from && entry.to == to) {
+      entry.faults = faults;
+      return;
+    }
+  }
+  overrides_.push_back({from, to, faults});
+}
+
+void FaultPlan::add_crash_window(placement::NodeId node, SimTime crash_at,
+                                 SimTime recover_at) {
+  COBALT_REQUIRE(recover_at > crash_at,
+                 "crash window must end after it starts");
+  crashes_.push_back({node, crash_at, recover_at});
+}
+
+void FaultPlan::add_partition(std::string name, SimTime start, SimTime end,
+                              std::vector<placement::NodeId> side) {
+  COBALT_REQUIRE(end > start, "partition episode must end after it starts");
+  COBALT_REQUIRE(!side.empty(), "partition side must contain nodes");
+  std::sort(side.begin(), side.end());
+  partitions_.push_back({std::move(name), start, end, std::move(side)});
+}
+
+namespace {
+
+[[nodiscard]] bool on_side(const PartitionEpisode& episode,
+                           placement::NodeId node) {
+  return std::binary_search(episode.side.begin(), episode.side.end(), node);
+}
+
+[[nodiscard]] bool episode_active(const PartitionEpisode& episode,
+                                  SimTime at) {
+  return at >= episode.start && at < episode.end;
+}
+
+}  // namespace
+
+bool FaultPlan::node_down(placement::NodeId node, SimTime at) const {
+  for (const auto& window : crashes_) {
+    if (window.node == node && at >= window.crash_at &&
+        at < window.recover_at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::link_cut(placement::NodeId a, placement::NodeId b,
+                         SimTime at) const {
+  for (const auto& episode : partitions_) {
+    if (episode_active(episode, at) && on_side(episode, a) != on_side(episode, b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::available(placement::NodeId node, SimTime at) const {
+  if (node_down(node, at)) return false;
+  for (const auto& episode : partitions_) {
+    if (episode_active(episode, at) && on_side(episode, node)) return false;
+  }
+  return true;
+}
+
+SimTime FaultPlan::next_available(placement::NodeId node, SimTime at) const {
+  if (available(node, at)) return at;
+  // Availability can only flip back on at a window boundary: collect the
+  // recovery/episode ends past `at` and probe them in order.
+  std::vector<SimTime> candidates;
+  for (const auto& window : crashes_) {
+    if (window.node == node && window.recover_at > at) {
+      candidates.push_back(window.recover_at);
+    }
+  }
+  for (const auto& episode : partitions_) {
+    if (on_side(episode, node) && episode.end > at) {
+      candidates.push_back(episode.end);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (SimTime boundary : candidates) {
+    if (available(node, boundary)) return boundary;
+  }
+  return std::numeric_limits<SimTime>::infinity();
+}
+
+const LinkFaults& FaultPlan::link(placement::NodeId from,
+                                  placement::NodeId to) const {
+  for (const auto& entry : overrides_) {
+    if (entry.from == from && entry.to == to) return entry.faults;
+  }
+  return default_link_;
+}
+
+double FaultPlan::uniform(placement::NodeId from, placement::NodeId to,
+                          std::uint64_t token, std::uint64_t tag) const {
+  std::uint64_t h = seed_ ^ mix64(token);
+  h = mix64(h ^ ((static_cast<std::uint64_t>(from) << 32) |
+                 static_cast<std::uint64_t>(to)));
+  h = mix64(h ^ tag);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+namespace {
+// Per-purpose stream tags keep the drop / duplicate / jitter draws of
+// one token independent.
+constexpr std::uint64_t kDropTag = 0xD509'0F0F'D509'0F0FULL;
+constexpr std::uint64_t kDuplicateTag = 0xD0B1'1CA7'D0B1'1CA7ULL;
+constexpr std::uint64_t kJitterTag = 0x1177'E400'1177'E400ULL;
+}  // namespace
+
+bool FaultPlan::dropped(placement::NodeId from, placement::NodeId to,
+                        std::uint64_t token) const {
+  const double p = link(from, to).drop;
+  return p > 0.0 && uniform(from, to, token, kDropTag) < p;
+}
+
+bool FaultPlan::duplicated(placement::NodeId from, placement::NodeId to,
+                           std::uint64_t token) const {
+  const double p = link(from, to).duplicate;
+  return p > 0.0 && uniform(from, to, token, kDuplicateTag) < p;
+}
+
+SimTime FaultPlan::jitter_us(placement::NodeId from, placement::NodeId to,
+                             std::uint64_t token) const {
+  const SimTime span = link(from, to).delay_jitter_us;
+  if (span <= 0.0) return 0.0;
+  return span * uniform(from, to, token, kJitterTag);
+}
+
+// ---------------------------------------------------------------------------
+// Message-level executor
+
+std::uint64_t clean_message_count(std::span<const FaultRound> rounds) {
+  std::uint64_t total = 0;
+  for (const auto& round : rounds) {
+    if (round.participants.empty()) continue;
+    total += 2 * round.participants.size() + round.payload_ranges;
+  }
+  return total;
+}
+
+namespace {
+
+// Message-purpose tags folded into transmission tokens.
+enum class Leg : std::uint64_t {
+  kSyncRequest = 1,
+  kSyncAck = 2,
+  kBulk = 3,
+  kBackoff = 4,
+};
+
+[[nodiscard]] std::uint64_t leg_token(std::uint64_t uid, Leg purpose,
+                                      std::uint64_t leg,
+                                      std::uint64_t attempt) {
+  std::uint64_t h = mix64(uid ^ (static_cast<std::uint64_t>(purpose) << 56));
+  return mix64(h ^ (leg << 20) ^ attempt);
+}
+
+/// One in-flight round: the spec plus per-leg retry state. Events hold
+/// shared ownership and check `aborted` before acting, so an abort
+/// quiesces the round without event cancellation.
+struct RoundState {
+  FaultRound spec;
+  std::uint64_t uid = 0;
+  std::size_t replans_used = 0;
+  bool aborted = false;
+
+  std::vector<std::uint32_t> sync_attempt;  // per participant
+  std::vector<char> sync_done;
+  std::size_t sync_pending = 0;
+
+  std::vector<std::uint32_t> bulk_attempt;  // per payload range
+  std::vector<char> bulk_done;
+  std::size_t bulks_pending = 0;
+  SimTime payload_start = 0.0;
+};
+
+class Executor {
+ public:
+  Executor(const FaultPlan& plan, const FaultExecutorOptions& options)
+      : plan_(plan), opts_(options) {
+    validate(opts_.backoff);
+    if (opts_.rpc_timeout_us <= 0.0) {
+      opts_.rpc_timeout_us = 4.0 * opts_.network.one_hop_latency_us;
+    }
+    if (opts_.replan_delay_us <= 0.0) {
+      opts_.replan_delay_us = opts_.backoff.cap_us;
+    }
+  }
+
+  FaultExecOutcome run(std::span<const FaultRound> rounds) {
+    std::uint64_t uid = 0;
+    for (const auto& spec : rounds) {
+      auto state = std::make_shared<RoundState>();
+      state->spec = spec;
+      state->uid = ++uid;
+      queue_.schedule_at(spec.arrival,
+                         [this, state] { admit(std::move(state)); });
+    }
+    queue_.run();
+    // queue_.run()'s return includes stale no-op timeouts; the makespan
+    // is the last round resolution instead.
+    outcome_.makespan_us = makespan_;
+    return outcome_;
+  }
+
+ private:
+  using StatePtr = std::shared_ptr<RoundState>;
+
+  struct DomainState {
+    bool busy = false;
+    std::deque<StatePtr> waiting;
+  };
+
+  void admit(StatePtr state) {
+    outcome_.rounds += 1;
+    auto& domain = domains_[state->spec.domain];
+    if (domain.busy) {
+      domain.waiting.push_back(std::move(state));
+      return;
+    }
+    domain.busy = true;
+    start(std::move(state));
+  }
+
+  void release_domain(std::uint32_t id) {
+    auto& domain = domains_[id];
+    if (domain.waiting.empty()) {
+      domain.busy = false;
+      return;
+    }
+    StatePtr next = std::move(domain.waiting.front());
+    domain.waiting.pop_front();
+    start(std::move(next));
+  }
+
+  void start(const StatePtr& state) {
+    if (state->spec.participants.empty()) {
+      // Pure-local round: bookkeeping only, nothing can fail.
+      const StatePtr s = state;
+      queue_.schedule_after(state->spec.local_work_us,
+                            [this, s] { finish(s); });
+      return;
+    }
+    const std::size_t legs = state->spec.participants.size();
+    state->sync_attempt.assign(legs, 0);
+    state->sync_done.assign(legs, 0);
+    state->sync_pending = legs;
+    for (std::size_t leg = 0; leg < legs; ++leg) {
+      send_request(state, leg, 0);
+    }
+  }
+
+  // --- sync phase: one request/ack RPC per remote participant --------
+
+  void send_request(const StatePtr& state, std::size_t leg,
+                    std::uint32_t attempt) {
+    if (state->aborted || state->sync_done[leg]) return;
+    state->sync_attempt[leg] = attempt;
+    const placement::NodeId coord = state->spec.coordinator;
+    const placement::NodeId peer = state->spec.participants[leg];
+    const SimTime now = queue_.now();
+    const std::uint64_t token =
+        leg_token(state->uid, Leg::kSyncRequest, leg, attempt);
+
+    outcome_.messages_sent += 1;
+    const bool lost = plan_.node_down(coord, now) ||
+                      plan_.node_down(peer, now) ||
+                      plan_.link_cut(coord, peer, now) ||
+                      plan_.dropped(coord, peer, token);
+    if (lost) {
+      outcome_.messages_dropped += 1;
+    } else {
+      const SimTime hop =
+          opts_.network.one_hop_latency_us + plan_.jitter_us(coord, peer, token);
+      if (plan_.duplicated(coord, peer, token)) {
+        outcome_.duplicates_delivered += 1;
+      }
+      queue_.schedule_after(
+          hop, [this, state, leg, attempt] { send_ack(state, leg, attempt); });
+    }
+    // The coordinator arms the retry timer regardless: it learns of a
+    // loss only by the ack failing to arrive.
+    queue_.schedule_after(opts_.rpc_timeout_us, [this, state, leg, attempt] {
+      sync_timeout(state, leg, attempt);
+    });
+  }
+
+  void send_ack(const StatePtr& state, std::size_t leg,
+                std::uint32_t attempt) {
+    if (state->aborted || state->sync_done[leg]) return;
+    const placement::NodeId coord = state->spec.coordinator;
+    const placement::NodeId peer = state->spec.participants[leg];
+    const SimTime now = queue_.now();
+    const std::uint64_t token =
+        leg_token(state->uid, Leg::kSyncAck, leg, attempt);
+
+    outcome_.messages_sent += 1;
+    const bool lost = plan_.node_down(peer, now) ||
+                      plan_.node_down(coord, now) ||
+                      plan_.link_cut(peer, coord, now) ||
+                      plan_.dropped(peer, coord, token);
+    if (lost) {
+      outcome_.messages_dropped += 1;
+      return;  // the coordinator's timeout will retry the whole RPC
+    }
+    if (plan_.duplicated(peer, coord, token)) {
+      outcome_.duplicates_delivered += 1;
+    }
+    const SimTime hop =
+        opts_.network.one_hop_latency_us + plan_.jitter_us(peer, coord, token);
+    queue_.schedule_after(hop,
+                          [this, state, leg] { sync_leg_complete(state, leg); });
+  }
+
+  void sync_leg_complete(const StatePtr& state, std::size_t leg) {
+    if (state->aborted || state->sync_done[leg]) return;
+    state->sync_done[leg] = 1;
+    if (--state->sync_pending == 0) begin_payload(state);
+  }
+
+  void sync_timeout(const StatePtr& state, std::size_t leg,
+                    std::uint32_t attempt) {
+    if (state->aborted || state->sync_done[leg]) return;
+    if (state->sync_attempt[leg] != attempt) return;  // stale timer
+    retry_or_abort(state, leg, attempt, /*bulk=*/false);
+  }
+
+  // --- payload phase: one bulk message per contiguous range ----------
+
+  void begin_payload(const StatePtr& state) {
+    const std::size_t ranges = state->spec.payload_ranges;
+    if (ranges == 0) {
+      // Payload (if any) travels inside the acks; only the transfer
+      // time on the coordinator remains.
+      const SimTime transfer = static_cast<SimTime>(state->spec.payload_keys) *
+                               opts_.network.per_key_transfer_us;
+      const StatePtr s = state;
+      queue_.schedule_after(transfer + state->spec.local_work_us,
+                            [this, s] { finish(s); });
+      return;
+    }
+    state->payload_start = queue_.now();
+    state->bulk_attempt.assign(ranges, 0);
+    state->bulk_done.assign(ranges, 0);
+    state->bulks_pending = ranges;
+    // Bulks serialize on the coordinator: range i departs once the
+    // previous ranges' keys have streamed out.
+    const std::uint64_t keys = state->spec.payload_keys;
+    SimTime offset = 0.0;
+    for (std::size_t leg = 0; leg < ranges; ++leg) {
+      const SimTime transfer =
+          static_cast<SimTime>(bulk_keys(keys, ranges, leg)) *
+          opts_.network.per_key_transfer_us;
+      queue_.schedule_after(offset, [this, state, leg] {
+        send_bulk(state, leg, state->bulk_attempt[leg]);
+      });
+      offset += transfer;
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t bulk_keys(std::uint64_t keys,
+                                               std::size_t ranges,
+                                               std::size_t leg) {
+    const std::uint64_t base = keys / ranges;
+    return base + (leg < keys % ranges ? 1 : 0);
+  }
+
+  void send_bulk(const StatePtr& state, std::size_t leg,
+                 std::uint32_t attempt) {
+    if (state->aborted || state->bulk_done[leg]) return;
+    state->bulk_attempt[leg] = attempt;
+    const placement::NodeId coord = state->spec.coordinator;
+    const placement::NodeId peer =
+        state->spec.participants[leg % state->spec.participants.size()];
+    const SimTime now = queue_.now();
+    const std::uint64_t token = leg_token(state->uid, Leg::kBulk, leg, attempt);
+    const SimTime transfer =
+        static_cast<SimTime>(
+            bulk_keys(state->spec.payload_keys, state->spec.payload_ranges,
+                      leg)) *
+        opts_.network.per_key_transfer_us;
+
+    outcome_.messages_sent += 1;
+    const bool lost = plan_.node_down(coord, now) ||
+                      plan_.node_down(peer, now) ||
+                      plan_.link_cut(coord, peer, now) ||
+                      plan_.dropped(coord, peer, token);
+    if (!lost) {
+      if (plan_.duplicated(coord, peer, token)) {
+        outcome_.duplicates_delivered += 1;
+      }
+      // The stream's propagation rides inside the transfer time (the
+      // priced model folds the hop into per_key_transfer_us).
+      const SimTime delivery = transfer + plan_.jitter_us(coord, peer, token);
+      queue_.schedule_after(delivery,
+                            [this, state, leg] { bulk_complete(state, leg); });
+    } else {
+      outcome_.messages_dropped += 1;
+    }
+    // Confirmation piggybacks on later traffic (not a counted message);
+    // loss is still detected by this timer.
+    queue_.schedule_after(transfer + opts_.rpc_timeout_us,
+                          [this, state, leg, attempt] {
+                            bulk_timeout(state, leg, attempt);
+                          });
+  }
+
+  void bulk_complete(const StatePtr& state, std::size_t leg) {
+    if (state->aborted || state->bulk_done[leg]) return;
+    state->bulk_done[leg] = 1;
+    if (--state->bulks_pending > 0) return;
+    const StatePtr s = state;
+    queue_.schedule_after(state->spec.local_work_us, [this, s] { finish(s); });
+  }
+
+  void bulk_timeout(const StatePtr& state, std::size_t leg,
+                    std::uint32_t attempt) {
+    if (state->aborted || state->bulk_done[leg]) return;
+    if (state->bulk_attempt[leg] != attempt) return;  // stale timer
+    retry_or_abort(state, leg, attempt, /*bulk=*/true);
+  }
+
+  // --- retry / abort / re-plan ---------------------------------------
+
+  void retry_or_abort(const StatePtr& state, std::size_t leg,
+                      std::uint32_t attempt, bool bulk) {
+    const std::uint32_t next = attempt + 1;
+    if (backoff_exhausted(opts_.backoff, next)) {
+      abort_round(state);
+      return;
+    }
+    outcome_.retries += 1;
+    const std::uint64_t jitter_token =
+        leg_token(state->uid, Leg::kBackoff, bulk ? leg + 0x10000 : leg, next);
+    const SimTime delay =
+        backoff_delay_us(opts_.backoff, attempt, jitter_token);
+    queue_.schedule_after(delay, [this, state, leg, next, bulk] {
+      if (bulk) {
+        send_bulk(state, leg, next);
+      } else {
+        send_request(state, leg, next);
+      }
+    });
+  }
+
+  void abort_round(const StatePtr& state) {
+    if (state->aborted) return;
+    state->aborted = true;
+    outcome_.aborted_rounds += 1;
+    note_resolution(queue_.now());
+    if (state->replans_used < opts_.max_replans) {
+      outcome_.replanned_rounds += 1;
+      outcome_.payload_keys_replanned += state->spec.payload_keys;
+      auto replan = std::make_shared<RoundState>();
+      replan->spec = state->spec;
+      replan->spec.arrival = queue_.now() + opts_.replan_delay_us;
+      // A fresh uid keeps the re-planned round's tokens independent of
+      // the aborted attempt's while staying seed-stable.
+      replan->uid = mix64(state->uid ^ 0x5EC0'4D12'5EC0'4D12ULL);
+      replan->replans_used = state->replans_used + 1;
+      queue_.schedule_after(opts_.replan_delay_us,
+                            [this, replan] { admit(replan); });
+    } else {
+      outcome_.abandoned_rounds += 1;
+      outcome_.payload_keys_abandoned += state->spec.payload_keys;
+    }
+    release_domain(state->spec.domain);
+  }
+
+  void finish(const StatePtr& state) {
+    if (state->aborted) return;
+    outcome_.completed_rounds += 1;
+    note_resolution(queue_.now());
+    release_domain(state->spec.domain);
+  }
+
+  void note_resolution(SimTime at) {
+    if (at > makespan_) makespan_ = at;
+  }
+
+  const FaultPlan& plan_;
+  FaultExecutorOptions opts_;
+  EventQueue queue_;
+  std::unordered_map<std::uint32_t, DomainState> domains_;
+  FaultExecOutcome outcome_{};
+  SimTime makespan_ = 0.0;
+};
+
+}  // namespace
+
+FaultExecOutcome execute_rounds(std::span<const FaultRound> rounds,
+                                const FaultPlan& plan,
+                                const FaultExecutorOptions& options) {
+  Executor executor(plan, options);
+  return executor.run(rounds);
+}
+
+}  // namespace cobalt::cluster

@@ -1,0 +1,273 @@
+// cobalt/cluster/fault_injection.hpp
+//
+// Message-level fault injection for the protocol DES. The paper's
+// scalability argument assumes synchronization rounds complete -
+// "short (typically one-hop) communication paths ... make bearable
+// events that may require synchronization between many nodes" - but
+// never tests what happens when they don't. This layer executes the
+// rounds the ProtocolDriver records as *individual messages* through a
+// faulty network, so message loss, retries, node crashes and
+// partitions become first-class inputs of the protocol comparison.
+//
+// Two pieces:
+//
+//   * cluster::FaultPlan - the seeded fault script. Per-link drop /
+//     duplicate probabilities and delay jitter, node crash/recover
+//     windows, and named partition episodes (a side of nodes cut off
+//     from the rest, and from clients, for a window). Every stochastic
+//     decision is a pure function of (seed, link, token), never of a
+//     consumed generator stream, so the same plan replays identically
+//     regardless of execution order - and raising a drop probability
+//     only ever loses a superset of the same tokens' messages.
+//
+//   * execute_rounds() - the message-level round executor on the
+//     deterministic EventQueue. Each round runs as a coordinator-driven
+//     state machine: a request/ack RPC per remote participant (2
+//     messages clean - exactly the handover_messages pricing), then one
+//     bulk payload message per contiguous hash range (acknowledged by
+//     piggyback, so a lost bulk is detected by timeout and
+//     retransmitted without a counted ack). Every message carries a
+//     timeout; lost messages retry on the capped-exponential-backoff
+//     schedule of common/backoff.hpp with deterministic jitter. A leg
+//     that exhausts its attempts aborts the whole round: its payload is
+//     re-planned as a fresh repair round (same domain, re-admitted
+//     after a delay) until the re-plan budget runs out, after which the
+//     round is abandoned - the graceful-degradation path a deployment
+//     would escalate to an operator. Rounds in one domain still admit
+//     FIFO; rounds in different domains overlap (the schedule_rounds
+//     discipline, executed instead of priced).
+//
+// Everything is deterministic from (plan seed, round log): same seed,
+// byte-identical outcome counters - fault runs regression-test like
+// every other simulation in the repo.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/event_queue.hpp"
+#include "cluster/network.hpp"
+#include "common/backoff.hpp"
+#include "placement/types.hpp"
+
+namespace cobalt::cluster {
+
+/// Fault parameters of one directed link (or the all-links default).
+struct LinkFaults {
+  /// Probability a transmitted message is lost in transit.
+  double drop = 0.0;
+
+  /// Probability a delivered message arrives a second time (receivers
+  /// are idempotent, so duplicates only show up in the counters).
+  double duplicate = 0.0;
+
+  /// Extra per-message latency, uniform in [0, delay_jitter_us).
+  SimTime delay_jitter_us = 0.0;
+};
+
+/// One node's crash window: down in [crash_at, recover_at).
+struct CrashWindow {
+  placement::NodeId node = placement::kInvalidNode;
+  SimTime crash_at = 0.0;
+  SimTime recover_at = std::numeric_limits<SimTime>::infinity();
+};
+
+/// A named partition episode: during [start, end), links between
+/// `side` and every node outside it are cut, and `side` is unreachable
+/// from clients (the serving layer treats its nodes as unavailable).
+/// Links inside `side` keep working.
+struct PartitionEpisode {
+  std::string name;
+  SimTime start = 0.0;
+  SimTime end = std::numeric_limits<SimTime>::infinity();
+  std::vector<placement::NodeId> side;  ///< sorted ascending
+};
+
+/// The seeded fault script (see the header comment). Configure, then
+/// hand (by const reference) to the executor and/or a ServingSim; the
+/// plan itself is stateless during execution.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  /// Fault parameters for every link without a specific override.
+  void set_default_link(LinkFaults faults);
+
+  /// Overrides the faults of the directed link from -> to.
+  void set_link(placement::NodeId from, placement::NodeId to,
+                LinkFaults faults);
+
+  /// Crashes `node` during [crash_at, recover_at); windows may overlap.
+  void add_crash_window(
+      placement::NodeId node, SimTime crash_at,
+      SimTime recover_at = std::numeric_limits<SimTime>::infinity());
+
+  /// Adds a partition episode cutting `side` off during [start, end).
+  void add_partition(std::string name, SimTime start, SimTime end,
+                     std::vector<placement::NodeId> side);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const std::vector<CrashWindow>& crash_windows() const {
+    return crashes_;
+  }
+  [[nodiscard]] const std::vector<PartitionEpisode>& partitions() const {
+    return partitions_;
+  }
+
+  /// True while `node` is inside a crash window at time `at`.
+  [[nodiscard]] bool node_down(placement::NodeId node, SimTime at) const;
+
+  /// True while a partition episode separates `a` from `b` at `at`.
+  [[nodiscard]] bool link_cut(placement::NodeId a, placement::NodeId b,
+                              SimTime at) const;
+
+  /// True while `node` can serve clients at `at`: not crashed and not
+  /// on the cut side of an active partition.
+  [[nodiscard]] bool available(placement::NodeId node, SimTime at) const;
+
+  /// The earliest time >= `at` when `node` becomes available again
+  /// (infinity when it never does). Returns `at` itself when the node
+  /// is already available.
+  [[nodiscard]] SimTime next_available(placement::NodeId node,
+                                       SimTime at) const;
+
+  /// The faults governing the directed link from -> to.
+  [[nodiscard]] const LinkFaults& link(placement::NodeId from,
+                                       placement::NodeId to) const;
+
+  // --- stateless per-message draws -----------------------------------
+  //
+  // `token` identifies one transmission attempt (the executor derives
+  // it from round uid, leg and attempt number, so it is stable across
+  // fault profiles); the same token always draws the same uniform, so
+  // raising `drop` from 1% to 10% loses a strict superset of the same
+  // attempts' messages.
+
+  /// True when the transmission identified by `token` is randomly lost.
+  [[nodiscard]] bool dropped(placement::NodeId from, placement::NodeId to,
+                             std::uint64_t token) const;
+
+  /// True when the delivery identified by `token` arrives twice.
+  [[nodiscard]] bool duplicated(placement::NodeId from, placement::NodeId to,
+                                std::uint64_t token) const;
+
+  /// The extra delivery latency of the transmission, in
+  /// [0, link.delay_jitter_us).
+  [[nodiscard]] SimTime jitter_us(placement::NodeId from,
+                                  placement::NodeId to,
+                                  std::uint64_t token) const;
+
+ private:
+  /// Uniform in [0, 1) from (seed, link, token, stream tag).
+  [[nodiscard]] double uniform(placement::NodeId from, placement::NodeId to,
+                               std::uint64_t token, std::uint64_t tag) const;
+
+  struct LinkOverride {
+    placement::NodeId from;
+    placement::NodeId to;
+    LinkFaults faults;
+  };
+
+  std::uint64_t seed_;
+  LinkFaults default_link_{};
+  std::vector<LinkOverride> overrides_;
+  std::vector<CrashWindow> crashes_;
+  std::vector<PartitionEpisode> partitions_;
+};
+
+/// One synchronization round, expanded for message-level execution: the
+/// ProtocolDriver's recorded (event, domain) cell with its participant
+/// structure kept instead of priced away.
+struct FaultRound {
+  /// Serialization domain (FIFO admission unit).
+  std::uint32_t domain = 0;
+
+  /// Earliest admissible start.
+  SimTime arrival = 0.0;
+
+  /// The node driving the round (the record manager: the first
+  /// participant of a handover, the lead replica of a repair round).
+  /// kInvalidNode with empty participants marks a pure-local round
+  /// (record updates only).
+  placement::NodeId coordinator = placement::kInvalidNode;
+
+  /// Participants synchronized by the round (distinct). Each costs one
+  /// request/ack RPC - including the coordinator's own entry, whose
+  /// self-leg models its local commit (the priced handover_messages
+  /// counts 2 x participants the same way).
+  std::vector<placement::NodeId> participants;
+
+  /// Resident keys the round ships (handover or repair copies);
+  /// serialized on the coordinator at per_key_transfer_us.
+  std::uint64_t payload_keys = 0;
+
+  /// Contiguous hash ranges shipped: one bulk message each.
+  std::size_t payload_ranges = 0;
+
+  /// Local bookkeeping applied at completion (record updates).
+  SimTime local_work_us = 0.0;
+};
+
+/// Knobs of the message-level executor.
+struct FaultExecutorOptions {
+  /// Latency/payload cost model (shared with the priced DES).
+  NetworkModel network{};
+
+  /// Per-message retry schedule (attempts, delays, jitter).
+  BackoffPolicy backoff{};
+
+  /// Time a sender waits for the ack (or, for bulk payloads, the
+  /// piggyback confirmation) before retrying; 0 derives the default
+  /// 4 x one_hop_latency_us.
+  SimTime rpc_timeout_us = 0.0;
+
+  /// How many times an aborted round is re-planned as fresh repair
+  /// work before it is abandoned.
+  std::size_t max_replans = 2;
+
+  /// Delay before a re-planned round is re-admitted; 0 derives the
+  /// default backoff cap (cap_us).
+  SimTime replan_delay_us = 0.0;
+};
+
+/// Counters of one message-level execution. Integer counters are exact
+/// and byte-stable per (plan seed, round log); a test can compare two
+/// runs field by field.
+struct FaultExecOutcome {
+  SimTime makespan_us = 0.0;        ///< completion time of the last event
+  std::uint64_t rounds = 0;         ///< rounds admitted (incl. re-plans)
+  std::uint64_t completed_rounds = 0;
+  std::uint64_t aborted_rounds = 0;    ///< legs exhausted their retries
+  std::uint64_t replanned_rounds = 0;  ///< aborts re-admitted as repair
+  std::uint64_t abandoned_rounds = 0;  ///< aborts past the re-plan budget
+  std::uint64_t messages_sent = 0;     ///< every transmission, retries incl.
+  std::uint64_t messages_dropped = 0;  ///< lost in transit (any cause)
+  std::uint64_t duplicates_delivered = 0;
+  std::uint64_t retries = 0;           ///< retransmissions after timeout
+  std::uint64_t payload_keys_replanned = 0;  ///< keys of re-planned rounds
+  std::uint64_t payload_keys_abandoned = 0;  ///< keys of abandoned rounds
+
+  friend bool operator==(const FaultExecOutcome&,
+                         const FaultExecOutcome&) = default;
+};
+
+/// The clean (no-fault) message count of a round log: request + ack
+/// per participant plus one bulk message per payload range - the
+/// handover_messages pricing, which a clean execution reproduces
+/// exactly (a ctest and abl11 assert it).
+[[nodiscard]] std::uint64_t clean_message_count(
+    std::span<const FaultRound> rounds);
+
+/// Executes `rounds` message by message through `plan` on a fresh
+/// deterministic EventQueue (see the header comment for the round
+/// state machine and retry/abort semantics).
+[[nodiscard]] FaultExecOutcome execute_rounds(
+    std::span<const FaultRound> rounds, const FaultPlan& plan,
+    const FaultExecutorOptions& options = {});
+
+}  // namespace cobalt::cluster

@@ -39,6 +39,7 @@
 #include <map>
 #include <vector>
 
+#include "cluster/fault_injection.hpp"
 #include "cluster/network.hpp"
 #include "cluster/protocol_sim.hpp"
 #include "kv/store.hpp"
@@ -87,11 +88,18 @@ class ProtocolDriver final : public kv::StoreEventSink {
 
   /// One recorded round: a priced (event, domain) cell awaiting
   /// scheduling (tests and benches inspect the log through recorded()).
+  /// The participant structure is kept alongside the priced totals so
+  /// the same log can also run message-by-message (run_faulty).
   struct RecordedRound {
     std::uint32_t domain = 0;
     std::uint64_t event = 0;
     SimTime duration = 0.0;
     std::uint64_t messages = 0;
+    /// Synchronized nodes (sorted distinct; empty for pure-local
+    /// rounds). The first entry coordinates.
+    std::vector<placement::NodeId> participants;
+    std::uint64_t payload_keys = 0;   ///< keys shipped over the network
+    std::size_t payload_ranges = 0;   ///< bulk messages (ranges shipped)
   };
 
   /// Subscribes to `store`'s event stream. Attach before the first
@@ -149,7 +157,17 @@ class ProtocolDriver final : public kv::StoreEventSink {
     totals_.keys_lost += lost;
     work.repair_copies += copies;
     ++work.repair_ranges;
-    work.repair_replicas = std::max(work.repair_replicas, replicas);
+    if (replicas > work.repair_replicas) {
+      // Resolve the repair targets while the post-event backend is
+      // live: the widest batch's replica set stands in for the round's
+      // participants (the priced model charges repair_replicas legs).
+      work.repair_replicas = replicas;
+      work.repair_participants.clear();
+      store_.backend().replica_set_into(first, replicas,
+                                        work.repair_participants);
+      std::sort(work.repair_participants.begin(),
+                work.repair_participants.end());
+    }
   }
 
   void on_membership_end() override { finalize_event(); }
@@ -239,6 +257,55 @@ class ProtocolDriver final : public kv::StoreEventSink {
     return total;
   }
 
+  /// The recorded log expanded for message-level execution: one
+  /// FaultRound per recorded round, arrivals spaced as in run(gap).
+  /// The round's local work is derived so a fault-free execution
+  /// completes each round in exactly its priced duration (and sends
+  /// exactly its priced message count) - execute_rounds on a clean
+  /// FaultPlan reproduces run(gap)'s makespan.
+  [[nodiscard]] std::vector<FaultRound> fault_rounds(
+      SimTime inter_event_gap_us = 0.0) {
+    finalize_event();
+    const NetworkModel& net = options_.network;
+    std::vector<FaultRound> rounds;
+    rounds.reserve(log_.size());
+    for (const RecordedRound& recorded : log_) {
+      FaultRound round;
+      round.domain = recorded.domain;
+      round.arrival =
+          static_cast<SimTime>(recorded.event) * inter_event_gap_us;
+      round.participants = recorded.participants;
+      round.coordinator = recorded.participants.empty()
+                              ? placement::kInvalidNode
+                              : recorded.participants.front();
+      round.payload_keys = recorded.payload_keys;
+      round.payload_ranges = recorded.payload_ranges;
+      if (recorded.participants.empty()) {
+        round.local_work_us = recorded.duration;
+      } else {
+        const SimTime network_part =
+            2.0 * net.one_hop_latency_us +
+            static_cast<SimTime>(recorded.payload_keys) *
+                net.per_key_transfer_us;
+        round.local_work_us = std::max(0.0, recorded.duration - network_part);
+      }
+      rounds.push_back(std::move(round));
+    }
+    return rounds;
+  }
+
+  /// Executes the recorded log message by message through `plan`. The
+  /// executor runs on the driver's pricing network model (so clean
+  /// executions match run(gap) exactly); the remaining exec_options
+  /// knobs - backoff, timeouts, re-plan budget - pass through.
+  [[nodiscard]] FaultExecOutcome run_faulty(
+      const FaultPlan& plan, FaultExecutorOptions exec_options = {},
+      SimTime inter_event_gap_us = 0.0) {
+    exec_options.network = options_.network;
+    const std::vector<FaultRound> rounds = fault_rounds(inter_event_gap_us);
+    return execute_rounds(rounds, plan, exec_options);
+  }
+
  private:
   /// Accumulated work of one (event, domain) cell.
   struct DomainWork {
@@ -250,6 +317,7 @@ class ProtocolDriver final : public kv::StoreEventSink {
     std::uint64_t repair_copies = 0;
     std::size_t repair_ranges = 0;
     std::size_t repair_replicas = 0;
+    std::vector<placement::NodeId> repair_participants;  // sorted distinct
   };
 
   static void insert_participant(std::vector<placement::NodeId>& set,
@@ -283,7 +351,10 @@ class ProtocolDriver final : public kv::StoreEventSink {
             static_cast<SimTime>(work.local_ranges) * net.record_update_us;
         round.messages = net.handover_messages(work.participants.size(),
                                                work.cross_ranges);
-        log_.push_back(round);
+        round.participants = work.participants;
+        round.payload_keys = work.cross_keys;
+        round.payload_ranges = work.cross_ranges;
+        log_.push_back(std::move(round));
         ++totals_.handover_rounds;
       }
       if (work.repair_copies > 0) {
@@ -294,7 +365,10 @@ class ProtocolDriver final : public kv::StoreEventSink {
             net.handover_duration(work.repair_replicas, work.repair_copies);
         round.messages = net.handover_messages(work.repair_replicas,
                                                work.repair_ranges);
-        log_.push_back(round);
+        round.participants = work.repair_participants;
+        round.payload_keys = work.repair_copies;
+        round.payload_ranges = work.repair_ranges;
+        log_.push_back(std::move(round));
         ++totals_.repair_rounds;
       }
     }

@@ -1,0 +1,92 @@
+// cobalt/common/backoff.hpp
+//
+// Capped exponential backoff with deterministic jitter: the retry
+// schedule shared by every layer that retransmits (the fault-injected
+// protocol executor in cluster/fault_injection.hpp, serving-level
+// retries). The schedule is a pure function of (policy, retry index,
+// jitter token), so a simulation that derives its tokens from stable
+// identifiers (message ids, attempt numbers) replays bit-identically
+// from one seed - no generator state threads through the retry paths.
+//
+// Delay of retry r (0-based):   min(cap_us, base_us * multiplier^r)
+// scaled by a symmetric jitter factor in [1 - jitter, 1 + jitter)
+// drawn deterministically from the token via the SplitMix64 finalizer.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cobalt {
+
+/// Parameters of one capped-exponential retry schedule.
+struct BackoffPolicy {
+  /// Delay before the first retry, microseconds.
+  double base_us = 200.0;
+
+  /// Growth factor per retry (>= 1).
+  double multiplier = 2.0;
+
+  /// Ceiling of the un-jittered delay, microseconds.
+  double cap_us = 10000.0;
+
+  /// Symmetric jitter fraction in [0, 1): the delivered delay is the
+  /// raw delay scaled by a factor in [1 - jitter, 1 + jitter).
+  double jitter = 0.25;
+
+  /// Total send attempts (the first transmission plus retries). An
+  /// operation that has not succeeded after `max_attempts` sends is
+  /// exhausted (see backoff_exhausted).
+  std::size_t max_attempts = 5;
+};
+
+/// Throws on an inconsistent policy (non-positive base/cap, multiplier
+/// below 1, jitter outside [0, 1), zero attempts).
+inline void validate(const BackoffPolicy& policy) {
+  COBALT_REQUIRE(policy.base_us > 0.0, "backoff base must be positive");
+  COBALT_REQUIRE(policy.cap_us >= policy.base_us,
+                 "backoff cap must be at least the base delay");
+  COBALT_REQUIRE(policy.multiplier >= 1.0,
+                 "backoff multiplier must be at least 1");
+  COBALT_REQUIRE(policy.jitter >= 0.0 && policy.jitter < 1.0,
+                 "backoff jitter must be in [0, 1)");
+  COBALT_REQUIRE(policy.max_attempts >= 1,
+                 "backoff needs at least one attempt");
+}
+
+/// The un-jittered delay before retry `retry` (0-based): capped
+/// exponential growth. Monotone non-decreasing in `retry`.
+inline double backoff_raw_delay_us(const BackoffPolicy& policy,
+                                   std::size_t retry) {
+  double delay = policy.base_us;
+  for (std::size_t r = 0; r < retry; ++r) {
+    delay *= policy.multiplier;
+    if (delay >= policy.cap_us) return policy.cap_us;
+  }
+  return delay < policy.cap_us ? delay : policy.cap_us;
+}
+
+/// The delivered delay before retry `retry`: the raw delay scaled by a
+/// deterministic jitter factor in [1 - jitter, 1 + jitter) derived
+/// from `token`. Same (policy, retry, token) => same delay, always.
+inline double backoff_delay_us(const BackoffPolicy& policy, std::size_t retry,
+                               std::uint64_t token) {
+  const double raw = backoff_raw_delay_us(policy, retry);
+  if (policy.jitter == 0.0) return raw;
+  // 53 uniform bits from the mixed token, as Xoshiro256::next_double.
+  const double u =
+      static_cast<double>(mix64(token) >> 11) * 0x1.0p-53;  // [0, 1)
+  return raw * (1.0 - policy.jitter + 2.0 * policy.jitter * u);
+}
+
+/// True when attempt number `attempt` (0-based: the first transmission
+/// is attempt 0) is past the policy's budget - the operation failed.
+inline bool backoff_exhausted(const BackoffPolicy& policy,
+                              std::size_t attempt) {
+  return attempt >= policy.max_attempts;
+}
+
+}  // namespace cobalt

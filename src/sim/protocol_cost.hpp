@@ -50,22 +50,19 @@ struct ProtocolChurnOutcome {
   cluster::ScheduleOutcome serialized;
 };
 
-/// Store-level churn with protocol capture: grow `store` to
-/// `population` nodes, preload `keys`, then run `cycles` cycles of
-/// {remove one uniformly chosen live node, join a replacement},
-/// recording every membership event as DES rounds. Victim choice
-/// derives from `seed` alone (same victim positions across schemes).
-/// The store must be fresh (no nodes, no other event sink).
-template <typename StoreT>
-ProtocolChurnOutcome run_protocol_churn(
-    StoreT& store, std::size_t population, std::size_t cycles,
-    std::span<const std::string> keys, std::uint64_t seed,
-    typename cluster::ProtocolDriver<typename StoreT::BackendType>::Options
-        options = {}) {
-  COBALT_REQUIRE(population >= 2, "churn needs at least two nodes");
-  cluster::ProtocolDriver<typename StoreT::BackendType> driver(store,
-                                                               options);
+namespace detail {
 
+/// The shared churn body: grow `store` to `population` nodes, preload
+/// `keys`, then run `cycles` cycles of {remove one uniformly chosen
+/// live node, join a replacement}. Victim choice derives from `seed`
+/// alone (same victim positions across schemes and across the priced /
+/// fault-injected front ends below).
+template <typename StoreT>
+void drive_churn(StoreT& store, std::size_t population, std::size_t cycles,
+                 std::span<const std::string> keys, std::uint64_t seed,
+                 std::size_t& completed_removals,
+                 std::size_t& refused_removals) {
+  COBALT_REQUIRE(population >= 2, "churn needs at least two nodes");
   for (std::size_t n = 0; n < population; ++n) store.add_node();
   for (const std::string& key : keys) store.put(key, "v");
 
@@ -77,20 +74,87 @@ ProtocolChurnOutcome run_protocol_churn(
   }
 
   Xoshiro256 churn_rng(derive_seed(seed, 0xC4u, 1));
-  ProtocolChurnOutcome out;
   for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
     const auto pick =
         static_cast<std::size_t>(churn_rng.next_below(live.size()));
     if (store.remove_node(live[pick])) {
-      ++out.completed_removals;
+      ++completed_removals;
       live[pick] = store.add_node();
     } else {
-      ++out.refused_removals;
+      ++refused_removals;
     }
   }
+}
 
+}  // namespace detail
+
+/// Store-level churn with protocol capture: the detail::drive_churn
+/// cycle with every membership event recorded as DES rounds. The store
+/// must be fresh (no nodes, no other event sink).
+template <typename StoreT>
+ProtocolChurnOutcome run_protocol_churn(
+    StoreT& store, std::size_t population, std::size_t cycles,
+    std::span<const std::string> keys, std::uint64_t seed,
+    typename cluster::ProtocolDriver<typename StoreT::BackendType>::Options
+        options = {}) {
+  cluster::ProtocolDriver<typename StoreT::BackendType> driver(store,
+                                                               options);
+  ProtocolChurnOutcome out;
+  detail::drive_churn(store, population, cycles, keys, seed,
+                      out.completed_removals, out.refused_removals);
   out.schedule = driver.run();
   out.serialized = driver.run_serialized();
+  out.totals = driver.totals();
+  return out;
+}
+
+/// Outcome of a fault-injected churn run: the same recorded log as
+/// run_protocol_churn, executed message by message through a
+/// FaultPlan, with the priced schedule kept as the clean reference.
+struct FaultyProtocolChurnOutcome {
+  std::size_t completed_removals = 0;
+  std::size_t refused_removals = 0;
+
+  /// Batch totals (still bit-identical to the store's channels).
+  cluster::ProtocolTotals totals;
+
+  /// The priced DES schedule of the same log at the same arrival gap:
+  /// the fault-free makespan/message baseline the execution's
+  /// inflation is measured against.
+  cluster::ScheduleOutcome clean_schedule;
+
+  /// clean_message_count of the expanded round log: what the executor
+  /// sends when nothing fails (== clean_schedule.messages).
+  std::uint64_t clean_messages = 0;
+
+  /// The message-level execution under the plan.
+  cluster::FaultExecOutcome exec;
+};
+
+/// Fault-injected churn: detail::drive_churn recorded through a
+/// ProtocolDriver, then executed message by message through `plan`
+/// (retries, aborts, re-plans) next to the priced clean schedule.
+/// Event e's rounds arrive at e * inter_event_gap_us in both views.
+template <typename StoreT>
+FaultyProtocolChurnOutcome run_faulty_protocol_churn(
+    StoreT& store, std::size_t population, std::size_t cycles,
+    std::span<const std::string> keys, std::uint64_t seed,
+    const cluster::FaultPlan& plan,
+    cluster::FaultExecutorOptions exec_options = {},
+    cluster::SimTime inter_event_gap_us = 0.0,
+    typename cluster::ProtocolDriver<typename StoreT::BackendType>::Options
+        options = {}) {
+  cluster::ProtocolDriver<typename StoreT::BackendType> driver(store,
+                                                               options);
+  FaultyProtocolChurnOutcome out;
+  detail::drive_churn(store, population, cycles, keys, seed,
+                      out.completed_removals, out.refused_removals);
+  out.clean_schedule = driver.run(inter_event_gap_us);
+  const std::vector<cluster::FaultRound> rounds =
+      driver.fault_rounds(inter_event_gap_us);
+  out.clean_messages = cluster::clean_message_count(rounds);
+  exec_options.network = options.network;  // execute on the pricing model
+  out.exec = cluster::execute_rounds(rounds, plan, exec_options);
   out.totals = driver.totals();
   return out;
 }

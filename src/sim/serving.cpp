@@ -76,7 +76,8 @@ void ServingSim::schedule(cluster::SimTime at, std::function<void()> action) {
 ServingOutcome ServingSim::run() {
   COBALT_REQUIRE(!ran_, "a ServingSim runs once");
   ran_ = true;
-  COBALT_REQUIRE(spec_.write_fraction >= 1.0 || read_router_,
+  COBALT_REQUIRE(spec_.write_fraction >= 1.0 || read_router_ ||
+                     read_candidates_router_,
                  "serving reads needs a read router");
   COBALT_REQUIRE(spec_.write_fraction <= 0.0 || write_router_,
                  "serving writes needs a write router");
@@ -111,9 +112,50 @@ void ServingSim::schedule_closed_rearrival() {
                         [this] { issue_request(/*closed_loop=*/true); });
 }
 
+void ServingSim::fail_request(bool closed_loop, bool before_mark) {
+  ++outcome_.failed;
+  if (before_mark) {
+    ++outcome_.failed_before;
+  } else {
+    ++outcome_.failed_after;
+  }
+  if (closed_loop) schedule_closed_rearrival();
+}
+
+placement::NodeId ServingSim::route_read(const std::string& key) {
+  if (fault_plan_ != nullptr && read_candidates_router_) {
+    // Failover path: serve at the first live candidate in rank order.
+    read_candidates_.clear();
+    read_candidates_router_(key, read_candidates_);
+    for (const placement::NodeId node : read_candidates_) {
+      if (fault_plan_->available(node, queue_.now())) return node;
+    }
+    return placement::kInvalidNode;
+  }
+  placement::NodeId node = placement::kInvalidNode;
+  if (read_router_) {
+    node = read_router_(key);
+  } else if (read_candidates_router_) {
+    read_candidates_.clear();
+    read_candidates_router_(key, read_candidates_);
+    if (!read_candidates_.empty()) node = read_candidates_.front();
+  }
+  if (node != placement::kInvalidNode && fault_plan_ != nullptr &&
+      !fault_plan_->available(node, queue_.now())) {
+    node = placement::kInvalidNode;  // no candidate list: nowhere to go
+  }
+  return node;
+}
+
 void ServingSim::issue_request(bool closed_loop) {
   if (outcome_.issued >= spec_.requests) return;
   ++outcome_.issued;
+  const bool before_mark = queue_.now() < phase_mark_;
+  if (before_mark) {
+    ++outcome_.issued_before;
+  } else {
+    ++outcome_.issued_after;
+  }
   std::size_t index = workload_.next_index();
   if (index_offset_ != 0) {
     index = (index + index_offset_) % spec_.workload.key_count;
@@ -134,8 +176,33 @@ void ServingSim::issue_request(bool closed_loop) {
     write_targets_.clear();
     write_router_(key, write_targets_);
     if (write_targets_.empty()) {
-      ++outcome_.failed;
-      if (closed_loop) schedule_closed_rearrival();
+      fail_request(closed_loop, before_mark);
+      return;
+    }
+    if (fault_plan_ != nullptr) {
+      // Admission check over the whole replica set first: a target
+      // that cannot come back within the deadline fails the request
+      // before any leg is queued.
+      const cluster::SimTime now = queue_.now();
+      for (const placement::NodeId node : write_targets_) {
+        if (fault_plan_->next_available(node, now) - now >
+            spec_.write_deadline_us) {
+          fail_request(closed_loop, before_mark);
+          return;
+        }
+      }
+      pending->remaining = write_targets_.size();
+      for (const placement::NodeId node : write_targets_) {
+        const cluster::SimTime at = fault_plan_->next_available(node, now);
+        if (at <= now) {
+          enqueue_job(node, Job{pending, spec_.service_time_us});
+        } else {
+          // Leg queued against the deadline: admitted at recovery.
+          queue_.schedule_at(at, [this, node, pending] {
+            enqueue_job(node, Job{pending, spec_.service_time_us});
+          });
+        }
+      }
       return;
     }
     pending->remaining = write_targets_.size();
@@ -145,10 +212,9 @@ void ServingSim::issue_request(bool closed_loop) {
     return;
   }
 
-  const placement::NodeId node = read_router_(key);
+  const placement::NodeId node = route_read(key);
   if (node == placement::kInvalidNode) {
-    ++outcome_.failed;
-    if (closed_loop) schedule_closed_rearrival();
+    fail_request(closed_loop, before_mark);
     return;
   }
   pending->remaining = 1;

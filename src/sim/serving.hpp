@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "cluster/event_queue.hpp"
+#include "cluster/fault_injection.hpp"
 #include "cluster/network.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
@@ -87,6 +88,12 @@ struct ServingSpec {
   /// the max clamp into the last bucket).
   cluster::SimTime histogram_max_us = 20000.0;
   std::size_t histogram_buckets = 2000;
+
+  /// With a fault plan attached: how long a write may wait for an
+  /// unavailable replica to come back before the whole request fails
+  /// (0 = any unavailable target fails the write immediately). A write
+  /// inside the deadline queues its leg at the replica's recovery.
+  cluster::SimTime write_deadline_us = 0.0;
 };
 
 /// Per-node serving totals of one run.
@@ -106,10 +113,34 @@ struct ServingOutcome {
 
   std::uint64_t issued = 0;
   std::uint64_t completed = 0;
-  /// Requests that found no servable node (key missing, or no live
-  /// materialized replica); they take no service time.
+  /// Requests that found no servable node (key missing, no live
+  /// materialized replica, or every candidate crashed/partitioned
+  /// under the attached fault plan); they take no service time.
   std::uint64_t failed = 0;
   cluster::SimTime makespan_us = 0.0;
+
+  /// issued/failed split at the phase mark by arrival time (both zero
+  /// phases collapse into `_before` when no mark was set), so a fault
+  /// run can report availability inside vs outside the fault window.
+  std::uint64_t issued_before = 0;
+  std::uint64_t issued_after = 0;
+  std::uint64_t failed_before = 0;
+  std::uint64_t failed_after = 0;
+
+  /// Served fraction of the phase's issued requests (1 when the phase
+  /// saw no traffic).
+  [[nodiscard]] double availability_before() const {
+    return issued_before == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(failed_before) /
+                           static_cast<double>(issued_before);
+  }
+  [[nodiscard]] double availability_after() const {
+    return issued_after == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(failed_after) /
+                           static_cast<double>(issued_after);
+  }
 
   /// End-to-end request latency (arrival to last-leg completion).
   Histogram latency;
@@ -140,12 +171,31 @@ class ServingSim {
   using WriteRouter =
       std::function<void(const std::string&, std::vector<placement::NodeId>&)>;
 
+  /// Fills `candidates` with the nodes that could serve a read of
+  /// `key`, best first (typically the materialized replica set in rank
+  /// order). With a fault plan attached, the sim serves the read at
+  /// the first *available* candidate - the failover path a client
+  /// library retries through - and fails the request when every
+  /// candidate is crashed or partitioned away.
+  using ReadCandidatesRouter =
+      std::function<void(const std::string&, std::vector<placement::NodeId>&)>;
+
   ServingSim(ServingSpec spec, std::uint64_t seed);
 
   void set_read_router(ReadRouter router) { read_router_ = std::move(router); }
   void set_write_router(WriteRouter router) {
     write_router_ = std::move(router);
   }
+  void set_read_candidates_router(ReadCandidatesRouter router) {
+    read_candidates_router_ = std::move(router);
+  }
+
+  /// Attaches the fault script: requests routed to a crashed or
+  /// partitioned node fail over (reads) or queue against
+  /// write_deadline_us (writes). The plan must outlive the run; null
+  /// detaches. Jobs already queued at a node that crashes keep
+  /// running (the fault plan gates admission, not in-flight service).
+  void set_fault_plan(const cluster::FaultPlan* plan) { fault_plan_ = plan; }
 
   /// Jobs at `node` right now (waiting + in service): the load signal
   /// a queue-depth-aware read policy probes.
@@ -217,6 +267,8 @@ class ServingSim {
   void complete_service(placement::NodeId node, cluster::SimTime duration);
   void finish_request(const PendingRequest& request);
   void issue_request(bool closed_loop);
+  void fail_request(bool closed_loop, bool before_mark);
+  [[nodiscard]] placement::NodeId route_read(const std::string& key);
   void schedule_next_open_arrival();
   void schedule_closed_rearrival();
 
@@ -227,6 +279,9 @@ class ServingSim {
   Xoshiro256 mix_rng_;
   ReadRouter read_router_;
   WriteRouter write_router_;
+  ReadCandidatesRouter read_candidates_router_;
+  const cluster::FaultPlan* fault_plan_ = nullptr;
+  std::vector<placement::NodeId> read_candidates_;
   std::vector<NodeState> nodes_;
   std::vector<placement::NodeId> write_targets_;
   ServingOutcome outcome_;
@@ -304,6 +359,41 @@ void attach_store_routers(ServingSim& sim, StoreT& store,
     store.put(key, "v");
     replicas = store.replicas_of(key);
   });
+}
+
+/// Wires `store` as the routing plane of a fault run: reads carry the
+/// full materialized replica set (rank order) so the sim can fail over
+/// past crashed or partitioned candidates; writes fan out through the
+/// store as usual and queue against the spec's write deadline. Attach
+/// the plan with sim.set_fault_plan().
+template <typename StoreT>
+void attach_faulty_store_routers(ServingSim& sim, StoreT& store) {
+  sim.set_read_candidates_router(
+      [&store](const std::string& key,
+               std::vector<placement::NodeId>& candidates) {
+        candidates = store.replicas_of(key);
+      });
+  sim.set_write_router([&store](const std::string& key,
+                                std::vector<placement::NodeId>& replicas) {
+    store.put(key, "v");
+    replicas = store.replicas_of(key);
+  });
+}
+
+/// Serving run under a fault script: preload, attach the failover
+/// routers and `plan`, split the histograms at `phase_mark` (typically
+/// the fault window's start) and serve the whole stream.
+template <typename StoreT>
+ServingOutcome run_faulty_serving(StoreT& store, const ServingSpec& spec,
+                                  const cluster::FaultPlan& plan,
+                                  cluster::SimTime phase_mark,
+                                  std::uint64_t seed) {
+  preload_keys(store, spec.workload);
+  ServingSim sim(spec, seed);
+  attach_faulty_store_routers(sim, store);
+  sim.set_fault_plan(&plan);
+  sim.set_phase_mark(phase_mark);
+  return sim.run();
 }
 
 /// Inserts the workload's whole key population into `store`.

@@ -1,0 +1,124 @@
+// Tests for the capped-exponential-backoff helper (common/backoff.hpp):
+// raw-delay growth and capping, jitter bounds and zero-jitter
+// exactness, bit-identical determinism per (policy, retry, token), and
+// the attempt-budget semantics.
+
+#include "common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cobalt {
+namespace {
+
+BackoffPolicy plain() {
+  BackoffPolicy policy;
+  policy.base_us = 100.0;
+  policy.multiplier = 2.0;
+  policy.cap_us = 1000.0;
+  policy.jitter = 0.0;
+  policy.max_attempts = 4;
+  return policy;
+}
+
+TEST(Backoff, RawDelayGrowsExponentiallyUntilTheCap) {
+  const BackoffPolicy policy = plain();
+  EXPECT_DOUBLE_EQ(backoff_raw_delay_us(policy, 0), 100.0);
+  EXPECT_DOUBLE_EQ(backoff_raw_delay_us(policy, 1), 200.0);
+  EXPECT_DOUBLE_EQ(backoff_raw_delay_us(policy, 2), 400.0);
+  EXPECT_DOUBLE_EQ(backoff_raw_delay_us(policy, 3), 800.0);
+  // 1600 clamps to the cap, and stays there for every later retry.
+  EXPECT_DOUBLE_EQ(backoff_raw_delay_us(policy, 4), 1000.0);
+  EXPECT_DOUBLE_EQ(backoff_raw_delay_us(policy, 50), 1000.0);
+}
+
+TEST(Backoff, RawDelayIsMonotoneNonDecreasing) {
+  BackoffPolicy policy = plain();
+  policy.multiplier = 1.7;
+  double previous = 0.0;
+  for (std::size_t retry = 0; retry < 40; ++retry) {
+    const double delay = backoff_raw_delay_us(policy, retry);
+    EXPECT_GE(delay, previous);
+    EXPECT_LE(delay, policy.cap_us);
+    previous = delay;
+  }
+}
+
+TEST(Backoff, ZeroJitterReturnsTheRawDelayExactly) {
+  const BackoffPolicy policy = plain();
+  for (std::size_t retry = 0; retry < 8; ++retry) {
+    for (std::uint64_t token = 0; token < 16; ++token) {
+      EXPECT_EQ(backoff_delay_us(policy, retry, token),
+                backoff_raw_delay_us(policy, retry));
+    }
+  }
+}
+
+TEST(Backoff, JitterStaysInsideTheSymmetricBand) {
+  BackoffPolicy policy = plain();
+  policy.jitter = 0.25;
+  for (std::uint64_t token = 0; token < 2000; ++token) {
+    const double raw = backoff_raw_delay_us(policy, 2);
+    const double delay = backoff_delay_us(policy, 2, token);
+    EXPECT_GE(delay, raw * (1.0 - policy.jitter));
+    EXPECT_LT(delay, raw * (1.0 + policy.jitter));
+  }
+}
+
+TEST(Backoff, JitterActuallyVariesAcrossTokens) {
+  BackoffPolicy policy = plain();
+  policy.jitter = 0.25;
+  const double first = backoff_delay_us(policy, 1, 1);
+  bool varied = false;
+  for (std::uint64_t token = 2; token < 50 && !varied; ++token) {
+    varied = backoff_delay_us(policy, 1, token) != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Backoff, SameInputsSameDelayBitForBit) {
+  BackoffPolicy policy = plain();
+  policy.jitter = 0.4;
+  for (std::size_t retry = 0; retry < 10; ++retry) {
+    for (std::uint64_t token = 7; token < 7000; token *= 3) {
+      EXPECT_EQ(backoff_delay_us(policy, retry, token),
+                backoff_delay_us(policy, retry, token));
+    }
+  }
+}
+
+TEST(Backoff, ExhaustedCountsTotalAttempts) {
+  const BackoffPolicy policy = plain();  // max_attempts = 4
+  EXPECT_FALSE(backoff_exhausted(policy, 0));
+  EXPECT_FALSE(backoff_exhausted(policy, 3));
+  EXPECT_TRUE(backoff_exhausted(policy, 4));
+  EXPECT_TRUE(backoff_exhausted(policy, 5));
+}
+
+TEST(Backoff, ValidateRejectsInconsistentPolicies) {
+  EXPECT_NO_THROW(validate(plain()));
+
+  BackoffPolicy bad = plain();
+  bad.base_us = 0.0;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+
+  bad = plain();
+  bad.cap_us = bad.base_us / 2.0;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+
+  bad = plain();
+  bad.multiplier = 0.5;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+
+  bad = plain();
+  bad.jitter = 1.0;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+
+  bad = plain();
+  bad.max_attempts = 0;
+  EXPECT_THROW(validate(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cobalt

@@ -500,5 +500,94 @@ TYPED_TEST(ReplicatedStoreSuite, BalancedReadsStayInsideTheLiveReplicaSet) {
   }
 }
 
+// --- graceful degradation under crashes ------------------------------
+
+TYPED_TEST(ReplicatedStoreSuite, ReadsFailOverPastACrashedPrimary) {
+  auto store = make_store<TypeParam>(920, 3);
+  for (int n = 0; n < 8; ++n) store.add_node();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back("d" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  // Crash the primary of the first key and remember who it served.
+  const placement::NodeId victim = store.owner_of(keys.front());
+  std::vector<std::string> orphaned;
+  for (const std::string& key : keys) {
+    if (store.owner_of(key) == victim) orphaned.push_back(key);
+  }
+  const std::vector<placement::NodeId> rack = {victim};
+  ASSERT_EQ(store.fail_nodes(rack), 1u);
+
+  // Every orphaned key reads from a live node under every policy: the
+  // read path follows the repaired replica set, never the dead
+  // primary.
+  EXPECT_FALSE(orphaned.empty());
+  for (const std::string& key : orphaned) {
+    for (const ReadPolicy policy :
+         {ReadPolicy::kPrimary, ReadPolicy::kRoundRobin,
+          ReadPolicy::kLeastLoaded}) {
+      const placement::NodeId node = store.read_node_of(key, policy);
+      ASSERT_NE(node, victim) << key << ": read routed to the dead primary";
+      ASSERT_TRUE(store.backend().is_live(node)) << key;
+    }
+  }
+  // At k=3 a single crash cannot lose data.
+  EXPECT_EQ(store.replication_stats().keys_lost, 0u);
+}
+
+TYPED_TEST(ReplicatedStoreSuite, CrashAfterChurnLeavesAccountingConserved) {
+  // fail_nodes landing on a store that just went through membership
+  // churn (the crash-during-repair shape): population, per-node key
+  // sums, replica-copy mass and the loss counter must all stay
+  // conserved, and no read may reach a dead node.
+  auto store = make_store<TypeParam>(921, 2);
+  std::vector<placement::NodeId> nodes;
+  for (int n = 0; n < 9; ++n) nodes.push_back(store.add_node());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("m" + std::to_string(i));
+    store.put(keys.back(), "v");
+  }
+  // Churn first (repair state in flux), then the crash batch.
+  store.add_node();
+  (void)store.remove_node(nodes[1]);
+  const std::vector<placement::NodeId> rack = {nodes[4], nodes[6]};
+  const std::size_t failed = store.fail_nodes(rack);
+
+  // Population: every key survives in the simulator (losses are an
+  // accounting fact), and the primary map partitions exactly it.
+  EXPECT_EQ(store.size(), keys.size());
+  const auto per_node = store.keys_per_node();
+  std::size_t primary_sum = 0;
+  for (std::size_t n = 0; n < per_node.size(); ++n) {
+    if (per_node[n] > 0) {
+      EXPECT_TRUE(store.backend().is_live(static_cast<placement::NodeId>(n)))
+          << "dead node " << n << " still owns keys";
+    }
+    primary_sum += per_node[n];
+  }
+  EXPECT_EQ(primary_sum, keys.size());
+
+  // Replica mass: exactly min(k, nodes) live copies per key.
+  const std::size_t target =
+      std::min(store.replication(), store.backend().node_count());
+  const auto copies = store.replica_copies_per_node();
+  std::size_t copy_sum = 0;
+  for (const std::size_t c : copies) copy_sum += c;
+  EXPECT_EQ(copy_sum, keys.size() * target);
+  expect_fully_replicated(store, keys);
+
+  // Only a completed crash may lose anything (at k=2 the two victims
+  // can host whole replica pairs, so losses are possible but bounded).
+  if (failed == 0) {
+    EXPECT_EQ(store.replication_stats().keys_lost, 0u);
+  }
+  for (const std::string& key : keys) {
+    const placement::NodeId node = store.read_node_of(key);
+    EXPECT_TRUE(store.backend().is_live(node)) << key;
+  }
+}
+
 }  // namespace
 }  // namespace cobalt::kv

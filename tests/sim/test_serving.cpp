@@ -339,5 +339,86 @@ TEST(ServingScenarios, LeastLoadedRoutesAroundTheSlowNode) {
   EXPECT_LT(least_loaded.serving.p99(), primary.serving.p99());
 }
 
+// --- fault-plan serving (cluster::FaultPlan wired into the sim) ------
+
+TEST(ServingFaults, ReadsFailOverPastACrashedReplicaWindow) {
+  // One node crashes for the middle of the run. With the full replica
+  // set as candidates, every read fails over to a live copy: nothing
+  // fails, and the phase split brackets the window cleanly.
+  auto store = make_store<kv::ChKvStore>(931, 3);
+  for (int n = 0; n < 6; ++n) store.add_node();
+  ServingSpec spec = uniform_spec(300, 6000);
+  spec.arrival_rate_rps = 60000.0;
+
+  cluster::FaultPlan plan(5);
+  ServingSim probe(spec, /*seed=*/7);
+  const cluster::SimTime mid = 0.5 * probe.expected_duration_us();
+  plan.add_crash_window(2, mid, mid + 0.25 * probe.expected_duration_us());
+
+  const ServingOutcome outcome =
+      run_faulty_serving(store, spec, plan, mid, /*seed=*/7);
+  EXPECT_EQ(outcome.issued, spec.requests);
+  EXPECT_EQ(outcome.failed, 0u);  // k=3: always a live candidate
+  EXPECT_EQ(outcome.completed, spec.requests);
+  EXPECT_EQ(outcome.issued_before + outcome.issued_after, outcome.issued);
+  EXPECT_DOUBLE_EQ(outcome.availability_before(), 1.0);
+  EXPECT_DOUBLE_EQ(outcome.availability_after(), 1.0);
+}
+
+TEST(ServingFaults, PartitionedMinorityFailsItsUnreplicatedReads) {
+  // k=1 leaves no failover candidate: reads owned by the partitioned
+  // node fail during the episode and only then - availability dips
+  // inside the fault window, stays 1.0 outside it.
+  auto store = make_store<kv::ChKvStore>(932, 1);
+  for (int n = 0; n < 6; ++n) store.add_node();
+  ServingSpec spec = uniform_spec(300, 8000);
+  spec.arrival_rate_rps = 60000.0;
+
+  cluster::FaultPlan plan(5);
+  ServingSim probe(spec, /*seed=*/8);
+  const cluster::SimTime start = 0.4 * probe.expected_duration_us();
+  const cluster::SimTime end = 0.7 * probe.expected_duration_us();
+  plan.add_partition("minority", start, end, {1, 4});
+
+  const ServingOutcome outcome =
+      run_faulty_serving(store, spec, plan, start, /*seed=*/8);
+  EXPECT_EQ(outcome.issued, spec.requests);
+  EXPECT_GT(outcome.failed, 0u);
+  EXPECT_EQ(outcome.failed_before, 0u);  // the window starts at the mark
+  EXPECT_DOUBLE_EQ(outcome.availability_before(), 1.0);
+  EXPECT_LT(outcome.availability_after(), 1.0);
+  EXPECT_EQ(outcome.completed + outcome.failed, outcome.issued);
+}
+
+TEST(ServingFaults, WritesQueueAgainstTheDeadlineOrFail) {
+  // A write-only stream against a replica that is down for a while:
+  // with a generous deadline the legs queue until recovery and every
+  // request completes; with no deadline the same writes fail.
+  const auto run_with_deadline = [](cluster::SimTime deadline) {
+    auto store = make_store<kv::ChKvStore>(933, 2);
+    for (int n = 0; n < 4; ++n) store.add_node();
+    ServingSpec spec = uniform_spec(200, 3000);
+    spec.arrival_rate_rps = 60000.0;
+    spec.write_fraction = 1.0;
+    spec.write_deadline_us = deadline;
+
+    cluster::FaultPlan plan(6);
+    ServingSim probe(spec, /*seed=*/9);
+    const cluster::SimTime horizon = probe.expected_duration_us();
+    plan.add_crash_window(1, 0.2 * horizon, 0.5 * horizon);
+    return run_faulty_serving(store, spec, plan, 0.2 * horizon, /*seed=*/9);
+  };
+
+  const ServingOutcome patient = run_with_deadline(1e9);
+  EXPECT_EQ(patient.failed, 0u);
+  EXPECT_EQ(patient.completed, patient.issued);
+
+  const ServingOutcome strict = run_with_deadline(0.0);
+  EXPECT_GT(strict.failed, 0u);
+  EXPECT_EQ(strict.failed_before, 0u);
+  EXPECT_LT(strict.availability_after(), 1.0);
+  EXPECT_EQ(strict.completed + strict.failed, strict.issued);
+}
+
 }  // namespace
 }  // namespace cobalt::sim
