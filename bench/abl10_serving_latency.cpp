@@ -132,7 +132,8 @@ int main(int argc, char** argv) {
   const auto grid_bits =
       static_cast<unsigned>(fig.args().get_uint("grid-bits", 14));
   const double epsilon = fig.args().get_double("epsilon", 0.1);
-  const std::string csv_dir = fig.args().get_string("csv", ".");
+  const std::string csv_dir =
+      fig.options().csv_enabled() ? fig.options().csv_dir() : "off";
 
   // Mean utilization rho = rate x service / (nodes x 1): the matrix
   // runs hot (default 0.7) so a node whose share is ~1.4x the mean

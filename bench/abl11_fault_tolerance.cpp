@@ -143,7 +143,8 @@ int main(int argc, char** argv) {
   const auto grid_bits =
       static_cast<unsigned>(fig.args().get_uint("grid-bits", 14));
   const double epsilon = fig.args().get_double("epsilon", 0.1);
-  const std::string csv_dir = fig.args().get_string("csv", ".");
+  const std::string csv_dir =
+      fig.options().csv_enabled() ? fig.options().csv_dir() : "off";
 
   // Protocol view: event e's rounds arrive at e * gap. drive_churn
   // records ~population growth events then 2 * cycles churn events, so

@@ -47,32 +47,9 @@ int main(int argc, char** argv) {
   // CI smoke uses --schemes=local at 8192 joins to exercise the local
   // approach's group-split pressure through the store hot path
   // without paying for the table-driven schemes at that scale).
-  const std::string schemes_arg =
-      fig.args().get_string("schemes", "all");
-  const std::vector<std::string> known_schemes = {
-      "local", "global", "ch", "hrw", "jump", "maglev", "bounded-ch"};
-  if (schemes_arg != "all") {
-    // A typo must fail loudly: silently matching nothing would turn
-    // the CI smoke into a vacuous green (no store runs, every check
-    // passes by default).
-    std::stringstream list(schemes_arg);
-    std::string token;
-    while (std::getline(list, token, ',')) {
-      if (std::find(known_schemes.begin(), known_schemes.end(), token) ==
-          known_schemes.end()) {
-        std::cerr << "unknown scheme in --schemes: '" << token << "'\n";
-        return 2;
-      }
-    }
-  }
+  // Parsing and typo validation live in bench::Options.
   const auto enabled = [&](const std::string& scheme) {
-    if (schemes_arg == "all") return true;
-    std::stringstream list(schemes_arg);
-    std::string token;
-    while (std::getline(list, token, ',')) {
-      if (token == scheme) return true;
-    }
-    return false;
+    return fig.options().scheme_enabled(scheme);
   };
   const std::size_t ch_k = fig.args().get_uint("ch-partitions", 32);
   const auto grid_bits =

@@ -154,10 +154,13 @@ int main(int argc, char** argv) {
 
   const auto run_scheme = [&](const std::string& scheme, std::uint64_t tag,
                               const auto& factory) {
+    std::vector<CellOutcome> cells;
+    // --schemes=... skips the others entirely; their checks are
+    // skipped too (empty cell vectors below).
+    if (!fig.options().scheme_enabled(scheme)) return cells;
     Series lost{scheme + " lost (%)", {}};
     Series failure{scheme + " failure re-repl (/key)", {}};
     Series upgrade{scheme + " upgrade re-repl (/key)", {}};
-    std::vector<CellOutcome> cells;
     for (std::size_t k = 1; k <= kMaxReplication; ++k) {
       const CellOutcome cell =
           run_cell(fig, tag, population, rack, keys, k, factory);
@@ -200,6 +203,7 @@ int main(int argc, char** argv) {
       {"bounded-ch", &bounded}};
 
   for (const auto& [name, cells] : schemes) {
+    if (cells->empty()) continue;  // skipped via --schemes
     // k = 1 means no redundancy: a rack failure must lose keys. (The
     // local approach may refuse enough of the rack to dodge losses at
     // tiny scale; its check still holds at defaults.)

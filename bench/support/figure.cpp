@@ -20,9 +20,7 @@ FigureHarness::FigureHarness(int argc, char** argv, std::string figure_id,
       runs_(args_.get_uint("runs", default_runs)),
       steps_(args_.get_uint("vnodes", default_steps)),
       seed_(args_.get_uint("seed", 0x5eed0f2004ull)),
-      csv_dir_(args_.get_string("csv", ".")),
-      chart_(args_.get_string("chart", "on") != "off"),
-      checks_enforced_(args_.get_string("checks", "on") != "off"),
+      options_(args_),
       pool_(static_cast<std::size_t>(args_.get_uint("threads", 0))) {
   COBALT_REQUIRE(runs_ >= 1 && steps_ >= 1,
                  "--runs and --vnodes must be positive");
@@ -66,7 +64,7 @@ void FigureHarness::print_chart(const std::vector<double>& xs,
                                 const std::vector<Series>& series,
                                 const std::string& x_label,
                                 const std::string& y_label) const {
-  if (!chart_) return;
+  if (!options_.chart_enabled()) return;
   ChartOptions options;
   options.x_label = x_label;
   options.y_label = y_label;
@@ -80,8 +78,8 @@ void FigureHarness::print_chart(const std::vector<double>& xs,
 void FigureHarness::write_csv(const std::vector<double>& xs,
                               const std::vector<Series>& series,
                               const std::string& x_name) const {
-  if (csv_dir_ == "off") return;
-  const std::string path = csv_dir_ + "/" + figure_id_ + ".csv";
+  if (!options_.csv_enabled()) return;
+  const std::string path = options_.csv_dir() + "/" + figure_id_ + ".csv";
   CsvWriter csv(path);
   std::vector<std::string> header{x_name};
   for (const Series& s : series) header.push_back(s.label);
@@ -97,7 +95,7 @@ void FigureHarness::write_csv(const std::vector<double>& xs,
 
 void FigureHarness::check(bool ok, const std::string& what) {
   std::cout << (ok ? "CHECK[ok]   " : "CHECK[FAIL] ") << what << "\n";
-  if (!ok && checks_enforced_) ++failed_checks_;
+  if (!ok && options_.checks_enforced()) ++failed_checks_;
 }
 
 void FigureHarness::note(const std::string& what) {

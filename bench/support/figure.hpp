@@ -14,6 +14,7 @@
 
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
+#include "support/options.hpp"
 
 namespace cobalt::bench {
 
@@ -37,6 +38,10 @@ class FigureHarness {
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] const CliParser& args() const { return args_; }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+  /// The shared output/selection flags (--csv/--chart/--checks/
+  /// --schemes), parsed once here instead of per driver.
+  [[nodiscard]] const Options& options() const { return options_; }
 
   /// Prints the figure banner (title, parameters).
   void print_banner() const;
@@ -80,9 +85,7 @@ class FigureHarness {
   std::size_t runs_;
   std::size_t steps_;
   std::uint64_t seed_;
-  std::string csv_dir_;
-  bool chart_;
-  bool checks_enforced_;
+  Options options_;
   int failed_checks_ = 0;
   ThreadPool pool_;
 };

@@ -1,0 +1,41 @@
+#include "support/options.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cobalt::bench {
+
+const std::vector<std::string>& Options::all_schemes() {
+  static const std::vector<std::string> names = {
+      "local", "global", "ch", "hrw", "jump", "maglev", "bounded-ch"};
+  return names;
+}
+
+Options::Options(const CliParser& args,
+                 std::vector<std::string> known_schemes)
+    : csv_dir_(args.get_string("csv", ".")),
+      chart_(args.get_string("chart", "on") != "off"),
+      checks_enforced_(args.get_string("checks", "on") != "off"),
+      known_schemes_(std::move(known_schemes)) {
+  const std::string schemes_arg = args.get_string("schemes", "all");
+  if (schemes_arg == "all") return;
+  std::stringstream list(schemes_arg);
+  std::string token;
+  while (std::getline(list, token, ',')) {
+    COBALT_REQUIRE(std::find(known_schemes_.begin(), known_schemes_.end(),
+                             token) != known_schemes_.end(),
+                   "unknown scheme in --schemes");
+    selected_.push_back(token);
+  }
+  COBALT_REQUIRE(!selected_.empty(), "--schemes must name at least one scheme");
+}
+
+bool Options::scheme_enabled(std::string_view scheme) const {
+  if (selected_.empty()) return true;
+  return std::find(selected_.begin(), selected_.end(), scheme) !=
+         selected_.end();
+}
+
+}  // namespace cobalt::bench

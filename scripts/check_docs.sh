@@ -11,6 +11,11 @@
 #      src/common/thread_annotations.hpp: everything else must use the
 #      annotated wrappers, or clang's thread safety analysis (and the
 #      lock-order linter) cannot see the acquisition.
+#   5. No new raw integer replication parameter in the replicated
+#      layers: replication is keyed by placement::ReplicationSpec
+#      (factor + spread policy), so a bare "std::size_t replication"
+#      parameter reintroduces the pre-topology API. Intentional legacy
+#      wrappers carry a "raw-k-ok" marker comment.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +63,17 @@ done < <(grep -rnE \
            'std::(mutex|shared_mutex|condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)\b' \
            src --include='*.hpp' --include='*.cpp' \
            | grep -v '^src/common/thread_annotations.hpp:' || true)
+
+# --- 5. replication stays keyed by ReplicationSpec ------------------
+while IFS= read -r hit; do
+  echo "RAW REPLICATION FACTOR: $hit"
+  echo "  (take a placement::ReplicationSpec, or mark a deliberate"
+  echo "   legacy wrapper with a raw-k-ok comment)"
+  fail=1
+done < <(grep -rnE \
+           'std::size_t (replication|replicas|replication_factor)\b' \
+           src/kv src/sim src/cluster --include='*.hpp' \
+           | grep -v 'raw-k-ok' || true)
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

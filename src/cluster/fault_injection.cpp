@@ -42,6 +42,31 @@ void FaultPlan::add_partition(std::string name, SimTime start, SimTime end,
   partitions_.push_back({std::move(name), start, end, std::move(side)});
 }
 
+void FaultPlan::crash_rack(const Topology& topo, Topology::RackId rack,
+                           SimTime crash_at, SimTime recover_at) {
+  const std::vector<placement::NodeId> members = topo.nodes_in_rack(rack);
+  COBALT_REQUIRE(!members.empty(), "crash_rack needs a non-empty rack");
+  for (const placement::NodeId node : members) {
+    add_crash_window(node, crash_at, recover_at);
+  }
+}
+
+void FaultPlan::partition_rack(const Topology& topo, Topology::RackId rack,
+                               SimTime start, SimTime end, std::string name) {
+  std::vector<placement::NodeId> side = topo.nodes_in_rack(rack);
+  COBALT_REQUIRE(!side.empty(), "partition_rack needs a non-empty rack");
+  if (name.empty()) name = "rack-" + std::to_string(rack);
+  add_partition(std::move(name), start, end, std::move(side));
+}
+
+void FaultPlan::partition_zone(const Topology& topo, Topology::ZoneId zone,
+                               SimTime start, SimTime end, std::string name) {
+  std::vector<placement::NodeId> side = topo.nodes_in_zone(zone);
+  COBALT_REQUIRE(!side.empty(), "partition_zone needs a non-empty zone");
+  if (name.empty()) name = "zone-" + std::to_string(zone);
+  add_partition(std::move(name), start, end, std::move(side));
+}
+
 namespace {
 
 [[nodiscard]] bool on_side(const PartitionEpisode& episode,

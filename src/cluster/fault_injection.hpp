@@ -111,6 +111,30 @@ class FaultPlan {
   void add_partition(std::string name, SimTime start, SimTime end,
                      std::vector<placement::NodeId> side);
 
+  // --- topology-derived faults ---------------------------------------
+  //
+  // Whole-rack and rack-to-rack faults derived from a cluster::
+  // Topology instead of hand-listed node ids: the correlated failure
+  // modes a physical cluster actually exhibits (a PDU trip takes the
+  // rack, a ToR uplink flap partitions it).
+
+  /// Crashes every node of `rack` during [crash_at, recover_at) - one
+  /// crash window per member, so per-node queries and recovery
+  /// behave exactly as hand-listed windows would.
+  void crash_rack(const Topology& topo, Topology::RackId rack,
+                  SimTime crash_at,
+                  SimTime recover_at = std::numeric_limits<SimTime>::infinity());
+
+  /// Partitions `rack` off from the rest of the cluster (and from
+  /// clients) during [start, end): a partition episode whose side is
+  /// the rack's membership. An empty name derives "rack-<id>".
+  void partition_rack(const Topology& topo, Topology::RackId rack,
+                      SimTime start, SimTime end, std::string name = "");
+
+  /// Partitions `zone` off likewise (side = the zone's membership).
+  void partition_zone(const Topology& topo, Topology::ZoneId zone,
+                      SimTime start, SimTime end, std::string name = "");
+
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] const std::vector<CrashWindow>& crash_windows() const {
     return crashes_;

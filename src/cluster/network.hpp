@@ -8,19 +8,29 @@
 // *relative* results are meaningful, and the ablation harness reports
 // them as ratios.
 
+// Tiered pricing (PR 10): with a cluster::Topology in hand the model
+// distinguishes intra-rack, cross-rack and cross-zone message hops
+// and per-key transfer costs. The flat constants stay the defaults -
+// a tier left at 0 inherits the next-cheaper one, so existing callers
+// (and every pre-topology bench number) are priced exactly as before.
+
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "cluster/event_queue.hpp"
+#include "cluster/topology.hpp"
 
 namespace cobalt::cluster {
 
 /// Cost parameters of one synchronization round and its payloads.
 struct NetworkModel {
   /// One-hop message latency between any two cluster nodes (flat,
-  /// switch-based topology), in microseconds.
+  /// switch-based topology), in microseconds. With a topology, this
+  /// is the *intra-rack* tier.
   SimTime one_hop_latency_us = 100.0;
 
   /// Time to ship one partition's bookkeeping (not the data - the
@@ -36,6 +46,61 @@ struct NetworkModel {
 
   /// Local processing time to apply one distribution-record update.
   SimTime record_update_us = 2.0;
+
+  /// Tiered hop latencies (used by the topology-aware overloads
+  /// below): a message between two racks of one zone, and between two
+  /// zones. 0 means "inherit": cross_rack falls back to the flat
+  /// one_hop tier, cross_zone to the cross_rack tier - so a
+  /// default-constructed model prices every hop identically and the
+  /// topology-aware overloads degenerate to the flat ones.
+  SimTime cross_rack_latency_us = 0.0;
+  SimTime cross_zone_latency_us = 0.0;
+
+  /// Tiered per-key transfer costs, same inheritance rule.
+  SimTime cross_rack_per_key_us = 0.0;
+  SimTime cross_zone_per_key_us = 0.0;
+
+  /// The effective hop latency of each tier after inheritance.
+  [[nodiscard]] SimTime intra_rack_latency() const {
+    return one_hop_latency_us;
+  }
+  [[nodiscard]] SimTime cross_rack_latency() const {
+    return cross_rack_latency_us > 0.0 ? cross_rack_latency_us
+                                       : one_hop_latency_us;
+  }
+  [[nodiscard]] SimTime cross_zone_latency() const {
+    return cross_zone_latency_us > 0.0 ? cross_zone_latency_us
+                                       : cross_rack_latency();
+  }
+  [[nodiscard]] SimTime intra_rack_per_key() const {
+    return per_key_transfer_us;
+  }
+  [[nodiscard]] SimTime cross_rack_per_key() const {
+    return cross_rack_per_key_us > 0.0 ? cross_rack_per_key_us
+                                       : per_key_transfer_us;
+  }
+  [[nodiscard]] SimTime cross_zone_per_key() const {
+    return cross_zone_per_key_us > 0.0 ? cross_zone_per_key_us
+                                       : cross_rack_per_key();
+  }
+
+  /// Hop latency between two specific nodes under `topo` (the tier of
+  /// their relative position).
+  [[nodiscard]] SimTime hop_latency(const Topology& topo, placement::NodeId a,
+                                    placement::NodeId b) const {
+    if (topo.same_rack(a, b)) return intra_rack_latency();
+    if (topo.same_zone(a, b)) return cross_rack_latency();
+    return cross_zone_latency();
+  }
+
+  /// Per-key transfer cost between two specific nodes under `topo`.
+  [[nodiscard]] SimTime key_transfer_us(const Topology& topo,
+                                        placement::NodeId a,
+                                        placement::NodeId b) const {
+    if (topo.same_rack(a, b)) return intra_rack_per_key();
+    if (topo.same_zone(a, b)) return cross_rack_per_key();
+    return cross_zone_per_key();
+  }
 
   /// Duration of a coordinator-driven synchronization round among
   /// `participants` snodes that hands over `transfers` partitions:
@@ -80,6 +145,106 @@ struct NetworkModel {
   [[nodiscard]] std::size_t handover_messages(std::size_t participants,
                                               std::size_t ranges) const {
     return participants == 0 ? 0 : round_messages(participants, ranges);
+  }
+
+  /// Topology-aware handover/repair round: the coordinator (the
+  /// round's first participant) reaches each participant at that
+  /// pair's hop tier - the round's broadcast+ack takes the *worst*
+  /// tier among them (participants work in parallel) - and the key
+  /// payload serializes at the worst per-key tier it must cross. With
+  /// the tiered fields at their inherit-everything defaults this is
+  /// exactly handover_duration(participants.size(), keys).
+  [[nodiscard]] SimTime handover_duration_tiered(
+      const Topology& topo, std::span<const placement::NodeId> participants,
+      std::uint64_t keys) const {
+    if (participants.empty()) return 0.0;
+    const placement::NodeId coordinator = participants.front();
+    SimTime worst_hop = intra_rack_latency();
+    SimTime worst_key = intra_rack_per_key();
+    for (const placement::NodeId node : participants) {
+      worst_hop = std::max(worst_hop, hop_latency(topo, coordinator, node));
+      worst_key =
+          std::max(worst_key, key_transfer_us(topo, coordinator, node));
+    }
+    return 2.0 * worst_hop +
+           static_cast<SimTime>(participants.size()) * record_update_us +
+           static_cast<SimTime>(keys) * worst_key;
+  }
+
+  /// Multicast-tree variant of the tiered round: instead of unicasting
+  /// from the coordinator to every participant, the round pays one
+  /// cross-rack (or cross-zone) leg per *distinct remote rack* - the
+  /// rack's first participant acts as relay - followed by one
+  /// intra-rack relay leg where a rack holds more than one
+  /// participant. Payload still serializes at the worst tier crossed.
+  /// Message count is unchanged (every participant is still addressed
+  /// once, see handover_messages); what the tree saves is expensive
+  /// legs, which shows up as duration.
+  [[nodiscard]] SimTime multicast_handover_duration(
+      const Topology& topo, std::span<const placement::NodeId> participants,
+      std::uint64_t keys) const {
+    if (participants.empty()) return 0.0;
+    const placement::NodeId coordinator = participants.front();
+    const Topology::RackId home = topo.rack_of(coordinator);
+    SimTime worst_root_hop = 0.0;  // coordinator -> rack relays
+    bool relay_needed = false;     // any rack with a second participant
+    SimTime worst_key = intra_rack_per_key();
+    // Distinct remote racks; participant lists are replica sets
+    // (tiny), so a linear scan beats building a set.
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      const placement::NodeId node = participants[i];
+      worst_key =
+          std::max(worst_key, key_transfer_us(topo, coordinator, node));
+      const Topology::RackId rack = topo.rack_of(node);
+      bool first_of_rack = true;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (topo.rack_of(participants[j]) == rack) {
+          first_of_rack = false;
+          break;
+        }
+      }
+      if (first_of_rack) {
+        if (rack != home) {
+          worst_root_hop = std::max(worst_root_hop,
+                                    hop_latency(topo, coordinator, node));
+        }
+      } else {
+        relay_needed = true;
+      }
+    }
+    const SimTime relay_hop = relay_needed ? intra_rack_latency() : 0.0;
+    return 2.0 * (worst_root_hop + relay_hop) +
+           static_cast<SimTime>(participants.size()) * record_update_us +
+           static_cast<SimTime>(keys) * worst_key;
+  }
+
+  /// Cross-rack request+ack legs such a round pays: 2 per distinct
+  /// remote rack under the multicast tree, 2 per remote-rack
+  /// participant under plain unicast - the cross-rack message meter
+  /// of ablation A12.
+  [[nodiscard]] std::size_t cross_rack_messages(
+      const Topology& topo, std::span<const placement::NodeId> participants,
+      bool multicast) const {
+    if (participants.empty()) return 0;
+    const placement::NodeId coordinator = participants.front();
+    const Topology::RackId home = topo.rack_of(coordinator);
+    std::size_t legs = 0;
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      const Topology::RackId rack = topo.rack_of(participants[i]);
+      if (rack == home) continue;
+      if (multicast) {
+        bool first_of_rack = true;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (topo.rack_of(participants[j]) == rack) {
+            first_of_rack = false;
+            break;
+          }
+        }
+        if (!first_of_rack) continue;
+      }
+      ++legs;
+    }
+    return 2 * legs;
   }
 };
 

@@ -84,6 +84,16 @@ class ProtocolDriver final : public kv::StoreEventSink {
     /// Lattice width for schemes without a native serialization
     /// domain (see placement::arc_serialization_domain).
     std::uint32_t arc_domain_bits = 8;
+
+    /// When set, rounds are priced at the tier of the links they
+    /// actually cross (NetworkModel::handover_duration_tiered). Null
+    /// keeps the flat pricing - byte-identical to pre-topology runs.
+    const Topology* topology = nullptr;
+
+    /// With a topology: price repair fan-out as a multicast tree (one
+    /// expensive leg per distinct remote rack, intra-rack relays)
+    /// instead of coordinator unicast. Handover rounds stay unicast.
+    bool multicast_repair = false;
   };
 
   /// One recorded round: a priced (event, domain) cell awaiting
@@ -150,7 +160,8 @@ class ProtocolDriver final : public kv::StoreEventSink {
   }
 
   void on_repair_batch(HashIndex first, HashIndex last, std::uint64_t copies,
-                       std::uint64_t lost, std::size_t replicas) override {
+                       std::uint64_t lost,
+                       std::size_t replicas) override {  // raw-k-ok: sink payload
     (void)last;
     DomainWork& work = open_[domain_of(first)];
     totals_.repair_copies += copies;
@@ -163,8 +174,9 @@ class ProtocolDriver final : public kv::StoreEventSink {
       // participants (the priced model charges repair_replicas legs).
       work.repair_replicas = replicas;
       work.repair_participants.clear();
-      store_.backend().replica_set_into(first, replicas,
-                                        work.repair_participants);
+      store_.backend().replica_set_into(
+          first, store_.replication_spec().with_k(replicas),
+          work.repair_participants);
       std::sort(work.repair_participants.begin(),
                 work.repair_participants.end());
     }
@@ -345,9 +357,15 @@ class ProtocolDriver final : public kv::StoreEventSink {
         round.event = totals_.events;
         // Remote handover synchronization plus local record updates
         // (rebuckets and intra-node moves cost bookkeeping only).
+        const SimTime sync =
+            options_.topology != nullptr
+                ? net.handover_duration_tiered(*options_.topology,
+                                               work.participants,
+                                               work.cross_keys)
+                : net.handover_duration(work.participants.size(),
+                                        work.cross_keys);
         round.duration =
-            net.handover_duration(work.participants.size(),
-                                  work.cross_keys) +
+            sync +
             static_cast<SimTime>(work.local_ranges) * net.record_update_us;
         round.messages = net.handover_messages(work.participants.size(),
                                                work.cross_ranges);
@@ -361,8 +379,16 @@ class ProtocolDriver final : public kv::StoreEventSink {
         RecordedRound round;
         round.domain = domain;
         round.event = totals_.events;
-        round.duration =
-            net.handover_duration(work.repair_replicas, work.repair_copies);
+        if (options_.topology == nullptr) {
+          round.duration =
+              net.handover_duration(work.repair_replicas, work.repair_copies);
+        } else if (options_.multicast_repair) {
+          round.duration = net.multicast_handover_duration(
+              *options_.topology, work.repair_participants, work.repair_copies);
+        } else {
+          round.duration = net.handover_duration_tiered(
+              *options_.topology, work.repair_participants, work.repair_copies);
+        }
         round.messages = net.handover_messages(work.repair_replicas,
                                                work.repair_ranges);
         round.participants = work.repair_participants;

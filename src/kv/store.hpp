@@ -31,20 +31,22 @@
 // whose whole materialized replica set dies in one correlated failure
 // is counted lost.
 //
-// Movement accounting is split into two independently queryable
-// channels (they measure different protocols and must not be summed
-// blindly):
-//   * relocation_stats()  - placement::MigrationStats fed by the
+// Movement accounting is split into two channels, read coherently via
+// stats() -> StatsSnapshot (they measure different protocols and must
+// not be summed blindly):
+//   * stats().relocation  - placement::MigrationStats fed by the
 //     backend's RelocationObserver events: keys whose *primary* owner
-//     changed. migration_stats() remains as the historical alias.
+//     changed. relocation_stats() / migration_stats() remain as
+//     deprecated wrappers.
 //     Events are *batched*: the observer callbacks record only the
 //     event ranges, and the keys inside them are counted in one
 //     deferred pass (at the next repair, mutation or stats read -
 //     always before the resident keys can change, so the totals are
 //     exactly the seed's).
-//   * replication_stats() - ReplicationStats maintained by the store's
+//   * stats().replication - ReplicationStats maintained by the store's
 //     re-replication passes: key copies created to repair replica
-//     sets, and keys lost to correlated failures. At k == 1 the
+//     sets, and keys lost to correlated failures (replication_stats()
+//     is the deprecated wrapper). At k == 1 the
 //     re-replication mass tracks primary relocation (the only copy IS
 //     the primary); at k > 1 it additionally counts fallback repair,
 //     and a primary handover to a node that already held a fallback
@@ -136,6 +138,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/topology.hpp"
 #include "common/error.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
@@ -143,6 +146,7 @@
 #include "kv/shard_index.hpp"
 #include "kv/store_events.hpp"
 #include "placement/backend.hpp"
+#include "placement/replication_spec.hpp"
 #include "placement/bounded_ch_backend.hpp"
 #include "placement/ch_backend.hpp"
 #include "placement/dht_backend.hpp"
@@ -168,6 +172,16 @@ struct ReplicationStats {
   /// ablation A8.
   std::uint64_t keys_rereplicated = 0;
 
+  /// The slice of keys_rereplicated whose copy crossed a rack (zone)
+  /// boundary of the attached cluster::Topology: the donor is the
+  /// first live materialized replica (the desired primary for lost
+  /// keys, which re-seed from cold storage), the destination the
+  /// joining node. Zero without a topology (set_topology()). This is
+  /// the cross-rack repair traffic of ablation A12 - multiply by the
+  /// deployment's key size for bytes.
+  std::uint64_t keys_rereplicated_cross_rack = 0;
+  std::uint64_t keys_rereplicated_cross_zone = 0;
+
   /// Keys whose *entire* materialized replica set was dead at a crash
   /// re-replication pass (fail_nodes): the data-loss window of a
   /// correlated failure. Graceful drains (remove_node) never lose
@@ -191,6 +205,21 @@ struct ReplicationStats {
   /// (the denominator of the visit ratio; a full scan would make
   /// repair_shards_visited equal to this).
   std::uint64_t repair_shards_total = 0;
+};
+
+/// One coherent view of both movement-accounting channels, taken
+/// under the accounting lock by Store::stats(): the relocation
+/// channel (primary-owner moves; migration_stats() was its historical
+/// alias) and the re-replication channel in a single read, so the two
+/// can be compared without a racing mutation landing between two
+/// separate accessor calls.
+struct StatsSnapshot {
+  /// Keys whose primary owner changed (the relocation channel; also
+  /// the historical "migration" alias).
+  placement::MigrationStats relocation;
+  /// Repair copies, correlated-failure losses, cross-rack traffic
+  /// (the re-replication channel).
+  ReplicationStats replication;
 };
 
 /// How read_node_of(key, policy) picks among the live materialized
@@ -230,18 +259,31 @@ class Store final : private placement::RelocationObserver {
 
   explicit Store(Options options,
                  hashing::Algorithm algorithm = hashing::Algorithm::kXxh64)
-      : Store(std::move(options), 1, algorithm) {}
+      : Store(std::move(options), placement::ReplicationSpec{}, algorithm) {}
 
-  /// A replicated store: every key is held by `replication` distinct
-  /// nodes (clamped to the live node count while the cluster is
-  /// smaller than that).
-  Store(Options options, std::size_t replication,
+  /// A replicated store with a bare factor: every key is held by
+  /// `replication` distinct nodes (clamped to the live node count
+  /// while the cluster is smaller than that), spread policy kNone.
+  /// Thin wrapper kept for the pre-topology callers; new code should
+  /// pass a placement::ReplicationSpec.
+  Store(Options options, std::size_t replication,  // raw-k-ok: legacy wrapper
+        hashing::Algorithm algorithm = hashing::Algorithm::kXxh64)
+      : Store(std::move(options),
+              placement::ReplicationSpec{replication,
+                                         placement::SpreadPolicy::kNone},
+              algorithm) {}
+
+  /// A replicated store under a full ReplicationSpec: k copies per
+  /// key, spread across the failure domains of the topology attached
+  /// with set_topology() per `spec.spread` (kNone ignores topology and
+  /// reproduces the raw ranked-walk placement bit for bit).
+  Store(Options options, placement::ReplicationSpec spec,
         hashing::Algorithm algorithm = hashing::Algorithm::kXxh64)
       : backend_(std::move(options)),
         algorithm_(algorithm),
-        replication_(replication) {
-    COBALT_REQUIRE(replication >= 1,
-                   "the replication factor must be at least 1");
+        replication_(spec.k),
+        spread_(spec.spread) {
+    COBALT_REQUIRE(spec.k >= 1, "the replication factor must be at least 1");
     backend_.set_observer(this);
   }
 
@@ -250,8 +292,49 @@ class Store final : private placement::RelocationObserver {
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
 
-  /// The configured replication factor k.
-  [[nodiscard]] std::size_t replication() const { return replication_; }
+  /// The configured replication factor k (replication_spec().k).
+  [[nodiscard]] std::size_t replication() const {  // raw-k-ok: legacy accessor
+    return replication_;
+  }
+
+  /// The configured spread policy (kNone unless constructed with a
+  /// ReplicationSpec asking for rack/zone spread).
+  [[nodiscard]] placement::SpreadPolicy spread() const { return spread_; }
+
+  /// The full configured spec {k, spread}.
+  [[nodiscard]] placement::ReplicationSpec replication_spec() const {
+    return {replication_, spread_};
+  }
+
+  /// Attaches (or detaches, nullptr) the failure-domain map consulted
+  /// by the spread policy, the cross-rack repair accounting and the
+  /// backend's spread filter. The topology is not owned and must
+  /// outlive the store or be detached first. Attaching while keys are
+  /// resident re-repairs every materialized replica set against the
+  /// new map (one full-scan pass, like a membership event); prefer
+  /// attaching before the first node. Requires external quiescence in
+  /// concurrent mode, like every reconfiguration surface here.
+  void set_topology(const cluster::Topology* topology) {
+    const MaybeUniqueLock backend_lock(backend_mutex_, concurrent_);
+    topology_ = topology;
+    backend_.set_topology(topology);
+    if (spread_ == placement::SpreadPolicy::kNone || replication_ == 1 ||
+        backend_.node_count() == 0) {
+      return;  // placement is unchanged; nothing to repair
+    }
+    if (event_sink_ != nullptr) {
+      flush_relocations();  // stray batches are not this event's
+      event_sink_->on_membership_begin(MembershipEventKind::kJoin);
+    }
+    full_dirty_ = true;
+    rereplicate(/*crash=*/false);
+    if (event_sink_ != nullptr) event_sink_->on_membership_end();
+  }
+
+  /// The attached topology (null while detached).
+  [[nodiscard]] const cluster::Topology* topology() const {
+    return topology_;
+  }
 
   /// Attaches a worker pool and switches the store into concurrent
   /// mode (see the threading-model section of the header comment), or
@@ -701,47 +784,50 @@ class Store final : private placement::RelocationObserver {
     return static_cast<std::size_t>(index_.count_range(first, last));
   }
 
-  /// Relocation channel: keys whose primary owner changed, fed by the
-  /// backend's range-level relocation events. Same struct for every
-  /// backend. Returns a coherent copy taken under the accounting lock
-  /// (after flushing pending events), so it is safe to call from any
-  /// thread in concurrent mode. It used to return a reference to the
-  /// live struct, which no lock inside the accessor can make safe -
-  /// the caller's field reads happen after the accessor returns.
-  [[nodiscard]] placement::MigrationStats relocation_stats() const {
+  /// Both movement-accounting channels in one coherent read: pending
+  /// relocation events are flushed, then both structs are copied under
+  /// a single accounting hold - safe from any thread in concurrent
+  /// mode, and the two channels are guaranteed to describe the same
+  /// instant. This is the stats surface; the per-channel accessors
+  /// below are deprecated thin wrappers over it.
+  [[nodiscard]] StatsSnapshot stats() const {
     const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
     flush_relocations();
     const MaybeLockGuard acc(accounting_mutex_, concurrent_);
-    return relocation_stats_;
+    return {relocation_stats_, replication_stats_};
   }
 
-  /// Historical alias of relocation_stats() (pre-replication callers).
+  /// Deprecated: use stats().relocation. Relocation channel only -
+  /// keys whose primary owner changed, fed by the backend's
+  /// range-level relocation events.
+  [[nodiscard]] placement::MigrationStats relocation_stats() const {
+    return stats().relocation;
+  }
+
+  /// Deprecated: use stats().relocation. Historical alias of
+  /// relocation_stats() (pre-replication callers).
   [[nodiscard]] placement::MigrationStats migration_stats() const {
-    return relocation_stats();
+    return stats().relocation;
   }
 
-  /// Re-replication channel: repair copies and correlated-failure
-  /// losses (see the header comment for how the channels relate).
-  /// Returns a coherent copy taken under the accounting lock, safe to
-  /// call from any thread in concurrent mode. The unsynchronized
-  /// live-reference version of this accessor was a data race against
-  /// put()'s fan-out accounting and the repair passes.
+  /// Deprecated: use stats().replication. Re-replication channel only
+  /// - repair copies and correlated-failure losses (see the header
+  /// comment for how the channels relate).
   [[nodiscard]] ReplicationStats replication_stats() const {
-    const MaybeSharedLock backend_lock(backend_mutex_, concurrent_);
-    const MaybeLockGuard acc(accounting_mutex_, concurrent_);
-    return replication_stats_;
+    return stats().replication;
   }
 
-  /// Alias of relocation_stats(), kept from when the reference
-  /// accessor was unsafe to call from racing threads and this was the
-  /// synchronized spelling.
+  /// Deprecated: use stats().relocation. Alias of relocation_stats(),
+  /// kept from when the reference accessor was unsafe to call from
+  /// racing threads and this was the synchronized spelling.
   [[nodiscard]] placement::MigrationStats relocation_stats_snapshot() const {
-    return relocation_stats();
+    return stats().relocation;
   }
 
-  /// Alias of replication_stats() (see relocation_stats_snapshot()).
+  /// Deprecated: use stats().replication (see
+  /// relocation_stats_snapshot()).
   [[nodiscard]] ReplicationStats replication_stats_snapshot() const {
-    return replication_stats();
+    return stats().replication;
   }
 
   /// Registers (or clears, with nullptr) the store event sink: the
@@ -800,6 +886,8 @@ class Store final : private placement::RelocationObserver {
   struct RepairAcc {
     std::uint64_t copies = 0;
     std::uint64_t lost = 0;
+    std::uint64_t cross_rack = 0;
+    std::uint64_t cross_zone = 0;
   };
 
   /// One run of consecutive buckets sharing a desired replica set
@@ -856,6 +944,17 @@ class Store final : private placement::RelocationObserver {
     return replication_ < live ? replication_ : live;
   }
 
+  /// The desired replica set of hash `h` at the clamped `target`,
+  /// under the store's spread policy: the single funnel every write
+  /// and repair walk derives placement through. With SpreadPolicy::
+  /// kNone the backend delegates to its raw ranked walk verbatim, so
+  /// non-spread stores place bit-identically to the pre-topology code.
+  void desired_replicas_into(HashIndex h, std::size_t target,
+                             std::vector<placement::NodeId>& out) const {
+    backend_.replica_set_into(h, placement::ReplicationSpec{target, spread_},
+                              out);
+  }
+
   /// Served-read count of `node` under the balancing policies (zero
   /// until the node's first policy read).
   [[nodiscard]] std::uint64_t read_load(placement::NodeId node) const
@@ -883,7 +982,7 @@ class Store final : private placement::RelocationObserver {
       // straddles an arc boundary a repair pass has not regrouped yet
       // and the bucket keeps a per-bucket override (dissolved by the
       // next repair of the range).
-      backend_.replica_set_into(h, replica_target(), scratch);
+      desired_replicas_into(h, replica_target(), scratch);
       if (index_.shard(i).replicas.empty()) {
         index_.shard(i).replicas = scratch;  // first write into the shard
       }
@@ -1024,7 +1123,8 @@ class Store final : private placement::RelocationObserver {
       full_dirty_ = true;
     }
     if (full_dirty_) return;
-    const auto ranges = backend_.replica_dirty_ranges(replica_target());
+    const auto ranges = backend_.replica_dirty_ranges(
+        placement::ReplicationSpec{replica_target(), spread_});
     pending_dirty_.insert(pending_dirty_.end(), ranges.begin(),
                           ranges.end());
   }
@@ -1098,6 +1198,8 @@ class Store final : private placement::RelocationObserver {
           i += repair_shard(i, range.first, range.last, target, crash, acc);
         }
         replication_stats_.keys_rereplicated += acc.copies;
+        replication_stats_.keys_rereplicated_cross_rack += acc.cross_rack;
+        replication_stats_.keys_rereplicated_cross_zone += acc.cross_zone;
         replication_stats_.keys_lost += acc.lost;
         emit_repair_batch(range.first, range.last, acc.copies, acc.lost,
                           target);
@@ -1155,10 +1257,16 @@ class Store final : private placement::RelocationObserver {
       for (const SpanWork& sp : task.spans) {
         per_range[sp.range_id].copies += sp.acc.copies;
         per_range[sp.range_id].lost += sp.acc.lost;
+        per_range[sp.range_id].cross_rack += sp.acc.cross_rack;
+        per_range[sp.range_id].cross_zone += sp.acc.cross_zone;
       }
     }
     for (std::size_t r = 0; r < plan.size(); ++r) {
       replication_stats_.keys_rereplicated += per_range[r].copies;
+      replication_stats_.keys_rereplicated_cross_rack +=
+          per_range[r].cross_rack;
+      replication_stats_.keys_rereplicated_cross_zone +=
+          per_range[r].cross_zone;
       replication_stats_.keys_lost += per_range[r].lost;
       emit_repair_batch(plan[r].first, plan[r].last, per_range[r].copies,
                         per_range[r].lost, target);
@@ -1188,7 +1296,7 @@ class Store final : private placement::RelocationObserver {
       if (s.buckets.empty()) {
         // Nothing to account; refresh the cached set so future puts
         // in this range usually match it.
-        backend_.replica_set_into(s.first, target, scratch);
+        desired_replicas_into(s.first, target, scratch);
         if (s.replicas != scratch) s.replicas = scratch;
         continue;
       }
@@ -1219,7 +1327,11 @@ class Store final : private placement::RelocationObserver {
   /// Per-bucket repair accounting (identical to the seed's
   /// repair_bucket): counts lost keys at a crash and the repair copies
   /// from the materialized set to `desired` into the caller's
-  /// accumulator.
+  /// accumulator. With a topology attached, each joiner's copy is
+  /// additionally classified cross-rack/cross-zone against its donor:
+  /// the first live materialized replica, or the desired primary when
+  /// no replica survived (the lost key re-seeds from cold storage at
+  /// its new primary and then fans out from there).
   void account_repair(const ShardIndex::Bucket& bucket,
                       const std::vector<placement::NodeId>& materialized,
                       const std::vector<placement::NodeId>& desired,
@@ -1232,14 +1344,32 @@ class Store final : private placement::RelocationObserver {
         acc.lost += bucket.entries.size();
       }
     }
-    std::uint64_t joiners = 0;
-    for (const placement::NodeId node : desired) {
-      if (std::find(materialized.begin(), materialized.end(), node) ==
-          materialized.end()) {
-        ++joiners;
+    placement::NodeId donor = placement::kInvalidNode;
+    if (topology_ != nullptr) {
+      for (const placement::NodeId node : materialized) {
+        if (backend_.is_live(node)) {
+          donor = node;
+          break;
+        }
+      }
+      if (donor == placement::kInvalidNode && !desired.empty()) {
+        donor = desired.front();
       }
     }
-    acc.copies += joiners * bucket.entries.size();
+    const std::uint64_t entries = bucket.entries.size();
+    std::uint64_t joiners = 0;
+    for (const placement::NodeId node : desired) {
+      if (std::find(materialized.begin(), materialized.end(), node) !=
+          materialized.end()) {
+        continue;
+      }
+      ++joiners;
+      if (donor != placement::kInvalidNode && node != donor) {
+        if (!topology_->same_rack(donor, node)) acc.cross_rack += entries;
+        if (!topology_->same_zone(donor, node)) acc.cross_zone += entries;
+      }
+    }
+    acc.copies += joiners * entries;
   }
 
   /// Partial-coverage repair: patches only the buckets of `s` inside
@@ -1259,7 +1389,7 @@ class Store final : private placement::RelocationObserver {
     for (; it != s.buckets.end() && it->hash <= hi; ++it) {
       const std::vector<placement::NodeId>& materialized =
           effective_replicas(s, *it);
-      backend_.replica_set_into(it->hash, target, scratch);
+      desired_replicas_into(it->hash, target, scratch);
       if (scratch == materialized) continue;
       account_repair(*it, materialized, scratch, crash, acc);
       if (scratch == s.replicas) {
@@ -1284,7 +1414,7 @@ class Store final : private placement::RelocationObserver {
     for (const ShardIndex::Bucket& bucket : s.buckets) {
       const std::vector<placement::NodeId>& materialized =
           effective_replicas(s, bucket);
-      backend_.replica_set_into(bucket.hash, target, scratch);
+      desired_replicas_into(bucket.hash, target, scratch);
       if (scratch != materialized) {
         account_repair(bucket, materialized, scratch, crash, acc);
       }
@@ -1388,7 +1518,7 @@ class Store final : private placement::RelocationObserver {
       // Nothing to account; refresh the cached set so future puts
       // in this range usually match it (pure optimization - the
       // write path verifies anyway).
-      backend_.replica_set_into(s.first, target, scratch);
+      desired_replicas_into(s.first, target, scratch);
       if (s.replicas != scratch) s.replicas = scratch;
       return 1;
     }
@@ -1458,6 +1588,13 @@ class Store final : private placement::RelocationObserver {
   Backend backend_;
   hashing::Algorithm algorithm_;
   std::size_t replication_;
+  /// Spread policy of the configured ReplicationSpec (immutable).
+  placement::SpreadPolicy spread_;
+  /// Failure-domain map for spread placement and cross-rack repair
+  /// accounting; not owned. Unguarded like backend_: set under the
+  /// exclusive backend hold (set_topology), read by repair workers
+  /// while the membership thread holds the backend exclusively.
+  const cluster::Topology* topology_ = nullptr;
   ShardIndex index_;
   /// Counted-batch consumer (protocol DES); see set_event_sink().
   /// Unguarded: set while quiescent, read-only afterwards.

@@ -75,7 +75,7 @@ class StoreEventSink {
   /// are not reported.
   virtual void on_repair_batch(HashIndex first, HashIndex last,
                                std::uint64_t copies, std::uint64_t lost,
-                               std::size_t replicas) {
+                               std::size_t replicas) {  // raw-k-ok: observed clamp, not config
     (void)first;
     (void)last;
     (void)copies;

@@ -18,6 +18,12 @@
 //                      out) variant the store's repair loop uses (same
 //                      contract, result written into a caller-owned
 //                      buffer);
+//   * spread         - the same replication surface keyed by a
+//                      ReplicationSpec{k, SpreadPolicy}: replicas
+//                      spread across the racks/zones of an attached
+//                      cluster::Topology via the shared post-filter in
+//                      replication_spec.hpp (kNone delegates verbatim
+//                      to the raw walk);
 //   * repair planning - replica_dirty_ranges(k): the hash ranges
 //                      outside of which replica_set(., k) is
 //                      *guaranteed* unchanged by the backend's most
@@ -77,6 +83,7 @@
 #include <string_view>
 #include <vector>
 
+#include "placement/replication_spec.hpp"
 #include "placement/types.hpp"
 
 namespace cobalt::placement {
@@ -86,6 +93,7 @@ concept PlacementBackend =
     std::constructible_from<B, typename B::Options> &&
     requires(B backend, const B const_backend, double capacity, NodeId node,
              HashIndex index, std::size_t replicas,
+             const ReplicationSpec& spec, const cluster::Topology* topology,
              std::vector<NodeId>& out, RelocationObserver* observer) {
       typename B::Options;
 
@@ -115,6 +123,26 @@ concept PlacementBackend =
       {
         const_backend.replica_dirty_ranges(replicas)
       } -> std::same_as<std::vector<HashRange>>;
+
+      // Spread-aware replication: the same three calls keyed by a
+      // ReplicationSpec instead of a bare k. With SpreadPolicy::kNone
+      // (or no topology attached) these delegate verbatim to the raw
+      // ranked walk above; with kRack/kZone they apply the shared
+      // spread post-filter (placement/replication_spec.hpp) over the
+      // raw walk, preserving rank 0 == owner_of and prefix stability
+      // while spreading replicas across failure domains.
+      {
+        const_backend.replica_set(index, spec)
+      } -> std::same_as<std::vector<NodeId>>;
+      { const_backend.replica_set_into(index, spec, out) } -> std::same_as<void>;
+      {
+        const_backend.replica_dirty_ranges(spec)
+      } -> std::same_as<std::vector<HashRange>>;
+
+      // The topology the spread filter consults; null (the default)
+      // means every node is its own failure domain.
+      { backend.set_topology(topology) };
+      { const_backend.topology() } -> std::same_as<const cluster::Topology*>;
 
       // Registry: live count, total slots ever allocated (node ids
       // index into [0, node_slot_count)), liveness probe.

@@ -224,14 +224,14 @@ FailureDuringRepairOutcome run_failure_during_repair(
     (i < rack_size ? first_rack : second_rack).push_back(live[picks[i]]);
   }
 
-  const auto before = store.replication_stats();
+  const auto before = store.stats().replication;
   FailureDuringRepairOutcome out;
   out.failed_first = store.fail_nodes(first_rack);
   out.failed_second = store.fail_nodes(second_rack);
   out.refused = 2 * rack_size - out.failed_first - out.failed_second;
-  out.keys_lost = store.replication_stats().keys_lost - before.keys_lost;
-  out.keys_rereplicated =
-      store.replication_stats().keys_rereplicated - before.keys_rereplicated;
+  const auto after = store.stats().replication;
+  out.keys_lost = after.keys_lost - before.keys_lost;
+  out.keys_rereplicated = after.keys_rereplicated - before.keys_rereplicated;
   out.overlapped = driver.run();
   out.serialized = driver.run_serialized();
   out.totals = driver.totals();

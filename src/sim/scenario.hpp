@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/topology.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "placement/backend.hpp"
@@ -127,6 +128,12 @@ struct CorrelatedFailureOutcome {
   /// Re-replication mass of the repair (key copies created).
   std::uint64_t keys_rereplicated = 0;
 
+  /// Repair copies whose donor sat in another rack (zone) - nonzero
+  /// only when the store has a cluster::Topology attached; multiply by
+  /// the deployment's key size for cross-rack repair bytes.
+  std::uint64_t keys_rereplicated_cross_rack = 0;
+  std::uint64_t keys_rereplicated_cross_zone = 0;
+
   /// Balance after the repair.
   double sigma_after = 0.0;
 };
@@ -162,13 +169,60 @@ CorrelatedFailureOutcome run_correlated_failure(
     rack.push_back(live[pick]);
   }
 
-  const auto before = store.replication_stats();
+  const auto before = store.stats().replication;
   CorrelatedFailureOutcome out;
   out.failed = store.fail_nodes(rack);
   out.refused = rack_size - out.failed;
-  out.keys_lost = store.replication_stats().keys_lost - before.keys_lost;
-  out.keys_rereplicated =
-      store.replication_stats().keys_rereplicated - before.keys_rereplicated;
+  const auto after = store.stats().replication;
+  out.keys_lost = after.keys_lost - before.keys_lost;
+  out.keys_rereplicated = after.keys_rereplicated - before.keys_rereplicated;
+  out.keys_rereplicated_cross_rack = after.keys_rereplicated_cross_rack -
+                                     before.keys_rereplicated_cross_rack;
+  out.keys_rereplicated_cross_zone = after.keys_rereplicated_cross_zone -
+                                     before.keys_rereplicated_cross_zone;
+  out.sigma_after = store.backend().sigma();
+  return out;
+}
+
+/// Topology-aware correlated failure (ablation A12): grow `store` to
+/// `population` nodes, attach `topo` (node ids are dense from 0, so a
+/// Topology::uniform over the same population lines up), preload
+/// `keys`, then crash every live node of the *real* rack `rack` at
+/// once. Where the random-rack overload above samples an adversarial
+/// rack of arbitrary nodes, this one fails an actual failure domain -
+/// the event SpreadPolicy::kRack is designed to survive: with racks >=
+/// k, a rack-spread store loses zero whole replica sets here.
+template <typename StoreT>
+CorrelatedFailureOutcome run_correlated_failure(
+    StoreT& store, std::size_t population, const cluster::Topology& topo,
+    cluster::Topology::RackId rack, std::span<const std::string> keys) {
+  COBALT_REQUIRE(population >= 2, "a correlated failure needs survivors");
+  for (std::size_t n = 0; n < population; ++n) store.add_node();
+  store.set_topology(&topo);
+  for (const std::string& key : keys) store.put(key, "v");
+
+  std::vector<placement::NodeId> victims;
+  for (const placement::NodeId node : topo.nodes_in_rack(rack)) {
+    if (node < store.backend().node_slot_count() &&
+        store.backend().is_live(node)) {
+      victims.push_back(node);
+    }
+  }
+  COBALT_REQUIRE(!victims.empty(), "the crashed rack must hold live nodes");
+  COBALT_REQUIRE(victims.size() < store.backend().node_count(),
+                 "the rack must be a proper subset of the live population");
+
+  const auto before = store.stats().replication;
+  CorrelatedFailureOutcome out;
+  out.failed = store.fail_nodes(victims);
+  out.refused = victims.size() - out.failed;
+  const auto after = store.stats().replication;
+  out.keys_lost = after.keys_lost - before.keys_lost;
+  out.keys_rereplicated = after.keys_rereplicated - before.keys_rereplicated;
+  out.keys_rereplicated_cross_rack = after.keys_rereplicated_cross_rack -
+                                     before.keys_rereplicated_cross_rack;
+  out.keys_rereplicated_cross_zone = after.keys_rereplicated_cross_zone -
+                                     before.keys_rereplicated_cross_zone;
   out.sigma_after = store.backend().sigma();
   return out;
 }
@@ -212,7 +266,7 @@ RollingUpgradeOutcome run_rolling_upgrade(StoreT& store,
   }
   for (const std::string& key : keys) store.put(key, "v");
 
-  const auto before = store.replication_stats();
+  const auto before = store.stats().replication;
   RollingUpgradeOutcome out;
   out.sigma_series.reserve(fleet.size());
   for (const placement::NodeId node : fleet) {
@@ -224,9 +278,9 @@ RollingUpgradeOutcome run_rolling_upgrade(StoreT& store,
     }
     out.sigma_series.push_back(store.backend().sigma());
   }
-  out.keys_rereplicated =
-      store.replication_stats().keys_rereplicated - before.keys_rereplicated;
-  out.keys_lost = store.replication_stats().keys_lost - before.keys_lost;
+  const auto after = store.stats().replication;
+  out.keys_rereplicated = after.keys_rereplicated - before.keys_rereplicated;
+  out.keys_lost = after.keys_lost - before.keys_lost;
   return out;
 }
 
@@ -249,10 +303,10 @@ std::vector<double> run_movement_growth(StoreT& store,
 
   std::vector<double> moved_per_join;
   moved_per_join.reserve(target_nodes - 1);
-  std::uint64_t previous = store.migration_stats().keys_moved_total;
+  std::uint64_t previous = store.stats().relocation.keys_moved_total;
   for (std::size_t n = 2; n <= target_nodes; ++n) {
     store.add_node();
-    const std::uint64_t total = store.migration_stats().keys_moved_total;
+    const std::uint64_t total = store.stats().relocation.keys_moved_total;
     moved_per_join.push_back(static_cast<double>(total - previous));
     previous = total;
   }

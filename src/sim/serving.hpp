@@ -27,6 +27,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 #include "cluster/event_queue.hpp"
 #include "cluster/fault_injection.hpp"
 #include "cluster/network.hpp"
+#include "cluster/topology.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "kv/store.hpp"
@@ -312,7 +314,8 @@ class RepairTrafficSink final : public kv::StoreEventSink {
                            placement::NodeId from, placement::NodeId to,
                            std::uint64_t keys, bool rebucket) override;
   void on_repair_batch(HashIndex first, HashIndex last, std::uint64_t copies,
-                       std::uint64_t lost, std::size_t replicas) override;
+                       std::uint64_t lost,
+                       std::size_t replicas) override;  // raw-k-ok: sink payload
 
   /// Total repair work enqueued so far, microseconds.
   [[nodiscard]] cluster::SimTime total_work_us() const {
@@ -380,6 +383,40 @@ void attach_faulty_store_routers(ServingSim& sim, StoreT& store) {
   });
 }
 
+/// Like attach_faulty_store_routers, but the failover order is
+/// network-aware: candidates keep the primary first, then sort by
+/// proximity tier *to the primary* - same rack before same zone before
+/// cross zone - with the store's rank order breaking ties (stable
+/// sort). A client library prefers the cheapest replica that is still
+/// reachable, so when a rack partitions away, reads land on the
+/// nearest surviving copy instead of an arbitrary one.
+template <typename StoreT>
+void attach_topology_failover_routers(ServingSim& sim, StoreT& store,
+                                      const cluster::Topology& topo) {
+  sim.set_read_candidates_router(
+      [&store, &topo](const std::string& key,
+                      std::vector<placement::NodeId>& candidates) {
+        candidates = store.replicas_of(key);
+        if (candidates.size() <= 2) return;
+        const placement::NodeId primary = candidates.front();
+        const auto tier = [&](placement::NodeId node) {
+          if (node == primary) return 0;
+          if (topo.same_rack(primary, node)) return 1;
+          if (topo.same_zone(primary, node)) return 2;
+          return 3;
+        };
+        std::stable_sort(candidates.begin() + 1, candidates.end(),
+                         [&](placement::NodeId a, placement::NodeId b) {
+                           return tier(a) < tier(b);
+                         });
+      });
+  sim.set_write_router([&store](const std::string& key,
+                                std::vector<placement::NodeId>& replicas) {
+    store.put(key, "v");
+    replicas = store.replicas_of(key);
+  });
+}
+
 /// Serving run under a fault script: preload, attach the failover
 /// routers and `plan`, split the histograms at `phase_mark` (typically
 /// the fault window's start) and serve the whole stream.
@@ -391,6 +428,22 @@ ServingOutcome run_faulty_serving(StoreT& store, const ServingSpec& spec,
   preload_keys(store, spec.workload);
   ServingSim sim(spec, seed);
   attach_faulty_store_routers(sim, store);
+  sim.set_fault_plan(&plan);
+  sim.set_phase_mark(phase_mark);
+  return sim.run();
+}
+
+/// The topology-aware variant: same run, but reads fail over in
+/// proximity order (attach_topology_failover_routers).
+template <typename StoreT>
+ServingOutcome run_faulty_serving(StoreT& store, const ServingSpec& spec,
+                                  const cluster::Topology& topo,
+                                  const cluster::FaultPlan& plan,
+                                  cluster::SimTime phase_mark,
+                                  std::uint64_t seed) {
+  preload_keys(store, spec.workload);
+  ServingSim sim(spec, seed);
+  attach_topology_failover_routers(sim, store, topo);
   sim.set_fault_plan(&plan);
   sim.set_phase_mark(phase_mark);
   return sim.run();

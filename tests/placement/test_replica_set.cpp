@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/topology.hpp"
 #include "common/rng.hpp"
 #include "placement/backend.hpp"
 #include "placement/bounded_ch_backend.hpp"
@@ -271,6 +272,188 @@ TYPED_TEST(ReplicaSetSuite, DirtyRangesCoverEveryReplicaSetChange) {
             << "k=" << k << " event " << event << ": replica set of point "
             << points[p] << " changed outside every dirty range";
       }
+    }
+  }
+}
+
+// --- the spread-aware surface (ReplicationSpec + Topology) ----------
+
+/// Distinct failure domains represented in `replicas` under `of`.
+template <typename DomainOf>
+std::size_t distinct_domains(const std::vector<NodeId>& replicas,
+                             DomainOf of) {
+  std::vector<std::uint32_t> domains;
+  for (const NodeId node : replicas) domains.push_back(of(node));
+  std::sort(domains.begin(), domains.end());
+  domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+  return domains.size();
+}
+
+TYPED_TEST(ReplicaSetSuite, SpreadNoneMatchesTheRawWalkBitForBit) {
+  // SpreadPolicy::kNone must reproduce the raw ranked walk exactly,
+  // topology attached or not - the abl8 byte-parity guarantee.
+  auto backend = make_backend<TypeParam>(310);
+  for (int n = 0; n < 12; ++n) backend.add_node();
+  const cluster::Topology topo = cluster::Topology::uniform(4, 3);
+  backend.set_topology(&topo);
+  for (const HashIndex point : probe_points(30, 59)) {
+    for (std::size_t k = 1; k <= 3; ++k) {
+      const ReplicationSpec spec{k, SpreadPolicy::kNone};
+      EXPECT_EQ(backend.replica_set(point, spec),
+                backend.replica_set(point, k));
+    }
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, SpreadWithoutTopologyMatchesTheRawWalk) {
+  auto backend = make_backend<TypeParam>(311);
+  for (int n = 0; n < 10; ++n) backend.add_node();
+  ASSERT_EQ(backend.topology(), nullptr);
+  for (const HashIndex point : probe_points(20, 61)) {
+    const ReplicationSpec spec{3, SpreadPolicy::kRack};
+    EXPECT_EQ(backend.replica_set(point, spec),
+              backend.replica_set(point, 3));
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, RackSpreadPlacesReplicasOnDistinctRacks) {
+  auto backend = make_backend<TypeParam>(312);
+  for (int n = 0; n < 12; ++n) backend.add_node();
+  const cluster::Topology topo = cluster::Topology::uniform(4, 3);
+  backend.set_topology(&topo);
+  for (const HashIndex point : probe_points(40, 67)) {
+    for (std::size_t k = 2; k <= 3; ++k) {
+      const ReplicationSpec spec{k, SpreadPolicy::kRack};
+      const auto replicas = backend.replica_set(point, spec);
+      ASSERT_EQ(replicas.size(), k);
+      ASSERT_TRUE(all_distinct(replicas));
+      EXPECT_EQ(replicas.front(), backend.owner_of(point))
+          << "rank 0 must stay the raw owner under spread";
+      EXPECT_EQ(distinct_domains(replicas,
+                                 [&](NodeId n) { return topo.rack_of(n); }),
+                k)
+          << "replicas share a rack with 4 racks available";
+    }
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, ZoneSpreadPlacesReplicasOnDistinctZones) {
+  auto backend = make_backend<TypeParam>(313);
+  for (int n = 0; n < 12; ++n) backend.add_node();
+  const cluster::Topology topo = cluster::Topology::uniform(4, 3, 2);
+  backend.set_topology(&topo);
+  for (const HashIndex point : probe_points(30, 71)) {
+    const ReplicationSpec spec{2, SpreadPolicy::kZone};
+    const auto replicas = backend.replica_set(point, spec);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_EQ(replicas.front(), backend.owner_of(point));
+    EXPECT_EQ(distinct_domains(replicas,
+                               [&](NodeId n) { return topo.zone_of(n); }),
+              2u);
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, SpreadFallsBackGracefullyWhenDomainsRunOut) {
+  // 2 racks, k = 3: one node per rack first, then the filter fills the
+  // third slot from the walk - never fewer than k distinct nodes.
+  auto backend = make_backend<TypeParam>(314);
+  for (int n = 0; n < 10; ++n) backend.add_node();
+  const cluster::Topology topo = cluster::Topology::uniform(2, 5);
+  backend.set_topology(&topo);
+  for (const HashIndex point : probe_points(30, 73)) {
+    const ReplicationSpec spec{3, SpreadPolicy::kRack};
+    const auto replicas = backend.replica_set(point, spec);
+    ASSERT_EQ(replicas.size(), 3u);
+    ASSERT_TRUE(all_distinct(replicas));
+    EXPECT_EQ(replicas.front(), backend.owner_of(point));
+    EXPECT_EQ(distinct_domains(replicas,
+                               [&](NodeId n) { return topo.rack_of(n); }),
+              2u)
+        << "both racks must still be represented";
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, SpreadSmallerKIsAPrefixOfLargerK) {
+  // The spread walk keeps the prefix-stability contract of the raw
+  // walk: the first min(k, domains) slots are the walk-order first
+  // appearances of each new domain, independent of k.
+  auto backend = make_backend<TypeParam>(315);
+  for (int n = 0; n < 12; ++n) backend.add_node();
+  const cluster::Topology topo = cluster::Topology::uniform(4, 3);
+  backend.set_topology(&topo);
+  for (const HashIndex point : probe_points(25, 79)) {
+    const ReplicationSpec three{3, SpreadPolicy::kRack};
+    const auto full = backend.replica_set(point, three);
+    ASSERT_EQ(full.size(), 3u);
+    for (std::size_t k = 1; k < 3; ++k) {
+      const auto fewer = backend.replica_set(point, three.with_k(k));
+      ASSERT_EQ(fewer.size(), k);
+      EXPECT_TRUE(std::equal(fewer.begin(), fewer.end(), full.begin()))
+          << "the spread ranking must not depend on k";
+    }
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, SpreadReplicaSetIntoMatchesReplicaSet) {
+  auto backend = make_backend<TypeParam>(316);
+  for (int n = 0; n < 9; ++n) backend.add_node();
+  const cluster::Topology topo = cluster::Topology::uniform(3, 3);
+  backend.set_topology(&topo);
+  std::vector<NodeId> out;
+  for (const HashIndex point : probe_points(20, 83)) {
+    for (const SpreadPolicy policy :
+         {SpreadPolicy::kNone, SpreadPolicy::kRack, SpreadPolicy::kZone}) {
+      const ReplicationSpec spec{3, policy};
+      out.assign(7, kInvalidNode);  // stale content must be cleared
+      backend.replica_set_into(point, spec, out);
+      EXPECT_EQ(out, backend.replica_set(point, spec));
+    }
+  }
+}
+
+TYPED_TEST(ReplicaSetSuite, SpreadDirtyRangesCoverEverySpreadSetChange) {
+  // The spec-keyed dirty-range contract, with a topology that only
+  // covers the initial population: later joins land in synthetic
+  // singleton racks, stressing the mixed real/synthetic domain case.
+  auto backend = make_backend<TypeParam>(317);
+  for (int n = 0; n < 6; ++n) backend.add_node();
+  const cluster::Topology topo = cluster::Topology::uniform(3, 2);
+  backend.set_topology(&topo);
+  const auto points = probe_points(80, 89);
+  Xoshiro256 rng(97);
+  const ReplicationSpec spec{2, SpreadPolicy::kRack};
+
+  for (int event = 0; event < 12; ++event) {
+    std::vector<std::vector<NodeId>> before;
+    before.reserve(points.size());
+    for (const HashIndex point : points) {
+      before.push_back(backend.replica_set(point, spec));
+    }
+
+    if (rng.next_below(3) == 0 && backend.node_count() > 4) {
+      std::vector<NodeId> live;
+      for (NodeId node = 0; node < backend.node_slot_count(); ++node) {
+        if (backend.is_live(node)) live.push_back(node);
+      }
+      const NodeId victim = live[static_cast<std::size_t>(
+          rng.next_below(live.size()))];
+      if (!backend.remove_node(victim)) {
+        before.clear();
+        for (const HashIndex point : points) {
+          before.push_back(backend.replica_set(point, spec));
+        }
+        backend.add_node();
+      }
+    } else {
+      backend.add_node();
+    }
+
+    const auto dirty = backend.replica_dirty_ranges(spec);
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (backend.replica_set(points[p], spec) == before[p]) continue;
+      EXPECT_TRUE(covered(dirty, points[p]))
+          << "event " << event << ": spread replica set of point "
+          << points[p] << " changed outside every dirty range";
     }
   }
 }

@@ -11,11 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "cluster/topology.hpp"
 #include "common/error.hpp"
 #include "kv/store.hpp"
+#include "placement/replication_spec.hpp"
 #include "placement/hrw_backend.hpp"
 #include "sim/protocol_cost.hpp"
 
@@ -239,6 +242,74 @@ TEST(RollingUpgrade, RefusedDrainsAreCountedAndSkipped) {
   EXPECT_EQ(outcome.keys_lost, 0u);
   EXPECT_EQ(store.backend().node_count(), 12u);
   EXPECT_EQ(store.size(), keys.size());
+}
+
+// --- topology-aware correlated failure ------------------------------
+
+TEST(CorrelatedFailure, RackSpreadSurvivesAWholeRackCrash) {
+  // The point of SpreadPolicy::kRack: no replica set lives entirely in
+  // one rack, so crashing any whole rack loses nothing - and every
+  // repair copy must travel across racks.
+  const cluster::Topology topo = cluster::Topology::uniform(4, 3);
+  const auto keys = scenario_keys(1200);
+  for (const std::size_t k : {std::size_t{2}, std::size_t{3}}) {
+    kv::HrwKvStore store(
+        {31, 10}, placement::ReplicationSpec{k, placement::SpreadPolicy::kRack});
+    const auto outcome = run_correlated_failure(store, 12, topo, 1, keys);
+    EXPECT_EQ(outcome.failed, 3u) << "k=" << k;
+    EXPECT_EQ(outcome.keys_lost, 0u)
+        << "k=" << k << ": a spread replica set died with its rack";
+    EXPECT_GT(outcome.keys_rereplicated, 0u);
+    EXPECT_GT(outcome.keys_rereplicated_cross_rack, 0u)
+        << "rack-spread repair must cross racks";
+  }
+}
+
+TEST(CorrelatedFailure, UnspreadPlacementLosesKeysOnARackCrash) {
+  // The same store without the spread policy: some replica sets land
+  // entirely inside the victim rack, and those keys are gone.
+  const cluster::Topology topo = cluster::Topology::uniform(4, 3);
+  const auto keys = scenario_keys(1200);
+  kv::HrwKvStore store(
+      {31, 10}, placement::ReplicationSpec{2, placement::SpreadPolicy::kNone});
+  const auto outcome = run_correlated_failure(store, 12, topo, 1, keys);
+  EXPECT_EQ(outcome.failed, 3u);
+  EXPECT_GT(outcome.keys_lost, 0u)
+      << "unspread k=2 replica sets should collapse with the rack";
+}
+
+TEST(CorrelatedFailure, ZoneSpreadSurvivesAWholeZoneCrash) {
+  // Zone spread at k=2 over 2 zones: crash every rack of one zone in
+  // one plan - the surviving zone still holds a copy of everything.
+  const cluster::Topology topo = cluster::Topology::uniform(4, 3, 2);
+  const auto keys = scenario_keys(1000);
+  kv::ChKvStore store(
+      {33, 16}, placement::ReplicationSpec{2, placement::SpreadPolicy::kZone});
+  for (std::size_t n = 0; n < 12; ++n) store.add_node();
+  store.set_topology(&topo);
+  for (const auto& key : keys) store.put(key, "v");
+  std::vector<placement::NodeId> victims = topo.nodes_in_zone(0);
+  const auto before = store.stats().replication;
+  (void)store.fail_nodes(victims);
+  const auto after = store.stats().replication;
+  EXPECT_EQ(after.keys_lost, before.keys_lost)
+      << "a zone-spread replica set died with its zone";
+  EXPECT_GT(after.keys_rereplicated, before.keys_rereplicated);
+}
+
+TEST(CorrelatedFailure, TopologyOverloadIsDeterministic) {
+  const cluster::Topology topo = cluster::Topology::uniform(3, 4);
+  const auto keys = scenario_keys(600);
+  std::vector<std::uint64_t> rereplicated;
+  for (int i = 0; i < 2; ++i) {
+    kv::JumpKvStore store(
+        {35, 10},
+        placement::ReplicationSpec{2, placement::SpreadPolicy::kRack});
+    const auto outcome = run_correlated_failure(store, 12, topo, 2, keys);
+    EXPECT_EQ(outcome.keys_lost, 0u);
+    rereplicated.push_back(outcome.keys_rereplicated);
+  }
+  EXPECT_EQ(rereplicated[0], rereplicated[1]);
 }
 
 }  // namespace
